@@ -1,0 +1,33 @@
+"""Ablation benchmark: heterogeneous load-allocation strategies.
+
+Compares the P2-optimal loads with random placement (generalized BCC) against
+the proportional "load-balanced" baseline and a plain uniform split on a
+heterogeneous cluster. Expected shape: generalized BCC beats the LB baseline
+(the paper's Fig. 5 claim); the uniform row quantifies the extra computation
+the coverage target costs.
+"""
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.ablations import allocation_strategy_comparison
+from repro.utils.tables import TextTable
+
+
+def test_ablation_allocation_strategies(benchmark, report):
+    cluster = ClusterSpec.paper_fig5_cluster(num_workers=50, num_fast=3)
+    rows = benchmark.pedantic(
+        lambda: allocation_strategy_comparison(
+            num_examples=250, cluster=cluster, num_trials=150, rng=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        ["strategy", "average completion time (s)", "total assigned examples"],
+        title="Ablation — heterogeneous allocation strategies (m = 250, n = 50)",
+    )
+    for row in rows:
+        table.add_row([row["strategy"], row["average_time"], int(row["total_load"])])
+    report("Ablation — allocation strategies", table.render())
+
+    times = {row["strategy"]: row["average_time"] for row in rows}
+    assert times["p2-random"] < times["load-balanced"]

@@ -1,0 +1,47 @@
+"""Ablation benchmark: in-worker compression (summing) vs per-example messages.
+
+Compares BCC (one summed vector per worker) with the simple randomized scheme
+(one vector per processed unit) while sweeping the per-unit communication
+cost. Expected shape: the randomized scheme's disadvantage grows with the
+communication cost because its communication load is ``r`` times larger
+(paper Eq. 6 vs the BCC load of Theorem 1).
+"""
+
+from repro.experiments.ablations import communication_ratio_sweep
+from repro.utils.tables import TextTable
+
+
+def test_ablation_compression_vs_per_unit_messages(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: communication_ratio_sweep(
+            comm_costs=(1e-3, 1e-2, 1e-1), num_iterations=25, rng=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        [
+            "comm cost (s/unit)",
+            "BCC total (s)",
+            "randomized total (s)",
+            "BCC comm load",
+            "randomized comm load",
+        ],
+        title="Ablation — summed messages (BCC) vs per-unit messages (randomized)",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["comm_seconds_per_unit"],
+                row["bcc_total_time"],
+                row["randomized_total_time"],
+                row["bcc_communication_load"],
+                row["randomized_communication_load"],
+            ]
+        )
+    report("Ablation — communication compression", table.render())
+
+    ratios = [row["randomized_total_time"] / row["bcc_total_time"] for row in rows]
+    assert ratios[-1] > ratios[0]
+    for row in rows:
+        assert row["randomized_communication_load"] > row["bcc_communication_load"]

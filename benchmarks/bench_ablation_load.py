@@ -1,0 +1,39 @@
+"""Ablation benchmark: the computational load ``r`` drives the whole tradeoff.
+
+Sweeps the BCC batch size on the EC2-like cluster (scenario-one dimensions)
+and reports the realised recovery threshold and run-time breakdown per load.
+Expected shape: the recovery threshold falls roughly like ``(m/r) log(m/r)``
+as ``r`` grows, and the total time falls with it until the (small)
+computation term starts to matter.
+"""
+
+from repro.experiments.ablations import load_sweep
+from repro.utils.tables import TextTable
+
+
+def test_ablation_computational_load_sweep(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: load_sweep(loads=(5, 10, 25, 50), num_iterations=40, rng=0),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        ["load r", "recovery threshold", "total time (s)", "computation (s)", "communication (s)"],
+        title="Ablation — BCC computational-load sweep (m = 50 batches, n = 50 workers)",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                int(row["load"]),
+                row["recovery_threshold"],
+                row["total_time"],
+                row["computation_time"],
+                row["communication_time"],
+            ]
+        )
+    report("Ablation — computational load sweep", table.render())
+
+    thresholds = [row["recovery_threshold"] for row in rows]
+    assert all(a > b for a, b in zip(thresholds, thresholds[1:]))
+    # Larger loads keep reducing how many workers the master waits for.
+    assert thresholds[-1] < 0.25 * thresholds[0]

@@ -1,0 +1,38 @@
+"""Ablation benchmark: straggler (network jitter) intensity.
+
+Sweeps the per-message communication jitter of the EC2-like cluster and
+compares BCC against the uncoded baseline. Expected shape: the BCC speed-up
+grows as transfers become more variable, because the uncoded master waits for
+the slowest of all n transfers while BCC only needs the fastest ~(m/r)log(m/r).
+"""
+
+from repro.experiments.ablations import straggler_intensity_sweep
+from repro.utils.tables import TextTable
+
+
+def test_ablation_straggler_intensity(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: straggler_intensity_sweep(
+            jitters=(0.005, 0.02, 0.06, 0.2), num_iterations=40, rng=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        ["comm jitter (s)", "BCC total (s)", "uncoded total (s)", "BCC speed-up"],
+        title="Ablation — network-straggling intensity sweep",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["comm_jitter"],
+                row["bcc_total_time"],
+                row["uncoded_total_time"],
+                f"{100 * row['speedup']:.1f}%",
+            ]
+        )
+    report("Ablation — straggler intensity", table.render())
+
+    speedups = [row["speedup"] for row in rows]
+    assert all(value > 0 for value in speedups)
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,39 @@
+"""Benchmark reproducing the paper's Fig. 2.
+
+Recovery threshold vs computational load for m = n = 100: the lower bound
+``m/r``, the BCC scheme, the simple randomized scheme and the cyclic
+repetition scheme, plus Monte-Carlo cross-checks of the two random schemes.
+
+Expected shape (paper): BCC sits just above the lower bound and far below
+both the randomized scheme (for small r) and the cyclic-repetition line
+``m - r + 1``.
+"""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_tradeoff_curves(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig2(
+            num_examples=100,
+            num_workers=100,
+            loads=list(range(5, 51, 5)),
+            monte_carlo_trials=20,
+            rng=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 2 — recovery threshold vs computational load", result.render())
+
+    # Shape assertions mirroring the figure.
+    for index, load in enumerate(result.loads):
+        lower = result.curves["lower-bound"][index]
+        bcc = result.curves["bcc"][index]
+        cyclic = result.curves["cyclic-repetition"][index]
+        randomized = result.curves["randomized"][index]
+        assert lower <= bcc <= randomized + 1e-9
+        assert bcc <= cyclic + 1e-9
+    # At r = 10 the paper's figure shows BCC ~ 29 vs CR = 91.
+    index = result.loads.index(10)
+    assert result.curves["bcc"][index] < 0.45 * result.curves["cyclic-repetition"][index]

@@ -1,0 +1,53 @@
+"""Benchmark reproducing the paper's Fig. 4 (running-time comparison).
+
+Total running time of 100 iterations of distributed Nesterov GD under the
+uncoded, cyclic-repetition and BCC schemes, in both scenarios, on the
+EC2-like simulated cluster.
+
+Expected shape (paper): BCC fastest in both scenarios (85.4 % / 73.0 % faster
+than uncoded, ~70 % faster than cyclic repetition), and the relative gain
+over the uncoded scheme shrinks from scenario one to scenario two.
+"""
+
+from repro.experiments.fig4 import ScenarioConfig, run_scenario
+from repro.utils.tables import TextTable
+
+
+def _run_both_scenarios():
+    one = run_scenario(ScenarioConfig.scenario_one(), rng=0)
+    two = run_scenario(ScenarioConfig.scenario_two(), rng=1)
+    return one, two
+
+
+def test_fig4_running_time_comparison(benchmark, report):
+    one, two = benchmark.pedantic(_run_both_scenarios, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["scenario", "scheme", "total running time (s)", "speed-up vs uncoded"],
+        title="Fig. 4 — total running times (100 iterations, simulated EC2-like cluster)",
+    )
+    for label, scenario in (("one", one), ("two", two)):
+        for scheme in scenario.jobs:
+            table.add_row(
+                [
+                    label,
+                    scheme,
+                    scenario.jobs[scheme].total_time,
+                    f"{100 * scenario.speedup_over(scheme, 'uncoded'):.1f}%",
+                ]
+            )
+    report(
+        "Fig. 4 — running time comparison",
+        table.render(),
+        scenario_one_bcc_speedup_vs_uncoded=one.speedup_over("bcc", "uncoded"),
+        scenario_one_bcc_speedup_vs_cyclic=one.speedup_over("bcc", "cyclic-repetition"),
+        scenario_two_bcc_speedup_vs_uncoded=two.speedup_over("bcc", "uncoded"),
+        scenario_two_bcc_speedup_vs_cyclic=two.speedup_over("bcc", "cyclic-repetition"),
+    )
+
+    for scenario in (one, two):
+        jobs = scenario.jobs
+        assert jobs["bcc"].total_time < jobs["cyclic-repetition"].total_time
+        assert jobs["cyclic-repetition"].total_time < jobs["uncoded"].total_time
+    # BCC's gain over uncoded shrinks with the larger cluster (paper text).
+    assert one.speedup_over("bcc", "uncoded") >= two.speedup_over("bcc", "uncoded") - 0.05

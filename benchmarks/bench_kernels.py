@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the computational substrate.
+
+These are conventional pytest-benchmark timings (many rounds) of the hot
+kernels the reproduction relies on: the paper-scale logistic gradient, the
+BCC worker message (summed partial gradients), the coded encode/decode pair,
+and one timing-only simulated iteration at scenario-two scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.cyclic_repetition import CyclicRepetitionCode
+from repro.datasets.synthetic import LogisticDataConfig, make_paper_logistic_data
+from repro.experiments.ec2 import ec2_like_cluster
+from repro.gradients.logistic import LogisticLoss
+from repro.schemes.bcc import BCCScheme
+from repro.simulation.iteration import simulate_iteration
+
+
+@pytest.fixture(scope="module")
+def logistic_problem():
+    config = LogisticDataConfig(num_examples=1000, num_features=2000)
+    dataset, _ = make_paper_logistic_data(config, seed=0)
+    weights = np.random.default_rng(1).standard_normal(2000) * 0.01
+    return LogisticLoss(), dataset, weights
+
+
+def test_kernel_full_logistic_gradient(benchmark, logistic_problem):
+    model, dataset, weights = logistic_problem
+    result = benchmark(model.gradient, weights, dataset.features, dataset.labels)
+    assert np.all(np.isfinite(result))
+
+
+def test_kernel_bcc_worker_message(benchmark, logistic_problem):
+    model, dataset, weights = logistic_problem
+    features, labels = dataset.rows(np.arange(100))
+    result = benchmark(model.gradient_sum, weights, features, labels)
+    assert result.shape == (2000,)
+
+
+def test_kernel_cyclic_code_encode_decode(benchmark):
+    code = CyclicRepetitionCode(num_workers=50, num_stragglers=9, seed=0)
+    gradients = np.random.default_rng(2).standard_normal((50, 2000))
+    survivors = list(range(9, 50))
+
+    def encode_and_decode():
+        messages = np.vstack([code.encode(w, gradients) for w in survivors])
+        return code.decode(survivors, messages)
+
+    decoded = benchmark(encode_and_decode)
+    np.testing.assert_allclose(decoded, gradients.sum(axis=0), atol=1e-6)
+
+
+def test_kernel_simulated_iteration_scenario_two_scale(benchmark):
+    cluster = ec2_like_cluster(100)
+    plan = BCCScheme(load=10).build_feasible_plan(100, 100, rng=0)
+    rng = np.random.default_rng(3)
+    outcome = benchmark(
+        lambda: simulate_iteration(
+            plan, cluster, rng=rng, unit_size=100, serialize_master_link=False
+        )
+    )
+    assert outcome.total_time > 0

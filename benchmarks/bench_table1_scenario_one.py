@@ -1,0 +1,47 @@
+"""Benchmark reproducing the paper's Table I (scenario one breakdown).
+
+Recovery threshold, communication time, computation time and total running
+time for the uncoded, cyclic-repetition and BCC schemes with n = 50 workers,
+m = 50 batches of 100 points, r = 10 and 100 iterations.
+
+Expected shape (paper): recovery thresholds 50 / 41 / ~11, communication time
+dominating computation for every scheme, and total times ordered
+uncoded > cyclic repetition > BCC with BCC roughly 5-7x faster than uncoded.
+"""
+
+from repro.experiments.fig4 import ScenarioConfig, run_scenario
+
+PAPER_ROWS = {
+    "uncoded": {"recovery_threshold": 50, "total_time": 28.786},
+    "cyclic-repetition": {"recovery_threshold": 41, "total_time": 13.990},
+    "bcc": {"recovery_threshold": 11, "total_time": 4.205},
+}
+
+
+def test_table1_scenario_one_breakdown(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_scenario(ScenarioConfig.scenario_one(), rng=0),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Table I — breakdown of running times (scenario one)",
+        result.render(),
+        paper_rows=str(PAPER_ROWS),
+        bcc_speedup_vs_uncoded=result.speedup_over("bcc", "uncoded"),
+        bcc_speedup_vs_cyclic=result.speedup_over("bcc", "cyclic-repetition"),
+    )
+
+    rows = {name: result.row(name) for name in result.jobs}
+    # Recovery thresholds are structural and must match the paper closely.
+    assert rows["uncoded"]["recovery_threshold"] == 50.0
+    assert rows["cyclic-repetition"]["recovery_threshold"] == 41.0
+    assert 10.0 <= rows["bcc"]["recovery_threshold"] <= 13.5
+    # Communication dominates computation (the paper's central observation).
+    for row in rows.values():
+        assert row["communication_time"] > row["computation_time"]
+    # Total-time ordering and rough factors.
+    assert rows["bcc"]["total_time"] < rows["cyclic-repetition"]["total_time"]
+    assert rows["cyclic-repetition"]["total_time"] < rows["uncoded"]["total_time"]
+    assert 0.6 <= result.speedup_over("bcc", "uncoded") <= 0.97
+    assert 0.4 <= result.speedup_over("bcc", "cyclic-repetition") <= 0.92

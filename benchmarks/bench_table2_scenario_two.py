@@ -1,0 +1,43 @@
+"""Benchmark reproducing the paper's Table II (scenario two breakdown).
+
+Same breakdown as Table I for n = 100 workers and m = 100 batches of 100
+points (r = 10, 100 iterations).
+
+Expected shape (paper): recovery thresholds 100 / 91 / ~25-29, communication
+time dominating, total times uncoded > cyclic repetition > BCC with BCC
+roughly 3-4x faster than uncoded.
+"""
+
+from repro.experiments.fig4 import ScenarioConfig, run_scenario
+
+PAPER_ROWS = {
+    "uncoded": {"recovery_threshold": 100, "total_time": 33.020},
+    "cyclic-repetition": {"recovery_threshold": 91, "total_time": 29.482},
+    "bcc": {"recovery_threshold": 25, "total_time": 8.931},
+}
+
+
+def test_table2_scenario_two_breakdown(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_scenario(ScenarioConfig.scenario_two(), rng=0),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Table II — breakdown of running times (scenario two)",
+        result.render(),
+        paper_rows=str(PAPER_ROWS),
+        bcc_speedup_vs_uncoded=result.speedup_over("bcc", "uncoded"),
+        bcc_speedup_vs_cyclic=result.speedup_over("bcc", "cyclic-repetition"),
+    )
+
+    rows = {name: result.row(name) for name in result.jobs}
+    assert rows["uncoded"]["recovery_threshold"] == 100.0
+    assert rows["cyclic-repetition"]["recovery_threshold"] == 91.0
+    assert 24.0 <= rows["bcc"]["recovery_threshold"] <= 33.0
+    for row in rows.values():
+        assert row["communication_time"] > row["computation_time"]
+    assert rows["bcc"]["total_time"] < rows["cyclic-repetition"]["total_time"]
+    assert rows["cyclic-repetition"]["total_time"] < rows["uncoded"]["total_time"]
+    assert result.speedup_over("bcc", "uncoded") >= 0.5
+    assert result.speedup_over("bcc", "cyclic-repetition") >= 0.4

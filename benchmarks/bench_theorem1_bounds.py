@@ -1,0 +1,30 @@
+"""Benchmark validating Theorem 1 (Eq. 2/3): the BCC recovery threshold.
+
+For a grid of computational loads the Monte-Carlo average of the BCC stopping
+time is compared against the closed form ``ceil(m/r) * H_{ceil(m/r)}`` and
+checked to sit inside the ``[m/r, ceil(m/r) H]`` sandwich.
+"""
+
+from repro.experiments.theorems import run_theorem1_validation
+
+
+def test_theorem1_recovery_threshold_bounds(benchmark, report):
+    validation = benchmark.pedantic(
+        lambda: run_theorem1_validation(
+            num_examples=100, loads=[5, 10, 20, 25, 50], num_trials=2000, rng=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Theorem 1 — BCC recovery threshold: closed form vs simulation",
+        validation.render(),
+        max_relative_error=validation.max_relative_error(),
+    )
+
+    assert validation.max_relative_error() < 0.05
+    for lower, simulated, closed in zip(
+        validation.lower_bounds, validation.simulated, validation.closed_forms
+    ):
+        assert lower <= simulated + 1e-9
+        assert simulated <= 1.1 * closed

@@ -1,0 +1,31 @@
+"""Benchmark validating Theorem 2: heterogeneous coverage-time bounds.
+
+The measured average coverage time of the generalized BCC scheme must lie
+between the theorem's lower bound (``min E[T-hat(m)]``) and upper bound
+(``min E[T-hat(floor(c m log m))] + 1``), both evaluated at the P2-optimal
+loads for a heterogeneous shift-exponential cluster.
+"""
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.theorems import run_theorem2_validation
+from repro.utils.tables import TextTable
+
+
+def test_theorem2_coverage_time_bounds(benchmark, report):
+    cluster = ClusterSpec.paper_fig5_cluster(num_workers=50, num_fast=3, shift=5.0)
+    validation = benchmark.pedantic(
+        lambda: run_theorem2_validation(
+            num_examples=100, cluster=cluster, num_trials=300, rng=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(["quantity", "value"], title="Theorem 2 bound check")
+    table.add_row(["lower bound", validation.bounds.lower])
+    table.add_row(["measured coverage time", validation.measured_coverage_time])
+    table.add_row(["upper bound", validation.bounds.upper])
+    table.add_row(["constant c", validation.bounds.constant])
+    report("Theorem 2 — heterogeneous coverage-time bounds", table.render())
+
+    assert validation.bounds.lower <= validation.bounds.upper
+    assert validation.within_bounds

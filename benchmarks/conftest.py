@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the reproduced rows/series (visible with ``pytest benchmarks/ --benchmark-only
+-s``; also attached to the pytest-benchmark JSON via ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_and_print(benchmark, title: str, rendered: str, **extra) -> None:
+    """Attach a rendered table to the benchmark record and echo it to stdout."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{rendered}\n")
+    benchmark.extra_info["title"] = title
+    benchmark.extra_info["table"] = rendered
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def report(benchmark):
+    """Convenience fixture: ``report(title, rendered, **extra)``."""
+
+    def _report(title: str, rendered: str, **extra) -> None:
+        attach_and_print(benchmark, title, rendered, **extra)
+
+    return _report

@@ -1,0 +1,73 @@
+"""Choosing the computational load analytically, without running a sweep.
+
+The paper picks the computational load ``r`` "based on the memory constraints
+of the instances so as to minimize the total running times". This example
+shows how to make that choice with the library's closed-form run-time
+predictor (:func:`repro.analysis.predict_iteration_time`), and then checks
+the prediction against the discrete-event simulator for the chosen load.
+
+Run with::
+
+    python examples/choose_computational_load.py
+"""
+
+from repro.analysis import predict_iteration_time
+from repro.experiments import ec2_like_cluster
+from repro.experiments.ec2 import EC2LikeConfig
+from repro.schemes.bcc import BCCScheme
+from repro.simulation.job import simulate_job
+from repro.stragglers.communication import LinearCommunicationModel
+from repro.stragglers.models import ShiftedExponentialDelay
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    num_batches, num_workers, points_per_batch = 50, 50, 100
+    config = EC2LikeConfig()
+    compute = ShiftedExponentialDelay(
+        straggling=config.straggling, shift=config.seconds_per_example
+    )
+    communication = LinearCommunicationModel(
+        latency=config.comm_latency,
+        seconds_per_unit=config.comm_seconds_per_unit,
+        jitter=config.comm_jitter,
+    )
+
+    # --- 1. Predict the per-iteration time of BCC for every feasible load. --- #
+    table = TextTable(
+        ["load r", "predicted K", "predicted time/iteration (s)"],
+        title="Analytical run-time prediction for BCC (m = 50 batches, n = 50 workers)",
+    )
+    candidates = [2, 5, 10, 25, 50]
+    predictions = {}
+    for load in candidates:
+        prediction = predict_iteration_time(
+            "bcc", num_batches, num_workers, load, points_per_batch, compute, communication
+        )
+        predictions[load] = prediction
+        table.add_row([load, prediction.recovery_threshold, prediction.total_time])
+    print(table.render())
+
+    best_load = min(candidates, key=lambda load: predictions[load].total_time)
+    print(f"\npredicted best load: r = {best_load}\n")
+
+    # --- 2. Validate the chosen operating point against the simulator. --- #
+    cluster = ec2_like_cluster(num_workers, config)
+    job = simulate_job(
+        BCCScheme(best_load),
+        cluster,
+        num_units=num_batches,
+        num_iterations=50,
+        rng=0,
+        unit_size=points_per_batch,
+        serialize_master_link=False,
+    )
+    print(
+        f"simulator at r = {best_load}: "
+        f"{job.total_time / job.num_iterations:.4f} s/iteration "
+        f"(predicted {predictions[best_load].total_time:.4f} s/iteration)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The paper's EC2 experiment, end to end (scaled down to run in seconds).
+
+Reproduces the structure of Section III-C: train a logistic-regression model
+with Nesterov's accelerated gradient method on the paper's synthetic
+mixture-of-Gaussians dataset, distributed over a straggling cluster, under
+the uncoded, cyclic-repetition and BCC schemes. The run is *semantic*: every
+iteration the workers that the timing simulation heard from contribute their
+real encoded gradients, the master decodes, and the model is updated — so the
+example reports both the Table-I-style timing breakdown and the training
+loss, demonstrating that all three schemes follow the identical optimization
+trajectory while spending very different amounts of (simulated) time.
+
+Run with::
+
+    python examples/logistic_regression_ec2_style.py
+"""
+
+from repro.experiments.fig4 import ScenarioConfig, run_scenario
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    # A scaled-down scenario one: 20 workers, 20 batches of 50 points,
+    # 4000-dimensional features, 30 Nesterov iterations. Scale these up to
+    # the paper's (50, 50, 100, 8000, 100) to reproduce Table I exactly.
+    config = ScenarioConfig(
+        name="ec2-style (scaled down)",
+        num_workers=20,
+        num_batches=20,
+        points_per_batch=50,
+        load=5,
+        num_iterations=30,
+        num_features=4000,
+    )
+    result = run_scenario(config, rng=0, semantic=True)
+
+    print(result.render())
+    print()
+
+    table = TextTable(
+        ["scheme", "final training loss", "avg workers waited for", "total simulated time (s)"],
+        title="Training outcome (all schemes recover the exact gradient each iteration)",
+    )
+    for name, job in result.jobs.items():
+        table.add_row(
+            [
+                name,
+                job.training.losses[-1],
+                job.average_recovery_threshold,
+                job.total_time,
+            ]
+        )
+    print(table.render())
+    print()
+    print(
+        "BCC speed-up over uncoded:          "
+        f"{100 * result.speedup_over('bcc', 'uncoded'):.1f}%"
+    )
+    print(
+        "BCC speed-up over cyclic repetition: "
+        f"{100 * result.speedup_over('bcc', 'cyclic-repetition'):.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

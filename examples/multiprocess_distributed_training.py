@@ -1,0 +1,102 @@
+"""Real parallel distributed GD with multiprocessing workers.
+
+Everything in the other examples runs under *simulated* time. This example
+uses the :mod:`repro.runtime` backend instead: one OS process per worker, an
+mpi4py-style queue communicator, asynchronous collection at the master and
+artificially injected stragglers — the same structure as the paper's MPI4py
+deployment, shrunk to laptop size.
+
+Two runs are compared on identical data and identical injected straggling:
+
+* the uncoded scheme, which must wait for the deliberately slow worker every
+  iteration, and
+* the BCC scheme, which almost never needs it.
+
+Run with::
+
+    python examples/multiprocess_distributed_training.py
+"""
+
+import numpy as np
+
+from repro import BCCScheme, LogisticLoss, NesterovAcceleratedGradient, UncodedScheme
+from repro.datasets.batching import make_batches
+from repro.datasets.synthetic import LogisticDataConfig, make_paper_logistic_data
+from repro.runtime import run_distributed_job
+from repro.stragglers.models import BimodalStragglerDelay, DeterministicDelay
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    num_workers = 6
+    num_batches = 12
+    points_per_batch = 25
+    num_iterations = 10
+
+    config = LogisticDataConfig(
+        num_examples=num_batches * points_per_batch, num_features=200
+    )
+    dataset, _ = make_paper_logistic_data(config, seed=0)
+    unit_spec = make_batches(dataset.num_examples, points_per_batch)
+    model = LogisticLoss()
+
+    # BCC uses a load of 6 batches, i.e. the 12 batches form 2 BCC groups, so
+    # the master typically stops after hearing ~3 of the 6 workers. Build the
+    # plans first, then make one *redundant* BCC worker the straggler: a
+    # worker whose group is also held by somebody else, so BCC can ignore it
+    # while the uncoded scheme (disjoint data) must wait for it every time.
+    uncoded_plan = UncodedScheme().build_plan(num_batches, num_workers)
+    bcc_plan = BCCScheme(load=6).build_feasible_plan(num_batches, num_workers, rng=1)
+    batch_choices = bcc_plan.metadata["batch_choices"]
+    straggler = next(
+        worker
+        for worker in range(num_workers)
+        if (batch_choices == batch_choices[worker]).sum() >= 2
+    )
+
+    # The straggler sleeps ~0.6 ms per processed example (tens of
+    # milliseconds per iteration); the rest are fast with occasional mild
+    # slowdowns.
+    straggle_delays = [
+        DeterministicDelay(seconds_per_example=6e-4)
+        if worker == straggler
+        else BimodalStragglerDelay(
+            seconds_per_example=1e-5, straggle_probability=0.05, slowdown=20.0
+        )
+        for worker in range(num_workers)
+    ]
+
+    table = TextTable(
+        ["scheme", "final loss", "avg workers waited for", "wall-clock (s)"],
+        title=f"Real multiprocessing run: {num_workers} worker processes, "
+        f"{num_iterations} Nesterov iterations, worker {straggler} straggles",
+    )
+    for name, plan in (("uncoded", uncoded_plan), ("bcc", bcc_plan)):
+        result = run_distributed_job(
+            plan,
+            model,
+            dataset,
+            NesterovAcceleratedGradient(0.3),
+            num_iterations=num_iterations,
+            unit_spec=unit_spec,
+            straggle_delays=straggle_delays,
+            seed=0,
+        )
+        table.add_row(
+            [
+                name,
+                result.training.losses[-1],
+                result.average_recovery_threshold,
+                result.total_seconds,
+            ]
+        )
+    print(table.render())
+    print()
+    print(
+        "Both schemes recover the exact full gradient every iteration, so the\n"
+        "final losses match; BCC simply avoids waiting for the injected straggler."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Analytical results: coupon-collector mathematics, recovery-threshold and
+communication-load formulas for every scheme, and the Theorem 1 / Theorem 2
+bound evaluators used by the benchmark harness."""
+
+from repro.analysis.coupon import (
+    harmonic_number,
+    expected_coupon_draws,
+    coupon_draw_variance,
+    coupon_tail_bound,
+    coverage_probability_after_draws,
+    simulate_coupon_draws,
+)
+from repro.analysis.thresholds import (
+    SchemeFormulas,
+    lower_bound_recovery_threshold,
+    bcc_recovery_threshold,
+    bcc_communication_load,
+    uncoded_recovery_threshold,
+    uncoded_communication_load,
+    cyclic_repetition_recovery_threshold,
+    cyclic_repetition_communication_load,
+    randomized_recovery_threshold,
+    randomized_communication_load,
+    scheme_formula_registry,
+)
+from repro.analysis.bounds import (
+    Theorem1Bounds,
+    theorem1_bounds,
+    Theorem2Bounds,
+    theorem2_bounds,
+    theorem2_constant,
+)
+from repro.analysis.tradeoff import TradeoffPoint, tradeoff_curves
+from repro.analysis.order_statistics import (
+    expected_kth_exponential_order_statistic,
+    expected_kth_shift_exponential_completion,
+    expected_maximum_shift_exponential_completion,
+    monte_carlo_kth_completion,
+)
+from repro.analysis.runtime_prediction import IterationPrediction, predict_iteration_time
+
+__all__ = [
+    "harmonic_number",
+    "expected_coupon_draws",
+    "coupon_draw_variance",
+    "coupon_tail_bound",
+    "coverage_probability_after_draws",
+    "simulate_coupon_draws",
+    "SchemeFormulas",
+    "lower_bound_recovery_threshold",
+    "bcc_recovery_threshold",
+    "bcc_communication_load",
+    "uncoded_recovery_threshold",
+    "uncoded_communication_load",
+    "cyclic_repetition_recovery_threshold",
+    "cyclic_repetition_communication_load",
+    "randomized_recovery_threshold",
+    "randomized_communication_load",
+    "scheme_formula_registry",
+    "Theorem1Bounds",
+    "theorem1_bounds",
+    "Theorem2Bounds",
+    "theorem2_bounds",
+    "theorem2_constant",
+    "TradeoffPoint",
+    "tradeoff_curves",
+    "expected_kth_exponential_order_statistic",
+    "expected_kth_shift_exponential_completion",
+    "expected_maximum_shift_exponential_completion",
+    "monte_carlo_kth_completion",
+    "IterationPrediction",
+    "predict_iteration_time",
+]

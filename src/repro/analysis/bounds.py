@@ -1,0 +1,155 @@
+"""Evaluators for the paper's Theorem 1 and Theorem 2 bounds."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.coupon import harmonic_number
+from repro.analysis.thresholds import bcc_recovery_threshold, lower_bound_recovery_threshold
+from repro.cluster.allocation import solve_p2_allocation
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.waiting_time import estimate_expected_threshold_time
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "Theorem1Bounds",
+    "theorem1_bounds",
+    "Theorem2Bounds",
+    "theorem2_bounds",
+    "theorem2_constant",
+]
+
+
+@dataclass(frozen=True)
+class Theorem1Bounds:
+    """The sandwich ``m/r <= K*(r) <= K_BCC(r)`` of Theorem 1 for one ``(m, r)``.
+
+    The same numbers bound the minimum communication load ``L*(r)``.
+    """
+
+    num_examples: int
+    load: int
+    lower: float
+    upper: float
+
+    @property
+    def logarithmic_gap(self) -> float:
+        """``upper / lower`` — the paper shows this is ``~ H_ceil(m/r)``."""
+        return self.upper / self.lower
+
+
+def theorem1_bounds(num_examples: int, load: int) -> Theorem1Bounds:
+    """Evaluate the Theorem 1 lower and upper bounds for ``(m, r)``."""
+    lower = lower_bound_recovery_threshold(num_examples, load)
+    upper = bcc_recovery_threshold(num_examples, load)
+    return Theorem1Bounds(
+        num_examples=int(num_examples), load=int(load), lower=lower, upper=upper
+    )
+
+
+def theorem2_constant(
+    num_examples: int, num_workers: int, max_shift: float, min_straggling: float
+) -> float:
+    """The constant ``c = 2 + log(a + H_n / mu) / log m`` of Theorem 2.
+
+    ``a`` is the largest shift parameter, ``mu`` the smallest straggling
+    parameter across workers.
+    """
+    m = check_positive_int(num_examples, "num_examples")
+    n = check_positive_int(num_workers, "num_workers")
+    if m < 2:
+        raise ConfigurationError("Theorem 2's constant requires m >= 2 (log m > 0)")
+    if min_straggling <= 0:
+        raise ConfigurationError("the minimum straggling parameter must be positive")
+    if max_shift < 0:
+        raise ConfigurationError("the maximum shift parameter must be non-negative")
+    inner = max_shift + harmonic_number(n) / min_straggling
+    return 2.0 + math.log(inner) / math.log(m)
+
+
+@dataclass(frozen=True)
+class Theorem2Bounds:
+    """Bounds on the minimum expected coverage time of a heterogeneous cluster.
+
+    Attributes
+    ----------
+    lower:
+        ``min_{r} E[T-hat(m)]`` evaluated at the P2-optimal loads for ``s = m``.
+    upper:
+        ``min_{r} E[T-hat(floor(c m log m))] + 1`` at the P2-optimal loads for
+        the inflated target.
+    constant:
+        The ``c`` used for the upper bound.
+    lower_loads, upper_loads:
+        The loads realising each bound.
+    """
+
+    num_examples: int
+    lower: float
+    upper: float
+    constant: float
+    lower_loads: np.ndarray
+    upper_loads: np.ndarray
+
+
+def theorem2_bounds(
+    cluster: ClusterSpec,
+    num_examples: int,
+    *,
+    rng: RandomState = None,
+    num_trials: int = 200,
+    constant: Optional[float] = None,
+) -> Theorem2Bounds:
+    """Evaluate both Theorem 2 bounds by Monte-Carlo over the cluster's delay models.
+
+    Parameters
+    ----------
+    cluster:
+        Heterogeneous shift-exponential cluster.
+    num_examples:
+        Dataset size ``m``.
+    num_trials:
+        Monte-Carlo trials per expectation.
+    constant:
+        Override for ``c`` (defaults to the paper's expression).
+    """
+    m = check_positive_int(num_examples, "num_examples")
+    if constant is None:
+        constant = theorem2_constant(
+            m,
+            cluster.num_workers,
+            max_shift=float(cluster.shift_parameters().max()),
+            min_straggling=float(cluster.straggling_parameters().min()),
+        )
+    lower_allocation = solve_p2_allocation(cluster, target=m)
+    lower = estimate_expected_threshold_time(
+        cluster, lower_allocation.loads, target=m, rng=rng, num_trials=num_trials
+    )
+
+    inflated_target = int(math.floor(constant * m * math.log(m)))
+    inflated_target = max(inflated_target, m)
+    upper_allocation = solve_p2_allocation(cluster, target=inflated_target)
+    upper = (
+        estimate_expected_threshold_time(
+            cluster,
+            upper_allocation.loads,
+            target=inflated_target,
+            rng=rng,
+            num_trials=num_trials,
+        )
+        + 1.0
+    )
+    return Theorem2Bounds(
+        num_examples=m,
+        lower=float(lower),
+        upper=float(upper),
+        constant=float(constant),
+        lower_loads=lower_allocation.loads,
+        upper_loads=upper_allocation.loads,
+    )

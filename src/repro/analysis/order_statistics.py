@@ -1,0 +1,98 @@
+"""Order statistics of worker completion times.
+
+The run time of every scheme in the paper is governed by order statistics of
+the workers' completion times: the uncoded scheme finishes with the *maximum*
+of ``n`` i.i.d. times, a coded scheme with the ``(n - s)``-th smallest, and
+BCC with a random index concentrated around ``(m/r) log(m/r)``. For the
+shift-exponential family the paper uses (Eq. 15), these expectations have
+closed forms through partial harmonic sums; this module provides them, plus a
+generic Monte-Carlo fallback for arbitrary delay models, and the resulting
+analytical run-time predictions are checked against the discrete-event
+simulator in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.coupon import harmonic_number
+from repro.stragglers.base import DelayModel
+from repro.stragglers.models import ShiftedExponentialDelay
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "expected_kth_exponential_order_statistic",
+    "expected_kth_shift_exponential_completion",
+    "expected_maximum_shift_exponential_completion",
+    "monte_carlo_kth_completion",
+]
+
+
+def expected_kth_exponential_order_statistic(
+    num_samples: int, k: int, rate: float = 1.0
+) -> float:
+    """``E[X_(k)]`` for ``k``-th smallest of ``n`` i.i.d. Exponential(rate) variables.
+
+    The classical identity ``E[X_(k)] = (H_n - H_{n-k}) / rate`` follows from
+    the memorylessness of the exponential: the gap between consecutive order
+    statistics ``X_(i+1) - X_(i)`` is exponential with rate ``(n - i) * rate``.
+    """
+    n = check_positive_int(num_samples, "num_samples")
+    k = check_positive_int(k, "k")
+    if k > n:
+        raise ValueError(f"k must be at most num_samples ({n}), got {k}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    return (harmonic_number(n) - harmonic_number(n - k)) / rate
+
+
+def expected_kth_shift_exponential_completion(
+    num_workers: int,
+    k: int,
+    load: int,
+    model: ShiftedExponentialDelay,
+) -> float:
+    """Expected ``k``-th fastest completion among identical shift-exponential workers.
+
+    Every worker processes ``load`` examples, so its completion time is
+    ``shift * load + Exp(straggling / load)``; the deterministic part is common
+    to all workers and the exponential parts obey the order-statistic identity
+    above.
+    """
+    check_positive_int(load, "load")
+    tail = expected_kth_exponential_order_statistic(
+        num_workers, k, rate=model.straggling / load
+    )
+    return model.shift * load + tail
+
+
+def expected_maximum_shift_exponential_completion(
+    num_workers: int, load: int, model: ShiftedExponentialDelay
+) -> float:
+    """Expected slowest completion (the uncoded scheme's computation time)."""
+    return expected_kth_shift_exponential_completion(
+        num_workers, num_workers, load, model
+    )
+
+
+def monte_carlo_kth_completion(
+    num_workers: int,
+    k: int,
+    load: int,
+    model: DelayModel,
+    rng: RandomState = None,
+    num_trials: int = 2000,
+) -> float:
+    """Monte-Carlo ``E[k-th fastest completion]`` for an arbitrary delay model."""
+    n = check_positive_int(num_workers, "num_workers")
+    k = check_positive_int(k, "k")
+    if k > n:
+        raise ValueError(f"k must be at most num_workers ({n}), got {k}")
+    check_positive_int(num_trials, "num_trials")
+    generator = as_generator(rng)
+    times = model.sample(load, rng=generator, size=(num_trials, n))
+    kth = np.partition(times, k - 1, axis=1)[:, k - 1]
+    return float(kth.mean())

@@ -1,0 +1,189 @@
+"""Recovery-threshold and communication-load formulas for every scheme.
+
+All formulas are stated for ``m`` training examples (or batches, when
+``m > n`` the paper groups examples into ``n`` "super examples"), ``n``
+workers, and computational load ``r`` (examples per worker):
+
+=====================  ============================  =========================
+Scheme                 Recovery threshold ``K(r)``   Communication load ``L(r)``
+=====================  ============================  =========================
+Lower bound            ``m / r``                     ``m / r``
+BCC (paper, Eq. 2)     ``ceil(m/r) * H_ceil(m/r)``   same as ``K``
+Uncoded                ``n``                         ``n`` (one unit each)
+Simple randomized      ``~ (m/r) log m`` (exact       ``r *`` its ``K``
+                       value computed numerically)
+Cyclic repetition /    ``m - r + 1``                 ``m - r + 1``
+Reed-Solomon / MDS
+=====================  ============================  =========================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.analysis.coupon import harmonic_number
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "SchemeFormulas",
+    "lower_bound_recovery_threshold",
+    "bcc_recovery_threshold",
+    "bcc_communication_load",
+    "uncoded_recovery_threshold",
+    "uncoded_communication_load",
+    "cyclic_repetition_recovery_threshold",
+    "cyclic_repetition_communication_load",
+    "randomized_recovery_threshold",
+    "randomized_communication_load",
+    "scheme_formula_registry",
+]
+
+
+def _validate(num_examples: int, load: int) -> tuple[int, int]:
+    m = check_positive_int(num_examples, "num_examples")
+    r = check_positive_int(load, "load")
+    if r > m:
+        raise ConfigurationError(
+            f"the computational load r={r} cannot exceed the number of examples m={m}"
+        )
+    return m, r
+
+
+def lower_bound_recovery_threshold(num_examples: int, load: int) -> float:
+    """The information-theoretic lower bound ``K*(r) >= m / r`` (Theorem 1)."""
+    m, r = _validate(num_examples, load)
+    return m / r
+
+
+def bcc_recovery_threshold(num_examples: int, load: int) -> float:
+    """BCC's recovery threshold ``K_BCC(r) = ceil(m/r) * H_ceil(m/r)`` (Eq. 2)."""
+    m, r = _validate(num_examples, load)
+    num_batches = math.ceil(m / r)
+    return num_batches * harmonic_number(num_batches)
+
+
+def bcc_communication_load(num_examples: int, load: int) -> float:
+    """BCC's communication load equals its recovery threshold (each message has unit size)."""
+    return bcc_recovery_threshold(num_examples, load)
+
+
+def uncoded_recovery_threshold(num_examples: int, num_workers: int) -> float:
+    """The uncoded scheme waits for every worker: ``K = n``."""
+    check_positive_int(num_examples, "num_examples")
+    return float(check_positive_int(num_workers, "num_workers"))
+
+
+def uncoded_communication_load(num_examples: int, num_workers: int) -> float:
+    """Each uncoded worker sends one summed message: ``L = n``."""
+    return uncoded_recovery_threshold(num_examples, num_workers)
+
+
+def cyclic_repetition_recovery_threshold(num_examples: int, load: int) -> float:
+    """Cyclic-repetition / RS / cyclic-MDS threshold ``K = m - r + 1`` (Eq. 7).
+
+    Stated for the paper's ``m = n`` convention (one example — or "super
+    example" — per worker).
+    """
+    m, r = _validate(num_examples, load)
+    return float(m - r + 1)
+
+
+def cyclic_repetition_communication_load(num_examples: int, load: int) -> float:
+    """Coded schemes send one coded unit per surviving worker: ``L = m - r + 1`` (Eq. 8)."""
+    return cyclic_repetition_recovery_threshold(num_examples, load)
+
+
+def randomized_recovery_threshold(
+    num_examples: int, load: int, *, exact: bool = True
+) -> float:
+    """Recovery threshold of the simple randomized (no batching) scheme.
+
+    Each worker independently picks ``r`` of the ``m`` examples uniformly at
+    random (without replacement) and reports each partial gradient
+    individually; the master needs coverage of all ``m`` examples.
+
+    With ``exact=True`` the expectation is computed from the exact per-worker
+    coverage dynamics of the equivalent coupon-collector-with-group-drawings
+    process: the expected number of workers is ``sum_{t>=0} P(not covered
+    after t workers)`` evaluated via inclusion–exclusion. With
+    ``exact=False`` the paper's approximation ``(m/r) log m`` (Eq. 5) is
+    returned.
+    """
+    m, r = _validate(num_examples, load)
+    if not exact:
+        return (m / r) * math.log(m) if m > 1 else 1.0
+    if r == m:
+        return 1.0
+    # The process is a coupon-collector with group drawings: each worker
+    # covers a uniform r-subset of the m examples. Writing the expectation as
+    # the sum of the survival function and applying inclusion-exclusion over
+    # the set of uncovered examples gives, after summing the geometric series
+    # in the number of workers t,
+    #   E[W] = sum_{k=1}^{m} (-1)^{k+1} C(m, k) / (1 - q_k),
+    #   q_k  = C(m - k, r) / C(m, r),
+    # where q_k is the probability that one worker misses k fixed examples.
+    # The alternating sum suffers catastrophic float cancellation (the
+    # binomials dwarf the result), so it is evaluated in exact rational
+    # arithmetic and converted to float only at the end.
+    from fractions import Fraction
+
+    denominator = math.comb(m, r)
+    total = Fraction(0)
+    for k in range(1, m + 1):
+        misses = math.comb(m - k, r) if (m - k) >= r else 0
+        q_k = Fraction(misses, denominator)
+        term = Fraction(math.comb(m, k)) / (1 - q_k)
+        total += term if (k % 2 == 1) else -term
+    return float(total)
+
+
+def randomized_communication_load(
+    num_examples: int, load: int, *, exact: bool = True
+) -> float:
+    """Communication load of the simple randomized scheme.
+
+    Every worker ships ``r`` individual partial gradients, so
+    ``L = r * K_random`` — approximately ``m log m`` (Eq. 6).
+    """
+    m, r = _validate(num_examples, load)
+    return r * randomized_recovery_threshold(m, r, exact=exact)
+
+
+@dataclass(frozen=True)
+class SchemeFormulas:
+    """Closed-form (or numerically exact) ``K(r)`` and ``L(r)`` for one scheme."""
+
+    name: str
+    recovery_threshold: Callable[[int, int], float]
+    communication_load: Callable[[int, int], float]
+
+
+def scheme_formula_registry() -> Dict[str, SchemeFormulas]:
+    """Registry of the analytic formulas keyed by scheme name.
+
+    The uncoded entry interprets its second argument as the number of workers
+    ``n`` (its threshold does not depend on ``r``); every other entry takes
+    ``(m, r)``.
+    """
+    return {
+        "lower-bound": SchemeFormulas(
+            "lower-bound", lower_bound_recovery_threshold, lower_bound_recovery_threshold
+        ),
+        "bcc": SchemeFormulas("bcc", bcc_recovery_threshold, bcc_communication_load),
+        "uncoded": SchemeFormulas(
+            "uncoded", uncoded_recovery_threshold, uncoded_communication_load
+        ),
+        "cyclic-repetition": SchemeFormulas(
+            "cyclic-repetition",
+            cyclic_repetition_recovery_threshold,
+            cyclic_repetition_communication_load,
+        ),
+        "randomized": SchemeFormulas(
+            "randomized", randomized_recovery_threshold, randomized_communication_load
+        ),
+    }

@@ -1,0 +1,89 @@
+"""Computational-load vs recovery-threshold tradeoff curves (paper Fig. 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.thresholds import (
+    bcc_recovery_threshold,
+    cyclic_repetition_recovery_threshold,
+    lower_bound_recovery_threshold,
+    randomized_recovery_threshold,
+)
+from repro.utils.validation import check_positive_int
+
+__all__ = ["TradeoffPoint", "tradeoff_curves"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the Fig. 2 tradeoff: a scheme's ``K`` at computational load ``r``."""
+
+    scheme: str
+    load: int
+    recovery_threshold: float
+
+
+def tradeoff_curves(
+    num_examples: int,
+    num_workers: int,
+    loads: Optional[Sequence[int]] = None,
+    *,
+    exact_randomized: bool = True,
+) -> Dict[str, List[TradeoffPoint]]:
+    """Compute the four curves of the paper's Fig. 2.
+
+    Parameters
+    ----------
+    num_examples, num_workers:
+        The figure uses ``m = n = 100``.
+    loads:
+        Computational loads ``r`` to evaluate; defaults to every ``r`` from
+        ``1`` (``m/n`` when ``m = n``) to ``m // 2`` as in the figure's x-axis
+        range (5..50 shown, computed here from 1 for completeness).
+    exact_randomized:
+        Whether the simple-randomized curve uses the numerically exact
+        expectation (default) or the paper's ``(m/r) log m`` approximation.
+
+    Returns
+    -------
+    dict mapping scheme name -> list of :class:`TradeoffPoint`.
+    """
+    m = check_positive_int(num_examples, "num_examples")
+    n = check_positive_int(num_workers, "num_workers")
+    if loads is None:
+        loads = list(range(1, m // 2 + 1))
+    loads = [check_positive_int(int(r), "load") for r in loads]
+
+    curves: Dict[str, List[TradeoffPoint]] = {
+        "lower-bound": [],
+        "bcc": [],
+        "randomized": [],
+        "cyclic-repetition": [],
+    }
+    for r in loads:
+        curves["lower-bound"].append(
+            TradeoffPoint("lower-bound", r, lower_bound_recovery_threshold(m, r))
+        )
+        curves["bcc"].append(TradeoffPoint("bcc", r, bcc_recovery_threshold(m, r)))
+        curves["randomized"].append(
+            TradeoffPoint(
+                "randomized", r, randomized_recovery_threshold(m, r, exact=exact_randomized)
+            )
+        )
+        curves["cyclic-repetition"].append(
+            TradeoffPoint(
+                "cyclic-repetition", r, cyclic_repetition_recovery_threshold(m, r)
+            )
+        )
+    # The recovery threshold can never exceed the number of workers; clip the
+    # analytic curves the way the paper's figure does implicitly.
+    for name, points in curves.items():
+        curves[name] = [
+            TradeoffPoint(p.scheme, p.load, min(p.recovery_threshold, float(n)))
+            for p in points
+        ]
+    return curves

@@ -1,0 +1,44 @@
+"""Cluster description and heterogeneous load allocation.
+
+The homogeneous setting (Section III of the paper) only needs the number of
+workers; the heterogeneous extension (Section IV) describes every worker by a
+shift-exponential delay model with parameters ``(mu_i, a_i)`` and asks how
+many examples each worker should be assigned. This package provides:
+
+* :class:`WorkerSpec` / :class:`ClusterSpec` — the cluster description,
+* the P2 load-allocation solver (:func:`solve_p2_allocation`) following the
+  HCMM approach of Reisizadeh et al. (reference [16] of the paper),
+* the proportional "load-balancing" baseline used in the paper's Fig. 5, and
+* Monte-Carlo estimators of ``E[T-hat(s)]`` and of the coverage time.
+"""
+
+from repro.cluster.spec import WorkerSpec, ClusterSpec
+from repro.cluster.allocation import (
+    AllocationResult,
+    solve_p2_allocation,
+    load_balanced_allocation,
+    uniform_allocation,
+    optimal_rate_per_load,
+    expected_aggregate_return,
+)
+from repro.cluster.waiting_time import (
+    estimate_expected_threshold_time,
+    estimate_coverage_time,
+    sample_threshold_time,
+    sample_coverage_time,
+)
+
+__all__ = [
+    "WorkerSpec",
+    "ClusterSpec",
+    "AllocationResult",
+    "solve_p2_allocation",
+    "load_balanced_allocation",
+    "uniform_allocation",
+    "optimal_rate_per_load",
+    "expected_aggregate_return",
+    "estimate_expected_threshold_time",
+    "estimate_coverage_time",
+    "sample_threshold_time",
+    "sample_coverage_time",
+]

@@ -1,0 +1,174 @@
+"""Worker and cluster specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.stragglers.base import DelayModel
+from repro.stragglers.communication import CommunicationModel, LinearCommunicationModel
+from repro.stragglers.models import ShiftedExponentialDelay
+from repro.utils.validation import check_positive_int
+
+__all__ = ["WorkerSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Description of one worker node.
+
+    Attributes
+    ----------
+    compute:
+        Delay model giving the time to process a given number of examples.
+    name:
+        Optional identifier used in reports and logs.
+    """
+
+    compute: DelayModel
+    name: str = "worker"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.compute, DelayModel):
+            raise ConfigurationError(
+                f"compute must be a DelayModel, got {type(self.compute).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A master plus ``n`` workers with a shared communication model.
+
+    Attributes
+    ----------
+    workers:
+        Tuple of :class:`WorkerSpec`, one per worker node.
+    communication:
+        Communication-time model applied at the master for every received
+        message (defaults to free communication).
+    """
+
+    workers: tuple
+    communication: CommunicationModel = field(
+        default_factory=lambda: LinearCommunicationModel(seconds_per_unit=0.0)
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.workers) == 0:
+            raise ConfigurationError("a cluster needs at least one worker")
+        for i, worker in enumerate(self.workers):
+            if not isinstance(worker, WorkerSpec):
+                raise ConfigurationError(
+                    f"workers[{i}] must be a WorkerSpec, got {type(worker).__name__}"
+                )
+        if not isinstance(self.communication, CommunicationModel):
+            raise ConfigurationError(
+                "communication must be a CommunicationModel, got "
+                f"{type(self.communication).__name__}"
+            )
+        object.__setattr__(self, "workers", tuple(self.workers))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        """Number of worker nodes ``n``."""
+        return len(self.workers)
+
+    def delay_models(self) -> List[DelayModel]:
+        """List of the workers' compute delay models, in worker order."""
+        return [worker.compute for worker in self.workers]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def homogeneous(
+        cls,
+        num_workers: int,
+        compute: DelayModel,
+        communication: Optional[CommunicationModel] = None,
+    ) -> "ClusterSpec":
+        """Build a cluster of ``num_workers`` identical workers."""
+        check_positive_int(num_workers, "num_workers")
+        workers = tuple(
+            WorkerSpec(compute=compute, name=f"worker-{i}") for i in range(num_workers)
+        )
+        if communication is None:
+            return cls(workers=workers)
+        return cls(workers=workers, communication=communication)
+
+    @classmethod
+    def shifted_exponential(
+        cls,
+        stragglings: Sequence[float],
+        shifts: Sequence[float],
+        communication: Optional[CommunicationModel] = None,
+    ) -> "ClusterSpec":
+        """Build a heterogeneous cluster from per-worker ``(mu_i, a_i)`` arrays.
+
+        This is the cluster family of the paper's Section IV: worker ``i`` has
+        a shift-exponential completion time with straggling parameter
+        ``stragglings[i]`` and shift parameter ``shifts[i]``.
+        """
+        stragglings = np.asarray(stragglings, dtype=float)
+        shifts = np.asarray(shifts, dtype=float)
+        if stragglings.shape != shifts.shape or stragglings.ndim != 1:
+            raise ConfigurationError(
+                "stragglings and shifts must be 1-D arrays of equal length"
+            )
+        workers = tuple(
+            WorkerSpec(
+                compute=ShiftedExponentialDelay(straggling=float(mu), shift=float(a)),
+                name=f"worker-{i}",
+            )
+            for i, (mu, a) in enumerate(zip(stragglings, shifts))
+        )
+        if communication is None:
+            return cls(workers=workers)
+        return cls(workers=workers, communication=communication)
+
+    @classmethod
+    def paper_fig5_cluster(
+        cls,
+        num_workers: int = 100,
+        num_fast: int = 5,
+        slow_straggling: float = 1.0,
+        fast_straggling: float = 20.0,
+        shift: float = 20.0,
+        communication: Optional[CommunicationModel] = None,
+    ) -> "ClusterSpec":
+        """The heterogeneous cluster of the paper's Fig. 5.
+
+        ``n = 100`` workers, all with shift parameter ``a_i = 20``;
+        95 workers with straggling parameter ``mu_i = 1`` and 5 with
+        ``mu_i = 20``.
+        """
+        check_positive_int(num_workers, "num_workers")
+        if not (0 <= num_fast <= num_workers):
+            raise ConfigurationError(
+                f"num_fast must lie in [0, {num_workers}], got {num_fast}"
+            )
+        stragglings = np.full(num_workers, slow_straggling, dtype=float)
+        if num_fast:
+            stragglings[-num_fast:] = fast_straggling
+        shifts = np.full(num_workers, shift, dtype=float)
+        return cls.shifted_exponential(stragglings, shifts, communication=communication)
+
+    # ------------------------------------------------------------------ #
+    def straggling_parameters(self) -> np.ndarray:
+        """Per-worker straggling parameters ``mu_i`` (shift-exponential clusters only)."""
+        return np.array([self._shift_exp(i).straggling for i in range(self.num_workers)])
+
+    def shift_parameters(self) -> np.ndarray:
+        """Per-worker shift parameters ``a_i`` (shift-exponential clusters only)."""
+        return np.array([self._shift_exp(i).shift for i in range(self.num_workers)])
+
+    def _shift_exp(self, index: int) -> ShiftedExponentialDelay:
+        model = self.workers[index].compute
+        if not isinstance(model, ShiftedExponentialDelay):
+            raise ConfigurationError(
+                "this operation requires shift-exponential workers; worker "
+                f"{index} uses {type(model).__name__}"
+            )
+        return model

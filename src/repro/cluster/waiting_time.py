@@ -1,0 +1,201 @@
+"""Monte-Carlo estimators of the waiting times in Section IV of the paper.
+
+Two quantities appear in Theorem 2:
+
+* ``T-hat(s)`` (paper Eq. 18) — the first time the workers that have finished
+  account for at least ``s`` partial gradients (with repetitions);
+* the coverage time ``T`` (paper Eq. 16) — the first time the *union* of the
+  finished workers' example sets equals the whole dataset.
+
+Both are estimated by sampling per-worker completion times from the cluster's
+delay models. The samplers are vectorised over trials where the structure
+allows it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import AllocationError
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "sample_completion_times",
+    "sample_threshold_time",
+    "estimate_expected_threshold_time",
+    "sample_coverage_time",
+    "estimate_coverage_time",
+]
+
+AssignmentSampler = Callable[[np.random.Generator], Sequence[np.ndarray]]
+"""Draws one realisation of the per-worker example-index sets."""
+
+
+def sample_completion_times(
+    cluster: ClusterSpec,
+    loads: np.ndarray,
+    rng: RandomState = None,
+    num_trials: int = 1,
+) -> np.ndarray:
+    """Sample a ``(num_trials, n)`` matrix of per-worker completion times.
+
+    Workers with zero load never finish (time ``+inf``) since they have
+    nothing to report.
+    """
+    loads = np.asarray(loads, dtype=int)
+    if loads.shape[0] != cluster.num_workers:
+        raise AllocationError(
+            f"loads has length {loads.shape[0]} but the cluster has "
+            f"{cluster.num_workers} workers"
+        )
+    check_positive_int(num_trials, "num_trials")
+    generator = as_generator(rng)
+    times = np.full((num_trials, cluster.num_workers), np.inf)
+    for i, model in enumerate(cluster.delay_models()):
+        if loads[i] > 0:
+            times[:, i] = model.sample(int(loads[i]), rng=generator, size=num_trials)
+    return times
+
+
+def sample_threshold_time(
+    cluster: ClusterSpec,
+    loads: np.ndarray,
+    target: int,
+    rng: RandomState = None,
+    num_trials: int = 1,
+) -> np.ndarray:
+    """Sample ``T-hat(target)``: time until finished workers account for ``target`` results.
+
+    Returns ``+inf`` for trials in which even all workers together hold fewer
+    than ``target`` partial gradients.
+    """
+    loads = np.asarray(loads, dtype=int)
+    check_positive_int(target, "target")
+    times = sample_completion_times(cluster, loads, rng=rng, num_trials=num_trials)
+    order = np.argsort(times, axis=1)
+    sorted_times = np.take_along_axis(times, order, axis=1)
+    sorted_loads = loads[order]
+    cumulative = np.cumsum(sorted_loads, axis=1)
+    reached = cumulative >= target
+    results = np.full(num_trials, np.inf)
+    any_reached = reached.any(axis=1)
+    first_index = np.argmax(reached, axis=1)
+    rows = np.flatnonzero(any_reached)
+    results[rows] = sorted_times[rows, first_index[rows]]
+    return results
+
+
+def estimate_expected_threshold_time(
+    cluster: ClusterSpec,
+    loads: np.ndarray,
+    target: int,
+    rng: RandomState = None,
+    num_trials: int = 200,
+) -> float:
+    """Monte-Carlo estimate of ``E[T-hat(target)]`` for fixed loads."""
+    samples = sample_threshold_time(
+        cluster, loads, target, rng=rng, num_trials=num_trials
+    )
+    if np.any(~np.isfinite(samples)):
+        raise AllocationError(
+            "the supplied loads cannot deliver the target number of results "
+            f"(total load {int(np.asarray(loads).sum())} < target {target})"
+        )
+    return float(samples.mean())
+
+
+def sample_coverage_time(
+    cluster: ClusterSpec,
+    num_examples: int,
+    assignment_sampler: AssignmentSampler,
+    rng: RandomState = None,
+    num_trials: int = 1,
+) -> np.ndarray:
+    """Sample the coverage time ``T`` (paper Eq. 16) under a random assignment.
+
+    Parameters
+    ----------
+    cluster:
+        The heterogeneous cluster.
+    num_examples:
+        Dataset size ``m``.
+    assignment_sampler:
+        Callable drawing one assignment realisation — a sequence of ``n``
+        index arrays (worker ``i`` processes ``assignment[i]``). Called once
+        per trial, which models the generalized BCC scheme re-sampling its
+        random selection each trial. Deterministic assignments simply ignore
+        the generator argument.
+    num_trials:
+        Number of Monte-Carlo trials.
+
+    Returns
+    -------
+    ndarray
+        Coverage time per trial; ``+inf`` when the assignment does not cover
+        the dataset (coverage can then never be achieved).
+    """
+    check_positive_int(num_examples, "num_examples")
+    check_positive_int(num_trials, "num_trials")
+    generator = as_generator(rng)
+    results = np.empty(num_trials)
+    for trial in range(num_trials):
+        assignment = assignment_sampler(generator)
+        if len(assignment) != cluster.num_workers:
+            raise AllocationError(
+                "assignment sampler returned "
+                f"{len(assignment)} index sets for {cluster.num_workers} workers"
+            )
+        loads = np.array([len(indices) for indices in assignment], dtype=int)
+        times = sample_completion_times(cluster, loads, rng=generator, num_trials=1)[0]
+        order = np.argsort(times)
+        covered = np.zeros(num_examples, dtype=bool)
+        count_covered = 0
+        coverage_time = np.inf
+        for worker in order:
+            if not np.isfinite(times[worker]):
+                break
+            indices = np.asarray(assignment[worker], dtype=int)
+            if indices.size:
+                newly = ~covered[indices]
+                if newly.any():
+                    covered[indices[newly]] = True
+                    count_covered += int(newly.sum())
+            if count_covered >= num_examples:
+                coverage_time = float(times[worker])
+                break
+        results[trial] = coverage_time
+    return results
+
+
+def estimate_coverage_time(
+    cluster: ClusterSpec,
+    num_examples: int,
+    assignment_sampler: AssignmentSampler,
+    rng: RandomState = None,
+    num_trials: int = 200,
+    *,
+    allow_incomplete: bool = False,
+) -> float:
+    """Monte-Carlo estimate of the expected coverage time ``E[T]``.
+
+    With ``allow_incomplete=False`` (default) a trial that never achieves
+    coverage raises :class:`~repro.exceptions.AllocationError`; otherwise
+    such trials are dropped from the average (and at least one trial must
+    succeed).
+    """
+    samples = sample_coverage_time(
+        cluster, num_examples, assignment_sampler, rng=rng, num_trials=num_trials
+    )
+    finite = np.isfinite(samples)
+    if not finite.all():
+        if not allow_incomplete or not finite.any():
+            raise AllocationError(
+                "coverage was not achieved in "
+                f"{int((~finite).sum())} of {num_trials} trials"
+            )
+        samples = samples[finite]
+    return float(samples.mean())

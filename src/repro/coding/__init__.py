@@ -1,0 +1,42 @@
+"""Data placement and gradient-coding substrate.
+
+Two layers live here:
+
+* **Placement** — which example (or data partition) indices each worker
+  processes, represented by :class:`DataAssignment` and produced by the
+  placement generators (uncoded split, BCC random batching, random subsets,
+  cyclic windows, heterogeneous loads).
+* **Codes** — how a worker's locally computed partial gradients are combined
+  into its message and how the master reconstructs the full gradient:
+  :class:`LinearGradientCode` with the cyclic-repetition construction of
+  Tandon et al., the fractional-repetition construction, and a deterministic
+  Reed-Solomon-style variant.
+"""
+
+from repro.coding.assignment import DataAssignment
+from repro.coding.placement import (
+    uncoded_placement,
+    bcc_placement,
+    random_subset_placement,
+    cyclic_placement,
+    heterogeneous_random_placement,
+    group_placement,
+)
+from repro.coding.linear_code import LinearGradientCode
+from repro.coding.cyclic_repetition import CyclicRepetitionCode
+from repro.coding.fractional import FractionalRepetitionCode
+from repro.coding.reed_solomon import ReedSolomonStyleCode
+
+__all__ = [
+    "DataAssignment",
+    "uncoded_placement",
+    "bcc_placement",
+    "random_subset_placement",
+    "cyclic_placement",
+    "heterogeneous_random_placement",
+    "group_placement",
+    "LinearGradientCode",
+    "CyclicRepetitionCode",
+    "FractionalRepetitionCode",
+    "ReedSolomonStyleCode",
+]

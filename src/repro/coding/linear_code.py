@@ -1,0 +1,195 @@
+"""Generic linear gradient codes.
+
+A linear gradient code over ``k`` data partitions is an encoding matrix
+``B`` of shape ``(n, k)``: worker ``i`` computes the partial-gradient sums
+``g_1, ..., g_k`` of the partitions in its support (the nonzero entries of
+row ``i``) and transmits the single vector ``sum_j B[i, j] * g_j``. The
+master, having received messages from a worker subset ``W``, recovers the
+total gradient whenever the all-ones row vector lies in the row space of
+``B[W]``: it finds coefficients ``a`` with ``a^T B[W] = 1^T`` and outputs
+``sum_{i in W} a_i z_i``.
+
+This captures the cyclic-repetition scheme of Tandon et al., the
+Reed-Solomon construction of Halbawi et al., and the cyclic-MDS construction
+of Raviv et al.; they differ only in how ``B`` is built.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.coding.assignment import DataAssignment
+from repro.exceptions import DecodingError
+from repro.utils.validation import check_array_2d
+
+__all__ = ["LinearGradientCode"]
+
+
+class LinearGradientCode:
+    """A linear gradient code defined by its encoding matrix ``B``.
+
+    Parameters
+    ----------
+    encoding_matrix:
+        Real matrix of shape ``(num_workers, num_partitions)``.
+    name:
+        Identifier used in reports.
+    decoding_tolerance:
+        Maximum allowed residual ``||a^T B_W - 1||_inf`` for a worker subset
+        to be considered decodable.
+    """
+
+    def __init__(
+        self,
+        encoding_matrix: np.ndarray,
+        name: str = "linear-code",
+        decoding_tolerance: float = 1e-6,
+    ) -> None:
+        matrix = check_array_2d(encoding_matrix, "encoding_matrix")
+        if not np.all(np.isfinite(matrix)):
+            raise DecodingError("the encoding matrix must contain only finite entries")
+        self.encoding_matrix = matrix
+        self.name = name
+        self.decoding_tolerance = float(decoding_tolerance)
+        if self.decoding_tolerance <= 0:
+            raise ValueError("decoding_tolerance must be positive")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        """Number of workers ``n`` (rows of ``B``)."""
+        return self.encoding_matrix.shape[0]
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of data partitions ``k`` (columns of ``B``)."""
+        return self.encoding_matrix.shape[1]
+
+    def support(self, worker: int) -> np.ndarray:
+        """Data-partition indices worker ``worker`` must process (nonzero columns)."""
+        self._check_worker(worker)
+        return np.flatnonzero(self.encoding_matrix[worker])
+
+    def computational_load(self) -> int:
+        """Maximum support size across workers (in partitions)."""
+        return int(np.max(np.count_nonzero(self.encoding_matrix, axis=1)))
+
+    def to_assignment(self) -> DataAssignment:
+        """The placement implied by the code's supports, at partition granularity."""
+        assignments = tuple(self.support(i) for i in range(self.num_workers))
+        return DataAssignment(num_examples=self.num_partitions, assignments=assignments)
+
+    # ------------------------------------------------------------------ #
+    # Encoding / decoding
+    # ------------------------------------------------------------------ #
+    def encode(self, worker: int, partition_gradients: np.ndarray) -> np.ndarray:
+        """Compute worker ``worker``'s coded message.
+
+        Parameters
+        ----------
+        partition_gradients:
+            Array of shape ``(k, p)`` whose row ``j`` is the summed partial
+            gradient of partition ``j``. Only the rows in the worker's
+            support are read; the others may contain garbage (a real worker
+            never computes them).
+        """
+        self._check_worker(worker)
+        gradients = np.asarray(partition_gradients, dtype=float)
+        if gradients.ndim != 2 or gradients.shape[0] != self.num_partitions:
+            raise DecodingError(
+                "partition_gradients must have shape (num_partitions, p), got "
+                f"{gradients.shape}"
+            )
+        support = self.support(worker)
+        coefficients = self.encoding_matrix[worker, support]
+        return coefficients @ gradients[support]
+
+    def decoding_vector(self, workers: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Coefficients ``a`` with ``a^T B[workers] = 1^T``.
+
+        Raises
+        ------
+        DecodingError
+            If no such coefficients exist (within tolerance), i.e. the subset
+            is not decodable.
+        """
+        workers = self._check_workers(workers)
+        submatrix = self.encoding_matrix[workers]  # (w, k)
+        target = np.ones(self.num_partitions)
+        solution, *_ = np.linalg.lstsq(submatrix.T, target, rcond=None)
+        residual = submatrix.T @ solution - target
+        if np.max(np.abs(residual)) > self.decoding_tolerance:
+            raise DecodingError(
+                f"worker subset of size {len(workers)} is not decodable for "
+                f"code {self.name!r} (residual {np.max(np.abs(residual)):.2e})"
+            )
+        return solution
+
+    def is_decodable(self, workers: Sequence[int] | np.ndarray) -> bool:
+        """True when the master can recover the gradient from ``workers``' messages."""
+        try:
+            self.decoding_vector(workers)
+            return True
+        except DecodingError:
+            return False
+
+    def decode(
+        self, workers: Sequence[int] | np.ndarray, messages: np.ndarray
+    ) -> np.ndarray:
+        """Reconstruct the *sum* of all partition gradients from received messages.
+
+        Parameters
+        ----------
+        workers:
+            Indices of the workers whose messages were received, in the same
+            order as the rows of ``messages``.
+        messages:
+            Array of shape ``(len(workers), p)``.
+        """
+        workers = self._check_workers(workers)
+        received = np.asarray(messages, dtype=float)
+        if received.ndim != 2 or received.shape[0] != len(workers):
+            raise DecodingError(
+                f"messages must have shape (len(workers), p), got {received.shape}"
+            )
+        coefficients = self.decoding_vector(workers)
+        return coefficients @ received
+
+    # ------------------------------------------------------------------ #
+    def minimum_decodable_size(self) -> int:
+        """Smallest ``w`` such that *some* worker subset of size ``w`` decodes.
+
+        Used by tests on small codes; exhaustive only over contiguous subsets
+        plus a random sample to stay cheap.
+        """
+        for size in range(1, self.num_workers + 1):
+            for start in range(self.num_workers):
+                subset = [(start + offset) % self.num_workers for offset in range(size)]
+                if self.is_decodable(subset):
+                    return size
+        raise DecodingError(f"code {self.name!r} is never decodable")
+
+    # ------------------------------------------------------------------ #
+    def _check_worker(self, worker: int) -> None:
+        if not (0 <= worker < self.num_workers):
+            raise DecodingError(
+                f"worker index must lie in [0, {self.num_workers}), got {worker}"
+            )
+
+    def _check_workers(self, workers: Sequence[int] | np.ndarray) -> np.ndarray:
+        workers = np.asarray(workers, dtype=int)
+        if workers.ndim != 1 or workers.size == 0:
+            raise DecodingError("workers must be a non-empty 1-D index sequence")
+        if np.unique(workers).size != workers.size:
+            raise DecodingError("workers must not contain duplicates")
+        for worker in workers:
+            self._check_worker(int(worker))
+        return workers
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, n={self.num_workers}, "
+            f"k={self.num_partitions})"
+        )

@@ -1,0 +1,27 @@
+"""Dataset containers, synthetic generators, and batching utilities."""
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import (
+    LogisticDataConfig,
+    make_paper_logistic_data,
+    make_linear_regression_data,
+    make_separable_classification_data,
+)
+from repro.datasets.batching import (
+    BatchSpec,
+    make_batches,
+    batch_of_example,
+    contiguous_partition,
+)
+
+__all__ = [
+    "Dataset",
+    "LogisticDataConfig",
+    "make_paper_logistic_data",
+    "make_linear_regression_data",
+    "make_separable_classification_data",
+    "BatchSpec",
+    "make_batches",
+    "batch_of_example",
+    "contiguous_partition",
+]

@@ -1,0 +1,118 @@
+"""The :class:`Dataset` container used throughout the library.
+
+A dataset is an immutable pair ``(features, labels)`` with ``m`` examples and
+``p`` features. The distributed-GD machinery only ever needs row subsets of
+the design matrix, so the container exposes cheap row-indexing helpers that
+return views where NumPy allows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory supervised-learning dataset.
+
+    Attributes
+    ----------
+    features:
+        Design matrix of shape ``(m, p)``; one row per training example.
+    labels:
+        Target vector of shape ``(m,)``. For binary classification the labels
+        are in ``{-1, +1}`` (the convention used by the paper's logistic
+        model); for regression they are real-valued.
+    name:
+        Optional human-readable identifier used in experiment reports.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=float)
+        labels = np.asarray(self.labels, dtype=float)
+        if features.ndim != 2:
+            raise DataError(
+                f"features must be a 2-D array, got shape {features.shape}"
+            )
+        if labels.ndim != 1:
+            raise DataError(f"labels must be a 1-D array, got shape {labels.shape}")
+        if features.shape[0] != labels.shape[0]:
+            raise DataError(
+                "features and labels must have the same number of rows: "
+                f"{features.shape[0]} != {labels.shape[0]}"
+            )
+        if features.shape[0] == 0:
+            raise DataError("a dataset must contain at least one example")
+        # Bypass frozen=True to store the normalised arrays.
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+
+    # ------------------------------------------------------------------ #
+    # Shape helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def num_examples(self) -> int:
+        """Number of training examples ``m``."""
+        return int(self.features.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        """Number of features ``p``."""
+        return int(self.features.shape[1])
+
+    def __len__(self) -> int:
+        return self.num_examples
+
+    # ------------------------------------------------------------------ #
+    # Subsetting
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "Dataset":
+        """Return a new dataset containing the rows ``indices`` (in order).
+
+        Raises
+        ------
+        DataError
+            If any index is out of range or the index list is empty.
+        """
+        idx = np.asarray(indices, dtype=int)
+        if idx.ndim != 1 or idx.size == 0:
+            raise DataError("subset indices must be a non-empty 1-D sequence")
+        if idx.min() < 0 or idx.max() >= self.num_examples:
+            raise DataError(
+                f"subset indices must lie in [0, {self.num_examples}), "
+                f"got range [{idx.min()}, {idx.max()}]"
+            )
+        return Dataset(self.features[idx], self.labels[idx], name=f"{self.name}[subset]")
+
+    def rows(self, indices: Sequence[int] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(features[indices], labels[indices])`` without wrapping."""
+        idx = np.asarray(indices, dtype=int)
+        return self.features[idx], self.labels[idx]
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls, features: Iterable, labels: Iterable, name: str = "dataset"
+    ) -> "Dataset":
+        """Build a dataset from any array-likes (lists, tuples, ndarrays)."""
+        return cls(np.asarray(features, dtype=float), np.asarray(labels, dtype=float), name)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"Dataset(name={self.name!r}, m={self.num_examples}, "
+            f"p={self.num_features})"
+        )

@@ -1,0 +1,139 @@
+"""Batch partitioning of a training set, as used by the BCC scheme.
+
+The BCC scheme partitions the ``m`` examples into ``ceil(m/r)`` batches of
+``r`` examples each, the last batch being zero-padded in the paper (here:
+simply shorter — summing fewer real gradients is numerically identical to
+summing zero-padded ones). :class:`BatchSpec` captures such a partition and
+is reused by the uncoded scheme (each worker = one batch) and by the
+generalized BCC analysis (batch = "super example" when ``m > n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BatchSpec", "make_batches", "batch_of_example", "contiguous_partition"]
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """A disjoint partition of example indices ``0..m-1`` into batches.
+
+    Attributes
+    ----------
+    num_examples:
+        Total number of examples ``m``.
+    batches:
+        Tuple of index arrays; batch ``b`` holds the example indices assigned
+        to it. The arrays are disjoint and their union is ``range(m)``.
+    """
+
+    num_examples: int
+    batches: tuple
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_examples, "num_examples")
+        if len(self.batches) == 0:
+            raise DataError("a BatchSpec needs at least one batch")
+        seen = np.zeros(self.num_examples, dtype=bool)
+        normalised: List[np.ndarray] = []
+        for b, indices in enumerate(self.batches):
+            idx = np.asarray(indices, dtype=int)
+            if idx.ndim != 1 or idx.size == 0:
+                raise DataError(f"batch {b} must be a non-empty 1-D index array")
+            if idx.min() < 0 or idx.max() >= self.num_examples:
+                raise DataError(
+                    f"batch {b} references indices outside [0, {self.num_examples})"
+                )
+            if np.any(seen[idx]):
+                raise DataError(f"batch {b} overlaps a previous batch")
+            seen[idx] = True
+            normalised.append(idx.copy())
+        if not seen.all():
+            missing = int(np.flatnonzero(~seen)[0])
+            raise DataError(
+                f"example {missing} is not assigned to any batch; a BatchSpec "
+                "must cover every example"
+            )
+        object.__setattr__(self, "batches", tuple(normalised))
+
+    @property
+    def num_batches(self) -> int:
+        """Number of batches (``ceil(m/r)`` for a BCC partition)."""
+        return len(self.batches)
+
+    @property
+    def batch_sizes(self) -> np.ndarray:
+        """Array of per-batch sizes."""
+        return np.array([len(b) for b in self.batches], dtype=int)
+
+    @property
+    def max_batch_size(self) -> int:
+        """Size of the largest batch — the computational load ``r`` it implies."""
+        return int(self.batch_sizes.max())
+
+    def batch_indices(self, batch_id: int) -> np.ndarray:
+        """Return the example indices of batch ``batch_id``."""
+        if not (0 <= batch_id < self.num_batches):
+            raise DataError(
+                f"batch_id must lie in [0, {self.num_batches}), got {batch_id}"
+            )
+        return self.batches[batch_id]
+
+    def membership(self) -> np.ndarray:
+        """Return an array ``membership[j] = batch containing example j``."""
+        member = np.empty(self.num_examples, dtype=int)
+        for b, idx in enumerate(self.batches):
+            member[idx] = b
+        return member
+
+
+def make_batches(num_examples: int, batch_size: int) -> BatchSpec:
+    """Partition ``range(num_examples)`` into contiguous batches of ``batch_size``.
+
+    This is the BCC "batching" step: ``ceil(m/r)`` batches, each of size ``r``
+    except possibly the last. The paper zero-pads the last batch; leaving it
+    shorter yields the same summed partial gradient.
+    """
+    m = check_positive_int(num_examples, "num_examples")
+    r = check_positive_int(batch_size, "batch_size")
+    if r > m:
+        raise DataError(
+            f"batch_size ({r}) cannot exceed the number of examples ({m})"
+        )
+    num_batches = -(-m // r)  # ceil(m / r)
+    batches = [np.arange(b * r, min((b + 1) * r, m)) for b in range(num_batches)]
+    return BatchSpec(num_examples=m, batches=tuple(batches))
+
+
+def contiguous_partition(num_examples: int, num_parts: int) -> BatchSpec:
+    """Split ``range(num_examples)`` into ``num_parts`` nearly equal contiguous parts.
+
+    Used by the uncoded baseline (one part per worker) and by the "super
+    example" grouping the paper applies when ``m > n``. Parts differ in size
+    by at most one example.
+    """
+    m = check_positive_int(num_examples, "num_examples")
+    parts = check_positive_int(num_parts, "num_parts")
+    if parts > m:
+        raise DataError(
+            f"cannot split {m} examples into {parts} non-empty parts"
+        )
+    boundaries = np.linspace(0, m, parts + 1, dtype=int)
+    batches = [np.arange(boundaries[i], boundaries[i + 1]) for i in range(parts)]
+    return BatchSpec(num_examples=m, batches=tuple(batches))
+
+
+def batch_of_example(spec: BatchSpec, example_index: int) -> int:
+    """Return the batch id that contains ``example_index``."""
+    if not (0 <= example_index < spec.num_examples):
+        raise DataError(
+            f"example_index must lie in [0, {spec.num_examples}), got {example_index}"
+        )
+    return int(spec.membership()[example_index])

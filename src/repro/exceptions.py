@@ -1,0 +1,75 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so callers can catch library-specific failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``IndexError``, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "AssignmentError",
+    "DecodingError",
+    "CoverageError",
+    "SimulationError",
+    "RuntimeBackendError",
+    "AllocationError",
+    "DataError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid combination of parameters was supplied.
+
+    Raised eagerly, at object-construction time whenever possible, so that a
+    misconfigured experiment fails before any expensive work is performed.
+    """
+
+
+class DataError(ReproError):
+    """A dataset, batch specification, or example index set is invalid."""
+
+
+class AssignmentError(ReproError):
+    """A data-to-worker assignment violates its scheme's invariants.
+
+    Examples: a worker exceeding the declared computational load ``r``, an
+    example not assigned to any worker, or an assignment referencing an
+    out-of-range example index.
+    """
+
+
+class DecodingError(ReproError):
+    """The master could not reconstruct the full gradient.
+
+    Raised by coded schemes (cyclic repetition, MDS) when the set of received
+    worker messages is not decodable, and by exact-recovery checks when the
+    reconstructed gradient differs from the true aggregate beyond tolerance.
+    """
+
+
+class CoverageError(ReproError):
+    """Coverage of all data batches/examples can never be achieved.
+
+    Raised when the union of all workers' assigned examples does not equal
+    the full dataset, so no amount of waiting lets the master finish.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class RuntimeBackendError(ReproError):
+    """The real (multiprocessing) runtime failed to execute a job."""
+
+
+class AllocationError(ReproError):
+    """The heterogeneous load-allocation solver could not produce loads."""

@@ -1,0 +1,58 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each driver returns a plain result object with the same rows/series the paper
+reports and a ``render()`` method producing a monospace table, so the
+benchmark harness can both assert on the numbers and print them.
+
+=====================  =====================================================
+Paper artefact         Driver
+=====================  =====================================================
+Fig. 2                 :func:`repro.experiments.fig2.run_fig2`
+Fig. 4 + Tables I/II   :func:`repro.experiments.fig4.run_scenario`
+Fig. 5                 :func:`repro.experiments.fig5.run_fig5`
+Theorem 1 validation   :func:`repro.experiments.theorems.run_theorem1_validation`
+Theorem 2 validation   :func:`repro.experiments.theorems.run_theorem2_validation`
+Ablations              :mod:`repro.experiments.ablations`
+=====================  =====================================================
+"""
+
+from repro.experiments.ec2 import ec2_like_cluster, EC2LikeConfig
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig4 import ScenarioConfig, ScenarioResult, run_scenario
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.theorems import (
+    Theorem1Validation,
+    run_theorem1_validation,
+    Theorem2Validation,
+    run_theorem2_validation,
+)
+from repro.experiments.ablations import (
+    load_sweep,
+    straggler_intensity_sweep,
+    delay_model_comparison,
+    communication_ratio_sweep,
+    allocation_strategy_comparison,
+    exactness_under_time_budget,
+)
+
+__all__ = [
+    "ec2_like_cluster",
+    "EC2LikeConfig",
+    "Fig2Result",
+    "run_fig2",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "Fig5Result",
+    "run_fig5",
+    "Theorem1Validation",
+    "run_theorem1_validation",
+    "Theorem2Validation",
+    "run_theorem2_validation",
+    "load_sweep",
+    "straggler_intensity_sweep",
+    "delay_model_comparison",
+    "communication_ratio_sweep",
+    "allocation_strategy_comparison",
+    "exactness_under_time_budget",
+]

@@ -1,0 +1,127 @@
+"""Command-line entry point for regenerating the paper's artefacts.
+
+Usage::
+
+    python -m repro.experiments.cli fig2
+    python -m repro.experiments.cli table1 --iterations 100 --seed 0
+    python -m repro.experiments.cli fig5 --trials 300
+    python -m repro.experiments.cli theorem1
+    python -m repro.experiments.cli theorem2
+
+Each sub-command runs the corresponding experiment driver at (scaled-down by
+default, paper-scale via flags) settings and prints the reproduced table to
+stdout. The benchmark harness remains the canonical way to regenerate every
+artefact with assertions; the CLI is for quick interactive runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig4 import ScenarioConfig, run_scenario
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.theorems import run_theorem1_validation, run_theorem2_validation
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the experiment CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the BCC paper.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    subparsers = parser.add_subparsers(dest="experiment", required=True)
+
+    fig2 = subparsers.add_parser("fig2", help="Fig. 2: recovery threshold vs load")
+    fig2.add_argument("--examples", type=int, default=100, help="number of examples m")
+    fig2.add_argument("--workers", type=int, default=100, help="number of workers n")
+    fig2.add_argument(
+        "--trials", type=int, default=20, help="Monte-Carlo trials per load (0 to skip)"
+    )
+
+    for name, help_text in (
+        ("table1", "Table I: scenario one breakdown"),
+        ("table2", "Table II: scenario two breakdown"),
+    ):
+        scenario = subparsers.add_parser(name, help=help_text)
+        scenario.add_argument(
+            "--iterations", type=int, default=100, help="GD iterations (default: 100)"
+        )
+
+    fig5 = subparsers.add_parser("fig5", help="Fig. 5: heterogeneous LB vs generalized BCC")
+    fig5.add_argument("--examples", type=int, default=500, help="number of examples m")
+    fig5.add_argument("--trials", type=int, default=200, help="Monte-Carlo trials")
+
+    theorem1 = subparsers.add_parser("theorem1", help="Theorem 1 validation")
+    theorem1.add_argument("--examples", type=int, default=100)
+    theorem1.add_argument("--trials", type=int, default=1000)
+
+    theorem2 = subparsers.add_parser("theorem2", help="Theorem 2 validation")
+    theorem2.add_argument("--examples", type=int, default=100)
+    theorem2.add_argument("--trials", type=int, default=200)
+    theorem2.add_argument("--workers", type=int, default=50)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run one experiment and print its table; return a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "fig2":
+        result = run_fig2(
+            num_examples=args.examples,
+            num_workers=args.workers,
+            monte_carlo_trials=args.trials,
+            rng=args.seed,
+        )
+        print(result.render())
+    elif args.experiment in ("table1", "table2"):
+        config = (
+            ScenarioConfig.scenario_one()
+            if args.experiment == "table1"
+            else ScenarioConfig.scenario_two()
+        )
+        result = run_scenario(config, rng=args.seed, num_iterations=args.iterations)
+        print(result.render())
+        print()
+        print(
+            "BCC speed-up vs uncoded: "
+            f"{100 * result.speedup_over('bcc', 'uncoded'):.1f}%   "
+            "vs cyclic repetition: "
+            f"{100 * result.speedup_over('bcc', 'cyclic-repetition'):.1f}%"
+        )
+    elif args.experiment == "fig5":
+        result = run_fig5(
+            num_examples=args.examples, num_trials=args.trials, rng=args.seed
+        )
+        print(result.render())
+    elif args.experiment == "theorem1":
+        validation = run_theorem1_validation(
+            num_examples=args.examples, num_trials=args.trials, rng=args.seed
+        )
+        print(validation.render())
+    elif args.experiment == "theorem2":
+        cluster = ClusterSpec.paper_fig5_cluster(
+            num_workers=args.workers, num_fast=max(args.workers // 20, 1), shift=5.0
+        )
+        validation = run_theorem2_validation(
+            num_examples=args.examples,
+            cluster=cluster,
+            num_trials=args.trials,
+            rng=args.seed,
+        )
+        print(validation.render())
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Reproduction of the paper's Fig. 2: recovery threshold vs computational load.
+
+The figure compares, for ``m = n = 100``, the lower bound ``m/r``, the BCC
+scheme, the simple randomized scheme and the cyclic-repetition scheme. This
+driver evaluates the analytical curves via :mod:`repro.analysis.tradeoff` and
+additionally estimates the BCC and randomized thresholds by Monte-Carlo
+simulation of the corresponding stopping rules, so the closed forms are
+cross-checked against the actual schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.tradeoff import tradeoff_curves
+from repro.cluster.spec import ClusterSpec
+from repro.schemes.bcc import BCCScheme
+from repro.schemes.randomized import SimpleRandomizedScheme
+from repro.simulation.iteration import simulate_iteration
+from repro.stragglers.models import ExponentialDelay
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.tables import TextTable
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """The four Fig. 2 curves plus Monte-Carlo cross-checks.
+
+    Attributes
+    ----------
+    loads:
+        Computational loads ``r`` on the x-axis.
+    curves:
+        Mapping scheme name -> analytic recovery thresholds, aligned with
+        ``loads``.
+    simulated:
+        Mapping scheme name -> Monte-Carlo estimates (only for the schemes
+        whose threshold is random: ``bcc`` and ``randomized``).
+    """
+
+    num_examples: int
+    num_workers: int
+    loads: List[int]
+    curves: Dict[str, List[float]] = field(default_factory=dict)
+    simulated: Dict[str, List[float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Monospace table with one row per load and one column per curve."""
+        headers = ["r", *sorted(self.curves)]
+        if self.simulated:
+            headers += [f"{name} (sim)" for name in sorted(self.simulated)]
+        table = TextTable(
+            headers,
+            title=(
+                f"Fig. 2 — recovery threshold vs computational load "
+                f"(m={self.num_examples}, n={self.num_workers})"
+            ),
+        )
+        for index, load in enumerate(self.loads):
+            row: List[object] = [load]
+            row += [self.curves[name][index] for name in sorted(self.curves)]
+            row += [self.simulated[name][index] for name in sorted(self.simulated)]
+            table.add_row(row)
+        return table.render()
+
+
+def _simulate_threshold(
+    scheme, num_units: int, num_workers: int, trials: int, rng: np.random.Generator
+) -> float:
+    """Average number of workers the master hears before recovery."""
+    cluster = ClusterSpec.homogeneous(num_workers, ExponentialDelay(straggling=1.0))
+    counts = []
+    for _trial in range(trials):
+        plan = scheme.build_feasible_plan(num_units, num_workers, rng)
+        outcome = simulate_iteration(plan, cluster, rng=rng, serialize_master_link=False)
+        counts.append(outcome.workers_heard)
+    return float(np.mean(counts))
+
+
+def run_fig2(
+    num_examples: int = 100,
+    num_workers: int = 100,
+    loads: Optional[Sequence[int]] = None,
+    *,
+    monte_carlo_trials: int = 30,
+    rng: RandomState = 0,
+) -> Fig2Result:
+    """Compute the Fig. 2 curves (and Monte-Carlo cross-checks).
+
+    Parameters
+    ----------
+    num_examples, num_workers:
+        Figure uses ``m = n = 100``.
+    loads:
+        The computational loads ``r`` to evaluate; defaults to
+        ``5, 10, ..., 50`` (the figure's x-axis range).
+    monte_carlo_trials:
+        Trials per load for the simulated BCC / randomized thresholds; set to
+        0 to skip simulation.
+    """
+    m = check_positive_int(num_examples, "num_examples")
+    n = check_positive_int(num_workers, "num_workers")
+    if loads is None:
+        # The figure's grid, restricted to loads that fit the dataset.
+        loads = [load for load in range(5, 51, 5) if load <= m] or [max(m // 2, 1)]
+    loads = [int(load) for load in loads]
+    generator = as_generator(rng)
+
+    analytic = tradeoff_curves(m, n, loads)
+    curves = {
+        name: [point.recovery_threshold for point in points]
+        for name, points in analytic.items()
+    }
+
+    simulated: Dict[str, List[float]] = {}
+    if monte_carlo_trials > 0:
+        simulated = {"bcc": [], "randomized": []}
+        for load in loads:
+            simulated["bcc"].append(
+                _simulate_threshold(
+                    BCCScheme(load), m, n, monte_carlo_trials, generator
+                )
+            )
+            simulated["randomized"].append(
+                _simulate_threshold(
+                    SimpleRandomizedScheme(load), m, n, monte_carlo_trials, generator
+                )
+            )
+
+    return Fig2Result(
+        num_examples=m,
+        num_workers=n,
+        loads=loads,
+        curves=curves,
+        simulated=simulated,
+    )

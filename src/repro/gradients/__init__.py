@@ -1,0 +1,38 @@
+"""Loss functions and vectorized gradient kernels.
+
+The distributed-GD schemes only ever need three primitives from a model:
+
+* the loss of a weight vector on a set of examples,
+* the *sum* of the per-example gradients over an index set (what a BCC or
+  uncoded worker sends), and
+* the full matrix of per-example gradients (what a simple-randomized worker
+  sends, and what coded schemes linearly combine).
+
+Every model implements :class:`GradientModel`, with all kernels expressed as
+matrix operations (no per-example Python loops).
+"""
+
+from repro.gradients.base import GradientModel
+from repro.gradients.logistic import LogisticLoss
+from repro.gradients.least_squares import LeastSquaresLoss, RidgeLoss
+from repro.gradients.softmax import SoftmaxLoss
+from repro.gradients.huber import HuberLoss
+from repro.gradients.evaluation import (
+    full_gradient,
+    summed_partial_gradient,
+    per_example_gradients,
+    classification_error,
+)
+
+__all__ = [
+    "GradientModel",
+    "LogisticLoss",
+    "LeastSquaresLoss",
+    "RidgeLoss",
+    "SoftmaxLoss",
+    "HuberLoss",
+    "full_gradient",
+    "summed_partial_gradient",
+    "per_example_gradients",
+    "classification_error",
+]

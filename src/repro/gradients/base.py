@@ -1,0 +1,96 @@
+"""The :class:`GradientModel` interface.
+
+A *partial gradient* ``g_j(w) = grad of loss(x_j; w)`` is the object the
+paper's workers compute and communicate. The empirical risk is the average
+``L(w) = (1/m) sum_j loss(x_j; w)`` and the GD update uses its gradient
+``(1/m) sum_j g_j(w)`` (paper Eq. 1).
+
+The interface separates the two distributed primitives explicitly:
+
+* :meth:`gradient_sum` — the *sum* of partial gradients over a row subset,
+  which is exactly the single message a BCC/uncoded worker sends (Eq. 12);
+* :meth:`per_example_gradients` — the stacked matrix of individual partial
+  gradients, which is what a simple-randomized worker sends one-by-one and
+  what coded schemes combine linearly.
+
+Both are implemented once in terms of an abstract per-example residual so
+concrete losses only supply vectorized formulas.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["GradientModel"]
+
+
+class GradientModel(abc.ABC):
+    """Abstract base class for differentiable empirical-risk models.
+
+    Concrete subclasses implement :meth:`loss_per_example` and
+    :meth:`per_example_gradients`; the remaining methods are derived.
+    """
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used in experiment reports."""
+
+    @abc.abstractmethod
+    def loss_per_example(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Return the vector of per-example losses ``loss(x_j; w)``."""
+
+    @abc.abstractmethod
+    def per_example_gradients(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Return the ``(k, p)`` matrix whose row ``j`` is ``g_j(w)``."""
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def loss(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> float:
+        """Mean loss over the supplied examples (the empirical risk)."""
+        return float(np.mean(self.loss_per_example(weights, features, labels)))
+
+    def gradient_sum(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Sum of partial gradients over the supplied examples.
+
+        This is the worker message of the BCC and uncoded schemes. The
+        default implementation sums :meth:`per_example_gradients`; subclasses
+        override it with a fused matrix expression that never materialises
+        the ``(k, p)`` per-example matrix.
+        """
+        return self.per_example_gradients(weights, features, labels).sum(axis=0)
+
+    def gradient(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Mean gradient ``(1/k) sum_j g_j(w)`` over the supplied examples."""
+        k = features.shape[0]
+        return self.gradient_sum(weights, features, labels) / float(k)
+
+    # ------------------------------------------------------------------ #
+    # Prediction helpers (optional, classification models override)
+    # ------------------------------------------------------------------ #
+    def predict(
+        self, weights: np.ndarray, features: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Return model predictions, or ``None`` if not meaningful."""
+        return None
+
+    def initial_weights(self, num_features: int) -> np.ndarray:
+        """Default starting point for optimisation (the zero vector)."""
+        return np.zeros(num_features, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,76 @@
+"""Free-function helpers for evaluating gradients on a :class:`Dataset`.
+
+These wrap the :class:`~repro.gradients.base.GradientModel` methods with
+dataset/index-set plumbing, which is how the schemes and the simulator call
+them. Keeping them as functions (rather than methods on ``Dataset``) keeps the
+dataset container dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.gradients.base import GradientModel
+
+__all__ = [
+    "full_gradient",
+    "summed_partial_gradient",
+    "per_example_gradients",
+    "classification_error",
+    "empirical_risk",
+]
+
+
+def full_gradient(
+    model: GradientModel, dataset: Dataset, weights: np.ndarray
+) -> np.ndarray:
+    """The exact full gradient ``(1/m) sum_j g_j(w)`` over the whole dataset.
+
+    This is the ground truth every scheme's decoded gradient is compared to.
+    """
+    return model.gradient(weights, dataset.features, dataset.labels)
+
+
+def summed_partial_gradient(
+    model: GradientModel,
+    dataset: Dataset,
+    weights: np.ndarray,
+    indices: Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """Sum of partial gradients over ``indices`` — a BCC worker's message (Eq. 12)."""
+    features, labels = dataset.rows(indices)
+    return model.gradient_sum(weights, features, labels)
+
+
+def per_example_gradients(
+    model: GradientModel,
+    dataset: Dataset,
+    weights: np.ndarray,
+    indices: Optional[Sequence[int] | np.ndarray] = None,
+) -> np.ndarray:
+    """Matrix of partial gradients ``g_j(w)`` for ``j`` in ``indices`` (or all)."""
+    if indices is None:
+        features, labels = dataset.features, dataset.labels
+    else:
+        features, labels = dataset.rows(indices)
+    return model.per_example_gradients(weights, features, labels)
+
+
+def empirical_risk(
+    model: GradientModel, dataset: Dataset, weights: np.ndarray
+) -> float:
+    """Mean loss of ``weights`` on ``dataset``."""
+    return model.loss(weights, dataset.features, dataset.labels)
+
+
+def classification_error(
+    model: GradientModel, dataset: Dataset, weights: np.ndarray
+) -> float:
+    """Fraction of misclassified examples (for models with a ``predict``)."""
+    predictions = model.predict(weights, dataset.features)
+    if predictions is None:
+        raise ValueError(f"model {model.name!r} does not support prediction")
+    return float(np.mean(predictions != dataset.labels))

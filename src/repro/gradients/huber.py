@@ -1,0 +1,59 @@
+"""Huber (smoothed absolute-error) regression loss.
+
+Included as a robust-regression workload for the examples and ablations; the
+per-example gradient remains additive so every scheme applies unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gradients.base import GradientModel
+from repro.utils.validation import check_in_range
+
+__all__ = ["HuberLoss"]
+
+
+class HuberLoss(GradientModel):
+    """Huber loss with transition point ``delta > 0``.
+
+    ``loss(r) = 0.5 r^2`` for ``|r| <= delta`` and
+    ``delta (|r| - delta/2)`` otherwise, where ``r = x^T w - y``.
+    """
+
+    def __init__(self, delta: float = 1.0) -> None:
+        self.delta = check_in_range(delta, "delta", low=0.0, inclusive=False)
+
+    @property
+    def name(self) -> str:
+        return "huber"
+
+    def loss_per_example(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        residuals = features @ weights - labels
+        absolute = np.abs(residuals)
+        quadratic = 0.5 * residuals**2
+        linear = self.delta * (absolute - 0.5 * self.delta)
+        return np.where(absolute <= self.delta, quadratic, linear)
+
+    def per_example_gradients(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        residuals = features @ weights - labels
+        clipped = np.clip(residuals, -self.delta, self.delta)
+        return clipped[:, None] * features
+
+    def gradient_sum(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        residuals = features @ weights - labels
+        clipped = np.clip(residuals, -self.delta, self.delta)
+        return features.T @ clipped
+
+    def predict(self, weights: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Return the linear predictions ``X w``."""
+        return features @ weights
+
+    def __repr__(self) -> str:
+        return f"HuberLoss(delta={self.delta!r})"

@@ -1,0 +1,99 @@
+"""Least-squares and ridge-regression losses.
+
+Linear models are the canonical workload of the gradient-coding literature
+(matrix multiplication in disguise), so the library ships them alongside the
+paper's logistic model. Both keep partial gradients additive across examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gradients.base import GradientModel
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["LeastSquaresLoss", "RidgeLoss"]
+
+
+class LeastSquaresLoss(GradientModel):
+    """Squared-error loss ``0.5 (x^T w - y)^2`` per example."""
+
+    @property
+    def name(self) -> str:
+        return "least-squares"
+
+    def loss_per_example(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        residuals = features @ weights - labels
+        return 0.5 * residuals**2
+
+    def per_example_gradients(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        residuals = features @ weights - labels
+        return residuals[:, None] * features
+
+    def gradient_sum(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        residuals = features @ weights - labels
+        return features.T @ residuals
+
+    def predict(self, weights: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Return the linear predictions ``X w``."""
+        return features @ weights
+
+    def exact_solution(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Return the least-squares solution via ``numpy.linalg.lstsq``.
+
+        Convenient ground truth for convergence tests.
+        """
+        solution, *_ = np.linalg.lstsq(features, labels, rcond=None)
+        return solution
+
+
+class RidgeLoss(LeastSquaresLoss):
+    """Squared-error loss with an L2 penalty shared across examples.
+
+    The per-example loss is ``0.5 (x^T w - y)^2 + (l2/2) ||w||^2`` so the sum
+    of partial gradients over any example subset remains well defined.
+    """
+
+    def __init__(self, l2: float = 1e-3) -> None:
+        self.l2 = check_nonnegative(l2, "l2")
+
+    @property
+    def name(self) -> str:
+        return "ridge"
+
+    def loss_per_example(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        base = super().loss_per_example(weights, features, labels)
+        return base + 0.5 * self.l2 * float(weights @ weights)
+
+    def per_example_gradients(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        base = super().per_example_gradients(weights, features, labels)
+        return base + self.l2 * weights[None, :]
+
+    def gradient_sum(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        base = super().gradient_sum(weights, features, labels)
+        return base + features.shape[0] * self.l2 * weights
+
+    def exact_solution(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Return the ridge solution ``(X^T X + m*l2 I)^{-1} X^T y``.
+
+        The ``m * l2`` factor matches the per-example formulation above,
+        where every example contributes ``l2 * w`` to the summed gradient.
+        """
+        m, p = features.shape
+        gram = features.T @ features + m * self.l2 * np.eye(p)
+        return np.linalg.solve(gram, features.T @ labels)
+
+    def __repr__(self) -> str:
+        return f"RidgeLoss(l2={self.l2!r})"

@@ -1,0 +1,102 @@
+"""Multiclass softmax (cross-entropy) loss.
+
+Weights are stored flattened as a single vector of length ``num_classes * p``
+so the distributed machinery — which treats a partial gradient as one flat
+vector per example — works unchanged for multiclass problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gradients.base import GradientModel
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SoftmaxLoss"]
+
+
+class SoftmaxLoss(GradientModel):
+    """Softmax regression over ``num_classes`` classes with integer labels.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of classes ``C >= 2``. Labels must be integers in
+        ``[0, num_classes)`` (stored as floats in :class:`~repro.datasets.Dataset`).
+    """
+
+    def __init__(self, num_classes: int) -> None:
+        self.num_classes = check_positive_int(num_classes, "num_classes")
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+
+    @property
+    def name(self) -> str:
+        return f"softmax-{self.num_classes}"
+
+    # ------------------------------------------------------------------ #
+    def _unflatten(self, weights: np.ndarray, num_features: int) -> np.ndarray:
+        expected = self.num_classes * num_features
+        if weights.shape[0] != expected:
+            raise ValueError(
+                f"weights must have length num_classes * p = {expected}, "
+                f"got {weights.shape[0]}"
+            )
+        return weights.reshape(self.num_classes, num_features)
+
+    def _probabilities(self, weight_matrix: np.ndarray, features: np.ndarray) -> np.ndarray:
+        logits = features @ weight_matrix.T  # (k, C)
+        logits = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def _one_hot(self, labels: np.ndarray) -> np.ndarray:
+        classes = labels.astype(int)
+        if classes.min() < 0 or classes.max() >= self.num_classes:
+            raise ValueError(
+                f"labels must be integers in [0, {self.num_classes}), "
+                f"got range [{classes.min()}, {classes.max()}]"
+            )
+        one_hot = np.zeros((classes.shape[0], self.num_classes), dtype=float)
+        one_hot[np.arange(classes.shape[0]), classes] = 1.0
+        return one_hot
+
+    # ------------------------------------------------------------------ #
+    def loss_per_example(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        weight_matrix = self._unflatten(weights, features.shape[1])
+        probabilities = self._probabilities(weight_matrix, features)
+        classes = labels.astype(int)
+        picked = probabilities[np.arange(features.shape[0]), classes]
+        return -np.log(np.clip(picked, 1e-300, None))
+
+    def per_example_gradients(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        weight_matrix = self._unflatten(weights, features.shape[1])
+        probabilities = self._probabilities(weight_matrix, features)
+        error = probabilities - self._one_hot(labels)  # (k, C)
+        # Gradient for example j is outer(error_j, x_j), flattened to (C*p,).
+        grads = error[:, :, None] * features[:, None, :]  # (k, C, p)
+        return grads.reshape(features.shape[0], -1)
+
+    def gradient_sum(
+        self, weights: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        weight_matrix = self._unflatten(weights, features.shape[1])
+        probabilities = self._probabilities(weight_matrix, features)
+        error = probabilities - self._one_hot(labels)
+        return (error.T @ features).reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    def predict(self, weights: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Return the most probable class index per row."""
+        weight_matrix = self._unflatten(weights, features.shape[1])
+        return self._probabilities(weight_matrix, features).argmax(axis=1).astype(float)
+
+    def initial_weights(self, num_features: int) -> np.ndarray:
+        return np.zeros(self.num_classes * num_features, dtype=float)
+
+    def __repr__(self) -> str:
+        return f"SoftmaxLoss(num_classes={self.num_classes})"

@@ -1,0 +1,36 @@
+"""First-order optimizers and the training-loop driver.
+
+The optimizers are deliberately decoupled from how the gradient is obtained:
+they consume a *gradient oracle* — any callable ``oracle(weights) -> gradient``
+— which in this library is either the exact full gradient or the gradient
+reconstructed at the master of a distributed scheme (simulated or real).
+"""
+
+from repro.optim.schedules import (
+    LearningRateSchedule,
+    ConstantSchedule,
+    InverseTimeDecay,
+    StepDecay,
+    PolynomialDecay,
+)
+from repro.optim.base import Optimizer, OptimizerState
+from repro.optim.gradient_descent import GradientDescent
+from repro.optim.nesterov import NesterovAcceleratedGradient
+from repro.optim.momentum import HeavyBallMomentum
+from repro.optim.trainer import TrainingResult, IterationRecord, train
+
+__all__ = [
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "InverseTimeDecay",
+    "StepDecay",
+    "PolynomialDecay",
+    "Optimizer",
+    "OptimizerState",
+    "GradientDescent",
+    "NesterovAcceleratedGradient",
+    "HeavyBallMomentum",
+    "TrainingResult",
+    "IterationRecord",
+    "train",
+]

@@ -1,0 +1,87 @@
+"""Optimizer interface.
+
+Every optimizer transforms the current iterate given the gradient evaluated
+at a *query point* it chooses. Nesterov's accelerated method queries the
+gradient at a look-ahead point, so the interface separates
+:meth:`Optimizer.query_point` (where the distributed job must evaluate the
+gradient) from :meth:`Optimizer.step` (how the iterate is updated). This is
+exactly the structure the distributed trainer needs: the master broadcasts
+the query point, workers compute partial gradients there, and the master
+applies the update.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.optim.schedules import ConstantSchedule, LearningRateSchedule
+
+__all__ = ["Optimizer", "OptimizerState"]
+
+
+@dataclass
+class OptimizerState:
+    """Mutable state carried across iterations.
+
+    Attributes
+    ----------
+    weights:
+        Current iterate ``w_t``.
+    iteration:
+        Zero-based iteration counter.
+    auxiliary:
+        Optimizer-specific extra state (e.g. Nesterov's ``y_t`` sequence or a
+        momentum buffer); ``None`` until the optimizer initialises it.
+    """
+
+    weights: np.ndarray
+    iteration: int = 0
+    auxiliary: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def copy(self) -> "OptimizerState":
+        """Deep-copy the state (weights and auxiliary buffers)."""
+        return OptimizerState(
+            weights=self.weights.copy(),
+            iteration=self.iteration,
+            auxiliary=None if self.auxiliary is None else self.auxiliary.copy(),
+        )
+
+
+class Optimizer(abc.ABC):
+    """Base class for deterministic first-order update rules."""
+
+    def __init__(self, schedule: LearningRateSchedule | float) -> None:
+        if isinstance(schedule, (int, float)):
+            schedule = ConstantSchedule(float(schedule))
+        if not isinstance(schedule, LearningRateSchedule):
+            raise TypeError(
+                "schedule must be a LearningRateSchedule or a positive float, "
+                f"got {type(schedule).__name__}"
+            )
+        self.schedule = schedule
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def query_point(self, state: OptimizerState) -> np.ndarray:
+        """Return the point at which the gradient should be evaluated."""
+
+    @abc.abstractmethod
+    def step(self, state: OptimizerState, gradient: np.ndarray) -> OptimizerState:
+        """Return the next state given the gradient at :meth:`query_point`."""
+
+    # ------------------------------------------------------------------ #
+    def initialize(self, initial_weights: np.ndarray) -> OptimizerState:
+        """Create the initial state from a starting weight vector."""
+        weights = np.asarray(initial_weights, dtype=float).copy()
+        if weights.ndim != 1:
+            raise ValueError(
+                f"initial weights must be a 1-D vector, got shape {weights.shape}"
+            )
+        return OptimizerState(weights=weights, iteration=0, auxiliary=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(schedule={self.schedule!r})"

@@ -1,0 +1,23 @@
+"""Vanilla gradient descent (paper Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer, OptimizerState
+
+__all__ = ["GradientDescent"]
+
+
+class GradientDescent(Optimizer):
+    """Plain GD: ``w_{t+1} = w_t - mu_t * gradient(w_t)``."""
+
+    def query_point(self, state: OptimizerState) -> np.ndarray:
+        return state.weights
+
+    def step(self, state: OptimizerState, gradient: np.ndarray) -> OptimizerState:
+        rate = self.schedule(state.iteration)
+        new_weights = state.weights - rate * gradient
+        return OptimizerState(
+            weights=new_weights, iteration=state.iteration + 1, auxiliary=None
+        )

@@ -1,0 +1,49 @@
+"""Heavy-ball (Polyak) momentum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer, OptimizerState
+from repro.optim.schedules import LearningRateSchedule
+from repro.utils.validation import check_in_range
+
+__all__ = ["HeavyBallMomentum"]
+
+
+class HeavyBallMomentum(Optimizer):
+    """Polyak momentum: ``v_{t+1} = beta v_t - mu_t grad; w_{t+1} = w_t + v_{t+1}``.
+
+    Unlike Nesterov, the gradient is evaluated at the current iterate, so
+    :meth:`query_point` returns ``w_t``.
+    """
+
+    def __init__(
+        self, schedule: LearningRateSchedule | float, momentum: float = 0.9
+    ) -> None:
+        super().__init__(schedule)
+        momentum = check_in_range(momentum, "momentum", low=0.0, high=1.0)
+        if momentum >= 1.0:
+            raise ValueError("momentum must be strictly less than 1")
+        self.momentum = momentum
+
+    def query_point(self, state: OptimizerState) -> np.ndarray:
+        return state.weights
+
+    def step(self, state: OptimizerState, gradient: np.ndarray) -> OptimizerState:
+        rate = self.schedule(state.iteration)
+        velocity = (
+            np.zeros_like(state.weights) if state.auxiliary is None else state.auxiliary
+        )
+        new_velocity = self.momentum * velocity - rate * gradient
+        new_weights = state.weights + new_velocity
+        return OptimizerState(
+            weights=new_weights,
+            iteration=state.iteration + 1,
+            auxiliary=new_velocity,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HeavyBallMomentum(schedule={self.schedule!r}, momentum={self.momentum!r})"
+        )

@@ -1,0 +1,98 @@
+"""Learning-rate schedules.
+
+A schedule maps the iteration counter ``t`` (0-based) to the step size
+``mu_t`` used in the GD update ``w_{t+1} = w_t - mu_t * gradient`` (paper
+Eq. 1). Schedules are small immutable objects so experiment configurations
+can be logged and compared.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.utils.validation import check_in_range, check_nonnegative, check_positive_int
+
+__all__ = [
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "InverseTimeDecay",
+    "StepDecay",
+    "PolynomialDecay",
+]
+
+
+class LearningRateSchedule(abc.ABC):
+    """Maps an iteration index to a step size."""
+
+    @abc.abstractmethod
+    def learning_rate(self, iteration: int) -> float:
+        """Return the step size ``mu_t`` for 0-based iteration ``t``."""
+
+    def __call__(self, iteration: int) -> float:
+        if iteration < 0:
+            raise ValueError(f"iteration must be non-negative, got {iteration}")
+        rate = self.learning_rate(iteration)
+        if rate < 0:
+            raise ValueError(f"schedule produced a negative learning rate: {rate}")
+        return rate
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(LearningRateSchedule):
+    """A fixed step size ``mu_t = rate`` for every iteration."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        check_in_range(self.rate, "rate", low=0.0, inclusive=False)
+
+    def learning_rate(self, iteration: int) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class InverseTimeDecay(LearningRateSchedule):
+    """``mu_t = initial / (1 + decay * t)`` — the classical Robbins-Monro form."""
+
+    initial: float
+    decay: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_in_range(self.initial, "initial", low=0.0, inclusive=False)
+        check_nonnegative(self.decay, "decay")
+
+    def learning_rate(self, iteration: int) -> float:
+        return self.initial / (1.0 + self.decay * iteration)
+
+
+@dataclass(frozen=True)
+class StepDecay(LearningRateSchedule):
+    """Multiply the rate by ``factor`` every ``period`` iterations."""
+
+    initial: float
+    factor: float = 0.5
+    period: int = 20
+
+    def __post_init__(self) -> None:
+        check_in_range(self.initial, "initial", low=0.0, inclusive=False)
+        check_in_range(self.factor, "factor", low=0.0, high=1.0, inclusive=True)
+        check_positive_int(self.period, "period")
+
+    def learning_rate(self, iteration: int) -> float:
+        return self.initial * (self.factor ** (iteration // self.period))
+
+
+@dataclass(frozen=True)
+class PolynomialDecay(LearningRateSchedule):
+    """``mu_t = initial / (1 + t) ** power`` with ``power`` typically 0.5 or 1."""
+
+    initial: float
+    power: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_in_range(self.initial, "initial", low=0.0, inclusive=False)
+        check_in_range(self.power, "power", low=0.0, inclusive=True)
+
+    def learning_rate(self, iteration: int) -> float:
+        return self.initial / float((1 + iteration) ** self.power)

@@ -1,0 +1,25 @@
+"""Real parallel execution of distributed GD with ``multiprocessing`` workers.
+
+This package exercises the same schemes as the simulator on a genuinely
+parallel substrate: one OS process per worker, an mpi4py-style communicator
+built on queues, asynchronous collection at the master, and optional
+straggler injection (artificial sleeps drawn from the same delay models the
+simulator uses). It substitutes for the paper's MPI4py-over-EC2 deployment;
+the master/worker protocol is written against the small
+:class:`~repro.runtime.comm.Communicator` interface, so an actual MPI backend
+can be slotted in without touching the scheme logic.
+"""
+
+from repro.runtime.comm import Communicator, InProcessCommunicator, QueueChannel
+from repro.runtime.tasks import WorkerTask, build_worker_tasks
+from repro.runtime.job import DistributedRunResult, run_distributed_job
+
+__all__ = [
+    "Communicator",
+    "InProcessCommunicator",
+    "QueueChannel",
+    "WorkerTask",
+    "build_worker_tasks",
+    "DistributedRunResult",
+    "run_distributed_job",
+]

@@ -1,0 +1,128 @@
+"""A minimal mpi4py-flavoured communicator abstraction.
+
+The mpi4py tutorial distinguishes pickle-based lowercase methods
+(``send``/``recv``) from buffer-based uppercase ones; here the lowercase
+subset is implemented over :class:`multiprocessing.Queue` (pickling NumPy
+arrays is adequate at the message sizes the runtime targets), and the
+interface is small enough that a genuine ``MPI.COMM_WORLD`` adapter can be
+written without changing the master or worker code.
+
+Topology: a star. The master owns one downlink queue per worker and a single
+shared uplink queue into which every worker pushes ``(worker_id, payload)``
+tuples; this mirrors the paper's master collecting results from whichever
+worker finishes first.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing as mp
+import queue as queue_module
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.exceptions import RuntimeBackendError
+
+__all__ = ["Communicator", "QueueChannel", "InProcessCommunicator"]
+
+
+class Communicator(abc.ABC):
+    """Master-side view of the star topology."""
+
+    @property
+    @abc.abstractmethod
+    def num_workers(self) -> int:
+        """Number of workers attached to this communicator."""
+
+    @abc.abstractmethod
+    def send_to_worker(self, worker: int, payload: Any) -> None:
+        """Send ``payload`` to worker ``worker`` (non-blocking)."""
+
+    @abc.abstractmethod
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every worker."""
+
+    @abc.abstractmethod
+    def receive_any(self, timeout: Optional[float] = None) -> Tuple[int, Any]:
+        """Block until a message from *any* worker arrives; return ``(worker, payload)``."""
+
+
+@dataclass
+class QueueChannel:
+    """Worker-side endpoints: its private downlink plus the shared uplink."""
+
+    worker_id: int
+    downlink: "mp.Queue"
+    uplink: "mp.Queue"
+
+    def receive(self, timeout: Optional[float] = None) -> Any:
+        """Blocking receive of the next payload from the master."""
+        try:
+            return self.downlink.get(timeout=timeout)
+        except queue_module.Empty as error:
+            raise RuntimeBackendError(
+                f"worker {self.worker_id} timed out waiting for the master"
+            ) from error
+
+    def send(self, payload: Any) -> None:
+        """Send a payload to the master."""
+        self.uplink.put((self.worker_id, payload))
+
+
+class InProcessCommunicator(Communicator):
+    """Queue-backed star communicator for ``multiprocessing`` workers.
+
+    The master constructs it, passes :meth:`worker_channel` objects to the
+    worker processes, and then uses :meth:`broadcast` / :meth:`receive_any`.
+    """
+
+    def __init__(self, num_workers: int, *, context: Optional[Any] = None) -> None:
+        if num_workers < 1:
+            raise RuntimeBackendError("a communicator needs at least one worker")
+        ctx = context if context is not None else mp.get_context()
+        self._downlinks: List[mp.Queue] = [ctx.Queue() for _ in range(num_workers)]
+        self._uplink: mp.Queue = ctx.Queue()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._downlinks)
+
+    def worker_channel(self, worker: int) -> QueueChannel:
+        """Endpoints to hand to worker ``worker``'s process."""
+        self._check_worker(worker)
+        return QueueChannel(
+            worker_id=worker, downlink=self._downlinks[worker], uplink=self._uplink
+        )
+
+    def send_to_worker(self, worker: int, payload: Any) -> None:
+        self._check_worker(worker)
+        self._downlinks[worker].put(payload)
+
+    def broadcast(self, payload: Any) -> None:
+        for downlink in self._downlinks:
+            downlink.put(payload)
+
+    def receive_any(self, timeout: Optional[float] = None) -> Tuple[int, Any]:
+        try:
+            worker, payload = self._uplink.get(timeout=timeout)
+        except queue_module.Empty as error:
+            raise RuntimeBackendError(
+                "the master timed out waiting for worker messages"
+            ) from error
+        return int(worker), payload
+
+    def drain(self) -> int:
+        """Discard any messages still sitting in the uplink; return the count."""
+        drained = 0
+        while True:
+            try:
+                self._uplink.get_nowait()
+                drained += 1
+            except queue_module.Empty:
+                return drained
+
+    def _check_worker(self, worker: int) -> None:
+        if not (0 <= worker < self.num_workers):
+            raise RuntimeBackendError(
+                f"worker index must lie in [0, {self.num_workers}), got {worker}"
+            )

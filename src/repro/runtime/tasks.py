@@ -1,0 +1,195 @@
+"""Picklable per-worker task descriptions.
+
+An :class:`~repro.schemes.base.ExecutionPlan` holds closures (its encoder and
+aggregator factory), which do not survive pickling into a child process. The
+runtime therefore flattens the worker-relevant part of a plan into
+:class:`WorkerTask` objects that carry only plain data: the worker's slice of
+the dataset (grouped by unit), its encoding mode and coefficients, the model,
+and an optional straggler-injection delay model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.coding.linear_code import LinearGradientCode
+from repro.datasets.base import Dataset
+from repro.datasets.batching import BatchSpec
+from repro.exceptions import RuntimeBackendError
+from repro.gradients.base import GradientModel
+from repro.schemes.base import ExecutionPlan
+from repro.stragglers.base import DelayModel
+
+__all__ = ["WorkerTask", "build_worker_tasks"]
+
+#: Encoding modes a worker can apply locally.
+ENCODING_MODES = ("sum", "identity", "linear")
+
+
+@dataclass
+class WorkerTask:
+    """Everything one worker process needs, in picklable form.
+
+    Attributes
+    ----------
+    worker_id:
+        The worker's index in the plan.
+    model:
+        The gradient model (a plain, picklable object).
+    unit_features, unit_labels:
+        Per-unit data slices, in the order of the worker's unit assignment.
+    encoding_mode:
+        ``"sum"`` (BCC / uncoded), ``"identity"`` (per-unit messages), or
+        ``"linear"`` (coded schemes).
+    coefficients:
+        Linear-combination coefficients for ``"linear"`` mode, aligned with
+        the unit order; ``None`` otherwise.
+    straggle_delay:
+        Optional delay model used to inject an artificial sleep before
+        answering each iteration (the per-iteration load passed to it is the
+        worker's total number of examples).
+    seed:
+        Seed for the worker's private RNG (straggler draws).
+    """
+
+    worker_id: int
+    model: GradientModel
+    unit_features: List[np.ndarray]
+    unit_labels: List[np.ndarray]
+    encoding_mode: str
+    coefficients: Optional[np.ndarray] = None
+    straggle_delay: Optional[DelayModel] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.encoding_mode not in ENCODING_MODES:
+            raise RuntimeBackendError(
+                f"unknown encoding mode {self.encoding_mode!r}; "
+                f"expected one of {ENCODING_MODES}"
+            )
+        if self.encoding_mode == "linear" and self.coefficients is None:
+            raise RuntimeBackendError("linear encoding requires coefficients")
+        if len(self.unit_features) != len(self.unit_labels):
+            raise RuntimeBackendError(
+                "unit_features and unit_labels must have the same length"
+            )
+
+    @property
+    def num_units(self) -> int:
+        """Number of data units this worker processes."""
+        return len(self.unit_features)
+
+    @property
+    def num_examples(self) -> int:
+        """Total number of examples across the worker's units."""
+        return int(sum(features.shape[0] for features in self.unit_features))
+
+    # ------------------------------------------------------------------ #
+    def compute_message(self, weights: np.ndarray) -> np.ndarray:
+        """Compute this worker's message for the given query point."""
+        weights = np.asarray(weights, dtype=float)
+        if self.num_units == 0:
+            return np.zeros(0, dtype=float)
+        unit_gradients = np.vstack(
+            [
+                self.model.gradient_sum(weights, features, labels)[None, :]
+                for features, labels in zip(self.unit_features, self.unit_labels)
+            ]
+        )
+        if self.encoding_mode == "sum":
+            return unit_gradients.sum(axis=0)
+        if self.encoding_mode == "identity":
+            return unit_gradients
+        assert self.coefficients is not None
+        return np.asarray(self.coefficients, dtype=float) @ unit_gradients
+
+
+def _encoding_mode_for_plan(plan: ExecutionPlan) -> str:
+    """Infer the worker-side encoding mode from the plan's metadata."""
+    if isinstance(plan.metadata.get("code"), LinearGradientCode):
+        return "linear"
+    # Per-unit message sizes identify identity encoding; unit-size-1 messages
+    # from multi-unit workers identify summation.
+    loads = plan.unit_assignment.loads
+    sizes = plan.message_sizes
+    if np.allclose(sizes, loads.astype(float)) and plan.computational_load_units > 1:
+        return "identity"
+    if np.allclose(sizes[loads > 0], 1.0):
+        return "sum"
+    if np.allclose(sizes, loads.astype(float)):
+        return "identity"
+    raise RuntimeBackendError(
+        f"cannot infer the encoding mode of scheme {plan.scheme_name!r}"
+    )
+
+
+def build_worker_tasks(
+    plan: ExecutionPlan,
+    model: GradientModel,
+    dataset: Dataset,
+    *,
+    unit_spec: Optional[BatchSpec] = None,
+    straggle_delays: Optional[List[Optional[DelayModel]]] = None,
+    seed: Optional[int] = None,
+) -> List[WorkerTask]:
+    """Flatten an execution plan into one :class:`WorkerTask` per worker.
+
+    Parameters
+    ----------
+    unit_spec:
+        Unit-to-example mapping (``None`` = one example per unit).
+    straggle_delays:
+        Optional per-worker delay models for artificial straggling; ``None``
+        entries (or ``None`` overall) disable injection for those workers.
+    seed:
+        Base seed from which per-worker seeds are derived.
+    """
+    if straggle_delays is not None and len(straggle_delays) != plan.num_workers:
+        raise RuntimeBackendError(
+            "straggle_delays must have one entry per worker "
+            f"({len(straggle_delays)} != {plan.num_workers})"
+        )
+    mode = _encoding_mode_for_plan(plan)
+    code = plan.metadata.get("code")
+    tasks: List[WorkerTask] = []
+    for worker in range(plan.num_workers):
+        units = plan.worker_units(worker)
+        unit_features: List[np.ndarray] = []
+        unit_labels: List[np.ndarray] = []
+        for unit in units:
+            if unit_spec is None:
+                example_indices = np.array([unit], dtype=int)
+            else:
+                example_indices = unit_spec.batch_indices(int(unit))
+            features, labels = dataset.rows(example_indices)
+            unit_features.append(features)
+            unit_labels.append(labels)
+        coefficients = None
+        if mode == "linear":
+            assert isinstance(code, LinearGradientCode)
+            support = code.support(worker)
+            # Align coefficients with the worker's unit order.
+            coefficient_map = {
+                int(unit): float(code.encoding_matrix[worker, unit]) for unit in support
+            }
+            coefficients = np.array(
+                [coefficient_map[int(unit)] for unit in units], dtype=float
+            )
+        tasks.append(
+            WorkerTask(
+                worker_id=worker,
+                model=model,
+                unit_features=unit_features,
+                unit_labels=unit_labels,
+                encoding_mode=mode,
+                coefficients=coefficients,
+                straggle_delay=None
+                if straggle_delays is None
+                else straggle_delays[worker],
+                seed=None if seed is None else seed + worker,
+            )
+        )
+    return tasks

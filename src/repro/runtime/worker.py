@@ -1,0 +1,82 @@
+"""Worker-process main loop.
+
+The worker mirrors the paper's MPI worker: block on the next model broadcast,
+compute the local partial gradients, encode, send the message back, repeat —
+until it receives the stop sentinel. An optional injected sleep (drawn from
+the task's delay model) emulates straggling on machines that are otherwise
+uniformly fast, so the runtime reproduces straggler effects deterministically
+from a seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.runtime.comm import QueueChannel
+from repro.runtime.tasks import WorkerTask
+from repro.utils.rng import as_generator
+
+__all__ = ["StopSignal", "WeightsMessage", "ResultMessage", "worker_main"]
+
+
+@dataclass(frozen=True)
+class StopSignal:
+    """Sentinel broadcast by the master to terminate the workers."""
+
+
+@dataclass(frozen=True)
+class WeightsMessage:
+    """One iteration's query point broadcast by the master."""
+
+    iteration: int
+    weights: np.ndarray
+
+
+@dataclass(frozen=True)
+class ResultMessage:
+    """A worker's reply for one iteration."""
+
+    iteration: int
+    worker_id: int
+    message: np.ndarray
+    compute_seconds: float
+
+
+def worker_main(task: WorkerTask, channel: QueueChannel) -> None:
+    """Entry point executed inside each worker process.
+
+    The loop never raises to the caller: any exception is reported to the
+    master as a ``("error", worker_id, repr)`` payload so the master can shut
+    the job down instead of hanging.
+    """
+    rng = as_generator(task.seed)
+    try:
+        while True:
+            incoming: Any = channel.receive()
+            if isinstance(incoming, StopSignal):
+                return
+            if not isinstance(incoming, WeightsMessage):
+                raise TypeError(
+                    f"worker {task.worker_id} received an unexpected payload "
+                    f"of type {type(incoming).__name__}"
+                )
+            started = time.perf_counter()
+            if task.straggle_delay is not None and task.num_examples > 0:
+                delay = float(task.straggle_delay.sample(task.num_examples, rng=rng))
+                time.sleep(delay)
+            message = task.compute_message(incoming.weights)
+            elapsed = time.perf_counter() - started
+            channel.send(
+                ResultMessage(
+                    iteration=incoming.iteration,
+                    worker_id=task.worker_id,
+                    message=message,
+                    compute_seconds=elapsed,
+                )
+            )
+    except Exception as error:  # pragma: no cover - exercised via the master's handling
+        channel.send(("error", task.worker_id, repr(error)))

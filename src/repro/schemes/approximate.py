@@ -1,0 +1,162 @@
+"""Approximate-gradient baseline: ignore the stragglers.
+
+Every scheme in the paper recovers the *exact* gradient. A natural cheaper
+alternative — common practice in large-scale SGD systems and the implicit
+comparison point of the gradient-coding literature — is to simply proceed
+with whatever partial gradients have arrived once a fixed fraction of the
+workers has reported, rescaling by the number of examples actually covered.
+The update direction is then a biased-but-close estimate of the true
+gradient, and the iteration finishes as early as the chosen fraction allows.
+
+The scheme is included as an extension (it is not evaluated in the paper) so
+that the cost of exactness can be quantified: the convergence ablation runs
+BCC and the ignore-stragglers scheme under the same simulated time budget and
+compares the loss reached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.coding.placement import uncoded_placement
+from repro.exceptions import ConfigurationError, DecodingError
+from repro.schemes.base import ExecutionPlan, MasterAggregator, Scheme, sum_encoder
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = ["IgnoreStragglersScheme", "PartialSumAggregator"]
+
+
+class PartialSumAggregator(MasterAggregator):
+    """Completes after a fixed number of workers; decodes a rescaled partial sum.
+
+    Parameters
+    ----------
+    required_count:
+        Number of worker messages to wait for.
+    worker_example_counts:
+        Number of training examples behind each worker's message, used to
+        rescale the partial sum to an estimate of the full-dataset sum:
+        ``decode() = (total_examples / covered_examples) * sum(received)``.
+    total_examples:
+        Total number of examples in the dataset.
+    """
+
+    def __init__(
+        self,
+        required_count: int,
+        worker_example_counts: np.ndarray,
+        total_examples: int,
+    ) -> None:
+        super().__init__()
+        self._required_count = check_positive_int(required_count, "required_count")
+        self._example_counts = np.asarray(worker_example_counts, dtype=int)
+        self._total_examples = check_positive_int(total_examples, "total_examples")
+        self._covered_examples = 0
+        self._sum: Optional[np.ndarray] = None
+        self._kept = 0
+
+    def _accept(self, worker: int, message: Optional[np.ndarray]) -> bool:
+        if self._example_counts[worker] == 0:
+            return False
+        self._kept += 1
+        self._covered_examples += int(self._example_counts[worker])
+        if message is not None:
+            message = np.asarray(message, dtype=float)
+            self._sum = message.copy() if self._sum is None else self._sum + message
+        return True
+
+    def is_complete(self) -> bool:
+        return self._kept >= self._required_count
+
+    def decode(self) -> np.ndarray:
+        if not self.is_complete():
+            raise DecodingError(
+                f"only {self._kept} of the required {self._required_count} "
+                "messages have arrived"
+            )
+        if self._sum is None:
+            raise DecodingError("decode() is unavailable in timing-only mode")
+        scale = self._total_examples / float(self._covered_examples)
+        return scale * self._sum
+
+    @property
+    def covered_examples(self) -> int:
+        """Number of examples represented in the kept messages."""
+        return self._covered_examples
+
+
+class IgnoreStragglersScheme(Scheme):
+    """Disjoint placement, but the master only waits for a fraction of workers.
+
+    Parameters
+    ----------
+    wait_fraction:
+        Fraction of the workers the master waits for each iteration, in
+        ``(0, 1]``. ``1.0`` degenerates to the exact uncoded scheme.
+
+    Notes
+    -----
+    * The decoded vector is an *estimate*: the sum of the received workers'
+      partial gradients rescaled by the inverse of the covered fraction. With
+      a disjoint placement and exchangeable workers this estimate is unbiased
+      over the randomness of which workers respond first only when response
+      order is independent of the data — which holds in the simulator — but
+      individual iterations use a strict subset of the data, like mini-batch
+      SGD.
+    * ``expected_recovery_threshold`` is ``ceil(wait_fraction * n)`` and the
+      communication load equals it (unit-size summed messages).
+    """
+
+    name = "ignore-stragglers"
+
+    def __init__(self, wait_fraction: float = 0.9) -> None:
+        self.wait_fraction = check_in_range(
+            wait_fraction, "wait_fraction", low=0.0, high=1.0, inclusive=True
+        )
+        if self.wait_fraction <= 0.0:
+            raise ConfigurationError("wait_fraction must be strictly positive")
+
+    def _required_workers(self, num_workers: int) -> int:
+        return max(1, int(np.ceil(self.wait_fraction * num_workers)))
+
+    def build_plan(
+        self, num_units: int, num_workers: int, rng: RandomState = None
+    ) -> ExecutionPlan:
+        m = check_positive_int(num_units, "num_units")
+        n = check_positive_int(num_workers, "num_workers")
+        assignment = uncoded_placement(m, n)
+        required = self._required_workers(n)
+        example_counts = assignment.loads
+
+        def aggregator_factory() -> PartialSumAggregator:
+            return PartialSumAggregator(
+                required_count=required,
+                worker_example_counts=example_counts,
+                total_examples=m,
+            )
+
+        return ExecutionPlan(
+            scheme_name=self.name,
+            num_units=m,
+            unit_assignment=assignment,
+            message_sizes=np.ones(n),
+            aggregator_factory=aggregator_factory,
+            encoder=sum_encoder,
+            metadata={"wait_fraction": self.wait_fraction, "required_workers": required},
+        )
+
+    def expected_recovery_threshold(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        return float(self._required_workers(num_workers))
+
+    def expected_communication_load(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        return float(self._required_workers(num_workers))
+
+    def __repr__(self) -> str:
+        return f"IgnoreStragglersScheme(wait_fraction={self.wait_fraction!r})"

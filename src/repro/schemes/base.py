@@ -1,0 +1,457 @@
+"""Scheme, ExecutionPlan and master-side aggregators.
+
+Terminology
+-----------
+*Unit*
+    The granularity at which data is placed and accounted. In the paper's
+    EC2 experiments a unit is a batch of 100 examples treated as one "super
+    example"; in the purely analytical results a unit is a single example.
+    Message sizes are measured in units of one gradient vector regardless.
+
+*Execution plan*
+    A frozen placement plus the worker-side encoder and a factory for
+    master-side aggregators. One plan is built per training job (the paper
+    loads data onto the workers once, before the iterations start); a fresh
+    aggregator is created for every iteration.
+
+*Aggregator*
+    The master-side state machine for one iteration: it is fed
+    ``(worker, message)`` pairs in arrival order, reports when enough
+    messages have been received (the scheme's stopping rule) and finally
+    decodes the sum of all units' gradients.
+
+Timing-only mode
+----------------
+The discrete-event simulator often only needs the *stopping rule*, not the
+numerical gradient. Aggregators therefore accept ``message=None``; they then
+track completion exactly as they would with real messages but skip storage,
+and :meth:`MasterAggregator.decode` is unavailable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding.assignment import DataAssignment
+from repro.coding.linear_code import LinearGradientCode
+from repro.exceptions import CoverageError, DecodingError
+from repro.utils.rng import RandomState
+
+__all__ = [
+    "MasterAggregator",
+    "CountAggregator",
+    "BatchCoverageAggregator",
+    "UnitCoverageAggregator",
+    "CodedAggregator",
+    "ExecutionPlan",
+    "Scheme",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Aggregators
+# --------------------------------------------------------------------------- #
+class MasterAggregator(abc.ABC):
+    """Master-side per-iteration state: stopping rule plus decoding."""
+
+    def __init__(self) -> None:
+        self._received_workers: List[int] = []
+        self._messages_kept = 0
+
+    # -- stopping rule -------------------------------------------------- #
+    @abc.abstractmethod
+    def _accept(self, worker: int, message: Optional[np.ndarray]) -> bool:
+        """Process one arrival; return True if the message was *kept*."""
+
+    @abc.abstractmethod
+    def is_complete(self) -> bool:
+        """True once the master can recover the full gradient."""
+
+    @abc.abstractmethod
+    def decode(self) -> np.ndarray:
+        """Return the *sum* of every unit's gradient (caller divides by ``m``)."""
+
+    # -- shared bookkeeping --------------------------------------------- #
+    def receive(self, worker: int, message: Optional[np.ndarray] = None) -> bool:
+        """Feed one arrival to the aggregator.
+
+        Parameters
+        ----------
+        worker:
+            Index of the worker whose message arrived.
+        message:
+            The worker's message, or ``None`` in timing-only mode.
+
+        Returns
+        -------
+        bool
+            ``True`` once the aggregator is complete (this arrival may or may
+            not have been the deciding one).
+        """
+        if self.is_complete():
+            # Late arrivals after completion are ignored entirely; the paper's
+            # master simply stops listening.
+            return True
+        self._received_workers.append(int(worker))
+        if self._accept(int(worker), message):
+            self._messages_kept += 1
+        return self.is_complete()
+
+    @property
+    def workers_heard(self) -> int:
+        """Number of worker messages received before (and including) completion."""
+        return len(self._received_workers)
+
+    @property
+    def received_workers(self) -> List[int]:
+        """Worker indices in arrival order."""
+        return list(self._received_workers)
+
+    @property
+    def messages_kept(self) -> int:
+        """Number of messages the master stored (i.e. did not discard)."""
+        return self._messages_kept
+
+
+class CountAggregator(MasterAggregator):
+    """Wait for a fixed set of workers (the uncoded / load-balanced rule).
+
+    The master keeps every message from a worker in ``required_workers`` and
+    is complete when all of them have reported. Decoding is a plain sum.
+    """
+
+    def __init__(self, required_workers: Sequence[int]) -> None:
+        super().__init__()
+        self._required = set(int(w) for w in required_workers)
+        if not self._required:
+            raise CoverageError("CountAggregator needs at least one required worker")
+        self._pending = set(self._required)
+        self._sum: Optional[np.ndarray] = None
+
+    def _accept(self, worker: int, message: Optional[np.ndarray]) -> bool:
+        if worker not in self._pending:
+            return False
+        self._pending.discard(worker)
+        if message is not None:
+            message = np.asarray(message, dtype=float)
+            self._sum = message.copy() if self._sum is None else self._sum + message
+        return True
+
+    def is_complete(self) -> bool:
+        return not self._pending
+
+    def decode(self) -> np.ndarray:
+        if not self.is_complete():
+            raise DecodingError("cannot decode before all required workers reported")
+        if self._sum is None:
+            raise DecodingError("decode() is unavailable in timing-only mode")
+        return self._sum
+
+
+class BatchCoverageAggregator(MasterAggregator):
+    """The BCC master rule (Section III-A, "Data Aggregation at the Master").
+
+    Each arriving message is the summed gradient of one batch; the master
+    keeps the first message per batch, discards repeats, and is complete when
+    every batch has been seen. Decoding sums the kept messages.
+    """
+
+    def __init__(self, num_batches: int, worker_batches: Sequence[int]) -> None:
+        super().__init__()
+        if num_batches < 1:
+            raise CoverageError("num_batches must be positive")
+        self._num_batches = int(num_batches)
+        self._worker_batches = [int(b) for b in worker_batches]
+        self._seen = np.zeros(self._num_batches, dtype=bool)
+        self._sum: Optional[np.ndarray] = None
+
+    def _accept(self, worker: int, message: Optional[np.ndarray]) -> bool:
+        batch = self._worker_batches[worker]
+        if self._seen[batch]:
+            return False
+        self._seen[batch] = True
+        if message is not None:
+            message = np.asarray(message, dtype=float)
+            self._sum = message.copy() if self._sum is None else self._sum + message
+        return True
+
+    def is_complete(self) -> bool:
+        return bool(self._seen.all())
+
+    def decode(self) -> np.ndarray:
+        if not self.is_complete():
+            raise DecodingError("cannot decode before all batches are covered")
+        if self._sum is None:
+            raise DecodingError("decode() is unavailable in timing-only mode")
+        return self._sum
+
+    @property
+    def batches_covered(self) -> int:
+        """Number of distinct batches received so far."""
+        return int(self._seen.sum())
+
+
+class UnitCoverageAggregator(MasterAggregator):
+    """Coverage at unit granularity with per-unit messages.
+
+    Used by the simple randomized scheme and the generalized BCC scheme:
+    worker ``i``'s message is the stacked matrix of its units' gradients (one
+    row per unit, in the order of its assignment). The master keeps the first
+    gradient it sees for each unit and is complete once every unit is
+    covered. Decoding sums one kept gradient per unit.
+    """
+
+    def __init__(self, num_units: int, assignment: DataAssignment) -> None:
+        super().__init__()
+        self._num_units = int(num_units)
+        self._assignment = assignment
+        self._covered = np.zeros(self._num_units, dtype=bool)
+        self._unit_gradients: Dict[int, np.ndarray] = {}
+
+    def _accept(self, worker: int, message: Optional[np.ndarray]) -> bool:
+        units = self._assignment.worker_indices(worker)
+        if units.size == 0:
+            return False
+        new_units = units[~self._covered[units]]
+        if new_units.size == 0:
+            return False
+        if message is not None:
+            message = np.asarray(message, dtype=float)
+            if message.ndim != 2 or message.shape[0] != units.size:
+                raise DecodingError(
+                    f"worker {worker} sent a message of shape {message.shape}; "
+                    f"expected ({units.size}, p)"
+                )
+            position = {int(unit): row for row, unit in enumerate(units)}
+            for unit in new_units:
+                self._unit_gradients[int(unit)] = message[position[int(unit)]]
+        self._covered[new_units] = True
+        return True
+
+    def is_complete(self) -> bool:
+        return bool(self._covered.all())
+
+    def decode(self) -> np.ndarray:
+        if not self.is_complete():
+            raise DecodingError("cannot decode before every unit is covered")
+        if len(self._unit_gradients) != self._num_units:
+            raise DecodingError("decode() is unavailable in timing-only mode")
+        return np.sum(
+            [self._unit_gradients[unit] for unit in range(self._num_units)], axis=0
+        )
+
+    @property
+    def units_covered(self) -> int:
+        """Number of distinct units received so far."""
+        return int(self._covered.sum())
+
+
+class CodedAggregator(MasterAggregator):
+    """Aggregator for linear gradient codes (cyclic repetition, RS, fractional).
+
+    The master stores every received coded message and is complete once the
+    received worker set is decodable. For the worst-case designs this happens
+    exactly when ``n - s`` workers have reported; the fractional-repetition
+    code's overridden ``is_decodable`` completes earlier when a whole
+    replication group has reported.
+    """
+
+    def __init__(self, code: LinearGradientCode, *, check_every: int = 1) -> None:
+        super().__init__()
+        self._code = code
+        self._messages: Dict[int, np.ndarray] = {}
+        self._workers: List[int] = []
+        self._complete = False
+        self._check_every = max(int(check_every), 1)
+        self._minimum_needed = max(
+            1, code.num_workers - getattr(code, "num_stragglers", 0)
+        )
+
+    def _accept(self, worker: int, message: Optional[np.ndarray]) -> bool:
+        self._workers.append(worker)
+        if message is not None:
+            self._messages[worker] = np.asarray(message, dtype=float)
+        # Only run the (comparatively expensive) decodability check once the
+        # worst-case threshold is plausible, or for opportunistic codes
+        # (fractional repetition overrides is_decodable cheaply).
+        if not self._complete:
+            opportunistic = type(self._code).is_decodable is not LinearGradientCode.is_decodable
+            if opportunistic or len(self._workers) >= self._minimum_needed:
+                if len(self._workers) % self._check_every == 0 or len(
+                    self._workers
+                ) >= self._minimum_needed:
+                    self._complete = self._code.is_decodable(self._workers)
+        return True
+
+    def is_complete(self) -> bool:
+        return self._complete
+
+    def decode(self) -> np.ndarray:
+        if not self._complete:
+            raise DecodingError("the received worker set is not decodable yet")
+        if len(self._messages) != len(self._workers):
+            raise DecodingError("decode() is unavailable in timing-only mode")
+        stacked = np.vstack([self._messages[w] for w in self._workers])
+        return self._code.decode(self._workers, stacked)
+
+
+# --------------------------------------------------------------------------- #
+# Execution plan
+# --------------------------------------------------------------------------- #
+Encoder = Callable[[int, np.ndarray], np.ndarray]
+"""``encoder(worker, unit_gradients) -> message``; ``unit_gradients`` has one
+row per unit of the worker's assignment, in assignment order."""
+
+
+@dataclass
+class ExecutionPlan:
+    """A frozen placement plus encoding and aggregation for one training job.
+
+    Attributes
+    ----------
+    scheme_name:
+        Name of the scheme that produced the plan.
+    num_units:
+        Number of data units being distributed.
+    unit_assignment:
+        Placement at unit granularity (worker -> unit indices).
+    message_sizes:
+        Per-worker message size in gradient units (1.0 for summed/coded
+        messages, the worker's load for per-unit messages).
+    aggregator_factory:
+        Zero-argument callable returning a fresh aggregator for an iteration.
+    encoder:
+        Worker-side encoder; see :data:`Encoder`.
+    metadata:
+        Scheme-specific extras (e.g. the BCC batch choices, coded scheme's
+        encoding matrix) surfaced for inspection and tests.
+    """
+
+    scheme_name: str
+    num_units: int
+    unit_assignment: DataAssignment
+    message_sizes: np.ndarray
+    aggregator_factory: Callable[[], MasterAggregator]
+    encoder: Encoder
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.message_sizes, dtype=float)
+        if sizes.shape[0] != self.unit_assignment.num_workers:
+            raise CoverageError(
+                "message_sizes must have one entry per worker "
+                f"({sizes.shape[0]} != {self.unit_assignment.num_workers})"
+            )
+        if np.any(sizes < 0):
+            raise CoverageError("message sizes must be non-negative")
+        self.message_sizes = sizes
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers in the plan."""
+        return self.unit_assignment.num_workers
+
+    @property
+    def computational_load_units(self) -> int:
+        """The computational load ``r`` in units (paper Definition 1)."""
+        return self.unit_assignment.computational_load
+
+    def worker_units(self, worker: int) -> np.ndarray:
+        """Unit indices assigned to ``worker``."""
+        return self.unit_assignment.worker_indices(worker)
+
+    def encode(self, worker: int, unit_gradients: np.ndarray) -> np.ndarray:
+        """Run the worker-side encoder for ``worker``."""
+        return self.encoder(worker, np.asarray(unit_gradients, dtype=float))
+
+    def new_aggregator(self) -> MasterAggregator:
+        """Create a fresh master aggregator for one iteration."""
+        return self.aggregator_factory()
+
+    def can_ever_complete(self) -> bool:
+        """Whether coverage/decodability is achievable with *all* workers reporting.
+
+        A BCC plan whose random batch choices happen to miss a batch cannot
+        complete no matter how long the master waits; callers use this to
+        re-draw the placement (or fail loudly) before running a job.
+        """
+        aggregator = self.new_aggregator()
+        for worker in range(self.num_workers):
+            if aggregator.receive(worker, None):
+                return True
+        return aggregator.is_complete()
+
+
+# --------------------------------------------------------------------------- #
+# Scheme interface
+# --------------------------------------------------------------------------- #
+class Scheme(abc.ABC):
+    """A distributed-GD scheme: placement + encoding + aggregation rules."""
+
+    #: Human-readable scheme name (class attribute overridden by subclasses).
+    name: str = "scheme"
+
+    @abc.abstractmethod
+    def build_plan(
+        self, num_units: int, num_workers: int, rng: RandomState = None
+    ) -> ExecutionPlan:
+        """Freeze a placement for ``num_units`` data units over ``num_workers`` workers."""
+
+    # ------------------------------------------------------------------ #
+    def expected_recovery_threshold(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        """The scheme's analytical recovery threshold, if known (else ``None``)."""
+        return None
+
+    def expected_communication_load(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        """The scheme's analytical communication load, if known (else ``None``)."""
+        return None
+
+    def build_feasible_plan(
+        self,
+        num_units: int,
+        num_workers: int,
+        rng: RandomState = None,
+        *,
+        max_attempts: int = 100,
+    ) -> ExecutionPlan:
+        """Build a plan, re-drawing a random placement until it can complete.
+
+        Deterministic schemes succeed on the first attempt; the BCC scheme
+        re-draws its batch choices in the (rare, for ``n`` comfortably above
+        ``(m/r) log(m/r)``) event that some batch was never selected.
+        """
+        from repro.utils.rng import as_generator
+
+        generator = as_generator(rng)
+        last_plan: Optional[ExecutionPlan] = None
+        for _attempt in range(max(int(max_attempts), 1)):
+            plan = self.build_plan(num_units, num_workers, generator)
+            if plan.can_ever_complete():
+                return plan
+            last_plan = plan
+        raise CoverageError(
+            f"scheme {self.name!r} failed to produce a feasible placement in "
+            f"{max_attempts} attempts (num_units={num_units}, "
+            f"num_workers={num_workers})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def sum_encoder(worker: int, unit_gradients: np.ndarray) -> np.ndarray:
+    """Encoder that sums the worker's unit gradients into a single vector (Eq. 12)."""
+    return unit_gradients.sum(axis=0)
+
+
+def identity_encoder(worker: int, unit_gradients: np.ndarray) -> np.ndarray:
+    """Encoder that forwards every unit gradient unchanged (one row per unit)."""
+    return unit_gradients

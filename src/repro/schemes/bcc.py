@@ -1,0 +1,113 @@
+"""The Batched Coupon's Collector scheme (paper Section III)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.thresholds import bcc_communication_load, bcc_recovery_threshold
+from repro.coding.placement import bcc_placement
+from repro.datasets.batching import contiguous_partition
+from repro.exceptions import ConfigurationError
+from repro.schemes.base import (
+    BatchCoverageAggregator,
+    ExecutionPlan,
+    Scheme,
+    sum_encoder,
+)
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BCCScheme"]
+
+
+class BCCScheme(Scheme):
+    """Batched Coupon's Collector distributed gradient descent.
+
+    Parameters
+    ----------
+    load:
+        The computational load ``r``: the number of data units in each batch,
+        i.e. the number of units every worker processes. The units are
+        partitioned into ``ceil(m/r)`` batches; each worker independently
+        selects one batch uniformly at random, computes the sum of its
+        partial gradients and sends that single vector to the master. The
+        master keeps the first message per batch and stops as soon as every
+        batch is covered.
+
+    Notes
+    -----
+    * The placement is decentralised: worker choices are i.i.d. uniform, so a
+      fresh plan can be drawn without any coordination (the paper's
+      "scalability" property). :meth:`Scheme.build_feasible_plan` re-draws in
+      the rare event that some batch was selected by nobody.
+    * The analytical recovery threshold is
+      ``K_BCC(r) = ceil(m/r) * H_{ceil(m/r)}`` and the communication load
+      equals it, since every message has unit size (Theorem 1).
+    * When ``load`` does not divide the number of units, the paper zero-pads
+      the last batch so every worker processes exactly ``r`` units. Padding
+      with fake data is pointless in an implementation, so the units are
+      instead split into ``ceil(m/r)`` *balanced* batches (sizes differing by
+      at most one, all ``<= load``), which keeps the workers statistically
+      exchangeable — the property the zero-padding exists to provide.
+    """
+
+    name = "bcc"
+
+    def __init__(self, load: int) -> None:
+        self.load = check_positive_int(load, "load")
+
+    # ------------------------------------------------------------------ #
+    def build_plan(
+        self, num_units: int, num_workers: int, rng: RandomState = None
+    ) -> ExecutionPlan:
+        m = check_positive_int(num_units, "num_units")
+        n = check_positive_int(num_workers, "num_workers")
+        if self.load > m:
+            raise ConfigurationError(
+                f"load {self.load} exceeds the number of data units {m}"
+            )
+        num_batches = -(-m // self.load)
+        if num_batches > n:
+            raise ConfigurationError(
+                f"BCC needs at least as many workers as batches; got "
+                f"{num_batches} batches for {n} workers (increase the load)"
+            )
+        batch_spec = contiguous_partition(m, num_batches)
+        assignment, batch_choices = bcc_placement(batch_spec, n, rng)
+
+        worker_batches = [int(b) for b in batch_choices]
+
+        def aggregator_factory() -> BatchCoverageAggregator:
+            return BatchCoverageAggregator(
+                num_batches=batch_spec.num_batches, worker_batches=worker_batches
+            )
+
+        return ExecutionPlan(
+            scheme_name=self.name,
+            num_units=m,
+            unit_assignment=assignment,
+            message_sizes=np.ones(n),
+            aggregator_factory=aggregator_factory,
+            encoder=sum_encoder,
+            metadata={
+                "batch_spec": batch_spec,
+                "batch_choices": np.asarray(batch_choices, dtype=int),
+                "load": self.load,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    def expected_recovery_threshold(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        return bcc_recovery_threshold(num_units, self.load)
+
+    def expected_communication_load(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        return bcc_communication_load(num_units, self.load)
+
+    def __repr__(self) -> str:
+        return f"BCCScheme(load={self.load})"

@@ -1,0 +1,143 @@
+"""Coding-theoretic baselines: cyclic repetition, Reed-Solomon style, fractional repetition.
+
+These are the straggler-mitigation schemes the paper compares against
+(references [7]–[9]). All three operate on ``m = n`` data partitions (when
+the job has more units than workers the caller groups units into ``n``
+partitions first — the simulator and runtime do this automatically via the
+unit granularity), tolerate ``s = load - 1`` stragglers in the worst case,
+and send a single coded vector per worker, so ``K = L = n - s = m - r + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.thresholds import (
+    cyclic_repetition_communication_load,
+    cyclic_repetition_recovery_threshold,
+)
+from repro.coding.cyclic_repetition import CyclicRepetitionCode
+from repro.coding.fractional import FractionalRepetitionCode
+from repro.coding.linear_code import LinearGradientCode
+from repro.coding.reed_solomon import ReedSolomonStyleCode
+from repro.exceptions import ConfigurationError
+from repro.schemes.base import CodedAggregator, ExecutionPlan, Scheme
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "CyclicRepetitionScheme",
+    "ReedSolomonScheme",
+    "FractionalRepetitionScheme",
+]
+
+
+class _LinearCodeScheme(Scheme):
+    """Shared plumbing for schemes backed by a :class:`LinearGradientCode`."""
+
+    name = "linear-code"
+
+    def __init__(self, load: int) -> None:
+        self.load = check_positive_int(load, "load")
+
+    # Subclasses build the concrete code for ``num_workers`` workers.
+    def _build_code(self, num_workers: int, rng: RandomState) -> LinearGradientCode:
+        raise NotImplementedError
+
+    def build_plan(
+        self, num_units: int, num_workers: int, rng: RandomState = None
+    ) -> ExecutionPlan:
+        m = check_positive_int(num_units, "num_units")
+        n = check_positive_int(num_workers, "num_workers")
+        if m != n:
+            raise ConfigurationError(
+                f"{self.name} operates on one data partition per worker "
+                f"(m = n); got m={m}, n={n}. Group the units into n partitions "
+                "first (the simulator's unit granularity does this)."
+            )
+        if self.load > m:
+            raise ConfigurationError(
+                f"load {self.load} exceeds the number of data units {m}"
+            )
+        code = self._build_code(n, rng)
+        assignment = code.to_assignment()
+
+        def aggregator_factory() -> CodedAggregator:
+            return CodedAggregator(code=code)
+
+        def encoder(worker: int, unit_gradients: np.ndarray) -> np.ndarray:
+            support = code.support(worker)
+            coefficients = code.encoding_matrix[worker, support]
+            return coefficients @ unit_gradients
+
+        return ExecutionPlan(
+            scheme_name=self.name,
+            num_units=m,
+            unit_assignment=assignment,
+            message_sizes=np.ones(n),
+            aggregator_factory=aggregator_factory,
+            encoder=encoder,
+            metadata={"code": code, "load": self.load},
+        )
+
+    def expected_recovery_threshold(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        return cyclic_repetition_recovery_threshold(num_units, self.load)
+
+    def expected_communication_load(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        return cyclic_repetition_communication_load(num_units, self.load)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(load={self.load})"
+
+
+class CyclicRepetitionScheme(_LinearCodeScheme):
+    """The cyclic-repetition gradient-coding scheme of Tandon et al. [7].
+
+    Each worker holds ``load`` cyclically consecutive partitions and sends a
+    designed linear combination of their gradient sums; the master decodes
+    after hearing from the fastest ``n - load + 1`` workers regardless of
+    which ``load - 1`` workers straggle.
+    """
+
+    name = "cyclic-repetition"
+
+    def _build_code(self, num_workers: int, rng: RandomState) -> LinearGradientCode:
+        # The coefficient draw is part of the (offline) code design; derive it
+        # from the supplied generator so runs remain reproducible.
+        seed = as_generator(rng)
+        return CyclicRepetitionCode.from_load(num_workers, self.load, seed=seed)
+
+
+class ReedSolomonScheme(_LinearCodeScheme):
+    """Deterministic Reed-Solomon-style variant (references [8], [9]).
+
+    Identical load / threshold to the cyclic-repetition scheme; the code
+    coefficients are deterministic rather than randomly drawn.
+    """
+
+    name = "reed-solomon"
+
+    def _build_code(self, num_workers: int, rng: RandomState) -> LinearGradientCode:
+        return ReedSolomonStyleCode(num_workers, self.load - 1)
+
+
+class FractionalRepetitionScheme(_LinearCodeScheme):
+    """The fractional-repetition scheme of Tandon et al. [7].
+
+    Requires ``load | n``. Workers are organised into ``load`` groups that
+    each replicate the whole dataset; the master decodes as soon as one group
+    has fully reported — guaranteed within ``n - load + 1`` arrivals but
+    frequently earlier (the opportunistic behaviour noted in the paper's
+    footnote 2).
+    """
+
+    name = "fractional-repetition"
+
+    def _build_code(self, num_workers: int, rng: RandomState) -> LinearGradientCode:
+        return FractionalRepetitionCode(num_workers, self.load - 1)

@@ -1,0 +1,57 @@
+"""A small factory so experiments and the CLI-style examples can name schemes by string."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.exceptions import ConfigurationError
+from repro.schemes.approximate import IgnoreStragglersScheme
+from repro.schemes.base import Scheme
+from repro.schemes.bcc import BCCScheme
+from repro.schemes.coded import (
+    CyclicRepetitionScheme,
+    FractionalRepetitionScheme,
+    ReedSolomonScheme,
+)
+from repro.schemes.randomized import SimpleRandomizedScheme
+from repro.schemes.uncoded import UncodedScheme
+
+__all__ = ["scheme_registry", "make_scheme"]
+
+
+def scheme_registry() -> Dict[str, Callable[..., Scheme]]:
+    """Mapping from scheme name to constructor.
+
+    The heterogeneous schemes (generalized BCC, load balanced) are not listed
+    because they require a cluster or explicit loads; construct them directly.
+    """
+    return {
+        "bcc": BCCScheme,
+        "uncoded": lambda load=None: UncodedScheme(),
+        "randomized": SimpleRandomizedScheme,
+        "cyclic-repetition": CyclicRepetitionScheme,
+        "reed-solomon": ReedSolomonScheme,
+        "fractional-repetition": FractionalRepetitionScheme,
+        "ignore-stragglers": lambda load=None: IgnoreStragglersScheme(),
+    }
+
+
+def make_scheme(name: str, load: int = 1) -> Scheme:
+    """Construct a homogeneous scheme by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``bcc``, ``uncoded``, ``randomized``, ``cyclic-repetition``,
+        ``reed-solomon``, ``fractional-repetition``.
+    load:
+        Computational load ``r`` (ignored by the uncoded scheme).
+    """
+    registry = scheme_registry()
+    if name not in registry:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; available: {sorted(registry)}"
+        )
+    if name == "uncoded":
+        return registry[name]()
+    return registry[name](load)

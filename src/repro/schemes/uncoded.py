@@ -1,0 +1,59 @@
+"""The uncoded baseline: disjoint split, wait for every worker."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.thresholds import (
+    uncoded_communication_load,
+    uncoded_recovery_threshold,
+)
+from repro.coding.placement import uncoded_placement
+from repro.schemes.base import CountAggregator, ExecutionPlan, Scheme, sum_encoder
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive_int
+
+__all__ = ["UncodedScheme"]
+
+
+class UncodedScheme(Scheme):
+    """No redundancy: the units are split evenly and every worker must report.
+
+    Worker ``i`` receives the ``i``-th contiguous block of units, sends the
+    sum of its partial gradients, and the master waits for all ``n`` workers
+    (``K = L = n``). This is the first baseline in the paper's experiments.
+    """
+
+    name = "uncoded"
+
+    def build_plan(
+        self, num_units: int, num_workers: int, rng: RandomState = None
+    ) -> ExecutionPlan:
+        m = check_positive_int(num_units, "num_units")
+        n = check_positive_int(num_workers, "num_workers")
+        assignment = uncoded_placement(m, n)
+
+        def aggregator_factory() -> CountAggregator:
+            return CountAggregator(required_workers=range(n))
+
+        return ExecutionPlan(
+            scheme_name=self.name,
+            num_units=m,
+            unit_assignment=assignment,
+            message_sizes=np.ones(n),
+            aggregator_factory=aggregator_factory,
+            encoder=sum_encoder,
+            metadata={},
+        )
+
+    def expected_recovery_threshold(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        return uncoded_recovery_threshold(num_units, num_workers)
+
+    def expected_communication_load(
+        self, num_units: int, num_workers: int
+    ) -> Optional[float]:
+        return uncoded_communication_load(num_units, num_workers)

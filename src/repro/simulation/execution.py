@@ -1,0 +1,124 @@
+"""Semantic execution helpers: computing worker messages and the decoded gradient.
+
+These functions implement the *numerical* side of a scheme's execution plan —
+what a worker actually computes and what the master actually reconstructs —
+independently of any timing model. They are shared by the semantic simulator,
+the multiprocessing runtime, the examples, and the exactness tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.datasets.batching import BatchSpec
+from repro.exceptions import CoverageError
+from repro.gradients.base import GradientModel
+from repro.schemes.base import ExecutionPlan
+
+__all__ = ["unit_gradient_matrix", "worker_message", "distributed_gradient"]
+
+
+def _unit_examples(unit_spec: Optional[BatchSpec], unit: int) -> np.ndarray:
+    """Example indices belonging to data unit ``unit``."""
+    if unit_spec is None:
+        return np.array([unit], dtype=int)
+    return unit_spec.batch_indices(unit)
+
+
+def unit_gradient_matrix(
+    model: GradientModel,
+    dataset: Dataset,
+    weights: np.ndarray,
+    units: Sequence[int] | np.ndarray,
+    unit_spec: Optional[BatchSpec] = None,
+) -> np.ndarray:
+    """Stack the summed partial gradients of the given data units.
+
+    Parameters
+    ----------
+    units:
+        Unit indices, in the order the rows should appear.
+    unit_spec:
+        Mapping from units to example indices. ``None`` means one unit is one
+        example (the analytical granularity); a :class:`BatchSpec` means one
+        unit is a batch of examples (the paper's experimental granularity).
+
+    Returns
+    -------
+    ndarray of shape ``(len(units), p)`` whose row ``u`` is
+    ``sum_{j in unit u} g_j(weights)``.
+    """
+    units = np.asarray(units, dtype=int)
+    weights = np.asarray(weights, dtype=float)
+    rows = np.empty((units.size, weights.shape[0]), dtype=float)
+    for row, unit in enumerate(units):
+        example_indices = _unit_examples(unit_spec, int(unit))
+        features, labels = dataset.rows(example_indices)
+        rows[row] = model.gradient_sum(weights, features, labels)
+    return rows
+
+
+def worker_message(
+    plan: ExecutionPlan,
+    worker: int,
+    model: GradientModel,
+    dataset: Dataset,
+    weights: np.ndarray,
+    unit_spec: Optional[BatchSpec] = None,
+) -> np.ndarray:
+    """Compute the message worker ``worker`` sends for the given weights.
+
+    This is the full worker-side pipeline: gather the worker's units, compute
+    each unit's summed partial gradient, then apply the scheme's encoder
+    (plain sum for BCC/uncoded, linear combination for coded schemes,
+    identity for per-unit schemes).
+    """
+    units = plan.worker_units(worker)
+    if units.size == 0:
+        return np.zeros(0, dtype=float)
+    gradients = unit_gradient_matrix(model, dataset, weights, units, unit_spec)
+    return plan.encode(worker, gradients)
+
+
+def distributed_gradient(
+    plan: ExecutionPlan,
+    model: GradientModel,
+    dataset: Dataset,
+    weights: np.ndarray,
+    responding_workers: Sequence[int] | np.ndarray,
+    unit_spec: Optional[BatchSpec] = None,
+) -> tuple[np.ndarray, int]:
+    """Run one full (untimed) distributed gradient evaluation.
+
+    The workers in ``responding_workers`` report *in the given order*; the
+    master stops as soon as its aggregator is satisfied, decodes, and divides
+    by the number of examples to produce the gradient of the empirical risk.
+
+    Returns
+    -------
+    (gradient, workers_heard):
+        The reconstructed full gradient and the number of workers the master
+        actually waited for.
+
+    Raises
+    ------
+    CoverageError
+        If the responding workers do not suffice to recover the gradient.
+    """
+    aggregator = plan.new_aggregator()
+    complete = False
+    for worker in np.asarray(responding_workers, dtype=int):
+        message = worker_message(plan, int(worker), model, dataset, weights, unit_spec)
+        complete = aggregator.receive(int(worker), message)
+        if complete:
+            break
+    if not complete:
+        raise CoverageError(
+            f"scheme {plan.scheme_name!r}: the responding workers do not allow "
+            "the master to recover the gradient"
+        )
+    total = aggregator.decode()
+    return total / float(dataset.num_examples), aggregator.workers_heard

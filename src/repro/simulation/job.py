@@ -1,0 +1,225 @@
+"""Multi-iteration job simulation.
+
+:func:`simulate_job` runs a timing-only job — the mode used by every
+figure/table benchmark — while :func:`simulate_training_run` executes the
+same job *semantically*: each simulated iteration's responding workers supply
+real encoded gradients that drive an optimizer, so the run produces both
+timing metrics and an actual trained model under simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.datasets.base import Dataset
+from repro.datasets.batching import BatchSpec
+from repro.exceptions import SimulationError
+from repro.gradients.base import GradientModel
+from repro.optim.base import Optimizer
+from repro.optim.trainer import IterationRecord, TrainingResult
+from repro.schemes.base import ExecutionPlan, Scheme
+from repro.simulation.execution import worker_message
+from repro.simulation.iteration import IterationOutcome, simulate_iteration
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["JobResult", "simulate_job", "simulate_training_run"]
+
+
+@dataclass
+class JobResult:
+    """Aggregate timing metrics of a simulated multi-iteration job.
+
+    The attributes mirror the rows of the paper's Tables I and II.
+    """
+
+    scheme_name: str
+    iterations: List[IterationOutcome] = field(default_factory=list)
+    training: Optional[TrainingResult] = None
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of simulated iterations."""
+        return len(self.iterations)
+
+    @property
+    def total_time(self) -> float:
+        """Total running time (sum over iterations)."""
+        return float(sum(outcome.total_time for outcome in self.iterations))
+
+    @property
+    def total_computation_time(self) -> float:
+        """Sum of per-iteration computation times (paper's accounting)."""
+        return float(sum(outcome.computation_time for outcome in self.iterations))
+
+    @property
+    def total_communication_time(self) -> float:
+        """Total running time minus total computation time."""
+        return float(
+            sum(outcome.communication_time for outcome in self.iterations)
+        )
+
+    @property
+    def average_recovery_threshold(self) -> float:
+        """Average number of workers the master waited for per iteration."""
+        if not self.iterations:
+            raise SimulationError("the job has no iterations")
+        return float(np.mean([outcome.workers_heard for outcome in self.iterations]))
+
+    @property
+    def average_communication_load(self) -> float:
+        """Average per-iteration communication load in gradient units."""
+        if not self.iterations:
+            raise SimulationError("the job has no iterations")
+        return float(
+            np.mean([outcome.communication_load for outcome in self.iterations])
+        )
+
+    def summary(self) -> dict:
+        """Dictionary of the headline metrics (used by the report tables)."""
+        return {
+            "scheme": self.scheme_name,
+            "iterations": self.num_iterations,
+            "recovery_threshold": self.average_recovery_threshold,
+            "communication_load": self.average_communication_load,
+            "communication_time": self.total_communication_time,
+            "computation_time": self.total_computation_time,
+            "total_time": self.total_time,
+        }
+
+
+def _resolve_plan(
+    scheme_or_plan: Scheme | ExecutionPlan,
+    num_units: int,
+    num_workers: int,
+    rng: np.random.Generator,
+) -> ExecutionPlan:
+    if isinstance(scheme_or_plan, ExecutionPlan):
+        return scheme_or_plan
+    if isinstance(scheme_or_plan, Scheme):
+        return scheme_or_plan.build_feasible_plan(num_units, num_workers, rng)
+    raise SimulationError(
+        "expected a Scheme or an ExecutionPlan, got "
+        f"{type(scheme_or_plan).__name__}"
+    )
+
+
+def simulate_job(
+    scheme_or_plan: Scheme | ExecutionPlan,
+    cluster: ClusterSpec,
+    num_units: int,
+    num_iterations: int,
+    rng: RandomState = None,
+    *,
+    unit_size: int = 1,
+    serialize_master_link: bool = True,
+) -> JobResult:
+    """Timing-only simulation of ``num_iterations`` distributed GD iterations.
+
+    The placement is frozen once (as in the paper, data is loaded onto the
+    workers before the iterations start); only the per-iteration completion
+    times vary across iterations.
+    """
+    check_positive_int(num_iterations, "num_iterations")
+    generator = as_generator(rng)
+    plan = _resolve_plan(scheme_or_plan, num_units, cluster.num_workers, generator)
+    result = JobResult(scheme_name=plan.scheme_name)
+    for _iteration in range(num_iterations):
+        outcome = simulate_iteration(
+            plan,
+            cluster,
+            rng=generator,
+            unit_size=unit_size,
+            serialize_master_link=serialize_master_link,
+        )
+        result.iterations.append(outcome)
+    return result
+
+
+def simulate_training_run(
+    scheme_or_plan: Scheme | ExecutionPlan,
+    cluster: ClusterSpec,
+    model: GradientModel,
+    dataset: Dataset,
+    optimizer: Optimizer,
+    num_iterations: int,
+    rng: RandomState = None,
+    *,
+    unit_spec: Optional[BatchSpec] = None,
+    serialize_master_link: bool = True,
+    initial_weights: Optional[np.ndarray] = None,
+) -> JobResult:
+    """Semantic simulation: simulated timing *and* real gradient computation.
+
+    Each iteration first runs the timing simulation to determine which
+    workers the master hears from (and how long the iteration takes), then
+    computes those workers' actual messages, decodes the gradient at the
+    master, and applies the optimizer update. The returned
+    :class:`JobResult` therefore carries both the timing metrics and a
+    :class:`~repro.optim.trainer.TrainingResult` with the loss trajectory.
+
+    Parameters
+    ----------
+    unit_spec:
+        Mapping from data units to example indices. ``None`` means the units
+        *are* the examples; otherwise the plan's units index the batches of
+        ``unit_spec`` (whose sizes also drive the computation-time draws).
+    """
+    check_positive_int(num_iterations, "num_iterations")
+    generator = as_generator(rng)
+    num_units = unit_spec.num_batches if unit_spec is not None else dataset.num_examples
+    unit_size = unit_spec.max_batch_size if unit_spec is not None else 1
+    plan = _resolve_plan(scheme_or_plan, num_units, cluster.num_workers, generator)
+
+    if initial_weights is None:
+        initial_weights = model.initial_weights(dataset.num_features)
+    state = optimizer.initialize(initial_weights)
+
+    result = JobResult(scheme_name=plan.scheme_name)
+    history: List[IterationRecord] = []
+    for iteration in range(num_iterations):
+        outcome = simulate_iteration(
+            plan,
+            cluster,
+            rng=generator,
+            unit_size=unit_size,
+            serialize_master_link=serialize_master_link,
+        )
+        result.iterations.append(outcome)
+
+        # Re-run the aggregation with real messages from exactly the workers
+        # the timing simulation heard from, in the same arrival order.
+        query = optimizer.query_point(state)
+        aggregator = plan.new_aggregator()
+        complete = False
+        for worker in outcome.heard_workers:
+            message = worker_message(plan, int(worker), model, dataset, query, unit_spec)
+            complete = aggregator.receive(int(worker), message)
+            if complete:
+                break
+        if not complete:
+            raise SimulationError(
+                "internal inconsistency: the timing simulation completed but "
+                "the semantic aggregation did not"
+            )
+        gradient = aggregator.decode() / float(dataset.num_examples)
+
+        loss = model.loss(state.weights, dataset.features, dataset.labels)
+        history.append(
+            IterationRecord(
+                iteration=iteration,
+                loss=loss,
+                gradient_norm=float(np.linalg.norm(gradient)),
+                learning_rate=optimizer.schedule(iteration),
+            )
+        )
+        state = optimizer.step(state, gradient)
+
+    result.training = TrainingResult(
+        weights=state.weights, history=history, converged=False
+    )
+    return result

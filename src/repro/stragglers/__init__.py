@@ -1,0 +1,37 @@
+"""Straggler (worker completion-time) delay models.
+
+A delay model answers one question: *how long does a worker take to finish a
+task of a given load?* The paper's analysis (Section IV, Eq. 15) adopts the
+shift-exponential family, where a worker processing ``r`` examples finishes
+after a deterministic ``a * r`` seconds plus an exponential tail with rate
+``mu / r``. The library ships that family plus several alternatives used for
+the universality ablations.
+"""
+
+from repro.stragglers.base import DelayModel
+from repro.stragglers.models import (
+    ShiftedExponentialDelay,
+    ExponentialDelay,
+    DeterministicDelay,
+    ParetoDelay,
+    BimodalStragglerDelay,
+    TraceDelay,
+)
+from repro.stragglers.communication import (
+    CommunicationModel,
+    LinearCommunicationModel,
+    ZeroCommunicationModel,
+)
+
+__all__ = [
+    "DelayModel",
+    "ShiftedExponentialDelay",
+    "ExponentialDelay",
+    "DeterministicDelay",
+    "ParetoDelay",
+    "BimodalStragglerDelay",
+    "TraceDelay",
+    "CommunicationModel",
+    "LinearCommunicationModel",
+    "ZeroCommunicationModel",
+]

@@ -1,0 +1,68 @@
+"""The :class:`DelayModel` interface.
+
+A delay model maps a *computational load* (number of training examples a
+worker processes in one iteration) to a random completion time. Models are
+stateless and receive the RNG explicitly, so the same model object can be
+shared by every worker of a homogeneous cluster while keeping experiments
+reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["DelayModel"]
+
+
+class DelayModel(abc.ABC):
+    """Distribution of the time a worker needs to process ``load`` examples."""
+
+    @abc.abstractmethod
+    def sample(
+        self, load: int, rng: RandomState = None, size: Optional[int] = None
+    ) -> Union[float, np.ndarray]:
+        """Draw completion times for a task of ``load`` examples.
+
+        Parameters
+        ----------
+        load:
+            Number of examples processed (must be positive).
+        rng:
+            Seed-like value or generator.
+        size:
+            ``None`` for a single float, otherwise the number of i.i.d. draws
+            returned as an array.
+        """
+
+    @abc.abstractmethod
+    def mean(self, load: int) -> float:
+        """Expected completion time for a task of ``load`` examples."""
+
+    def cdf(self, load: int, t: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """``P(T <= t)`` for a task of ``load`` examples.
+
+        The default implementation estimates the CDF by Monte-Carlo; concrete
+        models with closed forms override it.
+        """
+        samples = self.sample(load, rng=np.random.default_rng(0), size=20000)
+        t_arr = np.asarray(t, dtype=float)
+        result = np.mean(samples[None, ...] <= t_arr[..., None], axis=-1)
+        return float(result) if np.isscalar(t) else result
+
+    # ------------------------------------------------------------------ #
+    def _check_load(self, load: int) -> int:
+        if load < 1:
+            raise ValueError(f"load must be a positive number of examples, got {load}")
+        return int(load)
+
+    @staticmethod
+    def _rng(rng: RandomState) -> np.random.Generator:
+        return as_generator(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

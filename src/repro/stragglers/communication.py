@@ -1,0 +1,107 @@
+"""Communication-time models.
+
+The paper's EC2 measurements show communication dominating computation, and
+the total run time scaling roughly with the recovery threshold because the
+master's ingress link serialises the incoming messages. The communication
+model therefore charges time *at the master* per received message as a
+function of the message size (in units of one partial-gradient vector).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_nonnegative
+
+__all__ = [
+    "CommunicationModel",
+    "LinearCommunicationModel",
+    "ZeroCommunicationModel",
+]
+
+Number = Union[float, np.ndarray]
+
+
+class CommunicationModel(abc.ABC):
+    """Time to transfer a message of a given size to the master."""
+
+    @abc.abstractmethod
+    def sample(
+        self, message_size: float, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        """Draw transfer times for a message of ``message_size`` gradient-units."""
+
+    @abc.abstractmethod
+    def mean(self, message_size: float) -> float:
+        """Expected transfer time."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class LinearCommunicationModel(CommunicationModel):
+    """``time = latency + seconds_per_unit * message_size`` plus optional jitter.
+
+    Parameters
+    ----------
+    latency:
+        Fixed per-message overhead in seconds.
+    seconds_per_unit:
+        Transfer seconds per unit of message size (one unit = one gradient
+        vector of dimension ``p``).
+    jitter:
+        If positive, an exponential random extra delay with this mean is
+        added to every transfer.
+    """
+
+    def __init__(
+        self,
+        latency: float = 0.0,
+        seconds_per_unit: float = 1.0,
+        jitter: float = 0.0,
+    ) -> None:
+        self.latency = check_nonnegative(latency, "latency")
+        self.seconds_per_unit = check_nonnegative(seconds_per_unit, "seconds_per_unit")
+        self.jitter = check_nonnegative(jitter, "jitter")
+
+    def sample(
+        self, message_size: float, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        message_size = check_nonnegative(message_size, "message_size")
+        base = self.latency + self.seconds_per_unit * message_size
+        if self.jitter == 0.0:
+            if size is None:
+                return float(base)
+            return np.full(size, base, dtype=float)
+        generator = as_generator(rng)
+        extra = generator.exponential(scale=self.jitter, size=size)
+        result = base + extra
+        return float(result) if size is None else result
+
+    def mean(self, message_size: float) -> float:
+        message_size = check_nonnegative(message_size, "message_size")
+        return self.latency + self.seconds_per_unit * message_size + self.jitter
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearCommunicationModel(latency={self.latency!r}, "
+            f"seconds_per_unit={self.seconds_per_unit!r}, jitter={self.jitter!r})"
+        )
+
+
+class ZeroCommunicationModel(CommunicationModel):
+    """Free communication — isolates the computation-time component."""
+
+    def sample(
+        self, message_size: float, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        if size is None:
+            return 0.0
+        return np.zeros(size, dtype=float)
+
+    def mean(self, message_size: float) -> float:
+        return 0.0

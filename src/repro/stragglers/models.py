@@ -1,0 +1,255 @@
+"""Concrete delay models.
+
+:class:`ShiftedExponentialDelay` is the paper's model (Eq. 15):
+
+.. math::
+
+    \\Pr[T_i \\le t] = 1 - \\exp\\left(-\\frac{\\mu_i}{r_i}(t - a_i r_i)\\right),
+    \\qquad t \\ge a_i r_i,
+
+i.e. a deterministic per-example cost ``a`` plus an exponential tail whose
+scale grows linearly with the load. The other models support the
+"universality" ablation: BCC needs no knowledge of the delay distribution, so
+its advantage should persist under Pareto-tailed or bimodal stragglers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.stragglers.base import DelayModel
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_in_range, check_nonnegative, check_probability
+
+__all__ = [
+    "ShiftedExponentialDelay",
+    "ExponentialDelay",
+    "DeterministicDelay",
+    "ParetoDelay",
+    "BimodalStragglerDelay",
+    "TraceDelay",
+]
+
+Number = Union[float, np.ndarray]
+
+
+class ShiftedExponentialDelay(DelayModel):
+    """The paper's shift-exponential completion-time model.
+
+    Parameters
+    ----------
+    straggling:
+        The straggling parameter ``mu > 0``; larger means less straggling
+        (the exponential tail decays faster).
+    shift:
+        The shift parameter ``a >= 0``: deterministic seconds per example.
+    """
+
+    def __init__(self, straggling: float = 1.0, shift: float = 0.0) -> None:
+        self.straggling = check_in_range(straggling, "straggling", low=0.0, inclusive=False)
+        self.shift = check_nonnegative(shift, "shift")
+
+    def sample(
+        self, load: int, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        load = self._check_load(load)
+        generator = self._rng(rng)
+        scale = load / self.straggling
+        tail = generator.exponential(scale=scale, size=size)
+        result = self.shift * load + tail
+        return float(result) if size is None else result
+
+    def mean(self, load: int) -> float:
+        load = self._check_load(load)
+        return self.shift * load + load / self.straggling
+
+    def cdf(self, load: int, t: Number) -> Number:
+        load = self._check_load(load)
+        t_arr = np.asarray(t, dtype=float)
+        shifted = t_arr - self.shift * load
+        rate = self.straggling / load
+        values = np.where(shifted >= 0, 1.0 - np.exp(-rate * np.maximum(shifted, 0.0)), 0.0)
+        return float(values) if np.isscalar(t) else values
+
+    def __repr__(self) -> str:
+        return (
+            f"ShiftedExponentialDelay(straggling={self.straggling!r}, "
+            f"shift={self.shift!r})"
+        )
+
+
+class ExponentialDelay(ShiftedExponentialDelay):
+    """Pure exponential tail (shift ``a = 0``)."""
+
+    def __init__(self, straggling: float = 1.0) -> None:
+        super().__init__(straggling=straggling, shift=0.0)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDelay(straggling={self.straggling!r})"
+
+
+class DeterministicDelay(DelayModel):
+    """No randomness: exactly ``seconds_per_example * load`` seconds.
+
+    Useful as a control: with deterministic workers every scheme should wait
+    for precisely its recovery threshold's worth of workers and the
+    simulator's accounting can be checked exactly.
+    """
+
+    def __init__(self, seconds_per_example: float = 1.0) -> None:
+        self.seconds_per_example = check_nonnegative(
+            seconds_per_example, "seconds_per_example"
+        )
+
+    def sample(
+        self, load: int, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        load = self._check_load(load)
+        value = self.seconds_per_example * load
+        if size is None:
+            return float(value)
+        return np.full(size, value, dtype=float)
+
+    def mean(self, load: int) -> float:
+        return self.seconds_per_example * self._check_load(load)
+
+    def cdf(self, load: int, t: Number) -> Number:
+        load = self._check_load(load)
+        t_arr = np.asarray(t, dtype=float)
+        values = (t_arr >= self.seconds_per_example * load).astype(float)
+        return float(values) if np.isscalar(t) else values
+
+    def __repr__(self) -> str:
+        return f"DeterministicDelay(seconds_per_example={self.seconds_per_example!r})"
+
+
+class ParetoDelay(DelayModel):
+    """Heavy-tailed Pareto completion times.
+
+    ``T = scale * load * X`` where ``X`` is Pareto(alpha) with minimum 1, so
+    the fastest possible completion is ``scale * load`` and the tail decays
+    polynomially. ``alpha <= 1`` gives an infinite mean — permitted, since the
+    simulator only needs samples, but :meth:`mean` raises in that case.
+    """
+
+    def __init__(self, alpha: float = 2.0, scale: float = 1.0) -> None:
+        self.alpha = check_in_range(alpha, "alpha", low=0.0, inclusive=False)
+        self.scale = check_in_range(scale, "scale", low=0.0, inclusive=False)
+
+    def sample(
+        self, load: int, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        load = self._check_load(load)
+        generator = self._rng(rng)
+        # numpy's pareto returns X - 1 for a Pareto with minimum 1.
+        draws = 1.0 + generator.pareto(self.alpha, size=size)
+        result = self.scale * load * draws
+        return float(result) if size is None else result
+
+    def mean(self, load: int) -> float:
+        load = self._check_load(load)
+        if self.alpha <= 1.0:
+            raise ValueError(
+                f"the Pareto mean is infinite for alpha <= 1 (alpha={self.alpha})"
+            )
+        return self.scale * load * self.alpha / (self.alpha - 1.0)
+
+    def cdf(self, load: int, t: Number) -> Number:
+        load = self._check_load(load)
+        t_arr = np.asarray(t, dtype=float)
+        minimum = self.scale * load
+        ratio = np.maximum(t_arr / minimum, 1.0)
+        values = np.where(t_arr >= minimum, 1.0 - ratio ** (-self.alpha), 0.0)
+        return float(values) if np.isscalar(t) else values
+
+    def __repr__(self) -> str:
+        return f"ParetoDelay(alpha={self.alpha!r}, scale={self.scale!r})"
+
+
+class BimodalStragglerDelay(DelayModel):
+    """"Occasionally very slow" workers.
+
+    With probability ``straggle_probability`` the worker is a straggler for
+    this task and its time is multiplied by ``slowdown``; otherwise it runs at
+    the base speed. The base time is ``seconds_per_example * load`` plus a
+    small exponential jitter. This mimics the production observation ([5] in
+    the paper) that a minority of tasks run much slower than the rest.
+    """
+
+    def __init__(
+        self,
+        seconds_per_example: float = 1.0,
+        straggle_probability: float = 0.1,
+        slowdown: float = 10.0,
+        jitter: float = 0.05,
+    ) -> None:
+        self.seconds_per_example = check_in_range(
+            seconds_per_example, "seconds_per_example", low=0.0, inclusive=False
+        )
+        self.straggle_probability = check_probability(
+            straggle_probability, "straggle_probability"
+        )
+        self.slowdown = check_in_range(slowdown, "slowdown", low=1.0)
+        self.jitter = check_nonnegative(jitter, "jitter")
+
+    def sample(
+        self, load: int, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        load = self._check_load(load)
+        generator = self._rng(rng)
+        n = 1 if size is None else size
+        base = self.seconds_per_example * load
+        jitter = generator.exponential(scale=self.jitter * base + 1e-12, size=n)
+        slow = generator.random(n) < self.straggle_probability
+        times = np.where(slow, self.slowdown * base, base) + jitter
+        return float(times[0]) if size is None else times
+
+    def mean(self, load: int) -> float:
+        load = self._check_load(load)
+        base = self.seconds_per_example * load
+        expected_base = (
+            self.straggle_probability * self.slowdown + (1 - self.straggle_probability)
+        ) * base
+        return expected_base + self.jitter * base
+
+    def __repr__(self) -> str:
+        return (
+            f"BimodalStragglerDelay(seconds_per_example={self.seconds_per_example!r}, "
+            f"straggle_probability={self.straggle_probability!r}, "
+            f"slowdown={self.slowdown!r}, jitter={self.jitter!r})"
+        )
+
+
+class TraceDelay(DelayModel):
+    """Replay completion times from a recorded trace.
+
+    The trace holds *per-example* processing times; a task of ``load``
+    examples takes ``trace[k] * load`` seconds where ``k`` is drawn uniformly
+    from the trace. This lets measured straggling behaviour (e.g. collected
+    from a real cluster) drive the simulator without fitting a distribution.
+    """
+
+    def __init__(self, per_example_times: Sequence[float]) -> None:
+        trace = np.asarray(per_example_times, dtype=float)
+        if trace.ndim != 1 or trace.size == 0:
+            raise ValueError("per_example_times must be a non-empty 1-D sequence")
+        if np.any(trace < 0) or not np.all(np.isfinite(trace)):
+            raise ValueError("per_example_times must be finite and non-negative")
+        self.trace = trace
+
+    def sample(
+        self, load: int, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        load = self._check_load(load)
+        generator = self._rng(rng)
+        draws = generator.choice(self.trace, size=size, replace=True)
+        result = draws * load
+        return float(result) if size is None else result
+
+    def mean(self, load: int) -> float:
+        return float(self.trace.mean()) * self._check_load(load)
+
+    def __repr__(self) -> str:
+        return f"TraceDelay(num_samples={self.trace.size})"

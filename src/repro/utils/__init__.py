@@ -1,0 +1,30 @@
+"""Shared utilities: RNG handling, timing, validation, and text tables."""
+
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.timing import Timer, WallClock, SimulatedClock
+from repro.utils.validation import (
+    check_positive_int,
+    check_nonnegative,
+    check_probability,
+    check_in_range,
+    check_array_1d,
+    check_array_2d,
+)
+from repro.utils.tables import TextTable, format_seconds
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "WallClock",
+    "SimulatedClock",
+    "check_positive_int",
+    "check_nonnegative",
+    "check_probability",
+    "check_in_range",
+    "check_array_1d",
+    "check_array_2d",
+    "TextTable",
+    "format_seconds",
+]

@@ -1,0 +1,84 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness reproduces the paper's Tables I and II and prints the
+series behind Figures 2, 4 and 5. This module renders those results as
+aligned monospace tables without any third-party dependency so that bench
+output is readable directly in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["TextTable", "format_seconds", "format_float"]
+
+Cell = Union[str, int, float]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float with a fixed number of decimal digits."""
+    return f"{value:.{digits}f}"
+
+
+def format_seconds(value: float, digits: int = 3) -> str:
+    """Format a duration in seconds, e.g. ``'4.205 s'``."""
+    return f"{value:.{digits}f} s"
+
+
+class TextTable:
+    """A minimal monospace table builder.
+
+    Example
+    -------
+    >>> table = TextTable(["scheme", "K", "total (s)"])
+    >>> table.add_row(["BCC", 11, 4.205])
+    >>> table.add_row(["uncoded", 50, 28.786])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], *, title: str = "") -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers: List[str] = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append one row; numeric cells are formatted with 3 decimals."""
+        formatted: List[str] = []
+        for cell in cells:
+            if isinstance(cell, bool):
+                formatted.append(str(cell))
+            elif isinstance(cell, float):
+                formatted.append(format_float(cell))
+            else:
+                formatted.append(str(cell))
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"row has {len(formatted)} cells but the table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(formatted)
+
+    def _widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table (title, header, separator, rows) as a string."""
+        widths = self._widths()
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

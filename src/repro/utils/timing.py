@@ -1,0 +1,97 @@
+"""Clocks and timers.
+
+Two clock implementations share one tiny interface:
+
+* :class:`WallClock` — real elapsed time via :func:`time.perf_counter`; used by
+  the multiprocessing runtime.
+* :class:`SimulatedClock` — a manually advanced clock used by the discrete
+  event simulator, so simulated experiments are deterministic and run in
+  microseconds of real time regardless of the simulated duration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Clock", "WallClock", "SimulatedClock", "Timer"]
+
+
+class Clock:
+    """Minimal clock interface: :meth:`now` returns seconds as ``float``."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real wall-clock time, measured relative to construction."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def now(self) -> float:
+        """Seconds elapsed since this clock was created."""
+        return time.perf_counter() - self._start
+
+
+class SimulatedClock(Clock):
+    """A clock advanced explicitly by the discrete-event simulator."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start time must be non-negative, got {start}")
+        self._time = float(start)
+
+    def now(self) -> float:
+        return self._time
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Moving backwards is a programming error in the simulator and raises
+        ``ValueError`` rather than silently corrupting event ordering.
+        """
+        if t < self._time:
+            raise ValueError(
+                f"cannot move simulated clock backwards from {self._time} to {t}"
+            )
+        self._time = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt >= 0`` seconds."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        self._time += float(dt)
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._started is not None
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._started = None

@@ -1,0 +1,99 @@
+"""Tests for the Theorem 1 / Theorem 2 bound evaluators and the Fig. 2 curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    theorem1_bounds,
+    theorem2_bounds,
+    theorem2_constant,
+)
+from repro.analysis.coupon import harmonic_number
+from repro.analysis.tradeoff import tradeoff_curves
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import ConfigurationError
+
+
+class TestTheorem1Bounds:
+    def test_sandwich(self):
+        bounds = theorem1_bounds(100, 10)
+        assert bounds.lower == pytest.approx(10.0)
+        assert bounds.upper == pytest.approx(10 * harmonic_number(10))
+        assert bounds.lower <= bounds.upper
+
+    def test_logarithmic_gap(self):
+        bounds = theorem1_bounds(100, 10)
+        assert bounds.logarithmic_gap == pytest.approx(harmonic_number(10))
+
+    def test_gap_grows_slowly(self):
+        small = theorem1_bounds(100, 50).logarithmic_gap
+        large = theorem1_bounds(100, 1).logarithmic_gap
+        assert small < large
+        assert large <= harmonic_number(100) + 1e-9
+
+
+class TestTheorem2Constant:
+    def test_formula(self):
+        # c = 2 + log(a + H_n/mu) / log m
+        value = theorem2_constant(100, 10, max_shift=20.0, min_straggling=1.0)
+        expected = 2.0 + np.log(20.0 + harmonic_number(10) / 1.0) / np.log(100)
+        assert value == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem2_constant(1, 10, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            theorem2_constant(10, 10, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            theorem2_constant(10, 10, -1.0, 1.0)
+
+
+class TestTheorem2Bounds:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return ClusterSpec.paper_fig5_cluster(num_workers=20, num_fast=2, shift=2.0)
+
+    def test_lower_below_upper(self, cluster):
+        bounds = theorem2_bounds(cluster, 30, rng=0, num_trials=150)
+        assert bounds.lower <= bounds.upper
+        assert bounds.constant > 2.0
+
+    def test_loads_returned(self, cluster):
+        bounds = theorem2_bounds(cluster, 30, rng=0, num_trials=60)
+        assert bounds.lower_loads.shape == (20,)
+        assert bounds.upper_loads.shape == (20,)
+        # The inflated-target loads are at least as large in total.
+        assert bounds.upper_loads.sum() >= bounds.lower_loads.sum()
+
+    def test_constant_override(self, cluster):
+        bounds = theorem2_bounds(cluster, 30, rng=0, num_trials=60, constant=3.0)
+        assert bounds.constant == 3.0
+
+
+class TestTradeoffCurves:
+    def test_contains_four_schemes(self):
+        curves = tradeoff_curves(100, 100, loads=[5, 10, 20])
+        assert set(curves) == {"lower-bound", "bcc", "randomized", "cyclic-repetition"}
+        assert all(len(points) == 3 for points in curves.values())
+
+    def test_ordering_between_schemes(self):
+        # For the figure's parameter range the ordering is
+        # lower bound <= BCC <= randomized and BCC <= CR for small loads.
+        curves = tradeoff_curves(100, 100, loads=[5, 10, 20])
+        for i in range(3):
+            lower = curves["lower-bound"][i].recovery_threshold
+            bcc = curves["bcc"][i].recovery_threshold
+            randomized = curves["randomized"][i].recovery_threshold
+            cyclic = curves["cyclic-repetition"][i].recovery_threshold
+            assert lower <= bcc + 1e-9
+            assert bcc <= randomized + 1e-9
+            assert bcc <= cyclic + 1e-9
+
+    def test_clipped_at_number_of_workers(self):
+        curves = tradeoff_curves(100, 100, loads=[1])
+        for points in curves.values():
+            assert points[0].recovery_threshold <= 100.0
+
+    def test_default_load_range(self):
+        curves = tradeoff_curves(20, 20)
+        assert [point.load for point in curves["bcc"]] == list(range(1, 11))

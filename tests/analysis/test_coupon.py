@@ -1,0 +1,125 @@
+"""Tests for the coupon-collector mathematics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coupon import (
+    coupon_draw_variance,
+    coupon_tail_bound,
+    coverage_probability_after_draws,
+    expected_coupon_draws,
+    harmonic_number,
+    simulate_coupon_draws,
+)
+
+
+class TestHarmonicNumber:
+    def test_base_cases(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_asymptotics(self):
+        n = 100_000
+        assert harmonic_number(n) == pytest.approx(np.log(n) + 0.5772156649, abs=1e-4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+
+class TestExpectedDraws:
+    def test_small_cases(self):
+        assert expected_coupon_draws(1) == 1.0
+        assert expected_coupon_draws(2) == pytest.approx(3.0)
+        assert expected_coupon_draws(3) == pytest.approx(5.5)
+
+    def test_formula(self):
+        n = 37
+        assert expected_coupon_draws(n) == pytest.approx(n * harmonic_number(n))
+
+    def test_invalid(self):
+        with pytest.raises((ValueError, TypeError)):
+            expected_coupon_draws(0)
+
+
+class TestVariance:
+    def test_single_type_has_zero_variance(self):
+        assert coupon_draw_variance(1) == 0.0
+
+    def test_two_types(self):
+        # Phase 2 is geometric(1/2): variance (1-p)/p^2 = 2.
+        assert coupon_draw_variance(2) == pytest.approx(2.0)
+
+    def test_positive_and_growing(self):
+        assert coupon_draw_variance(10) < coupon_draw_variance(50)
+
+
+class TestTailBound:
+    def test_lemma2_values(self):
+        assert coupon_tail_bound(10, 0.0) == 1.0
+        assert coupon_tail_bound(10, 1.0) == pytest.approx(0.1)
+        assert coupon_tail_bound(100, 2.0) == pytest.approx(1e-4)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            coupon_tail_bound(10, -0.5)
+
+    def test_bound_holds_empirically(self):
+        # Check Pr[M >= (1+eps) N log N] <= N^{-eps} by simulation.
+        num_types, epsilon = 20, 0.5
+        draws = simulate_coupon_draws(num_types, rng=0, num_trials=2000)
+        threshold = (1 + epsilon) * num_types * np.log(num_types)
+        empirical = np.mean(draws >= threshold)
+        assert empirical <= coupon_tail_bound(num_types, epsilon) + 0.02
+
+
+class TestCoverageProbability:
+    def test_impossible_before_n_draws(self):
+        assert coverage_probability_after_draws(5, 4) == 0.0
+        assert coverage_probability_after_draws(5, 0) == 0.0
+
+    def test_single_type(self):
+        assert coverage_probability_after_draws(1, 1) == 1.0
+
+    def test_two_types_closed_form(self):
+        # P(covered after D draws) = 1 - 2 * (1/2)^D for N = 2.
+        for draws in [2, 3, 5, 10]:
+            expected = 1 - 2 * 0.5**draws
+            assert coverage_probability_after_draws(2, draws) == pytest.approx(expected)
+
+    def test_monotone_in_draws(self):
+        values = [coverage_probability_after_draws(6, d) for d in range(6, 60, 6)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_matches_simulation(self):
+        num_types, num_draws = 8, 25
+        draws = simulate_coupon_draws(num_types, rng=1, num_trials=3000)
+        empirical = np.mean(draws <= num_draws)
+        analytic = coverage_probability_after_draws(num_types, num_draws)
+        assert empirical == pytest.approx(analytic, abs=0.03)
+
+
+class TestSimulateCouponDraws:
+    def test_minimum_is_num_types(self):
+        draws = simulate_coupon_draws(7, rng=0, num_trials=200)
+        assert draws.min() >= 7
+
+    def test_mean_matches_closed_form(self):
+        num_types = 12
+        draws = simulate_coupon_draws(num_types, rng=0, num_trials=3000)
+        assert np.mean(draws) == pytest.approx(expected_coupon_draws(num_types), rel=0.05)
+
+    def test_single_type_always_one_draw(self):
+        draws = simulate_coupon_draws(1, rng=0, num_trials=10)
+        np.testing.assert_array_equal(draws, 1)
+
+    def test_max_draws_cap(self):
+        draws = simulate_coupon_draws(50, rng=0, num_trials=5, max_draws=10)
+        assert draws.max() <= 10
+
+    def test_reproducible(self):
+        a = simulate_coupon_draws(9, rng=3, num_trials=20)
+        b = simulate_coupon_draws(9, rng=3, num_trials=20)
+        np.testing.assert_array_equal(a, b)

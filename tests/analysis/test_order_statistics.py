@@ -1,0 +1,144 @@
+"""Tests for the order-statistics helpers and the run-time predictor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coupon import harmonic_number
+from repro.analysis.order_statistics import (
+    expected_kth_exponential_order_statistic,
+    expected_kth_shift_exponential_completion,
+    expected_maximum_shift_exponential_completion,
+    monte_carlo_kth_completion,
+)
+from repro.analysis.runtime_prediction import predict_iteration_time
+from repro.exceptions import ConfigurationError
+from repro.experiments.ec2 import EC2LikeConfig, ec2_like_cluster
+from repro.schemes.bcc import BCCScheme
+from repro.schemes.uncoded import UncodedScheme
+from repro.simulation.job import simulate_job
+from repro.stragglers.communication import LinearCommunicationModel
+from repro.stragglers.models import ExponentialDelay, ShiftedExponentialDelay
+
+
+class TestExponentialOrderStatistics:
+    def test_minimum_of_n(self):
+        # E[min of n Exp(1)] = 1/n.
+        assert expected_kth_exponential_order_statistic(10, 1) == pytest.approx(0.1)
+
+    def test_maximum_of_n(self):
+        # E[max of n Exp(1)] = H_n.
+        assert expected_kth_exponential_order_statistic(7, 7) == pytest.approx(
+            harmonic_number(7)
+        )
+
+    def test_partial_harmonic_identity(self):
+        n, k = 20, 5
+        expected = harmonic_number(n) - harmonic_number(n - k)
+        assert expected_kth_exponential_order_statistic(n, k) == pytest.approx(expected)
+
+    def test_rate_scaling(self):
+        assert expected_kth_exponential_order_statistic(
+            6, 3, rate=2.0
+        ) == pytest.approx(expected_kth_exponential_order_statistic(6, 3) / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_kth_exponential_order_statistic(5, 6)
+        with pytest.raises(ValueError):
+            expected_kth_exponential_order_statistic(5, 3, rate=0.0)
+
+    def test_matches_monte_carlo(self, rng):
+        n, k = 12, 4
+        samples = rng.exponential(size=(20000, n))
+        empirical = np.partition(samples, k - 1, axis=1)[:, k - 1].mean()
+        assert expected_kth_exponential_order_statistic(n, k) == pytest.approx(
+            empirical, rel=0.03
+        )
+
+
+class TestShiftExponentialCompletions:
+    def test_shift_added_to_tail(self):
+        model = ShiftedExponentialDelay(straggling=2.0, shift=0.5)
+        value = expected_kth_shift_exponential_completion(10, 3, load=4, model=model)
+        tail = expected_kth_exponential_order_statistic(10, 3, rate=2.0 / 4)
+        assert value == pytest.approx(0.5 * 4 + tail)
+
+    def test_maximum_is_kth_with_k_equals_n(self):
+        model = ShiftedExponentialDelay(straggling=1.0, shift=0.0)
+        assert expected_maximum_shift_exponential_completion(
+            8, 2, model
+        ) == pytest.approx(expected_kth_shift_exponential_completion(8, 8, 2, model))
+
+    def test_monte_carlo_agrees_with_closed_form(self):
+        model = ShiftedExponentialDelay(straggling=3.0, shift=0.2)
+        closed = expected_kth_shift_exponential_completion(15, 6, load=5, model=model)
+        sampled = monte_carlo_kth_completion(15, 6, 5, model, rng=0, num_trials=8000)
+        assert sampled == pytest.approx(closed, rel=0.05)
+
+    def test_monte_carlo_works_for_arbitrary_models(self):
+        value = monte_carlo_kth_completion(
+            10, 2, 3, ExponentialDelay(straggling=1.0), rng=1, num_trials=2000
+        )
+        assert value > 0
+
+
+class TestRuntimePrediction:
+    @pytest.fixture(scope="class")
+    def calibration(self):
+        config = EC2LikeConfig()
+        compute = ShiftedExponentialDelay(
+            straggling=config.straggling, shift=config.seconds_per_example
+        )
+        communication = LinearCommunicationModel(
+            latency=config.comm_latency,
+            seconds_per_unit=config.comm_seconds_per_unit,
+            jitter=config.comm_jitter,
+        )
+        return compute, communication
+
+    def test_unknown_scheme_rejected(self, calibration):
+        compute, communication = calibration
+        with pytest.raises(ConfigurationError):
+            predict_iteration_time("mystery", 50, 50, 10, 100, compute, communication)
+
+    def test_prediction_orders_schemes_like_the_paper(self, calibration):
+        compute, communication = calibration
+        predictions = {
+            name: predict_iteration_time(name, 50, 50, 10, 100, compute, communication)
+            for name in ("uncoded", "cyclic-repetition", "bcc")
+        }
+        assert (
+            predictions["bcc"].total_time
+            < predictions["cyclic-repetition"].total_time
+            < predictions["uncoded"].total_time
+        )
+
+    @pytest.mark.parametrize("scheme_name", ["uncoded", "bcc"])
+    def test_prediction_matches_simulator(self, calibration, scheme_name):
+        compute, communication = calibration
+        prediction = predict_iteration_time(
+            scheme_name, 50, 50, 10, 100, compute, communication
+        )
+        cluster = ec2_like_cluster(50)
+        scheme = UncodedScheme() if scheme_name == "uncoded" else BCCScheme(10)
+        job = simulate_job(
+            scheme,
+            cluster,
+            num_units=50,
+            num_iterations=60,
+            rng=0,
+            unit_size=100,
+            serialize_master_link=False,
+        )
+        simulated_per_iteration = job.total_time / job.num_iterations
+        assert prediction.total_time == pytest.approx(simulated_per_iteration, rel=0.2)
+
+    def test_randomized_prediction_scales_message_size(self, calibration):
+        compute, communication = calibration
+        bcc = predict_iteration_time("bcc", 50, 50, 10, 100, compute, communication)
+        randomized = predict_iteration_time(
+            "randomized", 50, 50, 10, 100, compute, communication
+        )
+        # The randomized scheme ships load-times larger messages, so its fixed
+        # transfer component (and overall prediction) must be larger.
+        assert randomized.total_time > bcc.total_time

@@ -1,0 +1,149 @@
+"""Tests for the per-scheme recovery-threshold / communication-load formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.coupon import harmonic_number
+from repro.analysis.thresholds import (
+    bcc_communication_load,
+    bcc_recovery_threshold,
+    cyclic_repetition_communication_load,
+    cyclic_repetition_recovery_threshold,
+    lower_bound_recovery_threshold,
+    randomized_communication_load,
+    randomized_recovery_threshold,
+    scheme_formula_registry,
+    uncoded_communication_load,
+    uncoded_recovery_threshold,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestLowerBound:
+    def test_value(self):
+        assert lower_bound_recovery_threshold(100, 10) == 10.0
+        assert lower_bound_recovery_threshold(100, 100) == 1.0
+
+    def test_load_cannot_exceed_m(self):
+        with pytest.raises(ConfigurationError):
+            lower_bound_recovery_threshold(10, 11)
+
+
+class TestBCCThreshold:
+    def test_paper_equation_2(self):
+        # K_BCC(r) = ceil(m/r) * H_ceil(m/r)
+        m, r = 100, 10
+        assert bcc_recovery_threshold(m, r) == pytest.approx(10 * harmonic_number(10))
+
+    def test_non_divisible_load_uses_ceiling(self):
+        m, r = 100, 30  # ceil(100/30) = 4 batches
+        assert bcc_recovery_threshold(m, r) == pytest.approx(4 * harmonic_number(4))
+
+    def test_full_load_gives_one(self):
+        assert bcc_recovery_threshold(50, 50) == pytest.approx(1.0)
+
+    def test_sandwich_of_theorem1(self):
+        for m in [20, 50, 100]:
+            for r in [1, 2, 5, 10, m]:
+                lower = lower_bound_recovery_threshold(m, r)
+                upper = bcc_recovery_threshold(m, r)
+                num_batches = math.ceil(m / r)
+                assert lower <= upper + 1e-12
+                assert upper <= math.ceil(lower) * harmonic_number(num_batches) + 1e-9
+
+    def test_communication_load_equals_threshold(self):
+        assert bcc_communication_load(100, 10) == bcc_recovery_threshold(100, 10)
+
+    def test_scenario_one_value_matches_observation(self):
+        # Scenario one: m = 50 batches, r = 10 -> 5 batches, K ~= 11.4; the
+        # paper observes the master waiting for ~11 workers on average.
+        assert bcc_recovery_threshold(50, 10) == pytest.approx(5 * harmonic_number(5))
+        assert 10.5 <= bcc_recovery_threshold(50, 10) <= 12.0
+
+
+class TestUncoded:
+    def test_threshold_is_n(self):
+        assert uncoded_recovery_threshold(100, 50) == 50.0
+        assert uncoded_communication_load(100, 50) == 50.0
+
+
+class TestCyclicRepetition:
+    def test_equation_7(self):
+        assert cyclic_repetition_recovery_threshold(100, 10) == 91.0
+        assert cyclic_repetition_recovery_threshold(50, 10) == 41.0
+
+    def test_equation_8(self):
+        assert cyclic_repetition_communication_load(100, 10) == 91.0
+
+    def test_full_load(self):
+        assert cyclic_repetition_recovery_threshold(20, 20) == 1.0
+
+
+class TestRandomized:
+    def test_full_load_needs_one_worker(self):
+        assert randomized_recovery_threshold(30, 30) == 1.0
+
+    def test_unit_load_is_coupon_collector(self):
+        # With r = 1 the scheme is exactly the classic coupon collector.
+        m = 25
+        assert randomized_recovery_threshold(m, 1) == pytest.approx(
+            m * harmonic_number(m), rel=1e-9
+        )
+
+    def test_exact_value_between_bounds(self):
+        m, r = 60, 6
+        exact = randomized_recovery_threshold(m, r)
+        assert exact >= m / r
+        # The (m/r) log m approximation is the right order of magnitude.
+        assert exact <= 3.0 * (m / r) * math.log(m)
+
+    def test_approximation_flag(self):
+        m, r = 100, 10
+        approx = randomized_recovery_threshold(m, r, exact=False)
+        assert approx == pytest.approx((m / r) * math.log(m))
+
+    def test_matches_monte_carlo(self):
+        m, r = 20, 4
+        exact = randomized_recovery_threshold(m, r)
+        rng = np.random.default_rng(0)
+        counts = []
+        for _ in range(2000):
+            covered = np.zeros(m, dtype=bool)
+            workers = 0
+            while not covered.all():
+                covered[rng.choice(m, size=r, replace=False)] = True
+                workers += 1
+            counts.append(workers)
+        assert np.mean(counts) == pytest.approx(exact, rel=0.05)
+
+    def test_communication_load_is_r_times_threshold(self):
+        m, r = 40, 5
+        assert randomized_communication_load(m, r) == pytest.approx(
+            r * randomized_recovery_threshold(m, r)
+        )
+
+    def test_monotone_decreasing_in_load(self):
+        m = 50
+        values = [randomized_recovery_threshold(m, r) for r in (1, 2, 5, 10, 25)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestRegistry:
+    def test_contains_all_schemes(self):
+        registry = scheme_formula_registry()
+        assert set(registry) == {
+            "lower-bound",
+            "bcc",
+            "uncoded",
+            "cyclic-repetition",
+            "randomized",
+        }
+
+    def test_entries_are_callable(self):
+        registry = scheme_formula_registry()
+        assert registry["bcc"].recovery_threshold(100, 10) == pytest.approx(
+            bcc_recovery_threshold(100, 10)
+        )
+        assert registry["cyclic-repetition"].communication_load(100, 10) == 91.0

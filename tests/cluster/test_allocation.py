@@ -1,0 +1,140 @@
+"""Tests for the heterogeneous load-allocation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.allocation import (
+    AllocationResult,
+    expected_aggregate_return,
+    load_balanced_allocation,
+    optimal_rate_per_load,
+    solve_p2_allocation,
+    uniform_allocation,
+)
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import AllocationError
+
+
+@pytest.fixture
+def heterogeneous_cluster():
+    # 6 slow workers (mu=1) and 2 fast workers (mu=10), all with shift 2.
+    stragglings = [1.0] * 6 + [10.0] * 2
+    shifts = [2.0] * 8
+    return ClusterSpec.shifted_exponential(stragglings, shifts)
+
+
+class TestAllocationResult:
+    def test_properties(self):
+        result = AllocationResult(
+            loads=np.array([2, 0, 3]), deadline=1.0, target=5, strategy="x"
+        )
+        assert result.total_load == 5
+        assert result.max_load == 3
+
+    def test_negative_loads_rejected(self):
+        with pytest.raises(AllocationError):
+            AllocationResult(
+                loads=np.array([-1, 2]), deadline=1.0, target=1, strategy="x"
+            )
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(AllocationError):
+            AllocationResult(
+                loads=np.zeros((2, 2)), deadline=1.0, target=1, strategy="x"
+            )
+
+
+class TestOptimalRate:
+    def test_faster_workers_get_higher_rates(self, heterogeneous_cluster):
+        rates, successes = optimal_rate_per_load(heterogeneous_cluster)
+        assert rates.shape == (8,)
+        assert rates[-1] > rates[0]  # mu=10 worker beats mu=1 worker
+        assert np.all((successes > 0) & (successes < 1))
+
+    def test_zero_shift_falls_back(self):
+        cluster = ClusterSpec.shifted_exponential([2.0, 2.0], [0.0, 0.0])
+        rates, successes = optimal_rate_per_load(cluster)
+        np.testing.assert_allclose(rates, 2.0)
+        np.testing.assert_allclose(successes, 1 - np.exp(-1.0))
+
+
+class TestSolveP2:
+    def test_loads_cover_target_in_expectation(self, heterogeneous_cluster):
+        allocation = solve_p2_allocation(heterogeneous_cluster, target=100)
+        assert allocation.total_load >= 100
+        expected = expected_aggregate_return(
+            heterogeneous_cluster, allocation.loads, allocation.deadline
+        )
+        # Ceil-rounding can only increase the expected return above the target.
+        assert expected >= 100 * 0.95
+
+    def test_fast_workers_assigned_more(self, heterogeneous_cluster):
+        allocation = solve_p2_allocation(heterogeneous_cluster, target=100)
+        assert allocation.loads[-1] > allocation.loads[0]
+
+    def test_max_load_cap_respected(self, heterogeneous_cluster):
+        allocation = solve_p2_allocation(heterogeneous_cluster, target=100, max_load=10)
+        assert allocation.max_load <= 10
+
+    def test_deadline_positive(self, heterogeneous_cluster):
+        allocation = solve_p2_allocation(heterogeneous_cluster, target=50)
+        assert allocation.deadline > 0
+
+    def test_better_than_naive_on_expected_threshold_time(self, heterogeneous_cluster):
+        # The P2 loads should reach the target no later (in expectation) than
+        # a uniform split of the same total load.
+        from repro.cluster.waiting_time import estimate_expected_threshold_time
+
+        target = 60
+        allocation = solve_p2_allocation(heterogeneous_cluster, target=target)
+        uniform_loads = np.full(8, int(np.ceil(allocation.total_load / 8)))
+        p2_time = estimate_expected_threshold_time(
+            heterogeneous_cluster, allocation.loads, target, rng=0, num_trials=300
+        )
+        uniform_time = estimate_expected_threshold_time(
+            heterogeneous_cluster, uniform_loads, target, rng=1, num_trials=300
+        )
+        assert p2_time <= uniform_time * 1.05
+
+    def test_invalid_target(self, heterogeneous_cluster):
+        with pytest.raises((ValueError, TypeError)):
+            solve_p2_allocation(heterogeneous_cluster, target=0)
+
+
+class TestLoadBalanced:
+    def test_loads_sum_to_dataset(self, heterogeneous_cluster):
+        allocation = load_balanced_allocation(heterogeneous_cluster, 101)
+        assert allocation.total_load == 101
+
+    def test_proportional_to_speed(self, heterogeneous_cluster):
+        allocation = load_balanced_allocation(heterogeneous_cluster, 160)
+        # Fast workers (mu=10) should get about 10x the slow workers' share.
+        assert allocation.loads[-1] >= 5 * allocation.loads[0]
+
+    def test_homogeneous_is_even(self):
+        cluster = ClusterSpec.shifted_exponential([1.0] * 4, [1.0] * 4)
+        allocation = load_balanced_allocation(cluster, 12)
+        np.testing.assert_array_equal(allocation.loads, [3, 3, 3, 3])
+
+
+class TestUniform:
+    def test_even_split_with_remainder(self, heterogeneous_cluster):
+        allocation = uniform_allocation(heterogeneous_cluster, 10)
+        assert allocation.total_load == 10
+        assert allocation.max_load - allocation.loads.min() <= 1
+
+
+class TestExpectedAggregateReturn:
+    def test_monotone_in_deadline(self, heterogeneous_cluster):
+        loads = np.full(8, 5)
+        early = expected_aggregate_return(heterogeneous_cluster, loads, 5.0)
+        late = expected_aggregate_return(heterogeneous_cluster, loads, 50.0)
+        assert late >= early
+
+    def test_zero_loads_contribute_nothing(self, heterogeneous_cluster):
+        loads = np.zeros(8, dtype=int)
+        assert expected_aggregate_return(heterogeneous_cluster, loads, 100.0) == 0.0
+
+    def test_wrong_length_rejected(self, heterogeneous_cluster):
+        with pytest.raises(AllocationError):
+            expected_aggregate_return(heterogeneous_cluster, np.ones(3, dtype=int), 1.0)

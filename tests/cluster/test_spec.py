@@ -1,0 +1,87 @@
+"""Tests for WorkerSpec / ClusterSpec."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec, WorkerSpec
+from repro.exceptions import ConfigurationError
+from repro.stragglers.communication import LinearCommunicationModel
+from repro.stragglers.models import DeterministicDelay, ShiftedExponentialDelay
+
+
+class TestWorkerSpec:
+    def test_requires_delay_model(self):
+        with pytest.raises(ConfigurationError):
+            WorkerSpec(compute="fast")
+
+    def test_holds_model(self):
+        model = DeterministicDelay(1.0)
+        assert WorkerSpec(compute=model).compute is model
+
+
+class TestClusterSpec:
+    def test_homogeneous_builder(self):
+        cluster = ClusterSpec.homogeneous(5, DeterministicDelay(1.0))
+        assert cluster.num_workers == 5
+        assert len(cluster.delay_models()) == 5
+
+    def test_requires_workers(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(workers=())
+
+    def test_rejects_non_workerspec(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(workers=(DeterministicDelay(1.0),))
+
+    def test_rejects_bad_communication(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(
+                workers=(WorkerSpec(DeterministicDelay(1.0)),), communication="fast"
+            )
+
+    def test_custom_communication_kept(self):
+        communication = LinearCommunicationModel(seconds_per_unit=0.5)
+        cluster = ClusterSpec.homogeneous(2, DeterministicDelay(1.0), communication)
+        assert cluster.communication is communication
+
+
+class TestShiftedExponentialCluster:
+    def test_parameter_arrays_roundtrip(self):
+        cluster = ClusterSpec.shifted_exponential([1.0, 2.0, 3.0], [0.1, 0.2, 0.3])
+        np.testing.assert_allclose(cluster.straggling_parameters(), [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(cluster.shift_parameters(), [0.1, 0.2, 0.3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.shifted_exponential([1.0, 2.0], [0.1])
+
+    def test_parameters_require_shift_exponential_workers(self):
+        cluster = ClusterSpec.homogeneous(2, DeterministicDelay(1.0))
+        with pytest.raises(ConfigurationError):
+            cluster.straggling_parameters()
+
+
+class TestPaperFig5Cluster:
+    def test_default_composition(self):
+        cluster = ClusterSpec.paper_fig5_cluster()
+        assert cluster.num_workers == 100
+        stragglings = cluster.straggling_parameters()
+        assert np.sum(stragglings == 1.0) == 95
+        assert np.sum(stragglings == 20.0) == 5
+        np.testing.assert_allclose(cluster.shift_parameters(), 20.0)
+
+    def test_custom_composition(self):
+        cluster = ClusterSpec.paper_fig5_cluster(num_workers=10, num_fast=2)
+        stragglings = cluster.straggling_parameters()
+        assert np.sum(stragglings == 20.0) == 2
+
+    def test_invalid_num_fast(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.paper_fig5_cluster(num_workers=5, num_fast=6)
+
+    def test_workers_are_shift_exponential(self):
+        cluster = ClusterSpec.paper_fig5_cluster(num_workers=4, num_fast=1)
+        assert all(
+            isinstance(worker.compute, ShiftedExponentialDelay)
+            for worker in cluster.workers
+        )

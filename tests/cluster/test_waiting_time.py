@@ -1,0 +1,126 @@
+"""Tests for the Monte-Carlo waiting-time estimators."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.waiting_time import (
+    estimate_coverage_time,
+    estimate_expected_threshold_time,
+    sample_completion_times,
+    sample_coverage_time,
+    sample_threshold_time,
+)
+from repro.coding.placement import heterogeneous_random_placement
+from repro.exceptions import AllocationError
+from repro.stragglers.models import DeterministicDelay, ExponentialDelay
+
+
+@pytest.fixture
+def deterministic_cluster():
+    return ClusterSpec.homogeneous(4, DeterministicDelay(seconds_per_example=1.0))
+
+
+class TestSampleCompletionTimes:
+    def test_shape_and_idle_workers(self, deterministic_cluster):
+        times = sample_completion_times(
+            deterministic_cluster, np.array([1, 0, 2, 3]), rng=0, num_trials=5
+        )
+        assert times.shape == (5, 4)
+        assert np.all(np.isinf(times[:, 1]))
+        np.testing.assert_allclose(times[:, 0], 1.0)
+        np.testing.assert_allclose(times[:, 3], 3.0)
+
+    def test_wrong_length_rejected(self, deterministic_cluster):
+        with pytest.raises(AllocationError):
+            sample_completion_times(deterministic_cluster, np.array([1, 2]), rng=0)
+
+
+class TestThresholdTime:
+    def test_deterministic_threshold(self, deterministic_cluster):
+        # Loads 1,2,3,4 finish at times 1,2,3,4; cumulative loads in time
+        # order are 1,3,6,10, so T-hat(5) = 3 and T-hat(10) = 4.
+        loads = np.array([1, 2, 3, 4])
+        times = sample_threshold_time(deterministic_cluster, loads, target=5, rng=0)
+        assert times[0] == pytest.approx(3.0)
+        times = sample_threshold_time(deterministic_cluster, loads, target=10, rng=0)
+        assert times[0] == pytest.approx(4.0)
+
+    def test_unreachable_target_is_inf(self, deterministic_cluster):
+        loads = np.array([1, 1, 1, 1])
+        times = sample_threshold_time(deterministic_cluster, loads, target=5, rng=0)
+        assert np.isinf(times[0])
+
+    def test_estimate_raises_on_unreachable(self, deterministic_cluster):
+        with pytest.raises(AllocationError):
+            estimate_expected_threshold_time(
+                deterministic_cluster, np.array([1, 1, 1, 1]), target=5, rng=0
+            )
+
+    def test_monotone_in_target(self):
+        # Lemma 1 of the paper: E[T-hat(s)] is non-decreasing in s.
+        cluster = ClusterSpec.homogeneous(10, ExponentialDelay(straggling=1.0))
+        loads = np.full(10, 3)
+        small = estimate_expected_threshold_time(
+            cluster, loads, target=5, rng=0, num_trials=400
+        )
+        large = estimate_expected_threshold_time(
+            cluster, loads, target=25, rng=0, num_trials=400
+        )
+        assert large >= small
+
+
+class TestCoverageTime:
+    def test_deterministic_disjoint_coverage(self, deterministic_cluster):
+        # Workers hold disjoint quarters of 8 examples; coverage needs all
+        # four workers, and the slowest (load 2 each -> time 2) decides.
+        assignment = [np.arange(0, 2), np.arange(2, 4), np.arange(4, 6), np.arange(6, 8)]
+        times = sample_coverage_time(
+            deterministic_cluster, 8, lambda gen: assignment, rng=0, num_trials=3
+        )
+        np.testing.assert_allclose(times, 2.0)
+
+    def test_redundant_assignment_faster_than_waiting_for_all(self):
+        cluster = ClusterSpec.homogeneous(12, ExponentialDelay(straggling=1.0))
+        num_examples = 6
+
+        def full_replication(gen):
+            return [np.arange(num_examples)] * 12
+
+        def disjoint(gen):
+            return [np.array([i % num_examples]) for i in range(12)]
+
+        replicated = estimate_coverage_time(
+            cluster, num_examples, full_replication, rng=0, num_trials=200
+        )
+        spread = estimate_coverage_time(
+            cluster, num_examples, disjoint, rng=1, num_trials=200, allow_incomplete=True
+        )
+        # Full replication completes at the fastest worker; the disjoint
+        # placement needs at least one worker per example.
+        assert replicated < spread
+
+    def test_incomplete_coverage_raises_or_is_dropped(self, deterministic_cluster):
+        assignment = [np.array([0]), np.array([0]), np.array([1]), np.array([1])]
+        with pytest.raises(AllocationError):
+            estimate_coverage_time(
+                deterministic_cluster, 3, lambda gen: assignment, rng=0, num_trials=2
+            )
+
+    def test_wrong_worker_count_rejected(self, deterministic_cluster):
+        with pytest.raises(AllocationError):
+            sample_coverage_time(
+                deterministic_cluster, 4, lambda gen: [np.array([0])], rng=0
+            )
+
+    def test_random_assignment_sampler_integration(self):
+        cluster = ClusterSpec.homogeneous(10, ExponentialDelay(straggling=1.0))
+        loads = np.full(10, 4)
+
+        def sampler(gen):
+            return heterogeneous_random_placement(8, loads, gen).assignments
+
+        value = estimate_coverage_time(
+            cluster, 8, sampler, rng=0, num_trials=100, allow_incomplete=True
+        )
+        assert value > 0

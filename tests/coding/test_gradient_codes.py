@@ -1,0 +1,147 @@
+"""Tests for the cyclic-repetition, Reed-Solomon-style and fractional-repetition codes."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.coding.cyclic_repetition import CyclicRepetitionCode
+from repro.coding.fractional import FractionalRepetitionCode
+from repro.coding.reed_solomon import ReedSolomonStyleCode
+from repro.exceptions import ConfigurationError, DecodingError
+
+
+class TestCyclicRepetitionCode:
+    def test_support_is_cyclic_window(self):
+        code = CyclicRepetitionCode(num_workers=6, num_stragglers=2, seed=0)
+        np.testing.assert_array_equal(code.support(0), [0, 1, 2])
+        np.testing.assert_array_equal(np.sort(code.support(5)), [0, 1, 5])
+        assert code.computational_load() == 3
+
+    def test_recovery_threshold(self):
+        code = CyclicRepetitionCode(num_workers=10, num_stragglers=3, seed=0)
+        assert code.recovery_threshold == 7
+
+    def test_zero_stragglers_is_identity(self):
+        code = CyclicRepetitionCode(num_workers=4, num_stragglers=0)
+        np.testing.assert_array_equal(code.encoding_matrix, np.eye(4))
+
+    def test_any_n_minus_s_subset_decodes(self):
+        n, s = 8, 2
+        code = CyclicRepetitionCode(num_workers=n, num_stragglers=s, seed=1)
+        for subset in itertools.combinations(range(n), n - s):
+            assert code.is_decodable(list(subset)), f"subset {subset} failed"
+
+    def test_fewer_than_threshold_workers_generally_insufficient(self):
+        n, s = 8, 2
+        code = CyclicRepetitionCode(num_workers=n, num_stragglers=s, seed=1)
+        # A contiguous run of n - s - 1 workers misses some partition entirely.
+        assert not code.is_decodable(list(range(n - s - 2)))
+
+    def test_decode_recovers_gradient_sum(self, rng):
+        n, s = 6, 2
+        code = CyclicRepetitionCode(num_workers=n, num_stragglers=s, seed=2)
+        partition_gradients = rng.standard_normal((n, 5))
+        total = partition_gradients.sum(axis=0)
+        surviving = [0, 2, 3, 5]  # any n - s workers
+        messages = np.vstack([code.encode(w, partition_gradients) for w in surviving])
+        np.testing.assert_allclose(code.decode(surviving, messages), total, atol=1e-8)
+
+    def test_from_load(self):
+        code = CyclicRepetitionCode.from_load(10, load=4, seed=0)
+        assert code.num_stragglers == 3
+        assert code.computational_load() == 4
+
+    def test_invalid_straggler_count(self):
+        with pytest.raises(ConfigurationError):
+            CyclicRepetitionCode(num_workers=4, num_stragglers=4)
+        with pytest.raises(ConfigurationError):
+            CyclicRepetitionCode(num_workers=4, num_stragglers=-1)
+
+    def test_reproducible_given_seed(self):
+        a = CyclicRepetitionCode(5, 2, seed=3).encoding_matrix
+        b = CyclicRepetitionCode(5, 2, seed=3).encoding_matrix
+        np.testing.assert_array_equal(a, b)
+
+
+class TestReedSolomonStyleCode:
+    def test_deterministic(self):
+        a = ReedSolomonStyleCode(7, 2).encoding_matrix
+        b = ReedSolomonStyleCode(7, 2).encoding_matrix
+        np.testing.assert_array_equal(a, b)
+
+    def test_support_and_load(self):
+        code = ReedSolomonStyleCode(7, 3)
+        assert code.computational_load() == 4
+        assert code.recovery_threshold == 4
+
+    def test_contiguous_survivor_sets_decode(self):
+        n, s = 8, 2
+        code = ReedSolomonStyleCode(n, s)
+        for start in range(n):
+            survivors = [(start + i) % n for i in range(n - s)]
+            assert code.is_decodable(survivors)
+
+    def test_decode_recovers_gradient_sum(self, rng):
+        n, s = 6, 2
+        code = ReedSolomonStyleCode(n, s)
+        partition_gradients = rng.standard_normal((n, 3))
+        total = partition_gradients.sum(axis=0)
+        survivors = list(range(1, n - 1))  # 4 contiguous workers
+        messages = np.vstack([code.encode(w, partition_gradients) for w in survivors])
+        np.testing.assert_allclose(code.decode(survivors, messages), total, atol=1e-8)
+
+    def test_zero_stragglers_identity(self):
+        np.testing.assert_array_equal(
+            ReedSolomonStyleCode(3, 0).encoding_matrix, np.eye(3)
+        )
+
+
+class TestFractionalRepetitionCode:
+    def test_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            FractionalRepetitionCode(num_workers=7, num_stragglers=1)
+
+    def test_group_structure(self):
+        code = FractionalRepetitionCode(num_workers=6, num_stragglers=2)
+        assert len(code.groups) == 3
+        assert all(len(group) == 2 for group in code.groups)
+        # Every group's supports cover all partitions disjointly.
+        for group in code.groups:
+            covered = np.concatenate([code.support(worker) for worker in group])
+            assert sorted(covered.tolist()) == list(range(6))
+
+    def test_decodable_exactly_when_a_group_is_complete(self):
+        code = FractionalRepetitionCode(num_workers=6, num_stragglers=2)
+        group = code.groups[1]
+        assert code.is_decodable(list(group))
+        assert not code.is_decodable([code.groups[0][0], code.groups[1][0]])
+
+    def test_worst_case_threshold_guarantee(self):
+        # Any n - s workers must contain a complete group (pigeonhole).
+        n, s = 6, 2
+        code = FractionalRepetitionCode(num_workers=n, num_stragglers=s)
+        for subset in itertools.combinations(range(n), n - s):
+            assert code.is_decodable(list(subset))
+
+    def test_decode_sums_one_group(self, rng):
+        code = FractionalRepetitionCode(num_workers=6, num_stragglers=2)
+        partition_gradients = rng.standard_normal((6, 4))
+        total = partition_gradients.sum(axis=0)
+        # Receive group 0 plus a worker from group 2.
+        workers = list(code.groups[0]) + [code.groups[2][0]]
+        messages = np.vstack([code.encode(w, partition_gradients) for w in workers])
+        np.testing.assert_allclose(code.decode(workers, messages), total, atol=1e-10)
+
+    def test_decoding_without_complete_group_raises(self):
+        code = FractionalRepetitionCode(num_workers=4, num_stragglers=1)
+        with pytest.raises(DecodingError):
+            code.decoding_vector([code.groups[0][0], code.groups[1][0]])
+
+    def test_opportunistic_early_decode(self):
+        # With 4 groups of 2 workers, hearing both members of one group (2
+        # workers) decodes even though the worst-case threshold is n - s = 6.
+        code = FractionalRepetitionCode(num_workers=8, num_stragglers=3)
+        group = code.groups[0]
+        assert len(group) == 2
+        assert code.is_decodable(list(group))

@@ -1,0 +1,97 @@
+"""Tests for the generic LinearGradientCode."""
+
+import numpy as np
+import pytest
+
+from repro.coding.linear_code import LinearGradientCode
+from repro.exceptions import DecodingError
+
+
+@pytest.fixture
+def simple_code():
+    # 3 workers, 2 partitions: B = [[1, 0], [0, 1], [1, 1]].
+    return LinearGradientCode(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]), name="demo")
+
+
+class TestConstruction:
+    def test_shape_properties(self, simple_code):
+        assert simple_code.num_workers == 3
+        assert simple_code.num_partitions == 2
+        assert simple_code.computational_load() == 2
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(DecodingError):
+            LinearGradientCode(np.array([[np.nan, 1.0]]))
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            LinearGradientCode(np.eye(2), decoding_tolerance=0.0)
+
+    def test_support(self, simple_code):
+        np.testing.assert_array_equal(simple_code.support(0), [0])
+        np.testing.assert_array_equal(simple_code.support(2), [0, 1])
+
+    def test_to_assignment(self, simple_code):
+        assignment = simple_code.to_assignment()
+        assert assignment.num_workers == 3
+        assert assignment.loads.tolist() == [1, 1, 2]
+
+
+class TestEncodeDecode:
+    @pytest.fixture
+    def partition_gradients(self, rng):
+        return rng.standard_normal((2, 4))
+
+    def test_encode_uses_only_support(self, simple_code, partition_gradients):
+        message = simple_code.encode(0, partition_gradients)
+        np.testing.assert_allclose(message, partition_gradients[0])
+        combined = simple_code.encode(2, partition_gradients)
+        np.testing.assert_allclose(combined, partition_gradients.sum(axis=0))
+
+    def test_encode_shape_check(self, simple_code):
+        with pytest.raises(DecodingError):
+            simple_code.encode(0, np.zeros((3, 4)))
+
+    def test_decodable_subsets(self, simple_code):
+        assert simple_code.is_decodable([0, 1])
+        assert simple_code.is_decodable([2])
+        assert simple_code.is_decodable([0, 1, 2])
+        assert not simple_code.is_decodable([0])
+        assert not simple_code.is_decodable([1])
+
+    def test_decode_recovers_total(self, simple_code, partition_gradients):
+        total = partition_gradients.sum(axis=0)
+        for workers in ([0, 1], [2], [1, 2]):
+            messages = np.vstack(
+                [simple_code.encode(w, partition_gradients) for w in workers]
+            )
+            np.testing.assert_allclose(
+                simple_code.decode(workers, messages), total, atol=1e-10
+            )
+
+    def test_decode_requires_matching_shapes(self, simple_code):
+        with pytest.raises(DecodingError):
+            simple_code.decode([0, 1], np.zeros((3, 4)))
+
+    def test_decoding_vector_residual_check(self, simple_code):
+        with pytest.raises(DecodingError):
+            simple_code.decoding_vector([0])
+
+    def test_duplicate_workers_rejected(self, simple_code):
+        with pytest.raises(DecodingError):
+            simple_code.decoding_vector([0, 0])
+
+    def test_worker_index_bounds(self, simple_code):
+        with pytest.raises(DecodingError):
+            simple_code.support(5)
+        with pytest.raises(DecodingError):
+            simple_code.decoding_vector([0, 7])
+
+    def test_minimum_decodable_size(self, simple_code):
+        assert simple_code.minimum_decodable_size() == 1  # worker 2 alone decodes
+
+    def test_identity_code_needs_all_workers(self):
+        code = LinearGradientCode(np.eye(4))
+        assert not code.is_decodable([0, 1, 2])
+        assert code.is_decodable([0, 1, 2, 3])
+        assert code.minimum_decodable_size() == 4

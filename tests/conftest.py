@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import (
+    LogisticDataConfig,
+    make_linear_regression_data,
+    make_paper_logistic_data,
+)
+from repro.gradients.logistic import LogisticLoss
+from repro.stragglers.communication import LinearCommunicationModel
+from repro.stragglers.models import ExponentialDelay, ShiftedExponentialDelay
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator shared by tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_logistic_dataset() -> tuple[Dataset, np.ndarray]:
+    """A small instance of the paper's synthetic logistic dataset."""
+    config = LogisticDataConfig(num_examples=60, num_features=12)
+    return make_paper_logistic_data(config, seed=7)
+
+
+@pytest.fixture
+def small_regression_dataset() -> tuple[Dataset, np.ndarray]:
+    """A small linear-regression dataset with known ground truth."""
+    return make_linear_regression_data(40, 6, noise_std=0.05, seed=11)
+
+
+@pytest.fixture
+def logistic_model() -> LogisticLoss:
+    return LogisticLoss()
+
+
+@pytest.fixture
+def homogeneous_cluster() -> ClusterSpec:
+    """A 12-worker homogeneous cluster with mild straggling and cheap comm."""
+    return ClusterSpec.homogeneous(
+        12,
+        ShiftedExponentialDelay(straggling=10.0, shift=0.01),
+        LinearCommunicationModel(latency=0.001, seconds_per_unit=0.01, jitter=0.005),
+    )
+
+
+@pytest.fixture
+def exponential_cluster() -> ClusterSpec:
+    """A 20-worker cluster with unit-rate exponential compute times, free comm."""
+    return ClusterSpec.homogeneous(20, ExponentialDelay(straggling=1.0))

@@ -1,0 +1,68 @@
+"""Tests for repro.datasets.base.Dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DataError
+
+
+class TestConstruction:
+    def test_shapes_and_lengths(self):
+        dataset = Dataset(np.zeros((5, 3)), np.zeros(5))
+        assert dataset.num_examples == 5
+        assert dataset.num_features == 3
+        assert len(dataset) == 5
+
+    def test_from_arrays_coerces(self):
+        dataset = Dataset.from_arrays([[1, 2], [3, 4]], [0, 1], name="tiny")
+        assert dataset.features.dtype == float
+        assert dataset.name == "tiny"
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros(5), np.zeros(5))
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((5, 2)), np.zeros((5, 1)))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((0, 2)), np.zeros(0))
+
+    def test_describe_mentions_shape(self):
+        description = Dataset(np.zeros((5, 3)), np.zeros(5), name="d").describe()
+        assert "m=5" in description and "p=3" in description
+
+
+class TestSubsetting:
+    @pytest.fixture
+    def dataset(self):
+        features = np.arange(20, dtype=float).reshape(10, 2)
+        labels = np.arange(10, dtype=float)
+        return Dataset(features, labels)
+
+    def test_subset_preserves_order(self, dataset):
+        subset = dataset.subset([3, 1, 7])
+        np.testing.assert_array_equal(subset.labels, [3.0, 1.0, 7.0])
+        np.testing.assert_array_equal(subset.features[0], dataset.features[3])
+
+    def test_subset_out_of_range(self, dataset):
+        with pytest.raises(DataError):
+            dataset.subset([0, 10])
+        with pytest.raises(DataError):
+            dataset.subset([-1])
+
+    def test_subset_empty(self, dataset):
+        with pytest.raises(DataError):
+            dataset.subset([])
+
+    def test_rows_returns_views_of_values(self, dataset):
+        features, labels = dataset.rows([2, 4])
+        np.testing.assert_array_equal(labels, [2.0, 4.0])
+        assert features.shape == (2, 2)

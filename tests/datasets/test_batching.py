@@ -1,0 +1,109 @@
+"""Tests for repro.datasets.batching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.batching import (
+    BatchSpec,
+    batch_of_example,
+    contiguous_partition,
+    make_batches,
+)
+from repro.exceptions import DataError
+
+
+class TestMakeBatches:
+    def test_exact_division(self):
+        spec = make_batches(20, 5)
+        assert spec.num_batches == 4
+        assert all(size == 5 for size in spec.batch_sizes)
+
+    def test_remainder_goes_to_last_batch(self):
+        spec = make_batches(22, 5)
+        assert spec.num_batches == 5
+        assert spec.batch_sizes.tolist() == [5, 5, 5, 5, 2]
+
+    def test_single_batch(self):
+        spec = make_batches(7, 7)
+        assert spec.num_batches == 1
+
+    def test_batch_size_one(self):
+        spec = make_batches(5, 1)
+        assert spec.num_batches == 5
+        assert spec.max_batch_size == 1
+
+    def test_batch_size_larger_than_m_rejected(self):
+        with pytest.raises(DataError):
+            make_batches(5, 6)
+
+    def test_batches_are_disjoint_and_cover(self):
+        spec = make_batches(17, 4)
+        all_indices = np.concatenate(spec.batches)
+        assert sorted(all_indices.tolist()) == list(range(17))
+
+
+class TestContiguousPartition:
+    def test_equal_parts(self):
+        spec = contiguous_partition(10, 5)
+        assert spec.num_batches == 5
+        assert all(size == 2 for size in spec.batch_sizes)
+
+    def test_unequal_parts_differ_by_at_most_one(self):
+        spec = contiguous_partition(10, 3)
+        sizes = spec.batch_sizes
+        assert sizes.sum() == 10
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_more_parts_than_examples_rejected(self):
+        with pytest.raises(DataError):
+            contiguous_partition(3, 4)
+
+
+class TestBatchSpecValidation:
+    def test_overlapping_batches_rejected(self):
+        with pytest.raises(DataError):
+            BatchSpec(num_examples=4, batches=(np.array([0, 1]), np.array([1, 2, 3])))
+
+    def test_missing_example_rejected(self):
+        with pytest.raises(DataError):
+            BatchSpec(num_examples=4, batches=(np.array([0, 1]), np.array([2])))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DataError):
+            BatchSpec(num_examples=3, batches=(np.array([0, 1, 3]),))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(DataError):
+            BatchSpec(num_examples=2, batches=(np.array([0, 1]), np.array([])))
+
+    def test_no_batches_rejected(self):
+        with pytest.raises(DataError):
+            BatchSpec(num_examples=2, batches=())
+
+
+class TestBatchSpecQueries:
+    @pytest.fixture
+    def spec(self):
+        return make_batches(10, 3)
+
+    def test_batch_indices(self, spec):
+        np.testing.assert_array_equal(spec.batch_indices(0), [0, 1, 2])
+        np.testing.assert_array_equal(spec.batch_indices(3), [9])
+
+    def test_batch_indices_out_of_range(self, spec):
+        with pytest.raises(DataError):
+            spec.batch_indices(4)
+
+    def test_membership_roundtrip(self, spec):
+        member = spec.membership()
+        for batch_id, indices in enumerate(spec.batches):
+            assert all(member[j] == batch_id for j in indices)
+
+    def test_batch_of_example(self, spec):
+        assert batch_of_example(spec, 0) == 0
+        assert batch_of_example(spec, 9) == 3
+        with pytest.raises(DataError):
+            batch_of_example(spec, 10)
+
+    def test_max_batch_size(self, spec):
+        assert spec.max_batch_size == 3

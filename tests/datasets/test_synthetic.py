@@ -1,0 +1,103 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    LogisticDataConfig,
+    make_linear_regression_data,
+    make_paper_logistic_data,
+    make_separable_classification_data,
+)
+
+
+class TestLogisticDataConfig:
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises((ValueError, TypeError)):
+            LogisticDataConfig(num_examples=0, num_features=5)
+        with pytest.raises((ValueError, TypeError)):
+            LogisticDataConfig(num_examples=5, num_features=0)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            LogisticDataConfig(num_examples=5, num_features=5, mean_scale=-1.0)
+
+
+class TestPaperLogisticData:
+    @pytest.fixture
+    def data(self):
+        config = LogisticDataConfig(num_examples=200, num_features=20)
+        return make_paper_logistic_data(config, seed=0)
+
+    def test_shapes(self, data):
+        dataset, true_w = data
+        assert dataset.features.shape == (200, 20)
+        assert dataset.labels.shape == (200,)
+        assert true_w.shape == (20,)
+
+    def test_true_weights_are_plus_minus_one(self, data):
+        _, true_w = data
+        assert set(np.unique(true_w)).issubset({-1.0, 1.0})
+
+    def test_labels_are_plus_minus_one(self, data):
+        dataset, _ = data
+        assert set(np.unique(dataset.labels)).issubset({-1.0, 1.0})
+
+    def test_both_classes_present(self, data):
+        dataset, _ = data
+        assert (dataset.labels == 1.0).any()
+        assert (dataset.labels == -1.0).any()
+
+    def test_reproducible(self):
+        config = LogisticDataConfig(num_examples=50, num_features=8)
+        d1, w1 = make_paper_logistic_data(config, seed=3)
+        d2, w2 = make_paper_logistic_data(config, seed=3)
+        np.testing.assert_array_equal(d1.features, d2.features)
+        np.testing.assert_array_equal(d1.labels, d2.labels)
+        np.testing.assert_array_equal(w1, w2)
+
+    def test_seed_changes_data(self):
+        config = LogisticDataConfig(num_examples=50, num_features=8)
+        d1, _ = make_paper_logistic_data(config, seed=3)
+        d2, _ = make_paper_logistic_data(config, seed=4)
+        assert not np.array_equal(d1.features, d2.features)
+
+    def test_labels_correlate_with_model(self):
+        # With the paper's label rule y ~ Ber(1/(1+exp(x.w*))), a positive
+        # margin x.w* makes y = +1 *less* likely, so the empirical correlation
+        # between the margin sign and the label should be negative.
+        config = LogisticDataConfig(num_examples=4000, num_features=10, mean_scale=5.0)
+        dataset, true_w = make_paper_logistic_data(config, seed=1)
+        margins = dataset.features @ true_w
+        agreement = np.mean(np.sign(margins) == dataset.labels)
+        assert agreement < 0.5
+
+
+class TestLinearRegressionData:
+    def test_shapes_and_noise(self):
+        dataset, true_w = make_linear_regression_data(100, 5, noise_std=0.0, seed=0)
+        np.testing.assert_allclose(dataset.features @ true_w, dataset.labels)
+
+    def test_noise_added(self):
+        dataset, true_w = make_linear_regression_data(100, 5, noise_std=1.0, seed=0)
+        residual = dataset.labels - dataset.features @ true_w
+        assert np.std(residual) > 0.5
+
+    def test_invalid_sizes(self):
+        with pytest.raises((ValueError, TypeError)):
+            make_linear_regression_data(0, 5)
+        with pytest.raises(ValueError):
+            make_linear_regression_data(5, 5, noise_std=-1.0)
+
+
+class TestSeparableData:
+    def test_margin_is_respected(self):
+        dataset, direction = make_separable_classification_data(
+            200, 10, margin=1.5, seed=0
+        )
+        margins = dataset.labels * (dataset.features @ direction)
+        assert margins.min() > 1.0
+
+    def test_labels_binary(self):
+        dataset, _ = make_separable_classification_data(50, 4, seed=1)
+        assert set(np.unique(dataset.labels)).issubset({-1.0, 1.0})

@@ -1,0 +1,101 @@
+"""Tests for the ablation sweeps — qualitative shapes only."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.ablations import (
+    allocation_strategy_comparison,
+    communication_ratio_sweep,
+    delay_model_comparison,
+    load_sweep,
+    straggler_intensity_sweep,
+)
+
+
+class TestLoadSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return load_sweep(loads=(5, 10, 25), num_iterations=10, rng=0)
+
+    def test_one_row_per_load(self, rows):
+        assert [row["load"] for row in rows] == [5.0, 10.0, 25.0]
+
+    def test_recovery_threshold_decreases_with_load(self, rows):
+        thresholds = [row["recovery_threshold"] for row in rows]
+        assert thresholds[0] > thresholds[1] > thresholds[2]
+
+    def test_times_are_positive_and_consistent(self, rows):
+        for row in rows:
+            assert row["total_time"] > 0
+            assert row["total_time"] >= row["computation_time"]
+
+
+class TestStragglerIntensitySweep:
+    def test_speedup_grows_with_network_straggling(self):
+        rows = straggler_intensity_sweep(
+            jitters=(0.005, 0.2), num_iterations=12, rng=0
+        )
+        assert rows[0]["speedup"] > 0
+        assert rows[1]["speedup"] >= rows[0]["speedup"] - 0.02
+
+    def test_bcc_always_faster_than_uncoded(self):
+        rows = straggler_intensity_sweep(jitters=(0.06,), num_iterations=12, rng=1)
+        assert rows[0]["bcc_total_time"] < rows[0]["uncoded_total_time"]
+
+
+class TestDelayModelComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return delay_model_comparison(num_iterations=10, rng=0)
+
+    def test_covers_three_delay_families(self, rows):
+        assert {row["delay_model"] for row in rows} == {
+            "shift-exponential",
+            "pareto",
+            "bimodal",
+        }
+
+    def test_bcc_wins_under_every_delay_model(self, rows):
+        # The universality claim: BCC needs no knowledge of the distribution.
+        for row in rows:
+            assert row["bcc_total_time"] < row["uncoded_total_time"]
+            assert row["bcc_total_time"] < row["cyclic_total_time"]
+
+
+class TestCommunicationRatioSweep:
+    def test_bcc_advantage_grows_with_comm_cost(self):
+        rows = communication_ratio_sweep(
+            comm_costs=(1e-3, 1e-1), num_iterations=8, rng=0
+        )
+        ratios = [row["randomized_total_time"] / row["bcc_total_time"] for row in rows]
+        assert ratios[-1] > ratios[0]
+
+    def test_randomized_ships_r_times_more_data(self):
+        rows = communication_ratio_sweep(comm_costs=(1e-2,), num_iterations=8, rng=1)
+        row = rows[0]
+        assert (
+            row["randomized_communication_load"] > 3.0 * row["bcc_communication_load"]
+        )
+
+
+class TestAllocationComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        cluster = ClusterSpec.paper_fig5_cluster(num_workers=20, num_fast=2)
+        return allocation_strategy_comparison(
+            num_examples=80, cluster=cluster, num_trials=60, rng=0
+        )
+
+    def test_three_strategies(self, rows):
+        assert {row["strategy"] for row in rows} == {
+            "load-balanced",
+            "uniform",
+            "p2-random",
+        }
+
+    def test_p2_random_beats_load_balanced(self, rows):
+        # This is the paper's Fig. 5 claim. (The uniform row is informational:
+        # with a dominant deterministic shift it can beat both — see the
+        # ablation's docstring.)
+        times = {row["strategy"]: row["average_time"] for row in rows}
+        assert times["p2-random"] < times["load-balanced"]

@@ -1,0 +1,60 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.experiment == "fig2"
+        assert args.examples == 100
+        assert args.workers == 100
+        assert args.seed == 0
+
+    def test_global_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "fig5"])
+        assert args.seed == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestMain:
+    def test_fig2_prints_table(self, capsys):
+        code = main(["fig2", "--examples", "20", "--workers", "20", "--trials", "0"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 2" in captured
+        assert "bcc" in captured
+
+    def test_table1_scaled_down(self, capsys):
+        code = main(["table1", "--iterations", "5"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "scenario-one" in captured
+        assert "BCC speed-up vs uncoded" in captured
+
+    def test_fig5_scaled_down(self, capsys):
+        code = main(["fig5", "--examples", "60", "--trials", "20"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "generalized BCC" in captured
+
+    def test_theorem1(self, capsys):
+        code = main(["theorem1", "--examples", "40", "--trials", "100"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 1" in captured
+
+    def test_theorem2(self, capsys):
+        code = main(["theorem2", "--examples", "40", "--trials", "40", "--workers", "20"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 2" in captured

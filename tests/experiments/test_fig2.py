@@ -1,0 +1,56 @@
+"""Tests for the Fig. 2 experiment driver."""
+
+import pytest
+
+from repro.analysis.coupon import harmonic_number
+from repro.experiments.fig2 import run_fig2
+
+
+class TestRunFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # A scaled-down instance keeps the Monte-Carlo cheap while preserving
+        # the qualitative ordering of the curves.
+        return run_fig2(
+            num_examples=40, num_workers=40, loads=[4, 8, 20], monte_carlo_trials=20, rng=0
+        )
+
+    def test_curves_present(self, result):
+        assert set(result.curves) == {
+            "lower-bound",
+            "bcc",
+            "randomized",
+            "cyclic-repetition",
+        }
+        assert set(result.simulated) == {"bcc", "randomized"}
+        assert result.loads == [4, 8, 20]
+
+    def test_analytic_bcc_values(self, result):
+        # r = 8 -> 5 batches -> K = 5 * H_5.
+        index = result.loads.index(8)
+        assert result.curves["bcc"][index] == pytest.approx(5 * harmonic_number(5))
+
+    def test_paper_ordering_holds(self, result):
+        for index in range(len(result.loads)):
+            lower = result.curves["lower-bound"][index]
+            bcc = result.curves["bcc"][index]
+            cyclic = result.curves["cyclic-repetition"][index]
+            randomized = result.curves["randomized"][index]
+            assert lower <= bcc + 1e-9
+            assert bcc <= randomized + 1e-9
+            assert bcc <= cyclic + 1e-9
+
+    def test_simulation_tracks_closed_form(self, result):
+        for index in range(len(result.loads)):
+            closed_form = result.curves["bcc"][index]
+            simulated = result.simulated["bcc"][index]
+            assert simulated == pytest.approx(closed_form, rel=0.35)
+
+    def test_render_is_table(self, result):
+        text = result.render()
+        assert "Fig. 2" in text
+        assert "bcc" in text and "randomized" in text
+
+    def test_simulation_can_be_skipped(self):
+        result = run_fig2(num_examples=20, num_workers=20, loads=[5], monte_carlo_trials=0)
+        assert result.simulated == {}

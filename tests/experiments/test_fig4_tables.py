@@ -1,0 +1,115 @@
+"""Tests for the Fig. 4 / Tables I-II scenario driver.
+
+The tests run scaled-down iteration counts; the qualitative claims (who wins,
+ordering of recovery thresholds, communication dominating) are exactly the
+paper's and must hold even with modest Monte-Carlo sizes.
+"""
+
+import pytest
+
+from repro.experiments.fig4 import ScenarioConfig, default_schemes, run_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario_one_result():
+    return run_scenario(ScenarioConfig.scenario_one(), rng=0, num_iterations=25)
+
+
+@pytest.fixture(scope="module")
+def scenario_two_result():
+    return run_scenario(ScenarioConfig.scenario_two(), rng=1, num_iterations=15)
+
+
+class TestScenarioConfig:
+    def test_paper_defaults(self):
+        one = ScenarioConfig.scenario_one()
+        two = ScenarioConfig.scenario_two()
+        assert (one.num_workers, one.num_batches) == (50, 50)
+        assert (two.num_workers, two.num_batches) == (100, 100)
+        assert one.load == 10 and one.points_per_batch == 100
+        assert one.num_examples == 5000
+
+    def test_default_schemes(self):
+        schemes = default_schemes(ScenarioConfig.scenario_one())
+        assert set(schemes) == {"uncoded", "cyclic-repetition", "bcc"}
+
+    def test_validation(self):
+        with pytest.raises((ValueError, TypeError)):
+            ScenarioConfig(num_workers=0)
+
+
+class TestScenarioOne:
+    def test_recovery_threshold_ordering(self, scenario_one_result):
+        rows = {name: scenario_one_result.row(name) for name in scenario_one_result.jobs}
+        assert rows["uncoded"]["recovery_threshold"] == pytest.approx(50.0)
+        assert rows["cyclic-repetition"]["recovery_threshold"] == pytest.approx(41.0)
+        # BCC waits for ~11 workers on average (5 batches, 5 * H_5 ~ 11.4).
+        assert 9.0 <= rows["bcc"]["recovery_threshold"] <= 14.0
+
+    def test_bcc_is_fastest(self, scenario_one_result):
+        rows = {name: scenario_one_result.row(name) for name in scenario_one_result.jobs}
+        assert rows["bcc"]["total_time"] < rows["cyclic-repetition"]["total_time"]
+        assert rows["cyclic-repetition"]["total_time"] < rows["uncoded"]["total_time"]
+
+    def test_speedups_have_paper_magnitude(self, scenario_one_result):
+        # Paper: 85.4 % over uncoded, 69.9 % over cyclic repetition. Allow a
+        # generous band — the shape, not the exact percentage, is the claim.
+        over_uncoded = scenario_one_result.speedup_over("bcc", "uncoded")
+        over_cyclic = scenario_one_result.speedup_over("bcc", "cyclic-repetition")
+        assert 0.6 <= over_uncoded <= 0.97
+        assert 0.4 <= over_cyclic <= 0.92
+
+    def test_communication_dominates_computation(self, scenario_one_result):
+        for name in scenario_one_result.jobs:
+            row = scenario_one_result.row(name)
+            assert row["communication_time"] > row["computation_time"]
+
+    def test_cyclic_computation_exceeds_bcc(self, scenario_one_result):
+        # Table I: CR computes longer than BCC because it waits for the 41st
+        # fastest worker rather than the ~11th.
+        rows = {name: scenario_one_result.row(name) for name in scenario_one_result.jobs}
+        assert (
+            rows["cyclic-repetition"]["computation_time"] > rows["bcc"]["computation_time"]
+        )
+
+    def test_render(self, scenario_one_result):
+        text = scenario_one_result.render()
+        assert "scenario-one" in text
+        assert "recovery threshold" in text
+
+
+class TestScenarioTwo:
+    def test_recovery_thresholds(self, scenario_two_result):
+        rows = {name: scenario_two_result.row(name) for name in scenario_two_result.jobs}
+        assert rows["uncoded"]["recovery_threshold"] == pytest.approx(100.0)
+        assert rows["cyclic-repetition"]["recovery_threshold"] == pytest.approx(91.0)
+        # 10 batches -> K = 10 * H_10 ~ 29.3 (paper observes ~25).
+        assert 22.0 <= rows["bcc"]["recovery_threshold"] <= 34.0
+
+    def test_bcc_still_fastest_and_gains_shrink(
+        self, scenario_one_result, scenario_two_result
+    ):
+        assert scenario_two_result.speedup_over("bcc", "uncoded") > 0.5
+        # The paper notes the gain over uncoded shrinks from scenario one to
+        # two (85.4 % -> 73.0 %) because r cannot be raised further.
+        assert (
+            scenario_two_result.speedup_over("bcc", "uncoded")
+            <= scenario_one_result.speedup_over("bcc", "uncoded") + 0.05
+        )
+
+
+class TestSemanticMode:
+    def test_semantic_run_trains_model(self):
+        config = ScenarioConfig(
+            name="tiny",
+            num_workers=10,
+            num_batches=10,
+            points_per_batch=20,
+            load=2,
+            num_iterations=5,
+            num_features=30,
+        )
+        result = run_scenario(config, rng=3, semantic=True)
+        for job in result.jobs.values():
+            assert job.training is not None
+            assert job.training.losses[-1] <= job.training.losses[0] + 1e-9

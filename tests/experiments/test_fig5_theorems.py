@@ -1,0 +1,75 @@
+"""Tests for the Fig. 5 driver and the Theorem 1 / 2 validation drivers."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.theorems import (
+    run_theorem1_validation,
+    run_theorem2_validation,
+)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Scaled-down cluster (30 workers, m = 150) keeps the Monte-Carlo fast
+        # while preserving the 95 % slow / 5 % fast composition.
+        cluster = ClusterSpec.paper_fig5_cluster(num_workers=30, num_fast=2)
+        return run_fig5(num_examples=150, cluster=cluster, num_trials=80, rng=0)
+
+    def test_generalized_bcc_beats_lb(self, result):
+        assert result.bcc_average_time < result.lb_average_time
+
+    def test_reduction_magnitude(self, result):
+        # The paper reports 29.28 %; accept a broad band around it.
+        assert 0.10 <= result.reduction <= 0.60
+
+    def test_lb_uses_no_redundancy(self, result):
+        assert result.lb_loads_total == 150
+        assert result.bcc_loads_total > result.lb_loads_total
+
+    def test_render(self, result):
+        text = result.render()
+        assert "LB" in text and "generalized BCC" in text
+
+    def test_paper_configuration_runs(self):
+        result = run_fig5(num_examples=500, num_trials=20, rng=1)
+        assert result.num_workers == 100
+        assert result.bcc_average_time < result.lb_average_time
+
+
+class TestTheorem1Validation:
+    @pytest.fixture(scope="class")
+    def validation(self):
+        return run_theorem1_validation(
+            num_examples=60, loads=[6, 12, 30], num_trials=400, rng=0
+        )
+
+    def test_simulation_matches_closed_form(self, validation):
+        assert validation.max_relative_error() < 0.1
+
+    def test_sandwich_holds(self, validation):
+        for lower, simulated in zip(validation.lower_bounds, validation.simulated):
+            assert simulated >= lower - 1e-9
+
+    def test_render(self, validation):
+        assert "Theorem 1" in validation.render()
+
+
+class TestTheorem2Validation:
+    @pytest.fixture(scope="class")
+    def validation(self):
+        cluster = ClusterSpec.paper_fig5_cluster(num_workers=25, num_fast=2, shift=5.0)
+        return run_theorem2_validation(
+            num_examples=60, cluster=cluster, num_trials=120, rng=0
+        )
+
+    def test_bounds_order(self, validation):
+        assert validation.bounds.lower <= validation.bounds.upper
+
+    def test_measured_time_within_bounds(self, validation):
+        assert validation.within_bounds, validation.render()
+
+    def test_render(self, validation):
+        assert "Theorem 2" in validation.render()

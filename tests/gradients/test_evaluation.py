@@ -1,0 +1,80 @@
+"""Tests for repro.gradients.evaluation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.gradients.evaluation import (
+    classification_error,
+    empirical_risk,
+    full_gradient,
+    per_example_gradients,
+    summed_partial_gradient,
+)
+from repro.gradients.least_squares import LeastSquaresLoss
+from repro.gradients.logistic import LogisticLoss
+
+
+@pytest.fixture
+def dataset(rng):
+    features = rng.standard_normal((20, 4))
+    labels = rng.choice([-1.0, 1.0], size=20)
+    return Dataset(features, labels)
+
+
+class TestEvaluationHelpers:
+    def test_full_gradient_matches_model(self, dataset, rng):
+        model = LogisticLoss()
+        weights = rng.standard_normal(4)
+        expected = model.gradient(weights, dataset.features, dataset.labels)
+        np.testing.assert_allclose(full_gradient(model, dataset, weights), expected)
+
+    def test_summed_partial_gradient_over_subset(self, dataset, rng):
+        model = LogisticLoss()
+        weights = rng.standard_normal(4)
+        indices = [0, 3, 7]
+        expected = model.per_example_gradients(
+            weights, dataset.features[indices], dataset.labels[indices]
+        ).sum(axis=0)
+        np.testing.assert_allclose(
+            summed_partial_gradient(model, dataset, weights, indices), expected
+        )
+
+    def test_partial_gradients_compose_to_full_gradient(self, dataset, rng):
+        # The defining identity of distributed GD: summing the partial
+        # gradients over a partition of the examples recovers m * gradient.
+        model = LogisticLoss()
+        weights = rng.standard_normal(4)
+        parts = [range(0, 7), range(7, 15), range(15, 20)]
+        total = sum(
+            summed_partial_gradient(model, dataset, weights, list(part)) for part in parts
+        )
+        np.testing.assert_allclose(
+            total / dataset.num_examples, full_gradient(model, dataset, weights)
+        )
+
+    def test_per_example_gradients_shape(self, dataset, rng):
+        model = LogisticLoss()
+        weights = rng.standard_normal(4)
+        assert per_example_gradients(model, dataset, weights).shape == (20, 4)
+        assert per_example_gradients(model, dataset, weights, [1, 2]).shape == (2, 4)
+
+    def test_empirical_risk(self, dataset):
+        model = LogisticLoss()
+        assert empirical_risk(model, dataset, np.zeros(4)) == pytest.approx(np.log(2))
+
+    def test_classification_error_perfect_and_random(self, rng):
+        model = LogisticLoss()
+        features = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        labels = np.array([1.0, -1.0])
+        dataset = Dataset(features, labels)
+        assert classification_error(model, dataset, np.array([1.0, 0.0])) == 0.0
+        assert classification_error(model, dataset, np.array([-1.0, 0.0])) == 1.0
+
+    def test_classification_error_requires_predict(self, dataset):
+        class NoPredict(LeastSquaresLoss):
+            def predict(self, weights, features):
+                return None
+
+        with pytest.raises(ValueError):
+            classification_error(NoPredict(), dataset, np.zeros(4))

@@ -1,0 +1,81 @@
+"""Tests for the least-squares and ridge losses."""
+
+import numpy as np
+import pytest
+
+from repro.gradients.least_squares import LeastSquaresLoss, RidgeLoss
+
+
+class TestLeastSquares:
+    def test_zero_residual_zero_loss(self):
+        model = LeastSquaresLoss()
+        features = np.array([[1.0, 2.0], [3.0, 4.0]])
+        weights = np.array([1.0, -1.0])
+        labels = features @ weights
+        assert model.loss(weights, features, labels) == pytest.approx(0.0)
+        np.testing.assert_allclose(
+            model.gradient(weights, features, labels), np.zeros(2), atol=1e-12
+        )
+
+    def test_gradient_formula(self):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((6, 3))
+        labels = rng.standard_normal(6)
+        weights = rng.standard_normal(3)
+        expected = features.T @ (features @ weights - labels)
+        np.testing.assert_allclose(
+            LeastSquaresLoss().gradient_sum(weights, features, labels), expected
+        )
+
+    def test_exact_solution_minimises_gradient(self):
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((20, 4))
+        labels = rng.standard_normal(20)
+        model = LeastSquaresLoss()
+        solution = model.exact_solution(features, labels)
+        gradient = model.gradient(solution, features, labels)
+        np.testing.assert_allclose(gradient, np.zeros(4), atol=1e-8)
+
+    def test_predict_is_linear(self):
+        model = LeastSquaresLoss()
+        weights = np.array([2.0, -1.0])
+        features = np.array([[1.0, 1.0]])
+        assert model.predict(weights, features)[0] == pytest.approx(1.0)
+
+
+class TestRidge:
+    def test_reduces_to_least_squares_when_l2_zero(self):
+        rng = np.random.default_rng(2)
+        features = rng.standard_normal((5, 3))
+        labels = rng.standard_normal(5)
+        weights = rng.standard_normal(3)
+        np.testing.assert_allclose(
+            RidgeLoss(l2=0.0).gradient_sum(weights, features, labels),
+            LeastSquaresLoss().gradient_sum(weights, features, labels),
+        )
+
+    def test_exact_solution_has_zero_gradient(self):
+        rng = np.random.default_rng(3)
+        features = rng.standard_normal((30, 5))
+        labels = rng.standard_normal(30)
+        model = RidgeLoss(l2=0.1)
+        solution = model.exact_solution(features, labels)
+        np.testing.assert_allclose(
+            model.gradient(solution, features, labels), np.zeros(5), atol=1e-8
+        )
+
+    def test_ridge_shrinks_solution(self):
+        rng = np.random.default_rng(4)
+        features = rng.standard_normal((30, 5))
+        labels = rng.standard_normal(30)
+        ls_solution = LeastSquaresLoss().exact_solution(features, labels)
+        ridge_solution = RidgeLoss(l2=10.0).exact_solution(features, labels)
+        assert np.linalg.norm(ridge_solution) < np.linalg.norm(ls_solution)
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeLoss(l2=-1.0)
+
+    def test_names(self):
+        assert LeastSquaresLoss().name == "least-squares"
+        assert RidgeLoss().name == "ridge"

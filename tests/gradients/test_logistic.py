@@ -1,0 +1,84 @@
+"""Tests for the logistic-regression loss."""
+
+import numpy as np
+import pytest
+
+from repro.gradients.logistic import LogisticLoss, _log1pexp, _sigmoid
+
+
+class TestNumericalStability:
+    def test_log1pexp_extremes(self):
+        values = np.array([-1000.0, -10.0, 0.0, 10.0, 1000.0])
+        result = _log1pexp(values)
+        assert np.all(np.isfinite(result))
+        # For large positive z, log(1+e^z) ~ z.
+        assert result[-1] == pytest.approx(1000.0)
+        # For large negative z, log(1+e^z) ~ 0.
+        assert result[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_sigmoid_extremes(self):
+        values = np.array([-1000.0, 0.0, 1000.0])
+        result = _sigmoid(values)
+        assert np.all(np.isfinite(result))
+        assert result[0] == pytest.approx(0.0, abs=1e-12)
+        assert result[1] == pytest.approx(0.5)
+        assert result[2] == pytest.approx(1.0)
+
+    def test_loss_finite_for_extreme_margins(self):
+        model = LogisticLoss()
+        features = np.array([[1000.0], [-1000.0]])
+        labels = np.array([1.0, 1.0])
+        weights = np.array([1.0])
+        losses = model.loss_per_example(weights, features, labels)
+        assert np.all(np.isfinite(losses))
+
+
+class TestSemantics:
+    def test_zero_weights_loss_is_log2(self):
+        model = LogisticLoss()
+        features = np.random.default_rng(0).standard_normal((10, 3))
+        labels = np.ones(10)
+        assert model.loss(np.zeros(3), features, labels) == pytest.approx(np.log(2.0))
+
+    def test_correct_classification_reduces_loss(self):
+        model = LogisticLoss()
+        features = np.array([[1.0, 0.0]])
+        labels = np.array([1.0])
+        aligned = model.loss(np.array([5.0, 0.0]), features, labels)
+        opposed = model.loss(np.array([-5.0, 0.0]), features, labels)
+        assert aligned < opposed
+
+    def test_predict_signs(self):
+        model = LogisticLoss()
+        weights = np.array([1.0, -1.0])
+        features = np.array([[2.0, 0.0], [0.0, 2.0]])
+        np.testing.assert_array_equal(model.predict(weights, features), [1.0, -1.0])
+
+    def test_predict_proba_bounds_and_monotonicity(self):
+        model = LogisticLoss()
+        weights = np.array([1.0])
+        features = np.array([[-3.0], [0.0], [3.0]])
+        probabilities = model.predict_proba(weights, features)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+        assert probabilities[0] < probabilities[1] < probabilities[2]
+
+    def test_l2_regularisation_increases_loss_and_changes_gradient(self):
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((8, 4))
+        labels = rng.choice([-1.0, 1.0], size=8)
+        weights = rng.standard_normal(4)
+        plain, regularised = LogisticLoss(), LogisticLoss(l2=1.0)
+        assert regularised.loss(weights, features, labels) > plain.loss(
+            weights, features, labels
+        )
+        expected = plain.gradient_sum(weights, features, labels) + 8 * 1.0 * weights
+        np.testing.assert_allclose(
+            regularised.gradient_sum(weights, features, labels), expected
+        )
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticLoss(l2=-0.1)
+
+    def test_name(self):
+        assert LogisticLoss().name == "logistic"

@@ -1,0 +1,103 @@
+"""Finite-difference checks: every model's gradients match its loss."""
+
+import numpy as np
+import pytest
+
+from repro.gradients.huber import HuberLoss
+from repro.gradients.least_squares import LeastSquaresLoss, RidgeLoss
+from repro.gradients.logistic import LogisticLoss
+from repro.gradients.softmax import SoftmaxLoss
+
+
+def finite_difference_gradient(function, point, epsilon=1e-6):
+    """Central finite differences of a scalar function."""
+    gradient = np.zeros_like(point)
+    for index in range(point.size):
+        shift = np.zeros_like(point)
+        shift[index] = epsilon
+        gradient[index] = (function(point + shift) - function(point - shift)) / (
+            2 * epsilon
+        )
+    return gradient
+
+
+def _binary_problem(rng, num_examples=12, num_features=5):
+    features = rng.standard_normal((num_examples, num_features))
+    labels = rng.choice([-1.0, 1.0], size=num_examples)
+    weights = rng.standard_normal(num_features) * 0.5
+    return features, labels, weights
+
+
+def _regression_problem(rng, num_examples=12, num_features=5):
+    features = rng.standard_normal((num_examples, num_features))
+    labels = rng.standard_normal(num_examples)
+    weights = rng.standard_normal(num_features) * 0.5
+    return features, labels, weights
+
+
+@pytest.mark.parametrize(
+    "model",
+    [
+        LogisticLoss(),
+        LogisticLoss(l2=0.1),
+        LeastSquaresLoss(),
+        RidgeLoss(l2=0.05),
+        HuberLoss(delta=0.7),
+    ],
+    ids=lambda model: repr(model),
+)
+def test_mean_gradient_matches_finite_differences(model, rng):
+    if isinstance(model, (LeastSquaresLoss, HuberLoss)) and not isinstance(
+        model, LogisticLoss
+    ):
+        features, labels, weights = _regression_problem(rng)
+    else:
+        features, labels, weights = _binary_problem(rng)
+
+    def objective(point):
+        return model.loss(point, features, labels)
+
+    analytic = model.gradient(weights, features, labels)
+    numeric = finite_difference_gradient(objective, weights)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+def test_softmax_gradient_matches_finite_differences(rng):
+    num_classes, num_features, num_examples = 3, 4, 15
+    model = SoftmaxLoss(num_classes=num_classes)
+    features = rng.standard_normal((num_examples, num_features))
+    labels = rng.integers(0, num_classes, size=num_examples).astype(float)
+    weights = rng.standard_normal(num_classes * num_features) * 0.3
+
+    def objective(point):
+        return model.loss(point, features, labels)
+
+    analytic = model.gradient(weights, features, labels)
+    numeric = finite_difference_gradient(objective, weights)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+@pytest.mark.parametrize(
+    "model",
+    [LogisticLoss(), LogisticLoss(l2=0.2), LeastSquaresLoss(), RidgeLoss(l2=0.1), HuberLoss()],
+    ids=lambda model: repr(model),
+)
+def test_gradient_sum_equals_sum_of_per_example_gradients(model, rng):
+    features, labels, weights = _binary_problem(rng)
+    per_example = model.per_example_gradients(weights, features, labels)
+    fused = model.gradient_sum(weights, features, labels)
+    np.testing.assert_allclose(per_example.sum(axis=0), fused, rtol=1e-10, atol=1e-10)
+
+
+def test_softmax_gradient_sum_equals_per_example_sum(rng):
+    model = SoftmaxLoss(num_classes=4)
+    features = rng.standard_normal((10, 3))
+    labels = rng.integers(0, 4, size=10).astype(float)
+    weights = rng.standard_normal(12)
+    per_example = model.per_example_gradients(weights, features, labels)
+    np.testing.assert_allclose(
+        per_example.sum(axis=0),
+        model.gradient_sum(weights, features, labels),
+        rtol=1e-10,
+        atol=1e-10,
+    )

@@ -1,0 +1,97 @@
+"""Tests for the softmax and Huber losses."""
+
+import numpy as np
+import pytest
+
+from repro.gradients.huber import HuberLoss
+from repro.gradients.softmax import SoftmaxLoss
+
+
+class TestSoftmax:
+    def test_requires_at_least_two_classes(self):
+        with pytest.raises(ValueError):
+            SoftmaxLoss(num_classes=1)
+
+    def test_initial_weights_length(self):
+        model = SoftmaxLoss(num_classes=3)
+        assert model.initial_weights(5).shape == (15,)
+
+    def test_uniform_loss_at_zero_weights(self):
+        model = SoftmaxLoss(num_classes=4)
+        features = np.random.default_rng(0).standard_normal((10, 3))
+        labels = np.zeros(10)
+        assert model.loss(np.zeros(12), features, labels) == pytest.approx(np.log(4.0))
+
+    def test_wrong_weight_length_rejected(self):
+        model = SoftmaxLoss(num_classes=3)
+        with pytest.raises(ValueError):
+            model.loss(np.zeros(10), np.zeros((2, 3)), np.zeros(2))
+
+    def test_out_of_range_labels_rejected(self):
+        model = SoftmaxLoss(num_classes=2)
+        with pytest.raises(ValueError):
+            model.gradient_sum(np.zeros(4), np.zeros((2, 2)), np.array([0.0, 2.0]))
+
+    def test_predict_returns_class_indices(self):
+        model = SoftmaxLoss(num_classes=3)
+        rng = np.random.default_rng(1)
+        weights = rng.standard_normal(3 * 2)
+        features = rng.standard_normal((7, 2))
+        predictions = model.predict(weights, features)
+        assert predictions.shape == (7,)
+        assert set(np.unique(predictions)).issubset({0.0, 1.0, 2.0})
+
+    def test_training_signal_points_toward_correct_class(self):
+        # One gradient step from zero weights should increase the probability
+        # of the true class for a single-example problem.
+        model = SoftmaxLoss(num_classes=3)
+        features = np.array([[1.0, 2.0]])
+        labels = np.array([2.0])
+        weights = np.zeros(6)
+        gradient = model.gradient(weights, features, labels)
+        updated = weights - 0.5 * gradient
+        before = model.loss(weights, features, labels)
+        after = model.loss(updated, features, labels)
+        assert after < before
+
+    def test_name_includes_classes(self):
+        assert SoftmaxLoss(num_classes=5).name == "softmax-5"
+
+
+class TestHuber:
+    def test_quadratic_region_matches_least_squares(self):
+        model = HuberLoss(delta=10.0)
+        features = np.array([[1.0], [2.0]])
+        labels = np.array([0.5, 1.0])
+        weights = np.array([0.6])
+        residuals = features @ weights - labels
+        expected = 0.5 * residuals**2
+        np.testing.assert_allclose(
+            model.loss_per_example(weights, features, labels), expected
+        )
+
+    def test_linear_region_slope_is_delta(self):
+        model = HuberLoss(delta=1.0)
+        features = np.array([[1.0]])
+        labels = np.array([0.0])
+        gradient_large = model.gradient_sum(np.array([10.0]), features, labels)
+        gradient_larger = model.gradient_sum(np.array([20.0]), features, labels)
+        # In the linear region the gradient is constant (= delta * x).
+        np.testing.assert_allclose(gradient_large, gradient_larger)
+        np.testing.assert_allclose(gradient_large, [1.0])
+
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+    def test_loss_continuous_at_transition(self):
+        model = HuberLoss(delta=1.0)
+        features = np.array([[1.0]])
+        labels = np.array([0.0])
+        just_below = model.loss(np.array([1.0 - 1e-9]), features, labels)
+        just_above = model.loss(np.array([1.0 + 1e-9]), features, labels)
+        assert just_below == pytest.approx(just_above, abs=1e-6)
+
+    def test_predict(self):
+        model = HuberLoss()
+        assert model.predict(np.array([2.0]), np.array([[3.0]]))[0] == pytest.approx(6.0)

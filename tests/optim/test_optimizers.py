@@ -1,0 +1,134 @@
+"""Tests for the optimizer update rules."""
+
+import numpy as np
+import pytest
+
+from repro.optim.base import OptimizerState
+from repro.optim.gradient_descent import GradientDescent
+from repro.optim.momentum import HeavyBallMomentum
+from repro.optim.nesterov import NesterovAcceleratedGradient
+from repro.optim.schedules import ConstantSchedule
+
+
+def quadratic(weights):
+    """A simple strongly convex quadratic 0.5 ||w - 1||^2."""
+    return 0.5 * float(np.sum((weights - 1.0) ** 2))
+
+
+def quadratic_gradient(weights):
+    return weights - 1.0
+
+
+def run_optimizer(optimizer, iterations=200, dim=5):
+    state = optimizer.initialize(np.zeros(dim))
+    for _ in range(iterations):
+        gradient = quadratic_gradient(optimizer.query_point(state))
+        state = optimizer.step(state, gradient)
+    return state.weights
+
+
+class TestOptimizerBase:
+    def test_float_schedule_accepted(self):
+        optimizer = GradientDescent(0.1)
+        assert isinstance(optimizer.schedule, ConstantSchedule)
+
+    def test_invalid_schedule_type(self):
+        with pytest.raises(TypeError):
+            GradientDescent("fast")
+
+    def test_initialize_copies_weights(self):
+        weights = np.ones(3)
+        state = GradientDescent(0.1).initialize(weights)
+        state.weights[0] = 99.0
+        assert weights[0] == 1.0
+
+    def test_initialize_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            GradientDescent(0.1).initialize(np.zeros((2, 2)))
+
+    def test_state_copy_is_deep(self):
+        state = OptimizerState(weights=np.zeros(2), auxiliary=np.ones(2))
+        clone = state.copy()
+        clone.weights[0] = 5.0
+        clone.auxiliary[0] = 5.0
+        assert state.weights[0] == 0.0
+        assert state.auxiliary[0] == 1.0
+
+
+class TestGradientDescent:
+    def test_single_step_formula(self):
+        optimizer = GradientDescent(0.5)
+        state = optimizer.initialize(np.array([0.0]))
+        new_state = optimizer.step(state, np.array([2.0]))
+        assert new_state.weights[0] == pytest.approx(-1.0)
+        assert new_state.iteration == 1
+
+    def test_converges_on_quadratic(self):
+        final = run_optimizer(GradientDescent(0.5))
+        np.testing.assert_allclose(final, np.ones(5), atol=1e-6)
+
+    def test_query_point_is_current_iterate(self):
+        optimizer = GradientDescent(0.1)
+        state = optimizer.initialize(np.array([3.0]))
+        np.testing.assert_array_equal(optimizer.query_point(state), [3.0])
+
+
+class TestNesterov:
+    def test_converges_on_quadratic(self):
+        final = run_optimizer(NesterovAcceleratedGradient(0.5))
+        np.testing.assert_allclose(final, np.ones(5), atol=1e-6)
+
+    def test_faster_than_gd_on_ill_conditioned_quadratic(self):
+        # Minimise 0.5 * w^T diag(1, 100) w; measure suboptimality after a
+        # fixed number of iterations with the safe step 1/L.
+        scales = np.array([1.0, 100.0])
+
+        def gradient(weights):
+            return scales * weights
+
+        def objective(weights):
+            return 0.5 * float(np.sum(scales * weights**2))
+
+        def run(optimizer, iterations=100):
+            state = optimizer.initialize(np.array([1.0, 1.0]))
+            for _ in range(iterations):
+                state = optimizer.step(state, gradient(optimizer.query_point(state)))
+            return objective(state.weights)
+
+        gd_value = run(GradientDescent(1.0 / 100.0))
+        nesterov_value = run(NesterovAcceleratedGradient(1.0 / 100.0))
+        assert nesterov_value < gd_value
+
+    def test_query_point_uses_lookahead_after_first_step(self):
+        optimizer = NesterovAcceleratedGradient(0.1)
+        state = optimizer.initialize(np.array([1.0]))
+        np.testing.assert_array_equal(optimizer.query_point(state), [1.0])
+        state = optimizer.step(state, np.array([1.0]))
+        assert state.auxiliary is not None
+        np.testing.assert_array_equal(optimizer.query_point(state), state.auxiliary)
+
+    def test_fixed_momentum_validation(self):
+        with pytest.raises(ValueError):
+            NesterovAcceleratedGradient(0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            NesterovAcceleratedGradient(0.1, momentum=-0.1)
+        assert NesterovAcceleratedGradient(0.1, momentum=0.9).momentum == 0.9
+
+
+class TestHeavyBall:
+    def test_converges_on_quadratic(self):
+        final = run_optimizer(HeavyBallMomentum(0.2, momentum=0.5))
+        np.testing.assert_allclose(final, np.ones(5), atol=1e-6)
+
+    def test_velocity_accumulates(self):
+        optimizer = HeavyBallMomentum(1.0, momentum=0.5)
+        state = optimizer.initialize(np.array([0.0]))
+        state = optimizer.step(state, np.array([1.0]))
+        assert state.weights[0] == pytest.approx(-1.0)
+        state = optimizer.step(state, np.array([1.0]))
+        # velocity = 0.5 * (-1) - 1 = -1.5 -> weights = -2.5
+        assert state.weights[0] == pytest.approx(-2.5)
+
+    def test_momentum_bounds(self):
+        with pytest.raises(ValueError):
+            HeavyBallMomentum(0.1, momentum=1.0)

@@ -1,0 +1,73 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+
+from repro.optim.schedules import (
+    ConstantSchedule,
+    InverseTimeDecay,
+    PolynomialDecay,
+    StepDecay,
+)
+
+
+class TestConstantSchedule:
+    def test_constant_value(self):
+        schedule = ConstantSchedule(0.3)
+        assert schedule(0) == 0.3
+        assert schedule(100) == 0.3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ValueError):
+            ConstantSchedule(-1.0)
+
+    def test_rejects_negative_iteration(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.1)(-1)
+
+
+class TestInverseTimeDecay:
+    def test_decreasing(self):
+        schedule = InverseTimeDecay(initial=1.0, decay=0.1)
+        values = [schedule(t) for t in range(10)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[0] == 1.0
+
+    def test_zero_decay_is_constant(self):
+        schedule = InverseTimeDecay(initial=0.5, decay=0.0)
+        assert schedule(1000) == 0.5
+
+    def test_formula(self):
+        schedule = InverseTimeDecay(initial=1.0, decay=1.0)
+        assert schedule(4) == pytest.approx(0.2)
+
+
+class TestStepDecay:
+    def test_steps(self):
+        schedule = StepDecay(initial=1.0, factor=0.5, period=10)
+        assert schedule(0) == 1.0
+        assert schedule(9) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(25) == 0.25
+
+    def test_factor_bounds(self):
+        with pytest.raises(ValueError):
+            StepDecay(initial=1.0, factor=1.5)
+        with pytest.raises(ValueError):
+            StepDecay(initial=1.0, factor=-0.1)
+
+
+class TestPolynomialDecay:
+    def test_formula(self):
+        schedule = PolynomialDecay(initial=1.0, power=1.0)
+        assert schedule(0) == 1.0
+        assert schedule(9) == pytest.approx(0.1)
+
+    def test_sqrt_decay(self):
+        schedule = PolynomialDecay(initial=1.0, power=0.5)
+        assert schedule(3) == pytest.approx(0.5)
+
+    def test_power_zero_is_constant(self):
+        schedule = PolynomialDecay(initial=0.7, power=0.0)
+        assert schedule(50) == pytest.approx(0.7)

@@ -1,0 +1,103 @@
+"""Tests for the centralized training loop."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_linear_regression_data, make_separable_classification_data
+from repro.gradients.least_squares import LeastSquaresLoss
+from repro.gradients.logistic import LogisticLoss
+from repro.optim.gradient_descent import GradientDescent
+from repro.optim.nesterov import NesterovAcceleratedGradient
+from repro.optim.trainer import train
+
+
+class TestTrain:
+    def test_least_squares_converges_to_exact_solution(self):
+        dataset, _ = make_linear_regression_data(50, 4, noise_std=0.1, seed=0)
+        model = LeastSquaresLoss()
+        result = train(
+            model, dataset, GradientDescent(0.5), num_iterations=2000
+        )
+        exact = model.exact_solution(dataset.features, dataset.labels)
+        np.testing.assert_allclose(result.weights, exact, atol=1e-3)
+
+    def test_loss_decreases_for_logistic_regression(self):
+        dataset, _ = make_separable_classification_data(80, 6, margin=1.0, seed=1)
+        result = train(
+            LogisticLoss(), dataset, NesterovAcceleratedGradient(0.1), num_iterations=60
+        )
+        assert result.losses[-1] < result.losses[0]
+        assert result.num_iterations == 60
+
+    def test_history_fields(self):
+        dataset, _ = make_linear_regression_data(20, 3, seed=2)
+        result = train(LeastSquaresLoss(), dataset, GradientDescent(0.01), 5)
+        record = result.history[0]
+        assert record.iteration == 0
+        assert record.learning_rate == pytest.approx(0.01)
+        assert record.gradient_norm > 0
+
+    def test_gradient_tolerance_stops_early(self):
+        dataset, _ = make_linear_regression_data(30, 3, noise_std=0.0, seed=3)
+        result = train(
+            LeastSquaresLoss(),
+            dataset,
+            GradientDescent(0.05),
+            num_iterations=10_000,
+            gradient_tolerance=1e-6,
+        )
+        assert result.converged
+        assert result.num_iterations < 10_000
+
+    def test_custom_oracle_is_used(self):
+        dataset, _ = make_linear_regression_data(10, 2, seed=4)
+        calls = []
+
+        def oracle(query, iteration):
+            calls.append(iteration)
+            return np.zeros(2)
+
+        result = train(
+            LeastSquaresLoss(),
+            dataset,
+            GradientDescent(0.1),
+            num_iterations=3,
+            gradient_oracle=oracle,
+        )
+        assert calls == [0, 1, 2]
+        # Zero gradients mean the weights never move.
+        np.testing.assert_array_equal(result.weights, np.zeros(2))
+
+    def test_oracle_shape_mismatch_raises(self):
+        dataset, _ = make_linear_regression_data(10, 2, seed=5)
+        with pytest.raises(ValueError):
+            train(
+                LeastSquaresLoss(),
+                dataset,
+                GradientDescent(0.1),
+                num_iterations=1,
+                gradient_oracle=lambda query, iteration: np.zeros(3),
+            )
+
+    def test_initial_weights_respected(self):
+        dataset, _ = make_linear_regression_data(10, 2, seed=6)
+        start = np.array([5.0, -5.0])
+        result = train(
+            LeastSquaresLoss(),
+            dataset,
+            GradientDescent(1e-9),
+            num_iterations=1,
+            initial_weights=start,
+        )
+        np.testing.assert_allclose(result.weights, start, atol=1e-6)
+
+    def test_final_loss_requires_history(self):
+        from repro.optim.trainer import TrainingResult
+
+        with pytest.raises(ValueError):
+            TrainingResult(weights=np.zeros(1)).final_loss
+
+    def test_invalid_iteration_count(self):
+        dataset, _ = make_linear_regression_data(10, 2, seed=7)
+        with pytest.raises((ValueError, TypeError)):
+            train(LeastSquaresLoss(), dataset, GradientDescent(0.1), 0)

@@ -1,0 +1,94 @@
+"""Property-based tests for the coupon-collector and threshold formulas."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coupon import (
+    coupon_draw_variance,
+    coverage_probability_after_draws,
+    expected_coupon_draws,
+    harmonic_number,
+)
+from repro.analysis.thresholds import (
+    bcc_recovery_threshold,
+    cyclic_repetition_recovery_threshold,
+    lower_bound_recovery_threshold,
+    randomized_recovery_threshold,
+)
+
+
+class TestHarmonicProperties:
+    @given(n=st.integers(min_value=1, max_value=2000))
+    def test_harmonic_is_increasing_and_bounded_by_log(self, n):
+        assert harmonic_number(n) >= harmonic_number(n - 1)
+        assert math.log(n) < harmonic_number(n) <= math.log(n) + 1.0
+
+    @given(n=st.integers(min_value=1, max_value=500))
+    def test_expected_draws_at_least_n(self, n):
+        assert expected_coupon_draws(n) >= n
+
+    @given(n=st.integers(min_value=1, max_value=300))
+    def test_variance_nonnegative(self, n):
+        assert coupon_draw_variance(n) >= 0.0
+
+
+class TestCoverageProbabilityProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_types=st.integers(min_value=1, max_value=25),
+        num_draws=st.integers(min_value=0, max_value=200),
+    )
+    def test_is_a_probability(self, num_types, num_draws):
+        value = coverage_probability_after_draws(num_types, num_draws)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_types=st.integers(min_value=1, max_value=15),
+        num_draws=st.integers(min_value=0, max_value=100),
+    )
+    def test_monotone_in_draws(self, num_types, num_draws):
+        now = coverage_probability_after_draws(num_types, num_draws)
+        later = coverage_probability_after_draws(num_types, num_draws + 5)
+        assert later >= now - 1e-12
+
+
+class TestThresholdProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_theorem1_sandwich_for_all_m_r(self, data):
+        m = data.draw(st.integers(min_value=1, max_value=400), label="m")
+        r = data.draw(st.integers(min_value=1, max_value=m), label="r")
+        lower = lower_bound_recovery_threshold(m, r)
+        upper = bcc_recovery_threshold(m, r)
+        num_batches = math.ceil(m / r)
+        assert lower <= upper + 1e-9
+        assert upper <= math.ceil(lower) * harmonic_number(num_batches) + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_bcc_threshold_monotone_in_load(self, data):
+        m = data.draw(st.integers(min_value=2, max_value=300), label="m")
+        r = data.draw(st.integers(min_value=1, max_value=m - 1), label="r")
+        assert bcc_recovery_threshold(m, r + 1) <= bcc_recovery_threshold(m, r) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_cyclic_threshold_linear_in_load(self, data):
+        m = data.draw(st.integers(min_value=1, max_value=500), label="m")
+        r = data.draw(st.integers(min_value=1, max_value=m), label="r")
+        assert cyclic_repetition_recovery_threshold(m, r) == m - r + 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_randomized_threshold_bounds(self, data):
+        # Keep m small: the exact rational computation is O(m) big-fraction ops.
+        m = data.draw(st.integers(min_value=2, max_value=40), label="m")
+        r = data.draw(st.integers(min_value=1, max_value=m), label="r")
+        value = randomized_recovery_threshold(m, r)
+        assert value >= m / r - 1e-9
+        assert value >= 1.0
+        # Coupon-collector upper bound: never worse than the r = 1 case.
+        assert value <= randomized_recovery_threshold(m, 1) + 1e-9

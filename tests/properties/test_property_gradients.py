@@ -1,0 +1,85 @@
+"""Property-based tests for gradient-kernel invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gradients.huber import HuberLoss
+from repro.gradients.least_squares import LeastSquaresLoss
+from repro.gradients.logistic import LogisticLoss
+
+MODELS = [LogisticLoss(), LogisticLoss(l2=0.05), LeastSquaresLoss(), HuberLoss(delta=1.0)]
+
+
+def problem_strategy(max_examples=12, max_features=6):
+    """Generate (features, labels, weights) with bounded, finite values."""
+    return st.integers(min_value=1, max_value=max_examples).flatmap(
+        lambda m: st.integers(min_value=1, max_value=max_features).flatmap(
+            lambda p: st.tuples(
+                hnp.arrays(
+                    float,
+                    (m, p),
+                    elements=st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False),
+                ),
+                hnp.arrays(float, (m,), elements=st.sampled_from([-1.0, 1.0])),
+                hnp.arrays(
+                    float,
+                    (p,),
+                    elements=st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False),
+                ),
+            )
+        )
+    )
+
+
+class TestGradientAdditivity:
+    """The property distributed GD relies on: partial gradients are additive."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(problem=problem_strategy(), model_index=st.integers(0, len(MODELS) - 1))
+    def test_gradient_sum_splits_across_any_partition(self, problem, model_index):
+        features, labels, weights = problem
+        model = MODELS[model_index]
+        m = features.shape[0]
+        split = m // 2
+        total = model.gradient_sum(weights, features, labels)
+        left = model.gradient_sum(weights, features[:split], labels[:split]) if split else 0.0
+        right = model.gradient_sum(weights, features[split:], labels[split:])
+        np.testing.assert_allclose(left + right, total, rtol=1e-8, atol=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(problem=problem_strategy(), model_index=st.integers(0, len(MODELS) - 1))
+    def test_per_example_rows_sum_to_gradient_sum(self, problem, model_index):
+        features, labels, weights = problem
+        model = MODELS[model_index]
+        per_example = model.per_example_gradients(weights, features, labels)
+        assert per_example.shape == features.shape
+        np.testing.assert_allclose(
+            per_example.sum(axis=0),
+            model.gradient_sum(weights, features, labels),
+            rtol=1e-8,
+            atol=1e-8,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(problem=problem_strategy(), model_index=st.integers(0, len(MODELS) - 1))
+    def test_loss_and_gradient_are_finite(self, problem, model_index):
+        features, labels, weights = problem
+        model = MODELS[model_index]
+        assert np.isfinite(model.loss(weights, features, labels))
+        assert np.all(np.isfinite(model.gradient(weights, features, labels)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(problem=problem_strategy())
+    def test_gradient_descent_step_does_not_increase_smooth_loss(self, problem):
+        # For the 1-smooth logistic loss a step of size 1/(max row norm^2 * m)
+        # can never increase the empirical risk.
+        features, labels, weights = problem
+        model = LogisticLoss()
+        gradient = model.gradient(weights, features, labels)
+        smoothness = max(float(np.max(np.sum(features**2, axis=1))), 1e-12)
+        step = 1.0 / smoothness
+        before = model.loss(weights, features, labels)
+        after = model.loss(weights - step * gradient, features, labels)
+        assert after <= before + 1e-9

@@ -1,0 +1,118 @@
+"""Property-based tests for scheme-level invariants.
+
+The central invariant of the whole library: *whatever the scheme and whatever
+order workers respond in, once the master declares completion its decoded
+gradient equals the exact full gradient.*
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.base import Dataset
+from repro.gradients.evaluation import full_gradient
+from repro.gradients.least_squares import LeastSquaresLoss
+from repro.schemes.bcc import BCCScheme
+from repro.schemes.coded import CyclicRepetitionScheme, ReedSolomonScheme
+from repro.schemes.randomized import SimpleRandomizedScheme
+from repro.schemes.uncoded import UncodedScheme
+from repro.simulation.execution import distributed_gradient
+
+
+def _dataset(rng, num_examples, num_features=4):
+    features = rng.standard_normal((num_examples, num_features))
+    labels = rng.standard_normal(num_examples)
+    return Dataset(features, labels)
+
+
+class TestDecodedGradientExactness:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_bcc_exact_for_any_arrival_order(self, data, seed):
+        rng = np.random.default_rng(seed)
+        num_units = data.draw(st.integers(min_value=2, max_value=30), label="m")
+        load = data.draw(st.integers(min_value=1, max_value=num_units), label="r")
+        num_batches = -(-num_units // load)
+        # BCC needs roughly num_batches * H_num_batches workers for coverage;
+        # draw comfortably above that so a feasible placement exists.
+        minimum_workers = 3 * num_batches + 5
+        num_workers = data.draw(
+            st.integers(min_value=minimum_workers, max_value=minimum_workers + 40),
+            label="n",
+        )
+        dataset = _dataset(rng, num_units)
+        model = LeastSquaresLoss()
+        weights = rng.standard_normal(4)
+        plan = BCCScheme(load).build_feasible_plan(num_units, num_workers, rng=rng)
+        order = rng.permutation(num_workers)
+        gradient, heard = distributed_gradient(plan, model, dataset, weights, order)
+        np.testing.assert_allclose(
+            gradient, full_gradient(model, dataset, weights), atol=1e-8
+        )
+        assert num_batches <= heard <= num_workers
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_randomized_and_uncoded_exact(self, data, seed):
+        rng = np.random.default_rng(seed)
+        num_units = data.draw(st.integers(min_value=2, max_value=25), label="m")
+        load = data.draw(st.integers(min_value=1, max_value=num_units), label="r")
+        num_workers = data.draw(st.integers(min_value=2, max_value=25), label="n")
+        dataset = _dataset(rng, num_units)
+        model = LeastSquaresLoss()
+        weights = rng.standard_normal(4)
+        expected = full_gradient(model, dataset, weights)
+
+        if num_workers <= num_units:
+            uncoded_plan = UncodedScheme().build_plan(num_units, num_workers)
+            gradient, _ = distributed_gradient(
+                uncoded_plan, model, dataset, weights, rng.permutation(num_workers)
+            )
+            np.testing.assert_allclose(gradient, expected, atol=1e-8)
+
+        randomized = SimpleRandomizedScheme(load)
+        try:
+            plan = randomized.build_feasible_plan(num_units, num_workers, rng=rng)
+        except Exception:
+            # Coverage may be impossible (e.g. load * workers < units); the
+            # scheme is allowed to refuse such configurations.
+            return
+        gradient, _ = distributed_gradient(
+            plan, model, dataset, weights, rng.permutation(num_workers)
+        )
+        np.testing.assert_allclose(gradient, expected, atol=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_coded_schemes_exact_for_any_arrival_order(self, data, seed):
+        rng = np.random.default_rng(seed)
+        n = data.draw(st.integers(min_value=2, max_value=12), label="n")
+        load = data.draw(st.integers(min_value=1, max_value=n), label="r")
+        scheme_class = data.draw(
+            st.sampled_from([CyclicRepetitionScheme, ReedSolomonScheme]), label="scheme"
+        )
+        dataset = _dataset(rng, n)
+        model = LeastSquaresLoss()
+        weights = rng.standard_normal(4)
+        plan = scheme_class(load).build_plan(n, n, rng=rng)
+        order = rng.permutation(n)
+        gradient, heard = distributed_gradient(plan, model, dataset, weights, order)
+        np.testing.assert_allclose(
+            gradient, full_gradient(model, dataset, weights), atol=1e-6
+        )
+        assert heard <= n
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_completion_is_monotone_in_received_set(self, seed):
+        # Feeding more workers can never un-complete an aggregator.
+        rng = np.random.default_rng(seed)
+        plan = BCCScheme(2).build_feasible_plan(10, 15, rng=rng)
+        aggregator = plan.new_aggregator()
+        became_complete_at = None
+        for position, worker in enumerate(rng.permutation(15)):
+            complete = aggregator.receive(int(worker), None)
+            if complete and became_complete_at is None:
+                became_complete_at = position
+            if became_complete_at is not None:
+                assert aggregator.is_complete()

@@ -1,0 +1,60 @@
+"""Tests for the queue-backed communicator (exercised in-process)."""
+
+import pytest
+
+from repro.exceptions import RuntimeBackendError
+from repro.runtime.comm import InProcessCommunicator
+
+
+class TestInProcessCommunicator:
+    def test_worker_count_validation(self):
+        with pytest.raises(RuntimeBackendError):
+            InProcessCommunicator(0)
+        assert InProcessCommunicator(3).num_workers == 3
+
+    def test_send_and_receive_roundtrip(self):
+        communicator = InProcessCommunicator(2)
+        channel = communicator.worker_channel(1)
+        communicator.send_to_worker(1, {"weights": [1, 2, 3]})
+        payload = channel.receive(timeout=1.0)
+        assert payload == {"weights": [1, 2, 3]}
+        channel.send("done")
+        worker, reply = communicator.receive_any(timeout=1.0)
+        assert worker == 1
+        assert reply == "done"
+
+    def test_broadcast_reaches_every_worker(self):
+        communicator = InProcessCommunicator(3)
+        communicator.broadcast("hello")
+        for worker in range(3):
+            assert communicator.worker_channel(worker).receive(timeout=1.0) == "hello"
+
+    def test_receive_any_timeout(self):
+        communicator = InProcessCommunicator(1)
+        with pytest.raises(RuntimeBackendError):
+            communicator.receive_any(timeout=0.05)
+
+    def test_worker_receive_timeout(self):
+        communicator = InProcessCommunicator(1)
+        channel = communicator.worker_channel(0)
+        with pytest.raises(RuntimeBackendError):
+            channel.receive(timeout=0.05)
+
+    def test_worker_index_bounds(self):
+        communicator = InProcessCommunicator(2)
+        with pytest.raises(RuntimeBackendError):
+            communicator.send_to_worker(2, "x")
+        with pytest.raises(RuntimeBackendError):
+            communicator.worker_channel(-1)
+
+    def test_drain_discards_pending_messages(self):
+        communicator = InProcessCommunicator(1)
+        channel = communicator.worker_channel(0)
+        channel.send("a")
+        channel.send("b")
+        # Queue feeding is asynchronous; allow the background feeder to flush.
+        import time
+
+        time.sleep(0.05)
+        assert communicator.drain() == 2
+        assert communicator.drain() == 0

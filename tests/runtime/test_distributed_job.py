@@ -1,0 +1,85 @@
+"""End-to-end tests of the multiprocessing runtime.
+
+These tests spawn real worker processes, so they use small worker counts and
+few iterations to stay fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.batching import make_batches
+from repro.datasets.synthetic import make_linear_regression_data, make_separable_classification_data
+from repro.gradients.least_squares import LeastSquaresLoss
+from repro.gradients.logistic import LogisticLoss
+from repro.optim.gradient_descent import GradientDescent
+from repro.optim.nesterov import NesterovAcceleratedGradient
+from repro.optim.trainer import train
+from repro.runtime.job import run_distributed_job
+from repro.schemes.bcc import BCCScheme
+from repro.schemes.coded import CyclicRepetitionScheme
+from repro.schemes.uncoded import UncodedScheme
+from repro.stragglers.models import DeterministicDelay
+
+
+pytestmark = pytest.mark.runtime
+
+
+class TestRunDistributedJob:
+    def test_uncoded_matches_centralised_training(self):
+        dataset, _ = make_linear_regression_data(24, 4, seed=0)
+        model = LeastSquaresLoss()
+        plan = UncodedScheme().build_plan(24, 4)
+        result = run_distributed_job(
+            plan,
+            model,
+            dataset,
+            GradientDescent(0.1),
+            num_iterations=5,
+            seed=0,
+        )
+        centralised = train(model, dataset, GradientDescent(0.1), num_iterations=5)
+        np.testing.assert_allclose(result.training.weights, centralised.weights, atol=1e-8)
+        assert result.workers_heard == [4] * 5
+        assert len(result.iteration_times) == 5
+        assert result.total_seconds > 0
+
+    def test_bcc_with_injected_stragglers(self):
+        dataset, _ = make_separable_classification_data(40, 5, seed=1)
+        model = LogisticLoss()
+        unit_spec = make_batches(40, 5)  # 8 batches
+        plan = BCCScheme(load=2).build_feasible_plan(8, 6, rng=0)
+        # Worker 0 is made artificially slow; the BCC master should usually
+        # not need to wait for it.
+        delays = [DeterministicDelay(0.02)] + [DeterministicDelay(0.0)] * 5
+        result = run_distributed_job(
+            plan,
+            model,
+            dataset,
+            NesterovAcceleratedGradient(0.3),
+            num_iterations=4,
+            unit_spec=unit_spec,
+            straggle_delays=delays,
+            seed=1,
+        )
+        centralised = train(
+            model, dataset, NesterovAcceleratedGradient(0.3), num_iterations=4
+        )
+        np.testing.assert_allclose(result.training.weights, centralised.weights, atol=1e-8)
+        assert result.average_recovery_threshold <= 6
+
+    def test_coded_scheme_runtime(self):
+        dataset, _ = make_linear_regression_data(12, 3, seed=2)
+        model = LeastSquaresLoss()
+        plan = CyclicRepetitionScheme(load=2).build_plan(12, 12, rng=0)
+        result = run_distributed_job(
+            plan,
+            model,
+            dataset,
+            GradientDescent(0.05),
+            num_iterations=3,
+            seed=2,
+        )
+        centralised = train(model, dataset, GradientDescent(0.05), num_iterations=3)
+        np.testing.assert_allclose(result.training.weights, centralised.weights, atol=1e-6)
+        # The coded master stops once any 11 workers reported.
+        assert all(count <= 12 for count in result.workers_heard)

@@ -1,0 +1,172 @@
+"""Tests for the master-side aggregators."""
+
+import numpy as np
+import pytest
+
+from repro.coding.assignment import DataAssignment
+from repro.coding.cyclic_repetition import CyclicRepetitionCode
+from repro.coding.fractional import FractionalRepetitionCode
+from repro.exceptions import CoverageError, DecodingError
+from repro.schemes.base import (
+    BatchCoverageAggregator,
+    CodedAggregator,
+    CountAggregator,
+    UnitCoverageAggregator,
+)
+
+
+class TestCountAggregator:
+    def test_waits_for_required_set(self):
+        aggregator = CountAggregator(required_workers=[0, 2])
+        assert not aggregator.receive(0, np.array([1.0]))
+        assert not aggregator.receive(1, np.array([9.0]))  # not required, ignored
+        assert aggregator.receive(2, np.array([2.0]))
+        assert aggregator.is_complete()
+
+    def test_decode_sums_required_messages_only(self):
+        aggregator = CountAggregator(required_workers=[0, 1])
+        aggregator.receive(0, np.array([1.0, 2.0]))
+        aggregator.receive(1, np.array([3.0, 4.0]))
+        np.testing.assert_allclose(aggregator.decode(), [4.0, 6.0])
+
+    def test_duplicate_messages_not_double_counted(self):
+        aggregator = CountAggregator(required_workers=[0, 1])
+        aggregator.receive(0, np.array([1.0]))
+        aggregator.receive(0, np.array([1.0]))
+        assert not aggregator.is_complete()
+        aggregator.receive(1, np.array([1.0]))
+        np.testing.assert_allclose(aggregator.decode(), [2.0])
+
+    def test_decode_before_complete_raises(self):
+        aggregator = CountAggregator(required_workers=[0, 1])
+        aggregator.receive(0, np.array([1.0]))
+        with pytest.raises(DecodingError):
+            aggregator.decode()
+
+    def test_timing_only_mode_cannot_decode(self):
+        aggregator = CountAggregator(required_workers=[0])
+        aggregator.receive(0, None)
+        assert aggregator.is_complete()
+        with pytest.raises(DecodingError):
+            aggregator.decode()
+
+    def test_requires_some_workers(self):
+        with pytest.raises(CoverageError):
+            CountAggregator(required_workers=[])
+
+    def test_workers_heard_counts_all_arrivals(self):
+        aggregator = CountAggregator(required_workers=[0, 1])
+        aggregator.receive(5, np.array([1.0]))
+        aggregator.receive(0, np.array([1.0]))
+        aggregator.receive(1, np.array([1.0]))
+        assert aggregator.workers_heard == 3
+        assert aggregator.messages_kept == 2
+
+    def test_late_arrivals_after_completion_ignored(self):
+        aggregator = CountAggregator(required_workers=[0])
+        aggregator.receive(0, np.array([2.0]))
+        aggregator.receive(1, np.array([7.0]))
+        assert aggregator.workers_heard == 1
+        np.testing.assert_allclose(aggregator.decode(), [2.0])
+
+
+class TestBatchCoverageAggregator:
+    def test_bcc_master_rule(self):
+        # 3 batches; workers 0..4 chose batches [0, 1, 1, 2, 0].
+        aggregator = BatchCoverageAggregator(3, worker_batches=[0, 1, 1, 2, 0])
+        assert not aggregator.receive(0, np.array([1.0]))
+        assert not aggregator.receive(1, np.array([2.0]))
+        assert not aggregator.receive(2, np.array([99.0]))  # duplicate batch 1, discarded
+        assert aggregator.receive(3, np.array([3.0]))
+        np.testing.assert_allclose(aggregator.decode(), [6.0])
+        assert aggregator.messages_kept == 3
+        assert aggregator.workers_heard == 4
+        assert aggregator.batches_covered == 3
+
+    def test_decode_before_coverage_raises(self):
+        aggregator = BatchCoverageAggregator(2, worker_batches=[0, 1])
+        aggregator.receive(0, np.array([1.0]))
+        with pytest.raises(DecodingError):
+            aggregator.decode()
+
+    def test_invalid_batch_count(self):
+        with pytest.raises(CoverageError):
+            BatchCoverageAggregator(0, worker_batches=[])
+
+
+class TestUnitCoverageAggregator:
+    @pytest.fixture
+    def assignment(self):
+        return DataAssignment(
+            num_examples=4,
+            assignments=(np.array([0, 1]), np.array([1, 2]), np.array([2, 3])),
+        )
+
+    def test_coverage_and_decode_keeps_first_copy(self, assignment):
+        aggregator = UnitCoverageAggregator(4, assignment)
+        message_0 = np.array([[1.0, 0.0], [2.0, 0.0]])  # units 0, 1
+        message_1 = np.array([[9.0, 9.0], [3.0, 0.0]])  # units 1 (dup), 2
+        message_2 = np.array([[8.0, 8.0], [4.0, 0.0]])  # units 2 (dup), 3
+        assert not aggregator.receive(0, message_0)
+        assert not aggregator.receive(1, message_1)
+        assert aggregator.receive(2, message_2)
+        # Unit 1 keeps worker 0's copy, unit 2 keeps worker 1's copy.
+        np.testing.assert_allclose(aggregator.decode(), [1 + 2 + 3 + 4, 0.0])
+        assert aggregator.units_covered == 4
+
+    def test_message_shape_validated(self, assignment):
+        aggregator = UnitCoverageAggregator(4, assignment)
+        with pytest.raises(DecodingError):
+            aggregator.receive(0, np.array([[1.0, 2.0]]))  # expected 2 rows
+
+    def test_worker_with_no_new_units_not_kept(self, assignment):
+        aggregator = UnitCoverageAggregator(4, assignment)
+        aggregator.receive(1, np.array([[1.0, 1.0], [2.0, 2.0]]))
+        kept_before = aggregator.messages_kept
+        aggregator.receive(1, np.array([[1.0, 1.0], [2.0, 2.0]]))
+        assert aggregator.messages_kept == kept_before
+
+    def test_timing_only_mode(self, assignment):
+        aggregator = UnitCoverageAggregator(4, assignment)
+        aggregator.receive(0, None)
+        aggregator.receive(2, None)
+        assert aggregator.is_complete()
+        with pytest.raises(DecodingError):
+            aggregator.decode()
+
+
+class TestCodedAggregator:
+    def test_completes_at_worst_case_threshold(self, rng):
+        code = CyclicRepetitionCode(num_workers=6, num_stragglers=2, seed=0)
+        aggregator = CodedAggregator(code)
+        gradients = rng.standard_normal((6, 3))
+        workers = [5, 0, 3, 2]
+        complete_flags = []
+        for worker in workers:
+            complete_flags.append(
+                aggregator.receive(worker, code.encode(worker, gradients))
+            )
+        assert complete_flags[-1]
+        assert not any(complete_flags[:-1])
+        np.testing.assert_allclose(
+            aggregator.decode(), gradients.sum(axis=0), atol=1e-8
+        )
+
+    def test_opportunistic_fractional_completion(self, rng):
+        code = FractionalRepetitionCode(num_workers=8, num_stragglers=3)
+        aggregator = CodedAggregator(code)
+        gradients = rng.standard_normal((8, 2))
+        group = code.groups[0]
+        aggregator.receive(group[0], code.encode(group[0], gradients))
+        complete = aggregator.receive(group[1], code.encode(group[1], gradients))
+        assert complete  # far below the worst-case threshold of 5 workers
+        np.testing.assert_allclose(
+            aggregator.decode(), gradients.sum(axis=0), atol=1e-10
+        )
+
+    def test_decode_before_complete_raises(self):
+        code = CyclicRepetitionCode(num_workers=4, num_stragglers=1, seed=0)
+        aggregator = CodedAggregator(code)
+        aggregator.receive(0, np.zeros(2))
+        with pytest.raises(DecodingError):
+            aggregator.decode()

@@ -1,0 +1,109 @@
+"""Tests for the BCCScheme."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coupon import harmonic_number
+from repro.exceptions import ConfigurationError, CoverageError
+from repro.schemes.bcc import BCCScheme
+
+
+class TestPlanConstruction:
+    def test_plan_shapes(self, rng):
+        plan = BCCScheme(load=5).build_plan(num_units=20, num_workers=10, rng=rng)
+        assert plan.scheme_name == "bcc"
+        assert plan.num_workers == 10
+        assert plan.num_units == 20
+        np.testing.assert_allclose(plan.message_sizes, 1.0)
+        # Every worker holds exactly one batch of 5 units.
+        assert plan.computational_load_units == 5
+
+    def test_batch_choices_metadata(self, rng):
+        plan = BCCScheme(load=5).build_plan(20, 10, rng)
+        choices = plan.metadata["batch_choices"]
+        assert choices.shape == (10,)
+        assert choices.min() >= 0 and choices.max() < 4
+
+    def test_load_larger_than_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BCCScheme(load=30).build_plan(20, 10)
+
+    def test_more_batches_than_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BCCScheme(load=2).build_plan(num_units=20, num_workers=5)
+
+    def test_feasible_plan_always_covers(self):
+        scheme = BCCScheme(load=2)
+        for seed in range(20):
+            plan = scheme.build_feasible_plan(10, 12, rng=seed)
+            assert plan.can_ever_complete()
+
+    def test_fewer_workers_than_batches_rejected(self):
+        # With fewer workers than batches coverage is impossible, so the plan
+        # is refused at construction time rather than hanging the master.
+        scheme = BCCScheme(load=1)
+        with pytest.raises(ConfigurationError):
+            scheme.build_plan(num_units=5, num_workers=3)
+
+    def test_plan_can_report_infeasible_placement(self):
+        # A concrete placement that misses a batch is detected by
+        # can_ever_complete(); build_feasible_plan re-draws until covered.
+        scheme = BCCScheme(load=2)
+        for seed in range(30):
+            plan = scheme.build_plan(num_units=10, num_workers=5, rng=seed)
+            assert plan.can_ever_complete() == plan.unit_assignment.is_complete()
+
+
+class TestAggregation:
+    def test_master_stops_at_coverage(self, rng):
+        scheme = BCCScheme(load=4)
+        plan = scheme.build_feasible_plan(8, 10, rng=rng)  # 2 batches
+        aggregator = plan.new_aggregator()
+        choices = plan.metadata["batch_choices"]
+        # Feed workers until both batches seen; completion must coincide with
+        # the first time both batch ids appear in the fed prefix.
+        seen = set()
+        for worker in range(10):
+            complete = aggregator.receive(worker, None)
+            seen.add(int(choices[worker]))
+            if len(seen) == 2:
+                assert complete
+                break
+            assert not complete
+
+    def test_encoder_sums_unit_gradients(self, rng):
+        plan = BCCScheme(load=3).build_plan(9, 5, rng)
+        unit_gradients = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(
+            plan.encode(0, unit_gradients), unit_gradients.sum(axis=0)
+        )
+
+
+class TestFormulas:
+    def test_expected_recovery_threshold(self):
+        scheme = BCCScheme(load=10)
+        assert scheme.expected_recovery_threshold(100, 100) == pytest.approx(
+            10 * harmonic_number(10)
+        )
+        assert scheme.expected_communication_load(100, 100) == pytest.approx(
+            10 * harmonic_number(10)
+        )
+
+    def test_empirical_threshold_matches_coupon_collector(self, rng):
+        # Monte-Carlo the number of workers heard and compare with N * H_N.
+        scheme = BCCScheme(load=5)
+        num_units, num_workers = 20, 200  # 4 batches, plenty of workers
+        counts = []
+        for _ in range(300):
+            plan = scheme.build_feasible_plan(num_units, num_workers, rng=rng)
+            aggregator = plan.new_aggregator()
+            order = rng.permutation(num_workers)
+            for heard, worker in enumerate(order, start=1):
+                if aggregator.receive(int(worker), None):
+                    counts.append(heard)
+                    break
+        expected = 4 * harmonic_number(4)
+        assert np.mean(counts) == pytest.approx(expected, rel=0.08)
+
+    def test_repr(self):
+        assert "load=7" in repr(BCCScheme(load=7))

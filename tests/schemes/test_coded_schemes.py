@@ -1,0 +1,89 @@
+"""Tests for the coded schemes (cyclic repetition, Reed-Solomon, fractional repetition)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.schemes.coded import (
+    CyclicRepetitionScheme,
+    FractionalRepetitionScheme,
+    ReedSolomonScheme,
+)
+
+
+@pytest.mark.parametrize(
+    "scheme_class", [CyclicRepetitionScheme, ReedSolomonScheme], ids=["cr", "rs"]
+)
+class TestWorstCaseCodedSchemes:
+    def test_plan_properties(self, scheme_class, rng):
+        plan = scheme_class(load=3).build_plan(num_units=9, num_workers=9, rng=rng)
+        assert plan.computational_load_units == 3
+        np.testing.assert_allclose(plan.message_sizes, 1.0)
+        assert plan.unit_assignment.is_complete()
+
+    def test_requires_m_equals_n(self, scheme_class):
+        with pytest.raises(ConfigurationError):
+            scheme_class(load=2).build_plan(num_units=10, num_workers=5)
+
+    def test_load_validation(self, scheme_class):
+        with pytest.raises(ConfigurationError):
+            scheme_class(load=10).build_plan(num_units=6, num_workers=6)
+
+    def test_master_stops_at_n_minus_s_workers(self, scheme_class, rng):
+        load = 3
+        scheme = scheme_class(load=load)
+        plan = scheme.build_plan(num_units=8, num_workers=8, rng=rng)
+        aggregator = plan.new_aggregator()
+        order = rng.permutation(8)
+        heard = 0
+        for worker in order:
+            heard += 1
+            if aggregator.receive(int(worker), None):
+                break
+        assert heard == 8 - (load - 1)
+
+    def test_expected_threshold_formula(self, scheme_class):
+        scheme = scheme_class(load=10)
+        assert scheme.expected_recovery_threshold(50, 50) == 41.0
+        assert scheme.expected_communication_load(50, 50) == 41.0
+
+    def test_encoder_applies_code_coefficients(self, scheme_class, rng):
+        scheme = scheme_class(load=2)
+        plan = scheme.build_plan(num_units=5, num_workers=5, rng=rng)
+        code = plan.metadata["code"]
+        gradients = rng.standard_normal((2, 3))
+        worker = 1
+        support = code.support(worker)
+        expected = code.encoding_matrix[worker, support] @ gradients
+        np.testing.assert_allclose(plan.encode(worker, gradients), expected)
+
+
+class TestFractionalRepetitionScheme:
+    def test_divisibility_requirement(self):
+        with pytest.raises(ConfigurationError):
+            FractionalRepetitionScheme(load=4).build_plan(num_units=6, num_workers=6)
+
+    def test_plan_and_early_stop(self, rng):
+        scheme = FractionalRepetitionScheme(load=2)
+        plan = scheme.build_plan(num_units=6, num_workers=6, rng=rng)
+        assert plan.computational_load_units == 2
+        code = plan.metadata["code"]
+        aggregator = plan.new_aggregator()
+        group = code.groups[0]
+        aggregator.receive(int(group[0]), None)
+        for member in group[1:]:
+            complete = aggregator.receive(int(member), None)
+        assert complete
+
+    def test_worst_case_never_exceeds_n_minus_s(self, rng):
+        scheme = FractionalRepetitionScheme(load=3)
+        plan = scheme.build_plan(num_units=9, num_workers=9, rng=rng)
+        for seed in range(10):
+            order = np.random.default_rng(seed).permutation(9)
+            aggregator = plan.new_aggregator()
+            heard = 0
+            for worker in order:
+                heard += 1
+                if aggregator.receive(int(worker), None):
+                    break
+            assert heard <= 9 - 2

@@ -1,0 +1,86 @@
+"""Tests for the uncoded, simple randomized and registry-constructed schemes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.schemes.randomized import SimpleRandomizedScheme
+from repro.schemes.registry import make_scheme, scheme_registry
+from repro.schemes.uncoded import UncodedScheme
+
+
+class TestUncodedScheme:
+    def test_plan_is_disjoint_partition(self):
+        plan = UncodedScheme().build_plan(12, 4)
+        assert plan.unit_assignment.example_multiplicity().max() == 1
+        assert plan.unit_assignment.is_complete()
+        np.testing.assert_allclose(plan.message_sizes, 1.0)
+
+    def test_master_waits_for_all_workers(self):
+        plan = UncodedScheme().build_plan(12, 4)
+        aggregator = plan.new_aggregator()
+        for worker in range(3):
+            assert not aggregator.receive(worker, None)
+        assert aggregator.receive(3, None)
+
+    def test_formulas(self):
+        scheme = UncodedScheme()
+        assert scheme.expected_recovery_threshold(100, 50) == 50.0
+        assert scheme.expected_communication_load(100, 50) == 50.0
+
+    def test_encoder_sums(self, rng):
+        plan = UncodedScheme().build_plan(6, 2)
+        gradients = rng.standard_normal((3, 2))
+        np.testing.assert_allclose(plan.encode(0, gradients), gradients.sum(axis=0))
+
+
+class TestSimpleRandomizedScheme:
+    def test_plan_message_sizes_equal_load(self, rng):
+        plan = SimpleRandomizedScheme(load=4).build_plan(10, 6, rng)
+        np.testing.assert_allclose(plan.message_sizes, 4.0)
+        assert plan.computational_load_units == 4
+
+    def test_identity_encoder(self, rng):
+        plan = SimpleRandomizedScheme(load=3).build_plan(10, 4, rng)
+        gradients = rng.standard_normal((3, 2))
+        np.testing.assert_allclose(plan.encode(0, gradients), gradients)
+
+    def test_master_stops_at_unit_coverage(self, rng):
+        scheme = SimpleRandomizedScheme(load=5)
+        plan = scheme.build_feasible_plan(10, 30, rng=rng)
+        aggregator = plan.new_aggregator()
+        covered = np.zeros(10, dtype=bool)
+        for worker in range(30):
+            complete = aggregator.receive(worker, None)
+            covered[plan.worker_units(worker)] = True
+            if covered.all():
+                assert complete
+                break
+            assert not complete
+
+    def test_load_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimpleRandomizedScheme(load=11).build_plan(10, 5)
+
+    def test_formula_hooks(self):
+        scheme = SimpleRandomizedScheme(load=5)
+        threshold = scheme.expected_recovery_threshold(50, 20)
+        load = scheme.expected_communication_load(50, 20)
+        assert load == pytest.approx(5 * threshold)
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in scheme_registry():
+            scheme = make_scheme(name, load=2)
+            assert scheme is not None
+
+    def test_bcc_and_uncoded_types(self):
+        from repro.schemes.bcc import BCCScheme
+
+        assert isinstance(make_scheme("bcc", load=3), BCCScheme)
+        assert isinstance(make_scheme("uncoded"), UncodedScheme)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_scheme("mystery-scheme")

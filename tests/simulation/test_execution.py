@@ -1,0 +1,132 @@
+"""Exactness tests: every scheme's decoded gradient equals the true full gradient."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.batching import make_batches
+from repro.datasets.synthetic import make_linear_regression_data, make_paper_logistic_data, LogisticDataConfig
+from repro.exceptions import CoverageError
+from repro.gradients.evaluation import full_gradient
+from repro.gradients.least_squares import LeastSquaresLoss
+from repro.gradients.logistic import LogisticLoss
+from repro.schemes.bcc import BCCScheme
+from repro.schemes.coded import (
+    CyclicRepetitionScheme,
+    FractionalRepetitionScheme,
+    ReedSolomonScheme,
+)
+from repro.schemes.heterogeneous import GeneralizedBCCScheme, LoadBalancedScheme
+from repro.schemes.randomized import SimpleRandomizedScheme
+from repro.schemes.uncoded import UncodedScheme
+from repro.simulation.execution import (
+    distributed_gradient,
+    unit_gradient_matrix,
+    worker_message,
+)
+
+
+@pytest.fixture
+def logistic_problem():
+    config = LogisticDataConfig(num_examples=24, num_features=6)
+    dataset, _ = make_paper_logistic_data(config, seed=0)
+    model = LogisticLoss()
+    weights = np.random.default_rng(1).standard_normal(6) * 0.3
+    return model, dataset, weights
+
+
+class TestUnitGradients:
+    def test_example_granularity(self, logistic_problem):
+        model, dataset, weights = logistic_problem
+        matrix = unit_gradient_matrix(model, dataset, weights, units=[0, 5, 7])
+        expected = model.per_example_gradients(
+            weights, dataset.features[[0, 5, 7]], dataset.labels[[0, 5, 7]]
+        )
+        np.testing.assert_allclose(matrix, expected, atol=1e-12)
+
+    def test_batch_granularity(self, logistic_problem):
+        model, dataset, weights = logistic_problem
+        spec = make_batches(dataset.num_examples, 6)
+        matrix = unit_gradient_matrix(model, dataset, weights, units=[1], unit_spec=spec)
+        indices = spec.batch_indices(1)
+        expected = model.gradient_sum(
+            weights, dataset.features[indices], dataset.labels[indices]
+        )
+        np.testing.assert_allclose(matrix[0], expected, atol=1e-12)
+
+    def test_worker_message_empty_for_idle_worker(self, logistic_problem):
+        model, dataset, weights = logistic_problem
+        plan = LoadBalancedScheme(loads=[24, 0]).build_plan(24, 2)
+        assert worker_message(plan, 1, model, dataset, weights).size == 0
+
+
+HOMOGENEOUS_SCHEMES = [
+    ("uncoded", UncodedScheme(), 24, 6),
+    ("bcc", BCCScheme(load=4), 24, 12),
+    ("randomized", SimpleRandomizedScheme(load=6), 24, 12),
+    ("cyclic-repetition", CyclicRepetitionScheme(load=3), 12, 12),
+    ("reed-solomon", ReedSolomonScheme(load=3), 12, 12),
+    ("fractional-repetition", FractionalRepetitionScheme(load=3), 12, 12),
+]
+
+
+class TestDistributedGradientExactness:
+    @pytest.mark.parametrize(
+        "name, scheme, num_units, num_workers",
+        HOMOGENEOUS_SCHEMES,
+        ids=[case[0] for case in HOMOGENEOUS_SCHEMES],
+    )
+    def test_decoded_gradient_is_exact(self, name, scheme, num_units, num_workers, rng):
+        dataset, _ = make_linear_regression_data(num_units, 5, seed=3)
+        model = LeastSquaresLoss()
+        weights = rng.standard_normal(5)
+        plan = scheme.build_feasible_plan(num_units, num_workers, rng=rng)
+        order = rng.permutation(num_workers)
+        gradient, workers_heard = distributed_gradient(
+            plan, model, dataset, weights, order
+        )
+        expected = full_gradient(model, dataset, weights)
+        np.testing.assert_allclose(gradient, expected, atol=1e-8)
+        assert 1 <= workers_heard <= num_workers
+
+    def test_batch_unit_granularity_exactness(self, logistic_problem, rng):
+        model, dataset, weights = logistic_problem
+        spec = make_batches(dataset.num_examples, 4)  # 6 batches
+        plan = BCCScheme(load=2).build_feasible_plan(spec.num_batches, 20, rng=rng)
+        gradient, _ = distributed_gradient(
+            plan, model, dataset, weights, rng.permutation(20), unit_spec=spec
+        )
+        np.testing.assert_allclose(
+            gradient, full_gradient(model, dataset, weights), atol=1e-10
+        )
+
+    def test_heterogeneous_schemes_exactness(self, rng):
+        dataset, _ = make_linear_regression_data(30, 4, seed=5)
+        model = LeastSquaresLoss()
+        weights = rng.standard_normal(4)
+        expected = full_gradient(model, dataset, weights)
+
+        generalized = GeneralizedBCCScheme(loads=[10, 15, 20, 8, 12])
+        plan = generalized.build_feasible_plan(30, 5, rng=rng)
+        gradient, _ = distributed_gradient(plan, model, dataset, weights, rng.permutation(5))
+        np.testing.assert_allclose(gradient, expected, atol=1e-10)
+
+        balanced = LoadBalancedScheme(loads=[6, 6, 6, 6, 6])
+        plan = balanced.build_plan(30, 5, rng=rng)
+        gradient, _ = distributed_gradient(plan, model, dataset, weights, range(5))
+        np.testing.assert_allclose(gradient, expected, atol=1e-10)
+
+    def test_insufficient_workers_raise(self, rng):
+        dataset, _ = make_linear_regression_data(12, 3, seed=6)
+        model = LeastSquaresLoss()
+        plan = UncodedScheme().build_plan(12, 6)
+        with pytest.raises(CoverageError):
+            distributed_gradient(plan, model, dataset, np.zeros(3), [0, 1, 2])
+
+    def test_bcc_stops_before_hearing_everyone(self, rng):
+        dataset, _ = make_linear_regression_data(20, 3, seed=7)
+        model = LeastSquaresLoss()
+        plan = BCCScheme(load=10).build_feasible_plan(20, 40, rng=rng)  # 2 batches
+        _, workers_heard = distributed_gradient(
+            plan, model, dataset, np.zeros(3), rng.permutation(40)
+        )
+        assert workers_heard < 40

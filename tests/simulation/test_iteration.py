@@ -1,0 +1,123 @@
+"""Tests for the single-iteration timing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import SimulationError
+from repro.schemes.bcc import BCCScheme
+from repro.schemes.uncoded import UncodedScheme
+from repro.simulation.iteration import simulate_iteration
+from repro.stragglers.communication import LinearCommunicationModel, ZeroCommunicationModel
+from repro.stragglers.models import DeterministicDelay, ExponentialDelay
+
+
+class TestDeterministicAccounting:
+    """With deterministic delays every metric can be checked exactly."""
+
+    def test_uncoded_times(self):
+        # 4 workers, 8 units, 2 units each, 1 s per example, free comm:
+        # every worker finishes at t = 2 and the master waits for all.
+        cluster = ClusterSpec.homogeneous(
+            4, DeterministicDelay(1.0), ZeroCommunicationModel()
+        )
+        plan = UncodedScheme().build_plan(8, 4)
+        outcome = simulate_iteration(plan, cluster, rng=0)
+        assert outcome.total_time == pytest.approx(2.0)
+        assert outcome.computation_time == pytest.approx(2.0)
+        assert outcome.communication_time == pytest.approx(0.0)
+        assert outcome.workers_heard == 4
+        assert outcome.communication_load == pytest.approx(4.0)
+
+    def test_unit_size_scales_computation(self):
+        cluster = ClusterSpec.homogeneous(
+            2, DeterministicDelay(1.0), ZeroCommunicationModel()
+        )
+        plan = UncodedScheme().build_plan(2, 2)
+        outcome = simulate_iteration(plan, cluster, rng=0, unit_size=50)
+        assert outcome.total_time == pytest.approx(50.0)
+
+    def test_serialized_link_accumulates_transfers(self):
+        # Deterministic compute 1 s, deterministic 0.5 s per message, 3
+        # workers: with a serialized link the last arrival is 1 + 3 * 0.5.
+        cluster = ClusterSpec.homogeneous(
+            3,
+            DeterministicDelay(1.0),
+            LinearCommunicationModel(seconds_per_unit=0.5),
+        )
+        plan = UncodedScheme().build_plan(3, 3)
+        outcome = simulate_iteration(plan, cluster, rng=0, serialize_master_link=True)
+        assert outcome.total_time == pytest.approx(1.0 + 3 * 0.5)
+        assert outcome.communication_time == pytest.approx(1.5)
+
+    def test_parallel_link_overlaps_transfers(self):
+        cluster = ClusterSpec.homogeneous(
+            3,
+            DeterministicDelay(1.0),
+            LinearCommunicationModel(seconds_per_unit=0.5),
+        )
+        plan = UncodedScheme().build_plan(3, 3)
+        outcome = simulate_iteration(plan, cluster, rng=0, serialize_master_link=False)
+        assert outcome.total_time == pytest.approx(1.5)
+
+
+class TestStoppingBehaviour:
+    def test_bcc_hears_fewer_workers_than_uncoded(self, exponential_cluster, rng):
+        num_units, load = 20, 5
+        bcc_plan = BCCScheme(load).build_feasible_plan(num_units, 20, rng=rng)
+        uncoded_plan = UncodedScheme().build_plan(num_units, 20)
+        bcc_heard = [
+            simulate_iteration(bcc_plan, exponential_cluster, rng=rng).workers_heard
+            for _ in range(50)
+        ]
+        uncoded_heard = [
+            simulate_iteration(uncoded_plan, exponential_cluster, rng=rng).workers_heard
+            for _ in range(50)
+        ]
+        assert np.mean(bcc_heard) < np.mean(uncoded_heard)
+        assert all(count == 20 for count in uncoded_heard)
+
+    def test_heard_workers_listed_in_arrival_order(self, exponential_cluster, rng):
+        plan = UncodedScheme().build_plan(20, 20)
+        outcome = simulate_iteration(plan, exponential_cluster, rng=rng)
+        assert len(outcome.heard_workers) == outcome.workers_heard
+        assert set(outcome.heard_workers) == set(range(20))
+
+    def test_infeasible_plan_raises(self, rng):
+        # Build a BCC plan whose random choices miss a batch, then simulate.
+        scheme = BCCScheme(load=5)
+        missing = None
+        for seed in range(200):
+            plan = scheme.build_plan(20, 4, rng=seed)
+            if not plan.can_ever_complete():
+                missing = plan
+                break
+        assert missing is not None, "expected to find an infeasible placement"
+        cluster = ClusterSpec.homogeneous(4, DeterministicDelay(1.0))
+        with pytest.raises(SimulationError):
+            simulate_iteration(missing, cluster, rng=0)
+
+    def test_cluster_size_mismatch_raises(self, rng):
+        plan = UncodedScheme().build_plan(10, 5)
+        cluster = ClusterSpec.homogeneous(4, DeterministicDelay(1.0))
+        with pytest.raises(SimulationError):
+            simulate_iteration(plan, cluster, rng=rng)
+
+
+class TestMetricsConsistency:
+    def test_times_add_up(self, homogeneous_cluster, rng):
+        plan = BCCScheme(load=3).build_feasible_plan(12, 12, rng=rng)
+        for _ in range(20):
+            outcome = simulate_iteration(plan, homogeneous_cluster, rng=rng)
+            assert outcome.total_time >= outcome.computation_time - 1e-12
+            assert outcome.communication_time == pytest.approx(
+                outcome.total_time - outcome.computation_time
+            )
+            assert outcome.workers_finished_compute >= outcome.workers_heard - 1
+
+    def test_communication_load_counts_message_sizes(self, homogeneous_cluster, rng):
+        from repro.schemes.randomized import SimpleRandomizedScheme
+
+        plan = SimpleRandomizedScheme(load=4).build_feasible_plan(12, 12, rng=rng)
+        outcome = simulate_iteration(plan, homogeneous_cluster, rng=rng)
+        assert outcome.communication_load == pytest.approx(4.0 * outcome.workers_heard)

@@ -1,0 +1,145 @@
+"""Tests for the multi-iteration job simulator (timing-only and semantic)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.datasets.batching import make_batches
+from repro.datasets.synthetic import LogisticDataConfig, make_paper_logistic_data
+from repro.exceptions import SimulationError
+from repro.gradients.logistic import LogisticLoss
+from repro.optim.nesterov import NesterovAcceleratedGradient
+from repro.optim.trainer import train
+from repro.schemes.bcc import BCCScheme
+from repro.schemes.uncoded import UncodedScheme
+from repro.simulation.job import JobResult, simulate_job, simulate_training_run
+from repro.stragglers.models import DeterministicDelay
+
+
+class TestSimulateJob:
+    def test_iteration_count_and_totals(self, homogeneous_cluster, rng):
+        result = simulate_job(
+            BCCScheme(load=3), homogeneous_cluster, num_units=12, num_iterations=7, rng=rng
+        )
+        assert result.num_iterations == 7
+        assert result.total_time == pytest.approx(
+            sum(outcome.total_time for outcome in result.iterations)
+        )
+        assert result.total_time >= result.total_computation_time
+
+    def test_accepts_prebuilt_plan(self, homogeneous_cluster, rng):
+        plan = UncodedScheme().build_plan(12, 12)
+        result = simulate_job(plan, homogeneous_cluster, 12, 3, rng=rng)
+        assert result.scheme_name == "uncoded"
+        assert result.average_recovery_threshold == 12.0
+
+    def test_summary_keys(self, homogeneous_cluster, rng):
+        result = simulate_job(BCCScheme(load=4), homogeneous_cluster, 12, 3, rng=rng)
+        summary = result.summary()
+        assert set(summary) == {
+            "scheme",
+            "iterations",
+            "recovery_threshold",
+            "communication_load",
+            "communication_time",
+            "computation_time",
+            "total_time",
+        }
+
+    def test_empty_job_result_raises_on_averages(self):
+        with pytest.raises(SimulationError):
+            JobResult(scheme_name="x").average_recovery_threshold
+
+    def test_invalid_scheme_type(self, homogeneous_cluster):
+        with pytest.raises(SimulationError):
+            simulate_job("bcc", homogeneous_cluster, 12, 2, rng=0)
+
+    def test_reproducible_with_same_seed(self, homogeneous_cluster):
+        a = simulate_job(BCCScheme(load=3), homogeneous_cluster, 12, 5, rng=42)
+        b = simulate_job(BCCScheme(load=3), homogeneous_cluster, 12, 5, rng=42)
+        assert a.total_time == pytest.approx(b.total_time)
+        assert a.average_recovery_threshold == pytest.approx(b.average_recovery_threshold)
+
+
+class TestSemanticTrainingRun:
+    @pytest.fixture
+    def problem(self):
+        config = LogisticDataConfig(num_examples=48, num_features=8)
+        dataset, _ = make_paper_logistic_data(config, seed=0)
+        return LogisticLoss(), dataset
+
+    def test_training_matches_centralised_gd(self, problem):
+        # With every scheme recovering the exact gradient, the distributed
+        # trajectory must equal the centralised one for the same optimizer.
+        model, dataset = problem
+        cluster = ClusterSpec.homogeneous(12, DeterministicDelay(0.001))
+        unit_spec = make_batches(dataset.num_examples, 4)  # 12 batches
+        distributed = simulate_training_run(
+            UncodedScheme(),
+            cluster,
+            model,
+            dataset,
+            NesterovAcceleratedGradient(0.5),
+            num_iterations=15,
+            rng=0,
+            unit_spec=unit_spec,
+        )
+        centralised = train(
+            model, dataset, NesterovAcceleratedGradient(0.5), num_iterations=15
+        )
+        np.testing.assert_allclose(
+            distributed.training.weights, centralised.weights, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            distributed.training.losses, centralised.losses, atol=1e-8
+        )
+
+    def test_bcc_semantic_run_also_matches(self, problem, homogeneous_cluster):
+        model, dataset = problem
+        unit_spec = make_batches(dataset.num_examples, 4)  # 12 batches
+        distributed = simulate_training_run(
+            BCCScheme(load=3),
+            homogeneous_cluster,
+            model,
+            dataset,
+            NesterovAcceleratedGradient(0.5),
+            num_iterations=10,
+            rng=1,
+            unit_spec=unit_spec,
+        )
+        centralised = train(
+            model, dataset, NesterovAcceleratedGradient(0.5), num_iterations=10
+        )
+        np.testing.assert_allclose(
+            distributed.training.weights, centralised.weights, atol=1e-8
+        )
+
+    def test_loss_decreases(self, problem, homogeneous_cluster):
+        model, dataset = problem
+        unit_spec = make_batches(dataset.num_examples, 4)
+        result = simulate_training_run(
+            BCCScheme(load=4),
+            homogeneous_cluster,
+            model,
+            dataset,
+            NesterovAcceleratedGradient(0.3),
+            num_iterations=12,
+            rng=2,
+            unit_spec=unit_spec,
+        )
+        assert result.training.losses[-1] < result.training.losses[0]
+        assert result.num_iterations == 12
+
+    def test_example_granularity_run(self, problem, homogeneous_cluster):
+        model, dataset = problem
+        # Units are single examples (no unit_spec); use 12 workers over 48 units.
+        result = simulate_training_run(
+            UncodedScheme(),
+            homogeneous_cluster,
+            model,
+            dataset,
+            NesterovAcceleratedGradient(0.5),
+            num_iterations=3,
+            rng=3,
+        )
+        assert result.training.num_iterations == 3

@@ -1,0 +1,51 @@
+"""Tests for the communication-time models."""
+
+import numpy as np
+import pytest
+
+from repro.stragglers.communication import (
+    LinearCommunicationModel,
+    ZeroCommunicationModel,
+)
+
+
+class TestLinearCommunication:
+    def test_deterministic_when_no_jitter(self, rng):
+        model = LinearCommunicationModel(latency=0.1, seconds_per_unit=0.5)
+        assert model.sample(2.0, rng=rng) == pytest.approx(1.1)
+        np.testing.assert_allclose(model.sample(2.0, rng=rng, size=4), 1.1)
+
+    def test_mean_includes_jitter(self):
+        model = LinearCommunicationModel(latency=0.1, seconds_per_unit=1.0, jitter=0.3)
+        assert model.mean(2.0) == pytest.approx(2.4)
+
+    def test_jitter_adds_randomness(self, rng):
+        model = LinearCommunicationModel(seconds_per_unit=0.0, jitter=1.0)
+        samples = model.sample(1.0, rng=rng, size=1000)
+        assert samples.std() > 0.5
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.15)
+
+    def test_scales_with_message_size(self):
+        model = LinearCommunicationModel(seconds_per_unit=2.0)
+        assert model.mean(3.0) == pytest.approx(6.0)
+        assert model.mean(0.0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCommunicationModel().mean(-1.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCommunicationModel(latency=-0.1)
+        with pytest.raises(ValueError):
+            LinearCommunicationModel(seconds_per_unit=-0.1)
+        with pytest.raises(ValueError):
+            LinearCommunicationModel(jitter=-0.1)
+
+
+class TestZeroCommunication:
+    def test_always_zero(self, rng):
+        model = ZeroCommunicationModel()
+        assert model.sample(100.0, rng=rng) == 0.0
+        np.testing.assert_array_equal(model.sample(5.0, rng=rng, size=3), np.zeros(3))
+        assert model.mean(42.0) == 0.0

@@ -1,0 +1,50 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_float, format_seconds
+
+
+class TestFormatting:
+    def test_format_float_digits(self):
+        assert format_float(3.14159, 2) == "3.14"
+        assert format_float(3.0) == "3.000"
+
+    def test_format_seconds_suffix(self):
+        assert format_seconds(4.2049) == "4.205 s"
+
+
+class TestTextTable:
+    def test_requires_headers(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_row_length_mismatch(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_render_contains_headers_and_cells(self):
+        table = TextTable(["scheme", "K"], title="demo")
+        table.add_row(["bcc", 11])
+        table.add_row(["uncoded", 50.0])
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "scheme" in rendered
+        assert "bcc" in rendered
+        assert "50.000" in rendered  # floats get 3 decimals
+        assert "11" in rendered
+
+    def test_columns_are_aligned(self):
+        table = TextTable(["name", "value"])
+        table.add_row(["a", 1])
+        table.add_row(["long-name", 2])
+        lines = table.render().splitlines()
+        # All data/header lines have equal length because of padding.
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_str_matches_render(self):
+        table = TextTable(["x"])
+        table.add_row([1])
+        assert str(table) == table.render()

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import SimulatedClock, Timer, WallClock
+
+
+class TestWallClock:
+    def test_monotone_nonnegative(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert first >= 0.0
+        assert second >= first
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(start=-1.0)
+
+    def test_advance_to(self):
+        clock = SimulatedClock()
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_advance_backwards_rejected(self):
+        clock = SimulatedClock(start=2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_advance_by(self):
+        clock = SimulatedClock()
+        clock.advance_by(1.0)
+        clock.advance_by(0.5)
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance_by(-0.1)
+
+
+class TestTimer:
+    def test_accumulates_elapsed_time(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        assert first > 0.0
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed > first
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
