@@ -10,9 +10,11 @@ import numpy as np
 import pytest
 
 from repro.coding.cyclic_repetition import CyclicRepetitionCode
+from repro.coding.linear_code import LinearGradientCode
 from repro.datasets.synthetic import LogisticDataConfig, make_paper_logistic_data
 from repro.experiments.ec2 import ec2_like_cluster
 from repro.gradients.logistic import LogisticLoss
+from repro.schemes.base import CodedAggregator
 from repro.schemes.bcc import BCCScheme
 from repro.simulation.iteration import simulate_iteration
 
@@ -49,6 +51,38 @@ def test_kernel_cyclic_code_encode_decode(benchmark):
 
     decoded = benchmark(encode_and_decode)
     np.testing.assert_allclose(decoded, gradients.sum(axis=0), atol=1e-6)
+
+
+def test_kernel_coded_aggregator_decodability_throttle(benchmark):
+    """``check_every`` must actually skip the expensive decodability test.
+
+    The identity code is the worst case for the master's stopping rule: the
+    worst-case bound ``n - s`` is loose (coverage needs every worker), so an
+    unthrottled aggregator re-runs the O(n^3) least-squares check on every
+    single arrival past the threshold. This guards the throttle against
+    regressing to that behaviour.
+    """
+    n = 80
+    code = LinearGradientCode(np.eye(n), name="identity")
+    # Claim a loose worst-case straggler tolerance so the first plausible
+    # completion point is far below the real one and many checks would fail.
+    code.num_stragglers = n // 2
+
+    def feed(check_every: int) -> CodedAggregator:
+        aggregator = CodedAggregator(code=code, check_every=check_every)
+        for worker in range(n):
+            if aggregator.receive(worker, None):
+                break
+        return aggregator
+
+    eager = feed(1)
+    throttled = benchmark(lambda: feed(8))
+    assert eager.is_complete() and throttled.is_complete()
+    assert eager.workers_heard == throttled.workers_heard == n
+    # The throttle runs at most ceil(window / check_every) + 1 checks where
+    # the eager aggregator runs one per arrival in the window.
+    assert eager.decodability_checks == n - n // 2 + 1
+    assert throttled.decodability_checks <= eager.decodability_checks // 4
 
 
 def test_kernel_simulated_iteration_scenario_two_scale(benchmark):

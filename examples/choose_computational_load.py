@@ -12,10 +12,9 @@ Run with::
 """
 
 from repro.analysis import predict_iteration_time
+from repro.api import JobSpec, run
 from repro.experiments import ec2_like_cluster
 from repro.experiments.ec2 import EC2LikeConfig
-from repro.schemes.bcc import BCCScheme
-from repro.simulation.job import simulate_job
 from repro.stragglers.communication import LinearCommunicationModel
 from repro.stragglers.models import ShiftedExponentialDelay
 from repro.utils.tables import TextTable
@@ -52,15 +51,16 @@ def main() -> None:
     print(f"\npredicted best load: r = {best_load}\n")
 
     # --- 2. Validate the chosen operating point against the simulator. --- #
-    cluster = ec2_like_cluster(num_workers, config)
-    job = simulate_job(
-        BCCScheme(best_load),
-        cluster,
-        num_units=num_batches,
-        num_iterations=50,
-        rng=0,
-        unit_size=points_per_batch,
-        serialize_master_link=False,
+    job = run(
+        JobSpec(
+            scheme={"name": "bcc", "load": best_load},
+            cluster=ec2_like_cluster(num_workers, config),
+            num_units=num_batches,
+            num_iterations=50,
+            unit_size=points_per_batch,
+            serialize_master_link=False,
+            seed=0,
+        )
     )
     print(
         f"simulator at r = {best_load}: "

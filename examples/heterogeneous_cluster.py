@@ -9,8 +9,12 @@ speeds. This example
    how the optimal loads concentrate on the fast workers,
 3. compares the average time to "coverage" (every example's gradient received
    at least once) of the generalized BCC scheme against the proportional
-   load-balancing baseline, and
-4. evaluates the Theorem 2 lower/upper bounds for the same cluster.
+   load-balancing baseline,
+4. evaluates the Theorem 2 lower/upper bounds for the same cluster, and
+5. shows that the heterogeneous schemes are constructible *by name* — from
+   the registry (``make_scheme("generalized-bcc", cluster=...)``) and from a
+   plain config mapping inside a :class:`~repro.api.JobSpec`, which injects
+   the job's cluster automatically.
 
 Run with::
 
@@ -19,7 +23,8 @@ Run with::
 
 import numpy as np
 
-from repro import ClusterSpec, solve_p2_allocation, theorem2_bounds
+from repro import ClusterSpec, make_scheme, solve_p2_allocation, theorem2_bounds
+from repro.api import JobSpec, run
 from repro.cluster.allocation import load_balanced_allocation
 from repro.experiments.fig5 import run_fig5
 from repro.utils.tables import TextTable
@@ -59,6 +64,30 @@ def main() -> None:
     bounds_table.add_row(["measured generalized BCC (from Fig. 5 run)", result.bcc_average_time])
     bounds_table.add_row(["upper bound  min E[T-hat(c m log m)] + 1", bounds.upper])
     print(bounds_table.render())
+    print()
+
+    # --- 4. Config-driven construction of the heterogeneous schemes ------- #
+    scheme = make_scheme("generalized-bcc", cluster=cluster)
+    plan = scheme.build_feasible_plan(num_examples, cluster.num_workers, rng=0)
+    print(
+        f"make_scheme('generalized-bcc', cluster=...) assigns "
+        f"{int(plan.metadata['loads'].sum())} examples in total"
+    )
+    job = run(
+        JobSpec(
+            scheme={"name": "generalized-bcc"},
+            cluster=cluster,
+            num_units=num_examples,
+            num_iterations=20,
+            serialize_master_link=False,
+            seed=0,
+        )
+    )
+    print(
+        "JobSpec({'name': 'generalized-bcc'}) simulated 20 iterations: "
+        f"avg recovery threshold {job.average_recovery_threshold:.1f} of "
+        f"{cluster.num_workers} workers"
+    )
 
 
 if __name__ == "__main__":

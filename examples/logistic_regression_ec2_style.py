@@ -41,13 +41,16 @@ def main() -> None:
         ["scheme", "final training loss", "avg workers waited for", "total simulated time (s)"],
         title="Training outcome (all schemes recover the exact gradient each iteration)",
     )
+    # run_scenario routes through the unified API, so each job is a RunResult
+    # whose summary() carries the timing breakdown and the final loss.
     for name, job in result.jobs.items():
+        summary = job.summary()
         table.add_row(
             [
                 name,
-                job.training.losses[-1],
-                job.average_recovery_threshold,
-                job.total_time,
+                summary["final_loss"],
+                summary["recovery_threshold"],
+                summary["total_time"],
             ]
         )
     print(table.render())

@@ -19,11 +19,12 @@ Run with::
 
 import numpy as np
 
-from repro import BCCScheme, LogisticLoss, NesterovAcceleratedGradient, UncodedScheme
+from repro import BCCScheme, LogisticLoss, NesterovAcceleratedGradient
+from repro.api import JobSpec, Workload, run
 from repro.datasets.batching import make_batches
 from repro.datasets.synthetic import LogisticDataConfig, make_paper_logistic_data
-from repro.runtime import run_distributed_job
 from repro.stragglers.models import BimodalStragglerDelay, DeterministicDelay
+from repro.utils.rng import as_generator
 from repro.utils.tables import TextTable
 
 
@@ -32,22 +33,29 @@ def main() -> None:
     num_batches = 12
     points_per_batch = 25
     num_iterations = 10
+    bcc_seed = 1
 
     config = LogisticDataConfig(
         num_examples=num_batches * points_per_batch, num_features=200
     )
     dataset, _ = make_paper_logistic_data(config, seed=0)
-    unit_spec = make_batches(dataset.num_examples, points_per_batch)
-    model = LogisticLoss()
+    workload = Workload(
+        model=LogisticLoss(),
+        dataset=dataset,
+        optimizer=NesterovAcceleratedGradient(0.3),
+        unit_spec=make_batches(dataset.num_examples, points_per_batch),
+    )
 
     # BCC uses a load of 6 batches, i.e. the 12 batches form 2 BCC groups, so
-    # the master typically stops after hearing ~3 of the 6 workers. Build the
-    # plans first, then make one *redundant* BCC worker the straggler: a
-    # worker whose group is also held by somebody else, so BCC can ignore it
-    # while the uncoded scheme (disjoint data) must wait for it every time.
-    uncoded_plan = UncodedScheme().build_plan(num_batches, num_workers)
-    bcc_plan = BCCScheme(load=6).build_feasible_plan(num_batches, num_workers, rng=1)
-    batch_choices = bcc_plan.metadata["batch_choices"]
+    # the master typically stops after hearing ~3 of the 6 workers. Preview
+    # the placement the backend will draw from the same seed, then make one
+    # *redundant* BCC worker the straggler: a worker whose group is also held
+    # by somebody else, so BCC can ignore it while the uncoded scheme
+    # (disjoint data) must wait for it every time.
+    preview_plan = BCCScheme(load=6).build_feasible_plan(
+        num_batches, num_workers, rng=as_generator(bcc_seed)
+    )
+    batch_choices = preview_plan.metadata["batch_choices"]
     straggler = next(
         worker
         for worker in range(num_workers)
@@ -71,20 +79,22 @@ def main() -> None:
         title=f"Real multiprocessing run: {num_workers} worker processes, "
         f"{num_iterations} Nesterov iterations, worker {straggler} straggles",
     )
-    for name, plan in (("uncoded", uncoded_plan), ("bcc", bcc_plan)):
-        result = run_distributed_job(
-            plan,
-            model,
-            dataset,
-            NesterovAcceleratedGradient(0.3),
+    for scheme, seed in (({"name": "uncoded"}, 0), ({"name": "bcc", "load": 6}, bcc_seed)):
+        spec = JobSpec(
+            scheme=scheme,
+            num_units=None,
             num_iterations=num_iterations,
-            unit_spec=unit_spec,
-            straggle_delays=straggle_delays,
-            seed=0,
+            seed=seed,
+            workload=workload,
+            backend_options={
+                "num_workers": num_workers,
+                "straggle_delays": straggle_delays,
+            },
         )
+        result = run(spec, backend="multiprocess")
         table.add_row(
             [
-                name,
+                result.scheme_name,
                 result.training.losses[-1],
                 result.average_recovery_threshold,
                 result.total_seconds,

@@ -15,14 +15,8 @@ Run with::
 
 import numpy as np
 
-from repro import (
-    BCCScheme,
-    CyclicRepetitionScheme,
-    LeastSquaresLoss,
-    UncodedScheme,
-    distributed_gradient,
-    simulate_job,
-)
+from repro import BCCScheme, LeastSquaresLoss, distributed_gradient
+from repro.api import JobSpec, Sweep, run_sweep
 from repro.datasets.synthetic import make_linear_regression_data
 from repro.experiments import ec2_like_cluster
 from repro.gradients.evaluation import full_gradient
@@ -30,33 +24,43 @@ from repro.utils.tables import TextTable
 
 
 def compare_schemes() -> None:
-    """Simulate 50 iterations of distributed GD under three schemes."""
+    """Simulate 50 iterations of distributed GD under three schemes.
+
+    One :class:`JobSpec` describes the job; the sweep swaps the scheme axis
+    and runs every configuration on the timing simulation backend.
+    """
     num_workers = 50          # workers in the cluster
     num_batches = 50          # data units ("super examples"): batches of 100 points
     load = 10                 # batches processed per worker for BCC / cyclic repetition
-    cluster = ec2_like_cluster(num_workers)
 
-    schemes = {
-        "uncoded": UncodedScheme(),
-        "cyclic-repetition": CyclicRepetitionScheme(load),
-        "bcc": BCCScheme(load),
+    base = JobSpec(
+        scheme={"name": "uncoded"},
+        cluster=ec2_like_cluster(num_workers),
+        num_units=num_batches,
+        num_iterations=50,
+        unit_size=100,
+        serialize_master_link=False,
+        seed=0,
+    )
+    sweep = Sweep(
+        base,
+        parameters={
+            "scheme": [
+                {"name": "uncoded"},
+                {"name": "cyclic-repetition", "load": load},
+                {"name": "bcc", "load": load},
+            ]
+        },
+    )
+    results = {
+        record.result.scheme_name: record.result
+        for record in run_sweep(sweep).records
     }
 
     table = TextTable(
         ["scheme", "avg workers waited for", "total time (s)", "speed-up vs uncoded"],
         title="50 simulated iterations, 50 workers, EC2-like straggling",
     )
-    results = {}
-    for name, scheme in schemes.items():
-        results[name] = simulate_job(
-            scheme,
-            cluster,
-            num_units=num_batches,
-            num_iterations=50,
-            rng=0,
-            unit_size=100,
-            serialize_master_link=False,
-        )
     for name, job in results.items():
         speedup = 1.0 - job.total_time / results["uncoded"].total_time
         table.add_row(

@@ -44,6 +44,9 @@ from repro.schemes import (
     FractionalRepetitionScheme,
     GeneralizedBCCScheme,
     LoadBalancedScheme,
+    register_scheme,
+    available_schemes,
+    scheme_from_config,
     make_scheme,
 )
 from repro.cluster import ClusterSpec, WorkerSpec, solve_p2_allocation
@@ -57,6 +60,19 @@ from repro.stragglers import (
 )
 from repro.simulation import simulate_iteration, simulate_job, simulate_training_run, distributed_gradient
 from repro.runtime import run_distributed_job
+from repro.api import (
+    JobSpec,
+    Workload,
+    RunResult,
+    Backend,
+    TimingSimBackend,
+    SemanticSimBackend,
+    MultiprocessBackend,
+    run,
+    Sweep,
+    SweepResult,
+    run_sweep,
+)
 from repro.analysis import (
     bcc_recovery_threshold,
     lower_bound_recovery_threshold,
@@ -97,7 +113,22 @@ __all__ = [
     "FractionalRepetitionScheme",
     "GeneralizedBCCScheme",
     "LoadBalancedScheme",
+    "register_scheme",
+    "available_schemes",
+    "scheme_from_config",
     "make_scheme",
+    # unified API
+    "JobSpec",
+    "Workload",
+    "RunResult",
+    "Backend",
+    "TimingSimBackend",
+    "SemanticSimBackend",
+    "MultiprocessBackend",
+    "run",
+    "Sweep",
+    "SweepResult",
+    "run_sweep",
     # cluster
     "ClusterSpec",
     "WorkerSpec",

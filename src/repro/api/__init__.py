@@ -1,0 +1,56 @@
+"""One front door for experiments: ``JobSpec`` → ``Backend`` → ``RunResult``.
+
+The API layer unifies the three historical entry points
+(:func:`~repro.simulation.job.simulate_job`,
+:func:`~repro.simulation.job.simulate_training_run`,
+:func:`~repro.runtime.job.run_distributed_job`) behind a declarative job
+specification and interchangeable execution backends, and builds the
+parameter-sweep engine every figure/table driver, example, and the CLI run
+through.
+
+Quickstart
+----------
+>>> from repro.api import JobSpec, Sweep, run, run_sweep
+>>> from repro.experiments import ec2_like_cluster
+>>> spec = JobSpec(
+...     scheme={"name": "bcc", "load": 10},
+...     cluster=ec2_like_cluster(50),
+...     num_units=50, num_iterations=10, unit_size=100,
+...     serialize_master_link=False, seed=0,
+... )
+>>> result = run(spec)                      # timing backend by default
+>>> sweep = Sweep(spec, parameters={"scheme.load": [5, 10, 25]}, trials=3)
+>>> table = run_sweep(sweep).to_table()
+"""
+
+from repro.api.spec import JobSpec, Workload
+from repro.api.result import RunResult
+from repro.api.backends import (
+    Backend,
+    BackendLike,
+    TimingSimBackend,
+    SemanticSimBackend,
+    MultiprocessBackend,
+    available_backends,
+    get_backend,
+    run,
+)
+from repro.api.sweep import Sweep, SweepRecord, SweepResult, run_sweep
+
+__all__ = [
+    "JobSpec",
+    "Workload",
+    "RunResult",
+    "Backend",
+    "BackendLike",
+    "TimingSimBackend",
+    "SemanticSimBackend",
+    "MultiprocessBackend",
+    "available_backends",
+    "get_backend",
+    "run",
+    "Sweep",
+    "SweepRecord",
+    "SweepResult",
+    "run_sweep",
+]

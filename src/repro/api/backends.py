@@ -1,0 +1,203 @@
+"""Execution backends: one ``run(spec) -> RunResult`` front door each.
+
+Three implementations cover the repository's execution substrates:
+
+* :class:`TimingSimBackend` — discrete-event simulation, timing only (the
+  mode every figure/table benchmark uses; thousands of iterations/second).
+* :class:`SemanticSimBackend` — the same simulated timing, plus real encoded
+  gradients driving the optimizer, so the run also trains a model.
+* :class:`MultiprocessBackend` — one OS process per worker; wall-clock
+  measurements of a genuinely parallel run.
+
+Anything with a ``run(spec)`` method (or a bare callable) satisfies the
+:class:`Backend` protocol, which is what the sweep engine dispatches on —
+custom Monte-Carlo runners slot in the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Protocol, Type, Union, runtime_checkable
+
+from repro.api.result import RunResult
+from repro.api.spec import JobSpec
+from repro.exceptions import ConfigurationError
+from repro.runtime.job import run_distributed_job
+from repro.simulation.job import simulate_job, simulate_training_run
+
+__all__ = [
+    "Backend",
+    "BackendLike",
+    "TimingSimBackend",
+    "SemanticSimBackend",
+    "MultiprocessBackend",
+    "available_backends",
+    "get_backend",
+    "run",
+]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can execute a :class:`JobSpec`."""
+
+    name: str
+
+    def run(self, spec: JobSpec) -> RunResult:
+        """Execute the spec and return the unified result."""
+        ...
+
+
+#: A backend instance, a registered backend name, or a bare runner callable.
+BackendLike = Union[Backend, str, Callable[[JobSpec], RunResult]]
+
+
+class TimingSimBackend:
+    """Timing-only discrete-event simulation of the spec."""
+
+    name = "timing"
+
+    def run(self, spec: JobSpec) -> RunResult:
+        job = simulate_job(
+            spec.resolve_scheme(),
+            spec.require_cluster(),
+            num_units=spec.resolved_num_units,
+            num_iterations=spec.num_iterations,
+            rng=spec.seed,
+            unit_size=spec.resolved_unit_size,
+            serialize_master_link=spec.serialize_master_link,
+        )
+        return RunResult.from_job(job, backend=self.name)
+
+
+class SemanticSimBackend:
+    """Simulated timing plus real gradient computation and optimizer updates.
+
+    With the same spec and seed this backend consumes the random stream
+    identically to :class:`TimingSimBackend` (the gradient math is
+    deterministic), so the two agree exactly on every timing metric — the
+    property the backend-equivalence test pins down.
+    """
+
+    name = "semantic"
+
+    def run(self, spec: JobSpec) -> RunResult:
+        workload = spec.require_workload()
+        job = simulate_training_run(
+            spec.resolve_scheme(),
+            spec.require_cluster(),
+            workload.model,
+            workload.dataset,
+            workload.optimizer,
+            num_iterations=spec.num_iterations,
+            rng=spec.seed,
+            unit_spec=workload.unit_spec,
+            serialize_master_link=spec.serialize_master_link,
+            initial_weights=workload.initial_weights,
+        )
+        return RunResult.from_job(job, backend=self.name)
+
+
+class MultiprocessBackend:
+    """Real parallel execution: one OS process per worker.
+
+    The worker count comes from the spec's cluster when one is given,
+    otherwise from a ``num_workers`` backend option. Recognised
+    ``backend_options``: ``num_workers``, ``straggle_delays``,
+    ``receive_timeout``, ``mp_context``.
+    """
+
+    name = "multiprocess"
+
+    _OPTIONS = frozenset(
+        {"num_workers", "straggle_delays", "receive_timeout", "mp_context"}
+    )
+
+    def run(self, spec: JobSpec) -> RunResult:
+        workload = spec.require_workload()
+        options = dict(spec.backend_options)
+        unknown = sorted(set(options) - self._OPTIONS)
+        if unknown:
+            raise ConfigurationError(
+                f"multiprocess backend does not understand option(s) {unknown}; "
+                f"recognised: {sorted(self._OPTIONS)}"
+            )
+        num_workers = options.pop("num_workers", None)
+        if spec.cluster is not None:
+            if num_workers is not None and num_workers != spec.cluster.num_workers:
+                raise ConfigurationError(
+                    f"backend option num_workers={num_workers} conflicts with "
+                    f"the cluster's {spec.cluster.num_workers} workers"
+                )
+            num_workers = spec.cluster.num_workers
+        if num_workers is None:
+            raise ConfigurationError(
+                "the multiprocess backend needs a cluster or a num_workers "
+                "backend option to size the worker pool"
+            )
+        rng = spec.rng()
+        plan = spec.resolve_scheme().build_feasible_plan(
+            spec.resolved_num_units, int(num_workers), rng
+        )
+        worker_seed = int(rng.integers(0, 2**31 - 1))
+        result = run_distributed_job(
+            plan,
+            workload.model,
+            workload.dataset,
+            workload.optimizer,
+            num_iterations=spec.num_iterations,
+            unit_spec=workload.unit_spec,
+            straggle_delays=options.pop("straggle_delays", None),
+            seed=worker_seed,
+            initial_weights=workload.initial_weights,
+            **options,
+        )
+        return RunResult.from_distributed(result, backend=self.name)
+
+
+_BACKENDS: Dict[str, Type] = {
+    TimingSimBackend.name: TimingSimBackend,
+    SemanticSimBackend.name: SemanticSimBackend,
+    MultiprocessBackend.name: MultiprocessBackend,
+}
+
+
+def available_backends() -> list:
+    """Sorted names of the built-in backends."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(backend: BackendLike) -> Backend:
+    """Resolve a backend name/instance/callable into a ``Backend``."""
+    if isinstance(backend, str):
+        try:
+            return _BACKENDS[backend]()
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; available: {available_backends()}"
+            ) from None
+    if isinstance(backend, type):
+        backend = backend()
+    if callable(backend) and not hasattr(backend, "run"):
+        return _CallableBackend(backend)
+    if isinstance(backend, Backend):
+        return backend
+    raise ConfigurationError(
+        f"cannot use {backend!r} as a backend; expected a name, a Backend, "
+        "or a callable taking a JobSpec"
+    )
+
+
+class _CallableBackend:
+    """Adapter giving a bare ``spec -> RunResult`` callable the protocol shape."""
+
+    def __init__(self, runner: Callable[[JobSpec], RunResult]) -> None:
+        self._runner = runner
+        self.name = getattr(runner, "__name__", "custom")
+
+    def run(self, spec: JobSpec) -> RunResult:
+        return self._runner(spec)
+
+
+def run(spec: JobSpec, backend: BackendLike = "timing") -> RunResult:
+    """Execute one job spec on the chosen backend — the library's front door."""
+    return get_backend(backend).run(spec)

@@ -1,0 +1,139 @@
+"""The unified result type every backend returns.
+
+:class:`RunResult` is a superset of the historical
+:class:`~repro.simulation.job.JobResult` (simulated timing metrics plus an
+optional training trace) and
+:class:`~repro.runtime.job.DistributedRunResult` (wall-clock measurements of
+the multiprocessing runtime), so callers can hold results from any backend in
+one table without caring where they came from. ``summary()`` is preserved
+from ``JobResult`` and ``to_table()`` renders the headline metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.runtime.job import DistributedRunResult
+from repro.simulation.job import JobResult
+from repro.utils.tables import TextTable
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult(JobResult):
+    """Unified outcome of one job run, whatever backend executed it.
+
+    In addition to the inherited :class:`~repro.simulation.job.JobResult`
+    fields (``scheme_name``, simulated ``iterations``, optional
+    ``training``), a run result carries:
+
+    Attributes
+    ----------
+    backend:
+        Name of the backend that produced the result.
+    iteration_times:
+        Wall-clock seconds per iteration (multiprocessing backend only).
+    workers_heard:
+        Realised per-iteration recovery thresholds measured by the
+        multiprocessing master (the simulation backends record the same
+        information inside ``iterations``).
+    total_seconds:
+        Total wall-clock time of a real run (0.0 for simulated runs).
+    extras:
+        Free-form metrics attached by custom sweep runners.
+    """
+
+    backend: str = ""
+    iteration_times: List[float] = field(default_factory=list)
+    workers_heard: List[int] = field(default_factory=list)
+    total_seconds: float = 0.0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_job(cls, job: JobResult, *, backend: str) -> "RunResult":
+        """Wrap a simulated :class:`JobResult` (shares the iterations list)."""
+        return cls(
+            scheme_name=job.scheme_name,
+            iterations=job.iterations,
+            training=job.training,
+            backend=backend,
+        )
+
+    @classmethod
+    def from_distributed(
+        cls, result: DistributedRunResult, *, backend: str
+    ) -> "RunResult":
+        """Wrap a multiprocessing :class:`DistributedRunResult`."""
+        return cls(
+            scheme_name=result.scheme_name,
+            training=result.training,
+            backend=backend,
+            iteration_times=list(result.iteration_times),
+            workers_heard=list(result.workers_heard),
+            total_seconds=result.total_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_iterations(self) -> int:
+        """Number of executed iterations (simulated or wall-clock)."""
+        if self.iterations:
+            return len(self.iterations)
+        return len(self.iteration_times)
+
+    @property
+    def average_recovery_threshold(self) -> float:
+        """Mean workers waited for per iteration, from whichever record exists."""
+        if self.iterations:
+            return JobResult.average_recovery_threshold.fget(self)
+        if self.workers_heard:
+            return float(np.mean(self.workers_heard))
+        raise SimulationError("the run recorded no iterations")
+
+    @property
+    def total_time(self) -> float:
+        """Total running time: simulated when available, else wall-clock."""
+        if self.iterations:
+            return JobResult.total_time.fget(self)
+        return self.total_seconds
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict:
+        """Headline metrics; the ``JobResult`` keys are preserved verbatim."""
+        if self.iterations:
+            data = JobResult.summary(self)
+        else:
+            data = {
+                "scheme": self.scheme_name,
+                "iterations": self.num_iterations,
+                "total_time": self.total_time,
+            }
+            if self.workers_heard:
+                data["recovery_threshold"] = self.average_recovery_threshold
+        if self.backend:
+            data["backend"] = self.backend
+        if self.total_seconds:
+            data["wall_seconds"] = self.total_seconds
+        if self.training is not None and self.training.history:
+            data["final_loss"] = self.training.losses[-1]
+        return data
+
+    def to_table(self, *, title: str = "") -> TextTable:
+        """One-row-per-metric monospace table of :meth:`summary`."""
+        table = TextTable(
+            ["metric", "value"],
+            title=title or f"{self.scheme_name} ({self.backend or 'run'})",
+        )
+        for key, value in self.summary().items():
+            table.add_row([key, value])
+        for key, value in self.extras.items():
+            table.add_row(
+                [key, value if isinstance(value, (str, int, float)) else repr(value)]
+            )
+        return table

@@ -1,0 +1,315 @@
+"""Grid/zip parameter sweeps with Monte-Carlo replication over the API.
+
+A :class:`Sweep` pairs a base :class:`~repro.api.spec.JobSpec` with named
+parameter axes. :func:`run_sweep` expands the axes into cells (the cartesian
+product in ``grid`` mode, position-wise in ``zip`` mode), replicates every
+cell over ``trials`` independent runs, executes them on the sweep's backend —
+serially or via a ``concurrent.futures`` pool — and returns a
+:class:`SweepResult` whose records aggregate into report tables.
+
+Seeding strategies
+------------------
+``"spawn"`` (default)
+    Every (cell, trial) task receives its own :class:`numpy.random.SeedSequence`
+    child derived from the base spec's seed, so results are deterministic and
+    *identical* whether the sweep runs serially or in parallel.
+``"shared"``
+    A single generator is threaded through the cells in order — the historic
+    behaviour of the hand-written experiment loops, preserved so the rewired
+    figure/table drivers reproduce their pre-API output byte for byte. The
+    stream is inherently sequential, so this strategy refuses parallelism.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.backends import BackendLike, get_backend
+from repro.api.result import RunResult
+from repro.api.spec import JobSpec
+from repro.exceptions import ConfigurationError
+from repro.schemes.base import Scheme
+from repro.utils.rng import as_generator, random_seed_sequence
+from repro.utils.tables import TextTable
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Sweep", "SweepRecord", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A declarative parameter sweep over one base job spec.
+
+    Attributes
+    ----------
+    base:
+        The spec every cell is derived from.
+    parameters:
+        Ordered mapping from override key (a :meth:`JobSpec.with_overrides`
+        key such as ``"scheme"``, ``"scheme.load"``, ``"cluster"``,
+        ``"num_iterations"``) to the sequence of values to sweep.
+    mode:
+        ``"grid"`` for the cartesian product of the axes (first axis
+        outermost), ``"zip"`` for position-wise pairing of equal-length axes.
+    trials:
+        Monte-Carlo replications per cell.
+    backend:
+        Backend name, instance, or a bare ``spec -> RunResult`` callable.
+    seed_strategy:
+        ``"spawn"`` or ``"shared"`` (see the module docstring).
+    """
+
+    base: JobSpec
+    parameters: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    mode: str = "grid"
+    trials: int = 1
+    backend: BackendLike = "timing"
+    seed_strategy: str = "spawn"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.trials, "trials")
+        if self.mode not in ("grid", "zip"):
+            raise ConfigurationError(
+                f"sweep mode must be 'grid' or 'zip', got {self.mode!r}"
+            )
+        if self.seed_strategy not in ("spawn", "shared"):
+            raise ConfigurationError(
+                "seed_strategy must be 'spawn' or 'shared', got "
+                f"{self.seed_strategy!r}"
+            )
+        for key, values in self.parameters.items():
+            if len(values) == 0:
+                raise ConfigurationError(f"sweep axis {key!r} has no values")
+        if self.mode == "zip" and self.parameters:
+            lengths = {key: len(values) for key, values in self.parameters.items()}
+            if len(set(lengths.values())) > 1:
+                raise ConfigurationError(
+                    f"zip-mode sweep axes must have equal lengths, got {lengths}"
+                )
+
+    # ------------------------------------------------------------------ #
+    def cells(self) -> List[Dict[str, object]]:
+        """The parameter assignment of every sweep cell, in execution order."""
+        if not self.parameters:
+            return [{}]
+        keys = list(self.parameters)
+        if self.mode == "zip":
+            return [
+                dict(zip(keys, values))
+                for values in zip(*(self.parameters[key] for key in keys))
+            ]
+        return [
+            dict(zip(keys, values))
+            for values in itertools.product(
+                *(self.parameters[key] for key in keys)
+            )
+        ]
+
+    def specs(self) -> List[JobSpec]:
+        """The derived spec of every cell (without per-task seeds applied)."""
+        return [self.base.with_overrides(cell) for cell in self.cells()]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One executed (cell, trial) task."""
+
+    cell: int
+    params: Mapping[str, object]
+    trial: int
+    result: RunResult
+
+
+def _format_value(value: object) -> object:
+    """Compact display form of a sweep parameter value for table cells."""
+    if isinstance(value, Scheme):
+        return repr(value)
+    if isinstance(value, Mapping):
+        name = value.get("name", "?")
+        options = ", ".join(
+            f"{key}={option}" for key, option in value.items() if key != "name"
+        )
+        return f"{name}({options})" if options else str(name)
+    if isinstance(value, (str, int, float, bool)):
+        return value
+    return type(value).__name__
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep, plus tabulation helpers."""
+
+    records: List[SweepRecord] = field(default_factory=list)
+    parameter_names: Tuple[str, ...] = ()
+    trials: int = 1
+
+    # ------------------------------------------------------------------ #
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def cell_records(self, cell: int) -> List[SweepRecord]:
+        """The trial records of one cell, in trial order."""
+        return [record for record in self.records if record.cell == cell]
+
+    @property
+    def num_cells(self) -> int:
+        """Number of distinct parameter assignments."""
+        return 1 + max((record.cell for record in self.records), default=-1)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One dict per record: parameters, trial index, and the summary."""
+        return [
+            {
+                **{key: _format_value(value) for key, value in record.params.items()},
+                "trial": record.trial,
+                **record.result.summary(),
+            }
+            for record in self.records
+        ]
+
+    def aggregate(
+        self, metrics: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, object]]:
+        """One dict per cell: parameters plus trial-averaged numeric metrics.
+
+        ``metrics`` defaults to every numeric key appearing in the records'
+        summaries, in first-seen order.
+        """
+        if metrics is None:
+            seen: Dict[str, None] = {}
+            for record in self.records:
+                for key, value in record.result.summary().items():
+                    if isinstance(value, (int, float)) and not isinstance(value, bool):
+                        seen.setdefault(key)
+            metrics = list(seen)
+        rows: List[Dict[str, object]] = []
+        for cell in range(self.num_cells):
+            records = self.cell_records(cell)
+            if not records:
+                continue
+            row: Dict[str, object] = {
+                key: _format_value(value) for key, value in records[0].params.items()
+            }
+            schemes = {record.result.scheme_name for record in records}
+            if len(schemes) == 1:
+                row.setdefault("scheme", next(iter(schemes)))
+            row["trials"] = len(records)
+            summaries = [record.result.summary() for record in records]
+            for metric in metrics:
+                values = [s[metric] for s in summaries if metric in s]
+                if values:
+                    row[metric] = float(np.mean(values))
+            rows.append(row)
+        return rows
+
+    def to_table(
+        self,
+        metrics: Optional[Sequence[str]] = None,
+        *,
+        title: str = "",
+    ) -> TextTable:
+        """Trial-averaged results as a monospace table, one row per cell."""
+        rows = self.aggregate(metrics)
+        if not rows:
+            return TextTable(["(empty sweep)"], title=title)
+        columns: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                columns.setdefault(key)
+        table = TextTable(list(columns), title=title)
+        for row in rows:
+            table.add_row([row.get(column, "") for column in columns])
+        return table
+
+
+def _run_task(task: Tuple[object, JobSpec]) -> RunResult:
+    backend, spec = task
+    return backend.run(spec)
+
+
+def run_sweep(
+    sweep: Sweep,
+    *,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
+) -> SweepResult:
+    """Execute every (cell, trial) task of a sweep and collect the records.
+
+    Parameters
+    ----------
+    sweep:
+        The sweep to run.
+    max_workers:
+        ``None``/``0``/``1`` runs serially; anything larger fans the tasks
+        out over a ``concurrent.futures`` pool. Results are identical either
+        way under the default ``"spawn"`` seed strategy.
+    executor:
+        ``"thread"`` (default) or ``"process"``. The simulation backends are
+        CPU-bound Python loops that hold the GIL, so real speed-up on a
+        multi-core machine needs ``"process"`` — which requires the spec and
+        backend to be picklable (named backends and config-mapping schemes
+        are; custom runner closures usually are not). Threads still help
+        when the backend itself waits on other processes or IO (e.g.
+        :class:`~repro.api.backends.MultiprocessBackend`).
+    """
+    backend = get_backend(sweep.backend)
+    cells = sweep.cells()
+    parallel = max_workers is not None and max_workers > 1
+
+    specs: List[JobSpec] = []
+    order: List[Tuple[int, Mapping[str, object], int]] = []
+    if sweep.seed_strategy == "shared":
+        if parallel:
+            raise ConfigurationError(
+                "the 'shared' seed strategy threads one generator through the "
+                "cells sequentially and cannot run in parallel; use the "
+                "'spawn' strategy for parallel sweeps"
+            )
+        generator = as_generator(sweep.base.seed)
+        for index, params in enumerate(cells):
+            cell_spec = sweep.base.with_overrides(params)
+            for trial in range(sweep.trials):
+                specs.append(cell_spec.replace(seed=generator))
+                order.append((index, params, trial))
+    else:
+        root = random_seed_sequence(sweep.base.seed)
+        children = root.spawn(len(cells) * sweep.trials)
+        for index, params in enumerate(cells):
+            cell_spec = sweep.base.with_overrides(params)
+            for trial in range(sweep.trials):
+                child = children[index * sweep.trials + trial]
+                specs.append(cell_spec.replace(seed=child))
+                order.append((index, params, trial))
+
+    tasks = [(backend, spec) for spec in specs]
+    if not parallel:
+        results = [_run_task(task) for task in tasks]
+    else:
+        if executor == "thread":
+            pool_cls = ThreadPoolExecutor
+        elif executor == "process":
+            pool_cls = ProcessPoolExecutor
+        else:
+            raise ConfigurationError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        with pool_cls(max_workers=max_workers) as pool:
+            results = list(pool.map(_run_task, tasks))
+
+    records = [
+        SweepRecord(cell=index, params=params, trial=trial, result=result)
+        for (index, params, trial), result in zip(order, results)
+    ]
+    return SweepResult(
+        records=records,
+        parameter_names=tuple(sweep.parameters),
+        trials=sweep.trials,
+    )

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api import JobSpec, RunResult, Sweep, run_sweep
 from repro.cluster.allocation import (
     load_balanced_allocation,
     solve_p2_allocation,
@@ -34,11 +35,6 @@ from repro.cluster.spec import ClusterSpec
 from repro.cluster.waiting_time import sample_completion_times, sample_coverage_time
 from repro.coding.placement import heterogeneous_random_placement
 from repro.experiments.ec2 import EC2LikeConfig, ec2_like_cluster
-from repro.schemes.bcc import BCCScheme
-from repro.schemes.coded import CyclicRepetitionScheme
-from repro.schemes.randomized import SimpleRandomizedScheme
-from repro.schemes.uncoded import UncodedScheme
-from repro.simulation.job import simulate_job
 from repro.stragglers.communication import LinearCommunicationModel
 from repro.stragglers.models import (
     BimodalStragglerDelay,
@@ -68,23 +64,27 @@ def load_sweep(
     rng: RandomState = 0,
 ) -> List[Dict[str, float]]:
     """Sweep the computational load ``r`` for the BCC scheme on the EC2-like cluster."""
-    generator = as_generator(rng)
-    cluster = ec2_like_cluster(num_workers)
-    rows: List[Dict[str, float]] = []
     for load in loads:
         check_positive_int(load, "load")
-        job = simulate_job(
-            BCCScheme(int(load)),
-            cluster,
+    sweep = Sweep(
+        JobSpec(
+            scheme={"name": "bcc"},
+            cluster=ec2_like_cluster(num_workers),
             num_units=num_batches,
             num_iterations=num_iterations,
-            rng=generator,
             unit_size=100,
             serialize_master_link=False,
-        )
+            seed=as_generator(rng),
+        ),
+        parameters={"scheme.load": [int(load) for load in loads]},
+        seed_strategy="shared",
+    )
+    rows: List[Dict[str, float]] = []
+    for record in run_sweep(sweep).records:
+        job = record.result
         rows.append(
             {
-                "load": float(load),
+                "load": float(record.params["scheme.load"]),
                 "recovery_threshold": job.average_recovery_threshold,
                 "total_time": job.total_time,
                 "computation_time": job.total_computation_time,
@@ -111,29 +111,31 @@ def straggler_intensity_sweep(
     ``n`` transfers while BCC only needs the fastest ~``(m/r) log(m/r)``, so
     the BCC speed-up should grow with the jitter.
     """
-    generator = as_generator(rng)
+    clusters = [
+        ec2_like_cluster(num_workers, EC2LikeConfig(comm_jitter=float(jitter)))
+        for jitter in jitters
+    ]
+    sweep = Sweep(
+        JobSpec(
+            scheme={"name": "bcc", "load": load},
+            cluster=clusters[0],
+            num_units=num_batches,
+            num_iterations=num_iterations,
+            unit_size=100,
+            serialize_master_link=False,
+            seed=as_generator(rng),
+        ),
+        parameters={
+            "cluster": clusters,
+            "scheme": [{"name": "bcc", "load": load}, {"name": "uncoded"}],
+        },
+        seed_strategy="shared",
+    )
+    records = run_sweep(sweep).records
     rows: List[Dict[str, float]] = []
-    for jitter in jitters:
-        config = EC2LikeConfig(comm_jitter=float(jitter))
-        cluster = ec2_like_cluster(num_workers, config)
-        bcc_job = simulate_job(
-            BCCScheme(load),
-            cluster,
-            num_units=num_batches,
-            num_iterations=num_iterations,
-            rng=generator,
-            unit_size=100,
-            serialize_master_link=False,
-        )
-        uncoded_job = simulate_job(
-            UncodedScheme(),
-            cluster,
-            num_units=num_batches,
-            num_iterations=num_iterations,
-            rng=generator,
-            unit_size=100,
-            serialize_master_link=False,
-        )
+    for index, jitter in enumerate(jitters):
+        bcc_job = records[2 * index].result
+        uncoded_job = records[2 * index + 1].result
         rows.append(
             {
                 "comm_jitter": float(jitter),
@@ -158,7 +160,6 @@ def delay_model_comparison(
     BCC requires no knowledge of the delay distribution; this ablation checks
     its advantage is not an artefact of the shift-exponential assumption.
     """
-    generator = as_generator(rng)
     communication = LinearCommunicationModel(latency=1e-3, seconds_per_unit=2e-3, jitter=6e-2)
     delay_families = {
         "shift-exponential": ShiftedExponentialDelay(straggling=1e5, shift=1e-5),
@@ -167,31 +168,38 @@ def delay_model_comparison(
             seconds_per_example=1e-5, straggle_probability=0.1, slowdown=20.0
         ),
     }
+    clusters = [
+        ClusterSpec.homogeneous(num_workers, delay, communication)
+        for delay in delay_families.values()
+    ]
+    scheme_configs = [
+        {"name": "bcc", "load": load},
+        {"name": "cyclic-repetition", "load": load},
+        {"name": "uncoded"},
+    ]
+    sweep = Sweep(
+        JobSpec(
+            scheme=scheme_configs[0],
+            cluster=clusters[0],
+            num_units=num_batches,
+            num_iterations=num_iterations,
+            unit_size=100,
+            serialize_master_link=False,
+            seed=as_generator(rng),
+        ),
+        parameters={"cluster": clusters, "scheme": scheme_configs},
+        seed_strategy="shared",
+    )
+    records = run_sweep(sweep).records
     rows: List[Dict[str, float]] = []
-    for family_name, delay in delay_families.items():
-        cluster = ClusterSpec.homogeneous(num_workers, delay, communication)
-        times = {}
-        for scheme_name, scheme in (
-            ("bcc", BCCScheme(load)),
-            ("cyclic-repetition", CyclicRepetitionScheme(load)),
-            ("uncoded", UncodedScheme()),
-        ):
-            job = simulate_job(
-                scheme,
-                cluster,
-                num_units=num_batches,
-                num_iterations=num_iterations,
-                rng=generator,
-                unit_size=100,
-                serialize_master_link=False,
-            )
-            times[scheme_name] = job.total_time
+    for index, family_name in enumerate(delay_families):
+        times = [records[3 * index + offset].result.total_time for offset in range(3)]
         rows.append(
             {
                 "delay_model": family_name,
-                "bcc_total_time": times["bcc"],
-                "cyclic_total_time": times["cyclic-repetition"],
-                "uncoded_total_time": times["uncoded"],
+                "bcc_total_time": times[0],
+                "cyclic_total_time": times[1],
+                "uncoded_total_time": times[2],
             }
         )
     return rows
@@ -212,30 +220,40 @@ def communication_ratio_sweep(
     The randomized scheme's communication load is ``load`` times larger, so
     its disadvantage should widen with the per-unit communication cost.
     """
-    generator = as_generator(rng)
     compute = ShiftedExponentialDelay(straggling=1e4, shift=1e-4)
+    clusters = [
+        ClusterSpec.homogeneous(
+            num_workers,
+            compute,
+            LinearCommunicationModel(
+                latency=1e-4, seconds_per_unit=float(cost), jitter=float(cost) / 2.0
+            ),
+        )
+        for cost in comm_costs
+    ]
+    sweep = Sweep(
+        JobSpec(
+            scheme={"name": "bcc", "load": load},
+            cluster=clusters[0],
+            num_units=num_units,
+            num_iterations=num_iterations,
+            serialize_master_link=True,
+            seed=as_generator(rng),
+        ),
+        parameters={
+            "cluster": clusters,
+            "scheme": [
+                {"name": "bcc", "load": load},
+                {"name": "randomized", "load": load},
+            ],
+        },
+        seed_strategy="shared",
+    )
+    records = run_sweep(sweep).records
     rows: List[Dict[str, float]] = []
-    for cost in comm_costs:
-        communication = LinearCommunicationModel(
-            latency=1e-4, seconds_per_unit=float(cost), jitter=float(cost) / 2.0
-        )
-        cluster = ClusterSpec.homogeneous(num_workers, compute, communication)
-        bcc_job = simulate_job(
-            BCCScheme(load),
-            cluster,
-            num_units=num_units,
-            num_iterations=num_iterations,
-            rng=generator,
-            serialize_master_link=True,
-        )
-        randomized_job = simulate_job(
-            SimpleRandomizedScheme(load),
-            cluster,
-            num_units=num_units,
-            num_iterations=num_iterations,
-            rng=generator,
-            serialize_master_link=True,
-        )
+    for index, cost in enumerate(comm_costs):
+        bcc_job = records[2 * index].result
+        randomized_job = records[2 * index + 1].result
         rows.append(
             {
                 "comm_seconds_per_unit": float(cost),
@@ -270,45 +288,69 @@ def allocation_strategy_comparison(
     """
     check_positive_int(num_examples, "num_examples")
     cluster = cluster or ClusterSpec.paper_fig5_cluster(num_workers=50, num_fast=3)
-    generator = as_generator(rng)
-    rows: List[Dict[str, float]] = []
 
-    # Wait-for-all strategies.
-    for name, allocation in (
-        ("load-balanced", load_balanced_allocation(cluster, num_examples)),
-        ("uniform", uniform_allocation(cluster, num_examples)),
-    ):
-        times = sample_completion_times(
-            cluster, allocation.loads, rng=generator, num_trials=num_trials
+    def allocation_runner(spec: JobSpec) -> RunResult:
+        """Monte-Carlo one allocation strategy's average completion time."""
+        gen = spec.rng()
+        strategy = str(spec.scheme)
+        if strategy in ("load-balanced", "uniform"):
+            # Wait-for-all strategies.
+            allocate = (
+                load_balanced_allocation if strategy == "load-balanced" else uniform_allocation
+            )
+            allocation = allocate(spec.cluster, num_examples)
+            times = sample_completion_times(
+                spec.cluster, allocation.loads, rng=gen, num_trials=num_trials
+            )
+            per_trial = np.nanmax(np.where(np.isfinite(times), times, np.nan), axis=1)
+            average = float(np.mean(per_trial))
+            total_load = float(allocation.total_load)
+        else:
+            # Generalized BCC with P2-optimal loads, coverage-based stopping.
+            target = max(
+                int(math.floor(num_examples * math.log(num_examples))), num_examples
+            )
+            p2 = solve_p2_allocation(spec.cluster, target=target, max_load=num_examples)
+
+            def assignment_sampler(g: np.random.Generator):
+                return heterogeneous_random_placement(
+                    num_examples, p2.loads, g
+                ).assignments
+
+            coverage_times = sample_coverage_time(
+                spec.cluster,
+                num_examples,
+                assignment_sampler,
+                rng=gen,
+                num_trials=num_trials,
+            )
+            average = float(np.mean(coverage_times[np.isfinite(coverage_times)]))
+            total_load = float(p2.total_load)
+        return RunResult(
+            scheme_name=strategy,
+            backend="allocation-monte-carlo",
+            extras={"average_time": average, "total_load": total_load},
         )
-        per_trial = np.nanmax(np.where(np.isfinite(times), times, np.nan), axis=1)
-        rows.append(
-            {
-                "strategy": name,
-                "average_time": float(np.mean(per_trial)),
-                "total_load": float(allocation.total_load),
-            }
-        )
 
-    # Generalized BCC with P2-optimal loads.
-    target = max(int(math.floor(num_examples * math.log(num_examples))), num_examples)
-    p2 = solve_p2_allocation(cluster, target=target, max_load=num_examples)
-
-    def assignment_sampler(gen: np.random.Generator):
-        return heterogeneous_random_placement(num_examples, p2.loads, gen).assignments
-
-    coverage_times = sample_coverage_time(
-        cluster, num_examples, assignment_sampler, rng=generator, num_trials=num_trials
+    sweep = Sweep(
+        JobSpec(
+            scheme="load-balanced",
+            cluster=cluster,
+            num_units=num_examples,
+            seed=as_generator(rng),
+        ),
+        parameters={"scheme": ["load-balanced", "uniform", "p2-random"]},
+        backend=allocation_runner,
+        seed_strategy="shared",
     )
-    finite = coverage_times[np.isfinite(coverage_times)]
-    rows.append(
+    return [
         {
-            "strategy": "p2-random",
-            "average_time": float(np.mean(finite)),
-            "total_load": float(p2.total_load),
+            "strategy": record.result.scheme_name,
+            "average_time": record.result.extras["average_time"],
+            "total_load": record.result.extras["total_load"],
         }
-    )
-    return rows
+        for record in run_sweep(sweep).records
+    ]
 
 
 def exactness_under_time_budget(
@@ -332,13 +374,11 @@ def exactness_under_time_budget(
     the data, so exact BCC should reach lower loss for equal time once the
     budget is large enough for a handful of BCC iterations.
     """
+    from repro.api import Workload
     from repro.datasets.batching import make_batches
     from repro.datasets.synthetic import LogisticDataConfig, make_paper_logistic_data
     from repro.gradients.logistic import LogisticLoss
     from repro.optim.nesterov import NesterovAcceleratedGradient
-    from repro.schemes.approximate import IgnoreStragglersScheme
-    from repro.schemes.bcc import BCCScheme
-    from repro.simulation.job import simulate_training_run
 
     generator = as_generator(rng)
     cluster = ec2_like_cluster(num_workers)
@@ -347,26 +387,37 @@ def exactness_under_time_budget(
     )
     dataset, _ = make_paper_logistic_data(config, seed=generator)
     unit_spec = make_batches(dataset.num_examples, points_per_batch)
-    model = LogisticLoss()
 
-    schemes = {
-        "uncoded": UncodedScheme(),
-        "ignore-stragglers": IgnoreStragglersScheme(wait_fraction=wait_fraction),
-        "bcc": BCCScheme(load),
+    scheme_configs = {
+        "uncoded": {"name": "uncoded"},
+        "ignore-stragglers": {
+            "name": "ignore-stragglers",
+            "wait_fraction": wait_fraction,
+        },
+        "bcc": {"name": "bcc", "load": load},
     }
-    runs = {}
-    for name, scheme in schemes.items():
-        runs[name] = simulate_training_run(
-            scheme,
-            cluster,
-            model,
-            dataset,
-            NesterovAcceleratedGradient(0.3),
+    sweep = Sweep(
+        JobSpec(
+            scheme=scheme_configs["uncoded"],
+            cluster=cluster,
             num_iterations=max_iterations,
-            rng=generator,
-            unit_spec=unit_spec,
             serialize_master_link=False,
-        )
+            seed=generator,
+            workload=Workload(
+                model=LogisticLoss(),
+                dataset=dataset,
+                optimizer=NesterovAcceleratedGradient(0.3),
+                unit_spec=unit_spec,
+            ),
+        ),
+        parameters={"scheme": list(scheme_configs.values())},
+        backend="semantic",
+        seed_strategy="shared",
+    )
+    runs = {
+        name: record.result
+        for name, record in zip(scheme_configs, run_sweep(sweep).records)
+    }
 
     def loss_at_budget(run, budget: float) -> float:
         elapsed = 0.0

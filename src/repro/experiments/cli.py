@@ -7,11 +7,16 @@ Usage::
     python -m repro.experiments.cli fig5 --trials 300
     python -m repro.experiments.cli theorem1
     python -m repro.experiments.cli theorem2
+    python -m repro.experiments.cli sweep --scheme bcc --scheme uncoded \
+        --loads 5,10,25 --workers 50 --units 50 --trials 3 --parallel 4
 
 Each sub-command runs the corresponding experiment driver at (scaled-down by
 default, paper-scale via flags) settings and prints the reproduced table to
-stdout. The benchmark harness remains the canonical way to regenerate every
-artefact with assertions; the CLI is for quick interactive runs.
+stdout. ``sweep`` is the generic front door: it builds a
+:class:`~repro.api.JobSpec` grid over schemes and computational loads and
+runs it through :func:`~repro.api.run_sweep` on the chosen backend. The
+benchmark harness remains the canonical way to regenerate every artefact
+with assertions; the CLI is for quick interactive runs.
 """
 
 from __future__ import annotations
@@ -20,13 +25,16 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import JobSpec, Sweep, Workload, run_sweep
 from repro.cluster.spec import ClusterSpec
+from repro.experiments.ec2 import ec2_like_cluster
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig4 import ScenarioConfig, run_scenario
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.theorems import run_theorem1_validation, run_theorem2_validation
+from repro.schemes.registry import available_schemes, scheme_accepts
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "run_cli_sweep"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,7 +75,126 @@ def build_parser() -> argparse.ArgumentParser:
     theorem2.add_argument("--trials", type=int, default=200)
     theorem2.add_argument("--workers", type=int, default=50)
 
+    sweep = subparsers.add_parser(
+        "sweep", help="generic scheme/load sweep through the unified API"
+    )
+    sweep.add_argument(
+        "--scheme",
+        action="append",
+        dest="schemes",
+        metavar="NAME",
+        help=(
+            "scheme to include (repeatable); default: bcc and uncoded. "
+            f"available: {', '.join(available_schemes())}"
+        ),
+    )
+    sweep.add_argument(
+        "--loads",
+        type=lambda text: [int(part) for part in text.split(",") if part],
+        default=[5, 10, 25],
+        metavar="R1,R2,...",
+        help="computational loads for the schemes that take one (default: 5,10,25)",
+    )
+    sweep.add_argument("--workers", type=int, default=50, help="cluster size n")
+    sweep.add_argument("--units", type=int, default=50, help="data units m")
+    sweep.add_argument(
+        "--unit-size", type=int, default=100, help="examples per unit (default: 100)"
+    )
+    sweep.add_argument(
+        "--iterations", type=int, default=20, help="GD iterations per run"
+    )
+    sweep.add_argument(
+        "--trials", type=int, default=1, help="Monte-Carlo trials per configuration"
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=("timing", "semantic"),
+        default="timing",
+        help="timing-only simulation or semantic training under simulated time",
+    )
+    sweep.add_argument(
+        "--features",
+        type=int,
+        default=100,
+        help="synthetic-dataset feature count for the semantic backend",
+    )
+    sweep.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run up to N trials concurrently (default: serial)",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help=(
+            "pool type for --parallel; the simulation is CPU-bound, so "
+            "processes (the default) are what actually speed it up"
+        ),
+    )
+
     return parser
+
+
+def run_cli_sweep(args: argparse.Namespace) -> str:
+    """Build and run the ``sweep`` sub-command's grid; return the table text."""
+    scheme_names = args.schemes or ["bcc", "uncoded"]
+    cluster = ec2_like_cluster(args.workers)
+    scheme_configs: List[dict] = []
+    for name in scheme_names:
+        if scheme_accepts(name, "load"):
+            scheme_configs.extend(
+                {"name": name, "load": load} for load in args.loads
+            )
+        else:
+            scheme_configs.append({"name": name})
+
+    workload = None
+    if args.backend == "semantic":
+        from repro.datasets.batching import make_batches
+        from repro.datasets.synthetic import LogisticDataConfig, make_paper_logistic_data
+        from repro.gradients.logistic import LogisticLoss
+        from repro.optim.nesterov import NesterovAcceleratedGradient
+
+        num_examples = args.units * args.unit_size
+        dataset, _ = make_paper_logistic_data(
+            LogisticDataConfig(num_examples=num_examples, num_features=args.features),
+            seed=args.seed,
+        )
+        workload = Workload(
+            model=LogisticLoss(),
+            dataset=dataset,
+            optimizer=NesterovAcceleratedGradient(0.3),
+            unit_spec=make_batches(num_examples, args.unit_size),
+        )
+
+    base = JobSpec(
+        scheme=scheme_configs[0],
+        cluster=cluster,
+        num_units=None if workload is not None else args.units,
+        num_iterations=args.iterations,
+        unit_size=None if workload is not None else args.unit_size,
+        serialize_master_link=False,
+        seed=args.seed,
+        workload=workload,
+    )
+    sweep = Sweep(
+        base,
+        parameters={"scheme": scheme_configs},
+        trials=args.trials,
+        backend=args.backend,
+    )
+    result = run_sweep(sweep, max_workers=args.parallel, executor=args.executor)
+    table = result.to_table(
+        title=(
+            f"Sweep — {args.backend} backend, n={args.workers} workers, "
+            f"m={args.units} units x {args.unit_size}, "
+            f"{args.iterations} iterations, {args.trials} trial(s)"
+        ),
+    )
+    return table.render()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -118,6 +245,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             rng=args.seed,
         )
         print(validation.render())
+    elif args.experiment == "sweep":
+        print(run_cli_sweep(args))
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

@@ -16,10 +16,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.tradeoff import tradeoff_curves
+from repro.api import JobSpec, Sweep, run_sweep
 from repro.cluster.spec import ClusterSpec
-from repro.schemes.bcc import BCCScheme
-from repro.schemes.randomized import SimpleRandomizedScheme
-from repro.simulation.iteration import simulate_iteration
 from repro.stragglers.models import ExponentialDelay
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.tables import TextTable
@@ -70,17 +68,48 @@ class Fig2Result:
         return table.render()
 
 
-def _simulate_threshold(
-    scheme, num_units: int, num_workers: int, trials: int, rng: np.random.Generator
-) -> float:
-    """Average number of workers the master hears before recovery."""
+def _simulate_thresholds(
+    loads: Sequence[int],
+    num_units: int,
+    num_workers: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> Dict[str, List[float]]:
+    """Monte-Carlo the BCC and randomized stopping rules over every load.
+
+    One `run_sweep` grid covers the whole (load x scheme) plane: each trial
+    re-draws the random placement and simulates a single iteration, so the
+    trial-averaged recovery threshold estimates the schemes' random
+    thresholds. The shared seed strategy threads one generator through the
+    cells in order, matching the historic hand-written loop draw for draw.
+    """
     cluster = ClusterSpec.homogeneous(num_workers, ExponentialDelay(straggling=1.0))
-    counts = []
-    for _trial in range(trials):
-        plan = scheme.build_feasible_plan(num_units, num_workers, rng)
-        outcome = simulate_iteration(plan, cluster, rng=rng, serialize_master_link=False)
-        counts.append(outcome.workers_heard)
-    return float(np.mean(counts))
+    base = JobSpec(
+        scheme="bcc",
+        cluster=cluster,
+        num_units=num_units,
+        num_iterations=1,
+        serialize_master_link=False,
+        seed=rng,
+    )
+    sweep = Sweep(
+        base,
+        parameters={
+            "scheme.load": [int(load) for load in loads],
+            "scheme.name": ["bcc", "randomized"],
+        },
+        trials=trials,
+        backend="timing",
+        seed_strategy="shared",
+    )
+    simulated: Dict[str, List[float]] = {"bcc": [], "randomized": []}
+    result = run_sweep(sweep)
+    for cell in range(result.num_cells):
+        records = result.cell_records(cell)
+        name = str(records[0].params["scheme.name"])
+        counts = [record.result.average_recovery_threshold for record in records]
+        simulated[name].append(float(np.mean(counts)))
+    return simulated
 
 
 def run_fig2(
@@ -120,18 +149,7 @@ def run_fig2(
 
     simulated: Dict[str, List[float]] = {}
     if monte_carlo_trials > 0:
-        simulated = {"bcc": [], "randomized": []}
-        for load in loads:
-            simulated["bcc"].append(
-                _simulate_threshold(
-                    BCCScheme(load), m, n, monte_carlo_trials, generator
-                )
-            )
-            simulated["randomized"].append(
-                _simulate_threshold(
-                    SimpleRandomizedScheme(load), m, n, monte_carlo_trials, generator
-                )
-            )
+        simulated = _simulate_thresholds(loads, m, n, monte_carlo_trials, generator)
 
     return Fig2Result(
         num_examples=m,

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.cluster.spec import ClusterSpec
+from repro.api import JobSpec, Sweep, Workload, run_sweep
 from repro.datasets.batching import make_batches
 from repro.datasets.synthetic import LogisticDataConfig, make_paper_logistic_data
 from repro.experiments.ec2 import EC2LikeConfig, ec2_like_cluster
@@ -35,7 +35,7 @@ from repro.schemes.base import Scheme
 from repro.schemes.bcc import BCCScheme
 from repro.schemes.coded import CyclicRepetitionScheme
 from repro.schemes.uncoded import UncodedScheme
-from repro.simulation.job import JobResult, simulate_job, simulate_training_run
+from repro.simulation.job import JobResult
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.tables import TextTable
 from repro.utils.validation import check_positive_int
@@ -190,37 +190,41 @@ def run_scenario(
     generator = as_generator(rng)
     cluster = ec2_like_cluster(config.num_workers, config.ec2)
 
-    result = ScenarioResult(config=config)
-    if not semantic:
-        for name, scheme in schemes.items():
-            result.jobs[name] = simulate_job(
-                scheme,
-                cluster,
-                num_units=config.num_batches,
-                num_iterations=config.num_iterations,
-                rng=generator,
-                unit_size=config.points_per_batch,
-                serialize_master_link=False,
-            )
-        return result
-
-    data_config = LogisticDataConfig(
-        num_examples=config.num_examples, num_features=config.num_features
+    base = JobSpec(
+        scheme=next(iter(schemes.values())),
+        cluster=cluster,
+        num_iterations=config.num_iterations,
+        serialize_master_link=False,
+        seed=generator,
     )
-    dataset, _true_weights = make_paper_logistic_data(data_config, seed=generator)
-    unit_spec = make_batches(dataset.num_examples, config.points_per_batch)
-    model = LogisticLoss()
-    for name, scheme in schemes.items():
-        optimizer = NesterovAcceleratedGradient(ConstantSchedule(0.5))
-        result.jobs[name] = simulate_training_run(
-            scheme,
-            cluster,
-            model,
-            dataset,
-            optimizer,
-            num_iterations=config.num_iterations,
-            rng=generator,
-            unit_spec=unit_spec,
-            serialize_master_link=False,
+    if not semantic:
+        base = base.replace(
+            num_units=config.num_batches, unit_size=config.points_per_batch
         )
+        backend = "timing"
+    else:
+        data_config = LogisticDataConfig(
+            num_examples=config.num_examples, num_features=config.num_features
+        )
+        dataset, _true_weights = make_paper_logistic_data(data_config, seed=generator)
+        unit_spec = make_batches(dataset.num_examples, config.points_per_batch)
+        base = base.replace(
+            workload=Workload(
+                model=LogisticLoss(),
+                dataset=dataset,
+                optimizer=NesterovAcceleratedGradient(ConstantSchedule(0.5)),
+                unit_spec=unit_spec,
+            )
+        )
+        backend = "semantic"
+
+    sweep = Sweep(
+        base,
+        parameters={"scheme": list(schemes.values())},
+        backend=backend,
+        seed_strategy="shared",
+    )
+    result = ScenarioResult(config=config)
+    for name, record in zip(schemes, run_sweep(sweep).records):
+        result.jobs[name] = record.result
     return result

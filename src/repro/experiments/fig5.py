@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api import JobSpec, RunResult, Sweep, run_sweep
 from repro.cluster.allocation import load_balanced_allocation, solve_p2_allocation
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.waiting_time import sample_completion_times, sample_coverage_time
@@ -86,25 +87,53 @@ def run_fig5(
     cluster = cluster or ClusterSpec.paper_fig5_cluster()
     generator = as_generator(rng)
 
-    # --- LB baseline: proportional loads, wait for every loaded worker. --- #
-    lb_loads = load_balanced_allocation(cluster, m).loads
-    lb_times = sample_completion_times(cluster, lb_loads, rng=generator, num_trials=num_trials)
-    # Workers with zero load report nothing and are not waited for.
-    lb_per_trial = np.nanmax(np.where(np.isfinite(lb_times), lb_times, np.nan), axis=1)
+    def monte_carlo_runner(spec: JobSpec) -> RunResult:
+        """Vectorised Monte-Carlo of one strategy's per-trial completion times.
+
+        The sweep cells are the two Fig. 5 strategies; each cell returns its
+        raw trial times in ``extras`` so the driver can post-process (the
+        BCC coverage-failure fallback needs the LB average) and aggregate.
+        """
+        gen = spec.rng()
+        strategy = spec.scheme
+        if strategy == "load-balanced":
+            # Proportional loads, wait for every loaded worker (workers with
+            # zero load report nothing and are not waited for).
+            loads = load_balanced_allocation(spec.cluster, m).loads
+            times = sample_completion_times(
+                spec.cluster, loads, rng=gen, num_trials=num_trials
+            )
+            per_trial = np.nanmax(np.where(np.isfinite(times), times, np.nan), axis=1)
+        else:
+            # P2-optimal loads for the m log m target, coverage stop.
+            scale = target_scale if target_scale is not None else math.log(max(m, 2))
+            target = max(int(math.floor(scale * m)), m)
+            loads = solve_p2_allocation(spec.cluster, target=target, max_load=m).loads
+
+            def assignment_sampler(g: np.random.Generator):
+                return heterogeneous_random_placement(m, loads, g).assignments
+
+            per_trial = sample_coverage_time(
+                spec.cluster, m, assignment_sampler, rng=gen, num_trials=num_trials
+            )
+        return RunResult(
+            scheme_name=str(strategy),
+            backend="fig5-monte-carlo",
+            extras={"trial_times": per_trial, "loads_total": int(loads.sum())},
+        )
+
+    sweep = Sweep(
+        JobSpec(scheme="load-balanced", cluster=cluster, num_units=m, seed=generator),
+        parameters={"scheme": ["load-balanced", "generalized-bcc"]},
+        backend=monte_carlo_runner,
+        seed_strategy="shared",
+    )
+    lb_record, bcc_record = run_sweep(sweep).records
+
+    lb_per_trial = lb_record.result.extras["trial_times"]
     lb_average = float(np.mean(lb_per_trial))
 
-    # --- Generalized BCC: P2-optimal loads for the m log m target, coverage stop. --- #
-    scale = target_scale if target_scale is not None else math.log(max(m, 2))
-    target = max(int(math.floor(scale * m)), m)
-    bcc_allocation = solve_p2_allocation(cluster, target=target, max_load=m)
-    bcc_loads = bcc_allocation.loads
-
-    def assignment_sampler(gen: np.random.Generator):
-        return heterogeneous_random_placement(m, bcc_loads, gen).assignments
-
-    bcc_times = sample_coverage_time(
-        cluster, m, assignment_sampler, rng=generator, num_trials=num_trials
-    )
+    bcc_times = bcc_record.result.extras["trial_times"]
     finite = np.isfinite(bcc_times)
     if not finite.all():
         # Coverage failures are counted at the LB completion time (the master
@@ -118,6 +147,6 @@ def run_fig5(
         num_workers=cluster.num_workers,
         lb_average_time=lb_average,
         bcc_average_time=bcc_average,
-        lb_loads_total=int(lb_loads.sum()),
-        bcc_loads_total=int(bcc_loads.sum()),
+        lb_loads_total=int(lb_record.result.extras["loads_total"]),
+        bcc_loads_total=int(bcc_record.result.extras["loads_total"]),
     )

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.analysis.bounds import Theorem2Bounds, theorem1_bounds, theorem2_bounds
 from repro.analysis.coupon import simulate_coupon_draws
+from repro.api import JobSpec, RunResult, Sweep, run_sweep
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.waiting_time import estimate_coverage_time
 from repro.coding.placement import heterogeneous_random_placement
@@ -80,13 +81,32 @@ def run_theorem1_validation(
         loads = [load for load in (5, 10, 20, 25, 50) if load <= m] or [max(m // 2, 1)]
     generator = as_generator(rng)
     result = Theorem1Validation(num_examples=m, loads=[int(r) for r in loads])
-    for load in result.loads:
-        bounds = theorem1_bounds(m, load)
+
+    def coupon_runner(spec: JobSpec) -> RunResult:
+        """Monte-Carlo one load's coupon-collector stopping time."""
+        load = int(spec.scheme["load"])
         num_batches = -(-m // load)
-        draws = simulate_coupon_draws(num_batches, rng=generator, num_trials=num_trials)
+        draws = simulate_coupon_draws(
+            num_batches, rng=spec.rng(), num_trials=num_trials
+        )
+        return RunResult(
+            scheme_name="bcc",
+            backend="coupon-monte-carlo",
+            extras={"mean_draws": float(np.mean(draws))},
+        )
+
+    sweep = Sweep(
+        JobSpec(scheme={"name": "bcc"}, num_units=m, seed=generator),
+        parameters={"scheme.load": result.loads},
+        backend=coupon_runner,
+        seed_strategy="shared",
+    )
+    records = run_sweep(sweep).records
+    for load, record in zip(result.loads, records):
+        bounds = theorem1_bounds(m, load)
         result.lower_bounds.append(bounds.lower)
         result.closed_forms.append(bounds.upper)
-        result.simulated.append(float(np.mean(draws)))
+        result.simulated.append(record.result.extras["mean_draws"])
     return result
 
 
@@ -135,22 +155,37 @@ def run_theorem2_validation(
     generator = as_generator(rng)
     bounds = theorem2_bounds(cluster, m, rng=generator, num_trials=num_trials)
 
-    # Measure the generalized BCC scheme itself: P2-optimal loads for the
-    # c*m*log(m) target, random per-worker example selection, coverage stop.
-    target = max(int(math.floor(bounds.constant * m * math.log(m))), m)
-    allocation = solve_p2_allocation(cluster, target=target, max_load=m)
+    def coverage_runner(spec: JobSpec) -> RunResult:
+        # Measure the generalized BCC scheme itself: P2-optimal loads for the
+        # c*m*log(m) target, random per-worker example selection, coverage stop.
+        target = max(int(math.floor(bounds.constant * m * math.log(m))), m)
+        allocation = solve_p2_allocation(spec.cluster, target=target, max_load=m)
 
-    def assignment_sampler(gen: np.random.Generator):
-        return heterogeneous_random_placement(m, allocation.loads, gen).assignments
+        def assignment_sampler(gen: np.random.Generator):
+            return heterogeneous_random_placement(m, allocation.loads, gen).assignments
 
-    measured = estimate_coverage_time(
-        cluster,
-        m,
-        assignment_sampler,
-        rng=generator,
-        num_trials=num_trials,
-        allow_incomplete=True,
+        measured = estimate_coverage_time(
+            spec.cluster,
+            m,
+            assignment_sampler,
+            rng=spec.rng(),
+            num_trials=num_trials,
+            allow_incomplete=True,
+        )
+        return RunResult(
+            scheme_name="generalized-bcc",
+            backend="coverage-monte-carlo",
+            extras={"coverage_time": measured},
+        )
+
+    sweep = Sweep(
+        JobSpec(scheme="generalized-bcc", cluster=cluster, num_units=m, seed=generator),
+        backend=coverage_runner,
+        seed_strategy="shared",
     )
+    (record,) = run_sweep(sweep).records
     return Theorem2Validation(
-        num_examples=m, bounds=bounds, measured_coverage_time=measured
+        num_examples=m,
+        bounds=bounds,
+        measured_coverage_time=record.result.extras["coverage_time"],
     )

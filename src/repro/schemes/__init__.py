@@ -47,7 +47,15 @@ from repro.schemes.coded import (
 )
 from repro.schemes.heterogeneous import GeneralizedBCCScheme, LoadBalancedScheme
 from repro.schemes.approximate import IgnoreStragglersScheme, PartialSumAggregator
-from repro.schemes.registry import scheme_registry, make_scheme
+from repro.schemes.registry import (
+    register_scheme,
+    available_schemes,
+    get_scheme_class,
+    scheme_accepts,
+    scheme_from_config,
+    scheme_registry,
+    make_scheme,
+)
 
 __all__ = [
     "Scheme",
@@ -67,6 +75,11 @@ __all__ = [
     "LoadBalancedScheme",
     "IgnoreStragglersScheme",
     "PartialSumAggregator",
+    "register_scheme",
+    "available_schemes",
+    "get_scheme_class",
+    "scheme_accepts",
+    "scheme_from_config",
     "scheme_registry",
     "make_scheme",
 ]

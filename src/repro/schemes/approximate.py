@@ -23,6 +23,7 @@ import numpy as np
 from repro.coding.placement import uncoded_placement
 from repro.exceptions import ConfigurationError, DecodingError
 from repro.schemes.base import ExecutionPlan, MasterAggregator, Scheme, sum_encoder
+from repro.schemes.registry import register_scheme
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_in_range, check_positive_int
 
@@ -88,6 +89,7 @@ class PartialSumAggregator(MasterAggregator):
         return self._covered_examples
 
 
+@register_scheme("ignore-stragglers")
 class IgnoreStragglersScheme(Scheme):
     """Disjoint placement, but the master only waits for a fraction of workers.
 

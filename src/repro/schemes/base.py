@@ -31,14 +31,15 @@ and :meth:`MasterAggregator.decode` is unavailable.
 from __future__ import annotations
 
 import abc
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.coding.assignment import DataAssignment
 from repro.coding.linear_code import LinearGradientCode
-from repro.exceptions import CoverageError, DecodingError
+from repro.exceptions import ConfigurationError, CoverageError, DecodingError
 from repro.utils.rng import RandomState
 
 __all__ = [
@@ -270,22 +271,39 @@ class CodedAggregator(MasterAggregator):
         self._minimum_needed = max(
             1, code.num_workers - getattr(code, "num_stragglers", 0)
         )
+        self._decodability_checks = 0
 
     def _accept(self, worker: int, message: Optional[np.ndarray]) -> bool:
         self._workers.append(worker)
         if message is not None:
             self._messages[worker] = np.asarray(message, dtype=float)
-        # Only run the (comparatively expensive) decodability check once the
-        # worst-case threshold is plausible, or for opportunistic codes
-        # (fractional repetition overrides is_decodable cheaply).
+        # Only run the (comparatively expensive, O(n^3) rank) decodability
+        # check at the first plausible completion point — the worst-case
+        # threshold ``n - s`` — and every ``check_every`` arrivals after it,
+        # plus unconditionally on the last worker so completion is never
+        # skipped past. Opportunistic codes (fractional repetition overrides
+        # ``is_decodable`` with a cheap group test) are checked every arrival.
         if not self._complete:
+            count = len(self._workers)
             opportunistic = type(self._code).is_decodable is not LinearGradientCode.is_decodable
-            if opportunistic or len(self._workers) >= self._minimum_needed:
-                if len(self._workers) % self._check_every == 0 or len(
-                    self._workers
-                ) >= self._minimum_needed:
-                    self._complete = self._code.is_decodable(self._workers)
+            if opportunistic:
+                due = True
+            elif count < self._minimum_needed:
+                due = False
+            else:
+                due = (
+                    (count - self._minimum_needed) % self._check_every == 0
+                    or count >= self._code.num_workers
+                )
+            if due:
+                self._decodability_checks += 1
+                self._complete = self._code.is_decodable(self._workers)
         return True
+
+    @property
+    def decodability_checks(self) -> int:
+        """Number of times the (expensive) decodability test actually ran."""
+        return self._decodability_checks
 
     def is_complete(self) -> bool:
         return self._complete
@@ -395,11 +413,88 @@ class Scheme(abc.ABC):
     #: Human-readable scheme name (class attribute overridden by subclasses).
     name: str = "scheme"
 
+    #: Constructor parameters that pin the per-worker placement. The ambient
+    #: cluster :meth:`from_config` receives is only injected when the config
+    #: sets none of these, so an explicit placement (e.g. ``loads``) is never
+    #: combined with — or silently shadowed by — the job's cluster.
+    #: Subclasses with other placement inputs extend this tuple.
+    placement_parameters: Sequence[str] = ("cluster", "loads")
+
     @abc.abstractmethod
     def build_plan(
         self, num_units: int, num_workers: int, rng: RandomState = None
     ) -> ExecutionPlan:
         """Freeze a placement for ``num_units`` data units over ``num_workers`` workers."""
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def constructor_parameters(cls) -> List[str]:
+        """Names of the keyword parameters the scheme's constructor accepts."""
+        if cls.__init__ is object.__init__:
+            return []
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self"
+            and parameter.kind
+            not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        ]
+
+    @classmethod
+    def from_config(
+        cls,
+        config: Optional[Mapping[str, object]] = None,
+        *,
+        cluster: Optional[object] = None,
+        **kwargs: object,
+    ) -> "Scheme":
+        """Construct the scheme from a plain configuration mapping.
+
+        This is the config-driven entry point the registry and the
+        :class:`~repro.api.JobSpec` machinery use: every key must name a
+        constructor parameter (a ``name`` key identifying the scheme itself
+        is tolerated and dropped), and inapplicable keys raise
+        :class:`~repro.exceptions.ConfigurationError` instead of being
+        silently ignored.
+
+        Parameters
+        ----------
+        config:
+            Mapping of constructor keyword arguments (merged with ``kwargs``).
+        cluster:
+            Ambient :class:`~repro.cluster.ClusterSpec`. Schemes whose
+            constructor accepts a ``cluster`` parameter (the heterogeneous
+            ones) receive it automatically unless the config already pins the
+            placement via explicit ``cluster``/``loads`` entries; every other
+            scheme ignores it, so callers can always pass the job's cluster.
+        """
+        options: Dict[str, object] = {**(dict(config) if config else {}), **kwargs}
+        declared_name = options.pop("name", None)
+        if declared_name is not None and declared_name != cls.name:
+            raise ConfigurationError(
+                f"config names scheme {declared_name!r} but was routed to "
+                f"{cls.name!r}"
+            )
+        accepted = cls.constructor_parameters()
+        accepts_var_kwargs = cls.__init__ is not object.__init__ and any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in inspect.signature(cls.__init__).parameters.values()
+        )
+        if not accepts_var_kwargs:
+            unknown = sorted(set(options) - set(accepted))
+            if unknown:
+                raise ConfigurationError(
+                    f"scheme {cls.name!r} does not accept the parameter(s) "
+                    f"{unknown}; accepted parameters: {sorted(accepted)}"
+                )
+        if (
+            cluster is not None
+            and "cluster" in accepted
+            and not any(parameter in options for parameter in cls.placement_parameters)
+        ):
+            options["cluster"] = cluster
+        return cls(**options)
 
     # ------------------------------------------------------------------ #
     def expected_recovery_threshold(

@@ -10,6 +10,7 @@ from repro.analysis.thresholds import bcc_communication_load, bcc_recovery_thres
 from repro.coding.placement import bcc_placement
 from repro.datasets.batching import contiguous_partition
 from repro.exceptions import ConfigurationError
+from repro.schemes.registry import register_scheme
 from repro.schemes.base import (
     BatchCoverageAggregator,
     ExecutionPlan,
@@ -22,6 +23,7 @@ from repro.utils.validation import check_positive_int
 __all__ = ["BCCScheme"]
 
 
+@register_scheme("bcc")
 class BCCScheme(Scheme):
     """Batched Coupon's Collector distributed gradient descent.
 

@@ -24,6 +24,7 @@ from repro.coding.linear_code import LinearGradientCode
 from repro.coding.reed_solomon import ReedSolomonStyleCode
 from repro.exceptions import ConfigurationError
 from repro.schemes.base import CodedAggregator, ExecutionPlan, Scheme
+from repro.schemes.registry import register_scheme
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int
 
@@ -35,12 +36,23 @@ __all__ = [
 
 
 class _LinearCodeScheme(Scheme):
-    """Shared plumbing for schemes backed by a :class:`LinearGradientCode`."""
+    """Shared plumbing for schemes backed by a :class:`LinearGradientCode`.
+
+    Parameters
+    ----------
+    load:
+        Computational load ``r``; the code tolerates ``r - 1`` stragglers.
+    check_every:
+        Run the master's (O(n^3) rank) decodability test only every this many
+        arrivals once the worst-case threshold ``n - s`` is reached. ``1``
+        (the default) checks every arrival past the threshold.
+    """
 
     name = "linear-code"
 
-    def __init__(self, load: int) -> None:
+    def __init__(self, load: int, check_every: int = 1) -> None:
         self.load = check_positive_int(load, "load")
+        self.check_every = check_positive_int(check_every, "check_every")
 
     # Subclasses build the concrete code for ``num_workers`` workers.
     def _build_code(self, num_workers: int, rng: RandomState) -> LinearGradientCode:
@@ -64,8 +76,10 @@ class _LinearCodeScheme(Scheme):
         code = self._build_code(n, rng)
         assignment = code.to_assignment()
 
+        check_every = self.check_every
+
         def aggregator_factory() -> CodedAggregator:
-            return CodedAggregator(code=code)
+            return CodedAggregator(code=code, check_every=check_every)
 
         def encoder(worker: int, unit_gradients: np.ndarray) -> np.ndarray:
             support = code.support(worker)
@@ -96,6 +110,7 @@ class _LinearCodeScheme(Scheme):
         return f"{type(self).__name__}(load={self.load})"
 
 
+@register_scheme("cyclic-repetition")
 class CyclicRepetitionScheme(_LinearCodeScheme):
     """The cyclic-repetition gradient-coding scheme of Tandon et al. [7].
 
@@ -114,6 +129,7 @@ class CyclicRepetitionScheme(_LinearCodeScheme):
         return CyclicRepetitionCode.from_load(num_workers, self.load, seed=seed)
 
 
+@register_scheme("reed-solomon")
 class ReedSolomonScheme(_LinearCodeScheme):
     """Deterministic Reed-Solomon-style variant (references [8], [9]).
 
@@ -127,6 +143,7 @@ class ReedSolomonScheme(_LinearCodeScheme):
         return ReedSolomonStyleCode(num_workers, self.load - 1)
 
 
+@register_scheme("fractional-repetition")
 class FractionalRepetitionScheme(_LinearCodeScheme):
     """The fractional-repetition scheme of Tandon et al. [7].
 

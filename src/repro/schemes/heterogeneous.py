@@ -23,12 +23,14 @@ from repro.schemes.base import (
     identity_encoder,
     sum_encoder,
 )
+from repro.schemes.registry import register_scheme
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int
 
 __all__ = ["GeneralizedBCCScheme", "LoadBalancedScheme"]
 
 
+@register_scheme("generalized-bcc")
 class GeneralizedBCCScheme(Scheme):
     """The generalized BCC scheme for heterogeneous clusters.
 
@@ -123,6 +125,7 @@ class GeneralizedBCCScheme(Scheme):
         return f"GeneralizedBCCScheme(loads={source})"
 
 
+@register_scheme("load-balanced")
 class LoadBalancedScheme(Scheme):
     """The "LB" baseline of the paper's Fig. 5.
 

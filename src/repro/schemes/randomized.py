@@ -18,12 +18,14 @@ from repro.schemes.base import (
     UnitCoverageAggregator,
     identity_encoder,
 )
+from repro.schemes.registry import register_scheme
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_positive_int
 
 __all__ = ["SimpleRandomizedScheme"]
 
 
+@register_scheme("randomized")
 class SimpleRandomizedScheme(Scheme):
     """Random subsets without batching, per-unit messages.
 

@@ -1,57 +1,205 @@
-"""A small factory so experiments and the CLI-style examples can name schemes by string."""
+"""Config-driven scheme registry.
+
+Schemes register themselves with the :func:`register_scheme` decorator::
+
+    @register_scheme("bcc")
+    class BCCScheme(Scheme):
+        ...
+
+and become nameable everywhere a configuration is accepted — the
+:class:`~repro.api.JobSpec` front door, the sweep engine, and the CLI::
+
+    scheme_from_config("uncoded")
+    scheme_from_config({"name": "bcc", "load": 10})
+    scheme_from_config({"name": "generalized-bcc"}, cluster=my_cluster)
+
+Construction goes through :meth:`Scheme.from_config`, which validates every
+key against the scheme's constructor (inapplicable parameters raise
+:class:`~repro.exceptions.ConfigurationError` rather than being silently
+dropped) and injects the ambient cluster into the heterogeneous schemes.
+
+:func:`make_scheme` and :func:`scheme_registry` are the legacy entry points
+kept as thin deprecated shims; new code should use
+:func:`scheme_from_config` / :func:`available_schemes`.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import warnings
+from typing import Callable, Dict, List, Mapping, Optional, Type, Union
 
 from repro.exceptions import ConfigurationError
-from repro.schemes.approximate import IgnoreStragglersScheme
 from repro.schemes.base import Scheme
-from repro.schemes.bcc import BCCScheme
-from repro.schemes.coded import (
-    CyclicRepetitionScheme,
-    FractionalRepetitionScheme,
-    ReedSolomonScheme,
-)
-from repro.schemes.randomized import SimpleRandomizedScheme
-from repro.schemes.uncoded import UncodedScheme
 
-__all__ = ["scheme_registry", "make_scheme"]
+__all__ = [
+    "register_scheme",
+    "available_schemes",
+    "get_scheme_class",
+    "scheme_accepts",
+    "scheme_from_config",
+    "scheme_registry",
+    "make_scheme",
+]
+
+#: A value that can be resolved into a scheme: an instance, a registered
+#: name, or a config mapping with a ``name`` key plus constructor kwargs.
+SchemeLike = Union[Scheme, str, Mapping[str, object]]
+
+_REGISTRY: Dict[str, Type[Scheme]] = {}
+
+
+def register_scheme(
+    name: Optional[str] = None,
+) -> Callable[[Type[Scheme]], Type[Scheme]]:
+    """Class decorator registering a :class:`Scheme` under ``name``.
+
+    ``name`` defaults to the class's ``name`` attribute. Registering two
+    different classes under one name is a configuration error; re-decorating
+    the same class (e.g. on module reload) is harmless.
+    """
+
+    def decorator(cls: Type[Scheme]) -> Type[Scheme]:
+        key = name if name is not None else cls.name
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"scheme name {key!r} is already registered to "
+                f"{existing.__name__}"
+            )
+        _REGISTRY[key] = cls
+        cls.name = key
+        return cls
+
+    return decorator
+
+
+def available_schemes() -> List[str]:
+    """Sorted names of every registered scheme (homogeneous and heterogeneous)."""
+    return sorted(_REGISTRY)
+
+
+def get_scheme_class(name: str) -> Type[Scheme]:
+    """Look up a registered scheme class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; available: {available_schemes()}"
+        ) from None
+
+
+def scheme_accepts(name: str, parameter: str) -> bool:
+    """Whether the named scheme's constructor takes ``parameter``."""
+    return parameter in get_scheme_class(name).constructor_parameters()
+
+
+def scheme_from_config(
+    config: SchemeLike,
+    *,
+    cluster: Optional[object] = None,
+    **kwargs: object,
+) -> Scheme:
+    """Resolve a scheme instance from a name, config mapping, or instance.
+
+    Parameters
+    ----------
+    config:
+        A :class:`Scheme` instance (returned unchanged), a registered scheme
+        name, or a mapping with a ``name`` key whose remaining keys are
+        constructor arguments.
+    cluster:
+        Ambient cluster, forwarded to :meth:`Scheme.from_config` so the
+        heterogeneous schemes (``generalized-bcc``, ``load-balanced``) can
+        derive their per-worker loads from it.
+    kwargs:
+        Extra constructor arguments merged over the config mapping.
+    """
+    if isinstance(config, Scheme):
+        if kwargs:
+            raise ConfigurationError(
+                "cannot apply configuration overrides to an already-built "
+                f"scheme instance {config!r}"
+            )
+        return config
+    if isinstance(config, str):
+        return get_scheme_class(config).from_config(kwargs, cluster=cluster)
+    if isinstance(config, Mapping):
+        options = dict(config)
+        name = options.pop("name", None)
+        if not isinstance(name, str):
+            raise ConfigurationError(
+                "a scheme config mapping needs a string 'name' key; got "
+                f"{config!r}"
+            )
+        options.update(kwargs)
+        return get_scheme_class(name).from_config(options, cluster=cluster)
+    raise ConfigurationError(
+        f"cannot build a scheme from {type(config).__name__}; expected a "
+        "Scheme, a registered name, or a config mapping"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Legacy shims
+# --------------------------------------------------------------------------- #
+#: Names the pre-registry factory exposed; the heterogeneous schemes are
+#: excluded because they cannot be built from a bare ``load``.
+_LEGACY_NAMES = (
+    "bcc",
+    "uncoded",
+    "randomized",
+    "cyclic-repetition",
+    "reed-solomon",
+    "fractional-repetition",
+    "ignore-stragglers",
+)
 
 
 def scheme_registry() -> Dict[str, Callable[..., Scheme]]:
-    """Mapping from scheme name to constructor.
+    """Deprecated mapping from legacy scheme name to constructor.
 
-    The heterogeneous schemes (generalized BCC, load balanced) are not listed
-    because they require a cluster or explicit loads; construct them directly.
+    Kept for backward compatibility with the pre-``register_scheme`` API; it
+    lists only the schemes constructible from a bare ``load``. New code
+    should use :func:`available_schemes` and :func:`scheme_from_config`.
     """
-    return {
-        "bcc": BCCScheme,
-        "uncoded": lambda load=None: UncodedScheme(),
-        "randomized": SimpleRandomizedScheme,
-        "cyclic-repetition": CyclicRepetitionScheme,
-        "reed-solomon": ReedSolomonScheme,
-        "fractional-repetition": FractionalRepetitionScheme,
-        "ignore-stragglers": lambda load=None: IgnoreStragglersScheme(),
-    }
+
+    def legacy_constructor(key: str) -> Callable[..., Scheme]:
+        def build(load: Optional[int] = None) -> Scheme:
+            return make_scheme(key) if load is None else make_scheme(key, load=load)
+
+        return build
+
+    return {key: legacy_constructor(key) for key in _LEGACY_NAMES}
 
 
-def make_scheme(name: str, load: int = 1) -> Scheme:
-    """Construct a homogeneous scheme by name.
+def make_scheme(name: str, load: int = 1, **kwargs: object) -> Scheme:
+    """Construct a scheme by name (deprecated shim over the config registry).
 
     Parameters
     ----------
     name:
-        One of ``bcc``, ``uncoded``, ``randomized``, ``cyclic-repetition``,
-        ``reed-solomon``, ``fractional-repetition``.
+        Any registered scheme name (see :func:`available_schemes`).
     load:
-        Computational load ``r`` (ignored by the uncoded scheme).
+        Computational load ``r`` for the schemes that take one. Passing a
+        non-default load to a scheme without a ``load`` parameter warns and
+        ignores it (the historical behaviour); the strict path is
+        :func:`scheme_from_config`, which raises instead.
+    kwargs:
+        Additional constructor arguments — e.g.
+        ``make_scheme("generalized-bcc", loads=[2, 0, 3])`` or
+        ``make_scheme("load-balanced", cluster=my_cluster)`` — so the
+        heterogeneous schemes are constructible by name too.
     """
-    registry = scheme_registry()
-    if name not in registry:
-        raise ConfigurationError(
-            f"unknown scheme {name!r}; available: {sorted(registry)}"
+    cls = get_scheme_class(name)
+    options: Dict[str, object] = dict(kwargs)
+    cluster = options.pop("cluster", None)
+    if "load" in cls.constructor_parameters():
+        options.setdefault("load", load)
+    elif load != 1:
+        warnings.warn(
+            f"scheme {name!r} takes no computational load; ignoring load={load} "
+            "(scheme_from_config raises on inapplicable parameters)",
+            UserWarning,
+            stacklevel=2,
         )
-    if name == "uncoded":
-        return registry[name]()
-    return registry[name](load)
+    return cls.from_config(options, cluster=cluster)

@@ -12,12 +12,14 @@ from repro.analysis.thresholds import (
 )
 from repro.coding.placement import uncoded_placement
 from repro.schemes.base import CountAggregator, ExecutionPlan, Scheme, sum_encoder
+from repro.schemes.registry import register_scheme
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_positive_int
 
 __all__ = ["UncodedScheme"]
 
 
+@register_scheme("uncoded")
 class UncodedScheme(Scheme):
     """No redundancy: the units are split evenly and every worker must report.
 

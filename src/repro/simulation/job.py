@@ -30,16 +30,62 @@ from repro.utils.validation import check_positive_int
 __all__ = ["JobResult", "simulate_job", "simulate_training_run"]
 
 
+@dataclass(frozen=True)
+class _JobAggregates:
+    """Single-traversal aggregate metrics over a job's iterations."""
+
+    total_time: float
+    total_computation_time: float
+    total_communication_time: float
+    average_recovery_threshold: Optional[float]
+    average_communication_load: Optional[float]
+
+
 @dataclass
 class JobResult:
     """Aggregate timing metrics of a simulated multi-iteration job.
 
-    The attributes mirror the rows of the paper's Tables I and II.
+    The attributes mirror the rows of the paper's Tables I and II. The
+    aggregate properties are computed in one pass over the iterations and
+    cached (keyed on the iteration count, so appending outcomes invalidates
+    the cache) — ``summary()`` and the sweep tables read them repeatedly.
     """
 
     scheme_name: str
     iterations: List[IterationOutcome] = field(default_factory=list)
     training: Optional[TrainingResult] = None
+    _aggregate_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _aggregates(self) -> _JobAggregates:
+        cached = self._aggregate_cache
+        if cached is not None and cached[0] == len(self.iterations):
+            return cached[1]
+        total = []
+        computation = []
+        communication = []
+        workers_heard = []
+        communication_load = []
+        for outcome in self.iterations:
+            total.append(outcome.total_time)
+            computation.append(outcome.computation_time)
+            communication.append(outcome.communication_time)
+            workers_heard.append(outcome.workers_heard)
+            communication_load.append(outcome.communication_load)
+        aggregates = _JobAggregates(
+            total_time=float(sum(total)),
+            total_computation_time=float(sum(computation)),
+            total_communication_time=float(sum(communication)),
+            average_recovery_threshold=(
+                float(np.mean(workers_heard)) if workers_heard else None
+            ),
+            average_communication_load=(
+                float(np.mean(communication_load)) if communication_load else None
+            ),
+        )
+        self._aggregate_cache = (len(self.iterations), aggregates)
+        return aggregates
 
     @property
     def num_iterations(self) -> int:
@@ -49,35 +95,33 @@ class JobResult:
     @property
     def total_time(self) -> float:
         """Total running time (sum over iterations)."""
-        return float(sum(outcome.total_time for outcome in self.iterations))
+        return self._aggregates().total_time
 
     @property
     def total_computation_time(self) -> float:
         """Sum of per-iteration computation times (paper's accounting)."""
-        return float(sum(outcome.computation_time for outcome in self.iterations))
+        return self._aggregates().total_computation_time
 
     @property
     def total_communication_time(self) -> float:
         """Total running time minus total computation time."""
-        return float(
-            sum(outcome.communication_time for outcome in self.iterations)
-        )
+        return self._aggregates().total_communication_time
 
     @property
     def average_recovery_threshold(self) -> float:
         """Average number of workers the master waited for per iteration."""
-        if not self.iterations:
+        value = self._aggregates().average_recovery_threshold
+        if value is None:
             raise SimulationError("the job has no iterations")
-        return float(np.mean([outcome.workers_heard for outcome in self.iterations]))
+        return value
 
     @property
     def average_communication_load(self) -> float:
         """Average per-iteration communication load in gradient units."""
-        if not self.iterations:
+        value = self._aggregates().average_communication_load
+        if value is None:
             raise SimulationError("the job has no iterations")
-        return float(
-            np.mean([outcome.communication_load for outcome in self.iterations])
-        )
+        return value
 
     def summary(self) -> dict:
         """Dictionary of the headline metrics (used by the report tables)."""

@@ -1,0 +1,188 @@
+"""Tests for the execution backends and the unified RunResult."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    JobSpec,
+    MultiprocessBackend,
+    RunResult,
+    SemanticSimBackend,
+    TimingSimBackend,
+    Workload,
+    available_backends,
+    get_backend,
+    run,
+)
+from repro.cluster.spec import ClusterSpec
+from repro.datasets.batching import make_batches
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.optim.nesterov import NesterovAcceleratedGradient
+from repro.stragglers.models import ExponentialDelay
+
+
+@pytest.fixture
+def cluster() -> ClusterSpec:
+    return ClusterSpec.homogeneous(10, ExponentialDelay(straggling=1.0))
+
+
+@pytest.fixture
+def workload(small_logistic_dataset, logistic_model) -> Workload:
+    dataset, _ = small_logistic_dataset
+    # 60 examples in batches of 5 -> 12 units, enough for the 10-worker
+    # cluster's disjoint placements.
+    return Workload(
+        model=logistic_model,
+        dataset=dataset,
+        optimizer=NesterovAcceleratedGradient(0.3),
+        unit_spec=make_batches(dataset.num_examples, 5),
+    )
+
+
+class TestDispatch:
+    def test_names(self):
+        assert available_backends() == ["multiprocess", "semantic", "timing"]
+
+    def test_get_backend_by_name_instance_and_callable(self):
+        assert isinstance(get_backend("timing"), TimingSimBackend)
+        backend = SemanticSimBackend()
+        assert get_backend(backend) is backend
+
+        def runner(spec):
+            return RunResult(scheme_name="stub", backend="stub")
+
+        adapted = get_backend(runner)
+        assert adapted.run(None).scheme_name == "stub"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            get_backend("quantum")
+
+
+class TestTimingBackend:
+    def test_runs_and_tags_result(self, cluster):
+        spec = JobSpec(
+            scheme={"name": "bcc", "load": 4},
+            cluster=cluster,
+            num_units=20,
+            num_iterations=5,
+            seed=0,
+        )
+        result = run(spec)
+        assert isinstance(result, RunResult)
+        assert result.backend == "timing"
+        assert result.num_iterations == 5
+        assert result.total_time > 0
+        assert result.summary()["scheme"] == "bcc"
+
+    def test_requires_cluster(self):
+        spec = JobSpec(scheme="uncoded", num_units=10)
+        with pytest.raises(ConfigurationError, match="cluster"):
+            run(spec)
+
+    def test_same_seed_same_result(self, cluster):
+        spec = JobSpec(
+            scheme={"name": "bcc", "load": 4},
+            cluster=cluster,
+            num_units=20,
+            num_iterations=5,
+            seed=42,
+        )
+        assert run(spec).summary() == run(spec).summary()
+
+
+class TestBackendEquivalence:
+    def test_timing_and_semantic_agree_on_timing_metrics(self, cluster, workload):
+        """Same JobSpec + seed => identical timing on both simulation backends."""
+        spec = JobSpec(
+            scheme={"name": "bcc", "load": 2},
+            cluster=cluster,
+            num_iterations=6,
+            seed=7,
+            workload=workload,
+        )
+        timing = TimingSimBackend().run(spec)
+        semantic = SemanticSimBackend().run(spec)
+
+        assert timing.num_iterations == semantic.num_iterations
+        for timed, trained in zip(timing.iterations, semantic.iterations):
+            assert timed.total_time == trained.total_time
+            assert timed.computation_time == trained.computation_time
+            assert timed.workers_heard == trained.workers_heard
+            assert timed.communication_load == trained.communication_load
+        assert timing.summary()["total_time"] == semantic.summary()["total_time"]
+        # Only the semantic run trains a model.
+        assert timing.training is None
+        assert semantic.training is not None
+        losses = semantic.training.losses
+        assert losses[-1] < losses[0]
+
+    @pytest.mark.parametrize("name", ["uncoded", "ignore-stragglers"])
+    def test_equivalence_for_parameterless_schemes(self, cluster, workload, name):
+        spec = JobSpec(
+            scheme=name, cluster=cluster, num_iterations=3, seed=3, workload=workload
+        )
+        timing = TimingSimBackend().run(spec)
+        semantic = SemanticSimBackend().run(spec)
+        assert timing.total_time == semantic.total_time
+
+    def test_semantic_requires_workload(self, cluster):
+        spec = JobSpec(scheme="uncoded", cluster=cluster, num_units=10)
+        with pytest.raises(ConfigurationError, match="workload"):
+            SemanticSimBackend().run(spec)
+
+
+@pytest.mark.runtime
+class TestMultiprocessBackend:
+    def test_real_run_produces_unified_result(self, workload):
+        spec = JobSpec(
+            scheme={"name": "bcc", "load": 6},  # 12 units -> 2 batches, 3 workers
+            num_iterations=3,
+            seed=1,
+            workload=workload,
+            backend_options={"num_workers": 3},
+        )
+        result = run(spec, backend="multiprocess")
+        assert result.backend == "multiprocess"
+        assert result.num_iterations == 3
+        assert len(result.iteration_times) == 3
+        assert len(result.workers_heard) == 3
+        assert result.total_seconds > 0
+        # RunResult falls back to wall-clock aggregates when there are no
+        # simulated iterations.
+        assert result.total_time == result.total_seconds
+        assert result.average_recovery_threshold == np.mean(result.workers_heard)
+        summary = result.summary()
+        assert summary["backend"] == "multiprocess"
+        assert "final_loss" in summary
+
+    def test_needs_workers_source(self, workload):
+        spec = JobSpec(scheme="uncoded", num_iterations=1, workload=workload)
+        with pytest.raises(ConfigurationError, match="num_workers"):
+            MultiprocessBackend().run(spec)
+
+    def test_rejects_unknown_option(self, workload):
+        spec = JobSpec(
+            scheme="uncoded",
+            num_iterations=1,
+            workload=workload,
+            backend_options={"num_workers": 2, "warp_speed": True},
+        )
+        with pytest.raises(ConfigurationError, match="warp_speed"):
+            MultiprocessBackend().run(spec)
+
+
+class TestRunResult:
+    def test_empty_result_raises_on_threshold(self):
+        with pytest.raises(SimulationError):
+            RunResult(scheme_name="x").average_recovery_threshold
+
+    def test_to_table_renders_summary_and_extras(self, cluster):
+        spec = JobSpec(
+            scheme="uncoded", cluster=cluster, num_units=10, num_iterations=2, seed=0
+        )
+        result = run(spec)
+        result.extras["note"] = "hello"
+        rendered = result.to_table().render()
+        assert "total_time" in rendered
+        assert "hello" in rendered

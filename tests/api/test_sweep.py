@@ -1,0 +1,194 @@
+"""Tests for the Sweep/run_sweep engine: cells, seeding, parallelism, tables."""
+
+import pytest
+
+from repro.api import JobSpec, RunResult, Sweep, run_sweep
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import ConfigurationError
+from repro.stragglers.models import ExponentialDelay
+
+
+@pytest.fixture
+def base(exponential_cluster) -> JobSpec:
+    return JobSpec(
+        scheme={"name": "bcc", "load": 4},
+        cluster=exponential_cluster,
+        num_units=20,
+        num_iterations=3,
+        serialize_master_link=False,
+        seed=0,
+    )
+
+
+class TestCells:
+    def test_grid_is_cartesian_product_first_axis_outermost(self, base):
+        sweep = Sweep(
+            base,
+            parameters={"scheme.load": [2, 4], "num_iterations": [1, 2, 3]},
+        )
+        cells = sweep.cells()
+        assert len(cells) == 6
+        assert cells[0] == {"scheme.load": 2, "num_iterations": 1}
+        assert cells[2] == {"scheme.load": 2, "num_iterations": 3}
+        assert cells[3] == {"scheme.load": 4, "num_iterations": 1}
+
+    def test_zip_pairs_positionally(self, base):
+        sweep = Sweep(
+            base,
+            parameters={"scheme.load": [2, 4], "num_iterations": [5, 6]},
+            mode="zip",
+        )
+        assert sweep.cells() == [
+            {"scheme.load": 2, "num_iterations": 5},
+            {"scheme.load": 4, "num_iterations": 6},
+        ]
+
+    def test_zip_rejects_unequal_lengths(self, base):
+        with pytest.raises(ConfigurationError, match="equal lengths"):
+            Sweep(
+                base,
+                parameters={"scheme.load": [2, 4], "num_iterations": [5]},
+                mode="zip",
+            )
+
+    def test_empty_parameters_yield_one_cell(self, base):
+        assert Sweep(base).cells() == [{}]
+
+    def test_empty_axis_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="no values"):
+            Sweep(base, parameters={"scheme.load": []})
+
+    def test_specs_apply_overrides(self, base):
+        sweep = Sweep(base, parameters={"scheme.load": [2, 5]})
+        loads = [spec.resolve_scheme().load for spec in sweep.specs()]
+        assert loads == [2, 5]
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_tables_are_identical(self, base):
+        """The spawn seed strategy makes execution order irrelevant."""
+        sweep = Sweep(
+            base,
+            parameters={
+                "scheme": [
+                    {"name": "bcc", "load": 4},
+                    {"name": "uncoded"},
+                    {"name": "randomized", "load": 4},
+                ]
+            },
+            trials=3,
+        )
+        serial = run_sweep(sweep)
+        threaded = run_sweep(sweep, max_workers=4)
+        assert serial.to_table().render() == threaded.to_table().render()
+        for a, b in zip(serial.records, threaded.records):
+            assert a.result.summary() == b.result.summary()
+
+    def test_process_executor_matches_serial(self, base):
+        """Named backends and config schemes pickle into a process pool."""
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]}, trials=2)
+        serial = run_sweep(sweep)
+        forked = run_sweep(sweep, max_workers=2, executor="process")
+        assert serial.to_table().render() == forked.to_table().render()
+
+    def test_rerun_is_deterministic(self, base):
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]}, trials=2)
+        assert (
+            run_sweep(sweep).to_table().render()
+            == run_sweep(sweep).to_table().render()
+        )
+
+    def test_trials_differ_within_a_cell(self, base):
+        sweep = Sweep(base, trials=3)
+        totals = {
+            record.result.total_time for record in run_sweep(sweep).records
+        }
+        assert len(totals) == 3
+
+    def test_shared_strategy_refuses_parallelism(self, base):
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]}, seed_strategy="shared")
+        with pytest.raises(ConfigurationError, match="parallel"):
+            run_sweep(sweep, max_workers=2)
+
+    def test_shared_strategy_threads_one_generator(self, exponential_cluster):
+        """Shared mode reproduces a hand-written sequential loop draw for draw."""
+        from repro.simulation.job import simulate_job
+        from repro.schemes.bcc import BCCScheme
+        from repro.utils.rng import as_generator
+
+        generator = as_generator(11)
+        expected = [
+            simulate_job(
+                BCCScheme(load),
+                exponential_cluster,
+                num_units=20,
+                num_iterations=3,
+                rng=generator,
+                serialize_master_link=False,
+            ).total_time
+            for load in (2, 4)
+        ]
+        sweep = Sweep(
+            JobSpec(
+                scheme={"name": "bcc"},
+                cluster=exponential_cluster,
+                num_units=20,
+                num_iterations=3,
+                serialize_master_link=False,
+                seed=11,
+            ),
+            parameters={"scheme.load": [2, 4]},
+            seed_strategy="shared",
+        )
+        measured = [record.result.total_time for record in run_sweep(sweep).records]
+        assert measured == expected
+
+
+class TestAggregation:
+    def test_rows_and_aggregate(self, base):
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]}, trials=2)
+        result = run_sweep(sweep)
+        assert len(result) == 4
+        rows = result.rows()
+        assert rows[0]["scheme.load"] == 2
+        assert rows[0]["trial"] == 0
+        aggregated = result.aggregate()
+        assert len(aggregated) == 2
+        assert aggregated[0]["trials"] == 2
+        expected = (
+            result.records[0].result.total_time + result.records[1].result.total_time
+        ) / 2.0
+        assert aggregated[0]["total_time"] == pytest.approx(expected)
+
+    def test_to_table_contains_params_and_metrics(self, base):
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]})
+        rendered = run_sweep(sweep).to_table(title="loads").render()
+        assert "loads" in rendered
+        assert "scheme.load" in rendered
+        assert "total_time" in rendered
+
+    def test_custom_runner_and_extras(self, base):
+        def runner(spec: JobSpec) -> RunResult:
+            return RunResult(
+                scheme_name=str(spec.scheme["name"]),
+                backend="stub",
+                extras={"payload": spec.scheme["load"]},
+            )
+
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]}, backend=runner)
+        records = run_sweep(sweep).records
+        assert [record.result.extras["payload"] for record in records] == [2, 4]
+
+
+class TestSweepValidation:
+    def test_bad_mode_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="grid"):
+            Sweep(base, mode="diagonal")
+
+    def test_bad_seed_strategy_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="seed_strategy"):
+            Sweep(base, seed_strategy="entropy")
+
+    def test_bad_executor_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="executor"):
+            run_sweep(Sweep(base), max_workers=2, executor="gpu")

@@ -58,3 +58,73 @@ class TestMain:
         captured = capsys.readouterr().out
         assert code == 0
         assert "Theorem 2" in captured
+
+
+class TestSweepCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.experiment == "sweep"
+        assert args.schemes is None
+        assert args.loads == [5, 10, 25]
+        assert args.backend == "timing"
+        assert args.parallel is None
+
+    def test_loads_flag_parses_comma_list(self):
+        args = build_parser().parse_args(["sweep", "--loads", "2,4,8"])
+        assert args.loads == [2, 4, 8]
+
+    def test_timing_sweep_prints_grid(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--scheme", "bcc",
+                "--scheme", "uncoded",
+                "--loads", "5,10",
+                "--workers", "20",
+                "--units", "20",
+                "--iterations", "3",
+                "--trials", "2",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Sweep — timing backend" in captured
+        assert "bcc(load=5)" in captured
+        assert "bcc(load=10)" in captured
+        assert "uncoded" in captured
+        assert "total_time" in captured
+
+    def test_parallel_sweep_matches_serial(self, capsys):
+        argv = [
+            "sweep",
+            "--scheme", "bcc",
+            "--loads", "5,10",
+            "--workers", "20",
+            "--units", "20",
+            "--iterations", "3",
+            "--trials", "2",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--parallel", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_semantic_sweep_reports_loss(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--backend", "semantic",
+                "--scheme", "bcc",
+                "--loads", "4",
+                "--workers", "8",
+                "--units", "8",
+                "--unit-size", "5",
+                "--iterations", "3",
+                "--features", "10",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "semantic backend" in captured
+        assert "final_loss" in captured

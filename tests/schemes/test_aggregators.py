@@ -170,3 +170,52 @@ class TestCodedAggregator:
         aggregator.receive(0, np.zeros(2))
         with pytest.raises(DecodingError):
             aggregator.decode()
+
+    def test_check_every_throttles_decodability_checks(self):
+        """The throttle skips rank checks between multiples of check_every.
+
+        The identity code completes only with every worker present while its
+        (claimed) worst-case threshold sits at half of them, so the window of
+        failing checks is wide; an unthrottled aggregator checks on every
+        arrival in that window, a throttled one on every k-th.
+        """
+        from repro.coding.linear_code import LinearGradientCode
+
+        n = 16
+        code = LinearGradientCode(np.eye(n), name="identity")
+        code.num_stragglers = n // 2
+
+        def feed(check_every: int) -> CodedAggregator:
+            aggregator = CodedAggregator(code=code, check_every=check_every)
+            for worker in range(n):
+                if aggregator.receive(worker, None):
+                    break
+            return aggregator
+
+        eager = feed(1)
+        throttled = feed(3)
+        # Completion is never missed: the final worker is always checked.
+        assert eager.is_complete() and throttled.is_complete()
+        assert eager.workers_heard == throttled.workers_heard == n
+        assert eager.decodability_checks == n - n // 2 + 1  # 8..16 inclusive
+        assert throttled.decodability_checks == 4  # counts 8, 11, 14, 16
+
+    def test_check_every_does_not_change_worst_case_completion(self, rng):
+        code = CyclicRepetitionCode(num_workers=6, num_stragglers=2, seed=0)
+        gradients = rng.standard_normal((6, 3))
+        for check_every in (1, 3):
+            aggregator = CodedAggregator(code, check_every=check_every)
+            for worker in (5, 0, 3, 2):
+                complete = aggregator.receive(worker, code.encode(worker, gradients))
+            assert complete
+            np.testing.assert_allclose(
+                aggregator.decode(), gradients.sum(axis=0), atol=1e-8
+            )
+
+    def test_opportunistic_codes_check_every_arrival(self):
+        code = FractionalRepetitionCode(num_workers=8, num_stragglers=3)
+        aggregator = CodedAggregator(code, check_every=5)
+        group = code.groups[0]
+        aggregator.receive(group[0], None)
+        assert aggregator.receive(group[1], None)  # throttle must not delay this
+        assert aggregator.decodability_checks == 2

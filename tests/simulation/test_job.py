@@ -60,6 +60,19 @@ class TestSimulateJob:
         assert a.total_time == pytest.approx(b.total_time)
         assert a.average_recovery_threshold == pytest.approx(b.average_recovery_threshold)
 
+    def test_aggregates_cached_and_invalidated_on_append(self, homogeneous_cluster, rng):
+        result = simulate_job(BCCScheme(load=3), homogeneous_cluster, 12, 4, rng=rng)
+        first = result.total_time
+        assert result.total_time is first  # same cached float object, no recompute
+        # Appending an iteration invalidates the cache.
+        extra = simulate_job(BCCScheme(load=3), homogeneous_cluster, 12, 1, rng=rng)
+        result.iterations.extend(extra.iterations)
+        assert result.num_iterations == 5
+        assert result.total_time == pytest.approx(first + extra.total_time)
+        assert result.average_recovery_threshold == pytest.approx(
+            np.mean([outcome.workers_heard for outcome in result.iterations])
+        )
+
 
 class TestSemanticTrainingRun:
     @pytest.fixture
