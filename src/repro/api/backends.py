@@ -23,6 +23,7 @@ from repro.api.spec import JobSpec
 from repro.exceptions import ConfigurationError
 from repro.runtime.job import run_distributed_job
 from repro.simulation.job import simulate_job, simulate_training_run
+from repro.simulation.vectorized import validate_engine
 
 __all__ = [
     "Backend",
@@ -52,11 +53,34 @@ BackendLike = Union[Backend, str, Callable[[JobSpec], RunResult]]
 
 
 class TimingSimBackend:
-    """Timing-only discrete-event simulation of the spec."""
+    """Timing-only discrete-event simulation of the spec.
+
+    Parameters
+    ----------
+    engine:
+        ``"loop"``, ``"vectorized"``, or ``"auto"`` (default) — which timing
+        engine executes the job. A spec-level ``backend_options["engine"]``
+        overrides this per run, so one sweep can compare engines. The
+        engines consume the random stream identically and therefore return
+        bit-identical results; ``auto`` simply picks by job size.
+    """
 
     name = "timing"
 
+    _OPTIONS = frozenset({"engine"})
+
+    def __init__(self, engine: str = "auto") -> None:
+        self.engine = validate_engine(engine)
+
     def run(self, spec: JobSpec) -> RunResult:
+        options = dict(spec.backend_options)
+        unknown = sorted(set(options) - self._OPTIONS)
+        if unknown:
+            raise ConfigurationError(
+                f"timing backend does not understand option(s) {unknown}; "
+                f"recognised: {sorted(self._OPTIONS)}"
+            )
+        engine = options.pop("engine", self.engine)
         job = simulate_job(
             spec.resolve_scheme(),
             spec.require_cluster(),
@@ -65,6 +89,7 @@ class TimingSimBackend:
             rng=spec.seed,
             unit_size=spec.resolved_unit_size,
             serialize_master_link=spec.serialize_master_link,
+            engine=engine,
         )
         return RunResult.from_job(job, backend=self.name)
 
@@ -103,13 +128,19 @@ class MultiprocessBackend:
     The worker count comes from the spec's cluster when one is given,
     otherwise from a ``num_workers`` backend option. Recognised
     ``backend_options``: ``num_workers``, ``straggle_delays``,
-    ``receive_timeout``, ``mp_context``.
+    ``receive_timeout``, ``iteration_timeout``, ``mp_context``.
     """
 
     name = "multiprocess"
 
     _OPTIONS = frozenset(
-        {"num_workers", "straggle_delays", "receive_timeout", "mp_context"}
+        {
+            "num_workers",
+            "straggle_delays",
+            "receive_timeout",
+            "iteration_timeout",
+            "mp_context",
+        }
     )
 
     def run(self, spec: JobSpec) -> RunResult:

@@ -60,6 +60,10 @@ class Sweep:
         Monte-Carlo replications per cell.
     backend:
         Backend name, instance, or a bare ``spec -> RunResult`` callable.
+        Pass a configured instance to pick a timing engine for the whole
+        sweep (``backend=TimingSimBackend(engine="vectorized")``); individual
+        cells can override it via a ``backend_options`` axis, e.g.
+        ``{"backend_options": [{"engine": "loop"}, {"engine": "vectorized"}]}``.
     seed_strategy:
         ``"spawn"`` or ``"shared"`` (see the module docstring).
     """

@@ -8,7 +8,8 @@ Usage::
     python -m repro.experiments.cli theorem1
     python -m repro.experiments.cli theorem2
     python -m repro.experiments.cli sweep --scheme bcc --scheme uncoded \
-        --loads 5,10,25 --workers 50 --units 50 --trials 3 --parallel 4
+        --loads 5,10,25 --workers 50 --units 50 --trials 3 --parallel 4 \
+        --engine vectorized
 
 Each sub-command runs the corresponding experiment driver at (scaled-down by
 default, paper-scale via flags) settings and prints the reproduced table to
@@ -113,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing-only simulation or semantic training under simulated time",
     )
     sweep.add_argument(
+        "--engine",
+        choices=("loop", "vectorized", "auto"),
+        default="auto",
+        help=(
+            "timing-engine for the timing backend: the Python per-iteration "
+            "loop, the NumPy batch engine, or size-based auto selection "
+            "(both produce identical results; ignored by --backend semantic)"
+        ),
+    )
+    sweep.add_argument(
         "--features",
         type=int,
         default=100,
@@ -180,11 +191,17 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
         seed=args.seed,
         workload=workload,
     )
+    if args.backend == "timing":
+        from repro.api import TimingSimBackend
+
+        backend = TimingSimBackend(engine=args.engine)
+    else:
+        backend = args.backend
     sweep = Sweep(
         base,
         parameters={"scheme": scheme_configs},
         trials=args.trials,
-        backend=args.backend,
+        backend=backend,
     )
     result = run_sweep(sweep, max_workers=args.parallel, executor=args.executor)
     table = result.to_table(

@@ -71,6 +71,7 @@ def run_distributed_job(
     seed: Optional[int] = 0,
     initial_weights: Optional[np.ndarray] = None,
     receive_timeout: float = 60.0,
+    iteration_timeout: Optional[float] = None,
     mp_context: Optional[str] = None,
 ) -> DistributedRunResult:
     """Run a distributed GD job with one OS process per worker.
@@ -90,6 +91,16 @@ def run_distributed_job(
     receive_timeout:
         Seconds the master waits for any worker message before declaring the
         job dead (protects tests from hanging on a crashed worker).
+    iteration_timeout:
+        Overall deadline in seconds for one iteration's aggregation,
+        defaulting to ``receive_timeout * num_workers``. ``receive_timeout``
+        alone is not enough: every message — including a stale one from a
+        straggler still answering an old broadcast — re-arms it, so a worker
+        replaying old results could keep the master spinning forever. The
+        default cannot fail a healthy iteration (at most one sub-timeout gap
+        per worker message) while still bounding the replay pathology.
+        Exceeding the deadline raises
+        :class:`~repro.exceptions.RuntimeBackendError`.
     mp_context:
         Multiprocessing start method (``"fork"``, ``"spawn"``); default uses
         the platform default.
@@ -101,6 +112,12 @@ def run_distributed_job(
     the tool for cluster-sized sweeps.
     """
     check_positive_int(num_iterations, "num_iterations")
+    if iteration_timeout is None:
+        iteration_timeout = receive_timeout * max(plan.num_workers, 1)
+    if iteration_timeout <= 0:
+        raise RuntimeBackendError(
+            f"iteration_timeout must be positive, got {iteration_timeout}"
+        )
     context = mp.get_context(mp_context) if mp_context else mp.get_context()
 
     tasks = build_worker_tasks(
@@ -141,9 +158,21 @@ def run_distributed_job(
             communicator.broadcast(WeightsMessage(iteration=iteration, weights=query))
 
             aggregator = plan.new_aggregator()
+            deadline = iteration_started + iteration_timeout
             complete = False
             while not complete:
-                worker, payload = communicator.receive_any(timeout=receive_timeout)
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0.0:
+                    raise RuntimeBackendError(
+                        f"iteration {iteration} did not complete within "
+                        f"{iteration_timeout:.1f}s: heard "
+                        f"{aggregator.workers_heard} usable message(s); "
+                        "workers may be replaying stale broadcasts or have "
+                        "stalled"
+                    )
+                worker, payload = communicator.receive_any(
+                    timeout=min(receive_timeout, remaining)
+                )
                 if isinstance(payload, tuple) and payload and payload[0] == "error":
                     raise RuntimeBackendError(
                         f"worker {payload[1]} failed: {payload[2]}"

@@ -88,6 +88,16 @@ class PartialSumAggregator(MasterAggregator):
         """Number of examples represented in the kept messages."""
         return self._covered_examples
 
+    @property
+    def required_count(self) -> int:
+        """Number of eligible worker messages the master waits for."""
+        return self._required_count
+
+    @property
+    def example_counts(self) -> np.ndarray:
+        """Per-worker example counts (zero-count workers are ignored)."""
+        return self._example_counts.copy()
+
 
 @register_scheme("ignore-stragglers")
 class IgnoreStragglersScheme(Scheme):

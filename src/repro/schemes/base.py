@@ -142,6 +142,11 @@ class CountAggregator(MasterAggregator):
             self._sum = message.copy() if self._sum is None else self._sum + message
         return True
 
+    @property
+    def required_workers(self) -> List[int]:
+        """Sorted worker indices the master waits for (the stopping rule)."""
+        return sorted(self._required)
+
     def is_complete(self) -> bool:
         return not self._pending
 
@@ -194,6 +199,16 @@ class BatchCoverageAggregator(MasterAggregator):
     def batches_covered(self) -> int:
         """Number of distinct batches received so far."""
         return int(self._seen.sum())
+
+    @property
+    def num_batches(self) -> int:
+        """Number of batches that must be covered for completion."""
+        return self._num_batches
+
+    @property
+    def worker_batches(self) -> List[int]:
+        """Batch id each worker's message carries, in worker order."""
+        return list(self._worker_batches)
 
 
 class UnitCoverageAggregator(MasterAggregator):
@@ -250,6 +265,16 @@ class UnitCoverageAggregator(MasterAggregator):
         """Number of distinct units received so far."""
         return int(self._covered.sum())
 
+    @property
+    def num_units(self) -> int:
+        """Number of units that must be covered for completion."""
+        return self._num_units
+
+    @property
+    def assignment(self) -> DataAssignment:
+        """The worker-to-unit placement the coverage rule runs over."""
+        return self._assignment
+
 
 class CodedAggregator(MasterAggregator):
     """Aggregator for linear gradient codes (cyclic repetition, RS, fractional).
@@ -285,8 +310,7 @@ class CodedAggregator(MasterAggregator):
         # ``is_decodable`` with a cheap group test) are checked every arrival.
         if not self._complete:
             count = len(self._workers)
-            opportunistic = type(self._code).is_decodable is not LinearGradientCode.is_decodable
-            if opportunistic:
+            if self.opportunistic:
                 due = True
             elif count < self._minimum_needed:
                 due = False
@@ -304,6 +328,26 @@ class CodedAggregator(MasterAggregator):
     def decodability_checks(self) -> int:
         """Number of times the (expensive) decodability test actually ran."""
         return self._decodability_checks
+
+    @property
+    def code(self) -> LinearGradientCode:
+        """The linear gradient code deciding decodability."""
+        return self._code
+
+    @property
+    def check_every(self) -> int:
+        """Decodability-check cadence past the worst-case threshold."""
+        return self._check_every
+
+    @property
+    def minimum_needed(self) -> int:
+        """Arrival count at which the first decodability check is due."""
+        return self._minimum_needed
+
+    @property
+    def opportunistic(self) -> bool:
+        """Whether the code's cheap decodability test runs on every arrival."""
+        return type(self._code).is_decodable is not LinearGradientCode.is_decodable
 
     def is_complete(self) -> bool:
         return self._complete

@@ -21,6 +21,12 @@ from repro.simulation.execution import (
 )
 from repro.simulation.iteration import IterationOutcome, simulate_iteration
 from repro.simulation.job import JobResult, simulate_job, simulate_training_run
+from repro.simulation.vectorized import (
+    ENGINES,
+    resolve_engine,
+    simulate_job_vectorized,
+    validate_engine,
+)
 
 __all__ = [
     "unit_gradient_matrix",
@@ -31,4 +37,8 @@ __all__ = [
     "JobResult",
     "simulate_job",
     "simulate_training_run",
+    "ENGINES",
+    "resolve_engine",
+    "simulate_job_vectorized",
+    "validate_engine",
 ]

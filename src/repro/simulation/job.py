@@ -41,14 +41,63 @@ class _JobAggregates:
     average_communication_load: Optional[float]
 
 
+class _IterationLog(list):
+    """A list of outcomes that counts its mutations.
+
+    :class:`JobResult` keys its aggregate cache on :attr:`version`, so *any*
+    mutation — including replacing an outcome at an unchanged length, which
+    a pure ``len()`` key would miss — invalidates the cached totals.
+    """
+
+    # Class-level default: unpickling rebuilds the list through append()
+    # before __init__ runs, so the counter must resolve without an instance
+    # attribute.
+    version = 0
+
+    def __init__(self, iterable=()) -> None:
+        super().__init__(iterable)
+        self.version = 0
+
+
+def _make_counting(name: str):
+    method = getattr(list, name)
+
+    def counting(self, *args, **kwargs):
+        result = method(self, *args, **kwargs)
+        self.version += 1
+        return result
+
+    counting.__name__ = name
+    return counting
+
+
+for _name in (
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "clear",
+    "sort",
+    "reverse",
+    "__setitem__",
+    "__delitem__",
+    "__iadd__",
+    "__imul__",
+):
+    setattr(_IterationLog, _name, _make_counting(_name))
+del _name
+
+
 @dataclass
 class JobResult:
     """Aggregate timing metrics of a simulated multi-iteration job.
 
     The attributes mirror the rows of the paper's Tables I and II. The
     aggregate properties are computed in one pass over the iterations and
-    cached (keyed on the iteration count, so appending outcomes invalidates
-    the cache) — ``summary()`` and the sweep tables read them repeatedly.
+    cached, keyed on the iteration list's mutation counter — any change to
+    the list (appends, but also in-place replacements) invalidates the
+    cache, which ``summary()`` and the sweep tables read repeatedly.
     """
 
     scheme_name: str
@@ -58,9 +107,29 @@ class JobResult:
         default=None, init=False, repr=False, compare=False
     )
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.iterations, _IterationLog):
+            self.iterations = _IterationLog(self.iterations)
+
+    def __getstate__(self) -> dict:
+        # The cache key pairs the log's mutation counter with its length;
+        # unpickling rebuilds the log with a fresh counter, so a carried
+        # cache could collide with a different mutation history. Drop it —
+        # it is a cache, recomputing is always safe.
+        state = self.__dict__.copy()
+        state["_aggregate_cache"] = None
+        return state
+
     def _aggregates(self) -> _JobAggregates:
+        # A plain list (someone reassigned the attribute) has no version
+        # counter; disable caching rather than risk serving stale totals.
+        version = getattr(self.iterations, "version", None)
         cached = self._aggregate_cache
-        if cached is not None and cached[0] == len(self.iterations):
+        if (
+            version is not None
+            and cached is not None
+            and cached[0] == (version, len(self.iterations))
+        ):
             return cached[1]
         total = []
         computation = []
@@ -84,7 +153,8 @@ class JobResult:
                 float(np.mean(communication_load)) if communication_load else None
             ),
         )
-        self._aggregate_cache = (len(self.iterations), aggregates)
+        if version is not None:
+            self._aggregate_cache = ((version, len(self.iterations)), aggregates)
         return aggregates
 
     @property
@@ -161,14 +231,41 @@ def simulate_job(
     *,
     unit_size: int = 1,
     serialize_master_link: bool = True,
+    engine: str = "loop",
 ) -> JobResult:
     """Timing-only simulation of ``num_iterations`` distributed GD iterations.
 
     The placement is frozen once (as in the paper, data is loaded onto the
     workers before the iterations start); only the per-iteration completion
     times vary across iterations.
+
+    Parameters
+    ----------
+    engine:
+        ``"loop"`` (default) iterates :func:`simulate_iteration` in Python;
+        ``"vectorized"`` batches every iteration's timing in NumPy
+        (:mod:`repro.simulation.vectorized`); ``"auto"`` picks by job size.
+        The engines consume the random stream identically, so the result is
+        the same bit for bit — only the speed differs.
     """
     check_positive_int(num_iterations, "num_iterations")
+    from repro.simulation.vectorized import resolve_engine, simulate_job_vectorized
+
+    if (
+        resolve_engine(
+            engine, num_iterations=num_iterations, num_workers=cluster.num_workers
+        )
+        == "vectorized"
+    ):
+        return simulate_job_vectorized(
+            scheme_or_plan,
+            cluster,
+            num_units,
+            num_iterations,
+            rng,
+            unit_size=unit_size,
+            serialize_master_link=serialize_master_link,
+        )
     generator = as_generator(rng)
     plan = _resolve_plan(scheme_or_plan, num_units, cluster.num_workers, generator)
     result = JobResult(scheme_name=plan.scheme_name)

@@ -5,12 +5,34 @@ worker processes in one iteration) to a random completion time. Models are
 stateless and receive the RNG explicitly, so the same model object can be
 shared by every worker of a homogeneous cluster while keeping experiments
 reproducible.
+
+Batched sampling
+----------------
+The vectorized timing engine (:mod:`repro.simulation.vectorized`) draws many
+completion times at once through two batched paths:
+
+* :meth:`DelayModel.sample_batch` — ``size`` i.i.d. draws from *one* model.
+  Its contract is equality with the sized draw path
+  ``sample(load, size=size)``. For most models that also equals ``size``
+  successive scalar draws, but not for every model
+  (:class:`~repro.stragglers.models.BimodalStragglerDelay` draws its sized
+  components in blocks rather than interleaved per draw).
+* :meth:`DelayModel.sample_grid` — a ``(num_draws, num_workers)`` matrix of
+  draws across *several* model instances, filled in row-major (draw-major,
+  worker-minor) order. Its **stream contract** is the one the engine
+  equivalence guarantee rests on: given the same generator state it must
+  consume the underlying bit stream exactly like the nested scalar loop
+  (row ``i`` holds the ``i``-th draw of every worker, in worker order). The
+  base implementation *is* that scalar loop; subclasses override it with a
+  single vectorized call only when every model in the group uses their
+  unmodified scalar sampler (numpy's broadcast sampling fills C-order,
+  element-sequentially, which preserves the stream).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,6 +65,83 @@ class DelayModel(abc.ABC):
     def mean(self, load: int) -> float:
         """Expected completion time for a task of ``load`` examples."""
 
+    # ------------------------------------------------------------------ #
+    # Batched sampling (see the module docstring for the stream contract)
+    # ------------------------------------------------------------------ #
+    def sample_batch(
+        self, load: int, rng: RandomState = None, size: int = 1
+    ) -> np.ndarray:
+        """Draw ``size`` i.i.d. completion times as a 1-D array.
+
+        Consumes the RNG exactly like ``sample(load, size=size)`` (which is
+        what it delegates to). Note that a sized draw does not equal ``size``
+        successive scalar draws for every model — see the module docstring;
+        cross-worker batching with that stronger guarantee goes through
+        :meth:`sample_grid`.
+        """
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        return np.asarray(self.sample(load, rng=rng, size=int(size)), dtype=float)
+
+    @classmethod
+    def sample_grid(
+        cls,
+        models: Sequence["DelayModel"],
+        loads: Sequence[int],
+        rng: RandomState = None,
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        """Draw a ``(num_draws, len(models))`` matrix of completion times.
+
+        ``models[j]`` supplies column ``j`` with load ``loads[j]``. The matrix
+        is filled row-major — draw-major, worker-minor — consuming the RNG
+        exactly like the nested scalar loop below. Subclasses override this
+        with one vectorized call when every model belongs to their class;
+        this generic fallback works for arbitrary (even mixed-class) model
+        groups at scalar speed.
+        """
+        if len(models) != len(loads):
+            raise ValueError(
+                f"got {len(models)} models but {len(loads)} loads"
+            )
+        generator = as_generator(rng)
+        out = np.empty((int(num_draws), len(models)), dtype=float)
+        for i in range(int(num_draws)):
+            for j, (model, load) in enumerate(zip(models, loads)):
+                out[i, j] = model.sample(int(load), rng=generator)
+        return out
+
+    @classmethod
+    def _all_native(cls, models: Sequence["DelayModel"]) -> bool:
+        """Whether every model is a ``cls`` using ``cls``'s scalar sampler.
+
+        A subclass overriding :meth:`sample` changed the distribution, so
+        the defining class's vectorized grid formula would silently diverge
+        from the scalar path — such groups must take the generic fallback.
+        """
+        return all(
+            isinstance(model, cls) and type(model).sample is cls.sample
+            for model in models
+        )
+
+    @classmethod
+    def _grid_parameters(
+        cls, models: Sequence["DelayModel"], attributes: Sequence[str]
+    ) -> Optional[tuple]:
+        """Per-model parameter rows for a vectorized grid, or ``None``.
+
+        Returns one float array per attribute name when :meth:`_all_native`
+        holds (the caller then batches a single numpy call); ``None``
+        signals the caller to fall back to the generic scalar grid, which
+        is correct for any model.
+        """
+        if not cls._all_native(models):
+            return None
+        return tuple(
+            np.array([getattr(model, attribute) for model in models], dtype=float)
+            for attribute in attributes
+        )
+
     def cdf(self, load: int, t: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
         """``P(T <= t)`` for a task of ``load`` examples.
 
@@ -59,6 +158,21 @@ class DelayModel(abc.ABC):
         if load < 1:
             raise ValueError(f"load must be a positive number of examples, got {load}")
         return int(load)
+
+    @staticmethod
+    def _check_grid_loads(
+        models: Sequence["DelayModel"], loads: Sequence[int]
+    ) -> np.ndarray:
+        """Validate per-worker grid loads and return them as a float row."""
+        if len(models) != len(loads):
+            raise ValueError(f"got {len(models)} models but {len(loads)} loads")
+        arr = np.asarray(loads)
+        if arr.ndim != 1 or (arr.size and arr.min() < 1):
+            raise ValueError(
+                "loads must be a 1-D sequence of positive example counts, "
+                f"got {loads!r}"
+            )
+        return arr.astype(float)
 
     @staticmethod
     def _rng(rng: RandomState) -> np.random.Generator:

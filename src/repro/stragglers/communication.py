@@ -39,6 +39,33 @@ class CommunicationModel(abc.ABC):
     def mean(self, message_size: float) -> float:
         """Expected transfer time."""
 
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether :meth:`sample` consumes no randomness.
+
+        The vectorized timing engine batches all computation-time draws up
+        front only when the communication model is deterministic (the stream
+        then contains nothing but compute draws in both engines); stochastic
+        models force it onto the per-iteration draw path to keep the RNG
+        consumption order identical to the loop engine. The base class
+        conservatively reports ``False``.
+        """
+        return False
+
+    def sample_batch(
+        self, message_sizes: np.ndarray, rng: RandomState = None
+    ) -> np.ndarray:
+        """Draw one transfer time per entry of ``message_sizes``.
+
+        Stream contract: consumes the RNG exactly like scalar :meth:`sample`
+        calls over ``message_sizes`` in C order. The generic fallback loops
+        those scalar calls; subclasses vectorize.
+        """
+        generator = as_generator(rng)
+        sizes = np.asarray(message_sizes, dtype=float)
+        flat = [float(self.sample(float(s), rng=generator)) for s in sizes.ravel()]
+        return np.asarray(flat, dtype=float).reshape(sizes.shape)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -86,6 +113,31 @@ class LinearCommunicationModel(CommunicationModel):
         message_size = check_nonnegative(message_size, "message_size")
         return self.latency + self.seconds_per_unit * message_size + self.jitter
 
+    @property
+    def is_deterministic(self) -> bool:
+        # A subclass that overrides sample() changed the distribution; only
+        # the unmodified sampler is known to be draw-free at jitter zero.
+        if type(self).sample is not LinearCommunicationModel.sample:
+            return False
+        return self.jitter == 0.0
+
+    def sample_batch(
+        self, message_sizes: np.ndarray, rng: RandomState = None
+    ) -> np.ndarray:
+        if type(self).sample is not LinearCommunicationModel.sample:
+            return super().sample_batch(message_sizes, rng)
+        sizes = np.asarray(message_sizes, dtype=float)
+        if sizes.size and sizes.min() < 0:
+            raise ValueError(
+                f"message sizes must be non-negative, got min {sizes.min()}"
+            )
+        base = self.latency + self.seconds_per_unit * sizes
+        if self.jitter == 0.0:
+            return base
+        generator = as_generator(rng)
+        # Element-sequential C-order fill: same stream as scalar draws.
+        return base + generator.exponential(scale=self.jitter, size=sizes.shape)
+
     def __repr__(self) -> str:
         return (
             f"LinearCommunicationModel(latency={self.latency!r}, "
@@ -99,9 +151,27 @@ class ZeroCommunicationModel(CommunicationModel):
     def sample(
         self, message_size: float, rng: RandomState = None, size: Optional[int] = None
     ) -> Number:
+        check_nonnegative(message_size, "message_size")
         if size is None:
             return 0.0
         return np.zeros(size, dtype=float)
 
     def mean(self, message_size: float) -> float:
+        check_nonnegative(message_size, "message_size")
         return 0.0
+
+    @property
+    def is_deterministic(self) -> bool:
+        return type(self).sample is ZeroCommunicationModel.sample
+
+    def sample_batch(
+        self, message_sizes: np.ndarray, rng: RandomState = None
+    ) -> np.ndarray:
+        if type(self).sample is not ZeroCommunicationModel.sample:
+            return super().sample_batch(message_sizes, rng)
+        sizes = np.asarray(message_sizes, dtype=float)
+        if sizes.size and sizes.min() < 0:
+            raise ValueError(
+                f"message sizes must be non-negative, got min {sizes.min()}"
+            )
+        return np.zeros(sizes.shape, dtype=float)

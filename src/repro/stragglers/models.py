@@ -19,6 +19,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.stragglers.base import DelayModel
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_in_range, check_nonnegative, check_probability
@@ -64,6 +65,27 @@ class ShiftedExponentialDelay(DelayModel):
     def mean(self, load: int) -> float:
         load = self._check_load(load)
         return self.shift * load + load / self.straggling
+
+    @classmethod
+    def sample_grid(
+        cls,
+        models: Sequence[DelayModel],
+        loads: Sequence[int],
+        rng: RandomState = None,
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        params = cls._grid_parameters(models, ("straggling", "shift"))
+        if params is None:
+            return super().sample_grid(models, loads, rng, num_draws)
+        stragglings, shifts = params
+        loads_row = cls._check_grid_loads(models, loads)
+        generator = cls._rng(rng)
+        # One broadcast draw fills the matrix in C order, element by element,
+        # so the stream matches the scalar draw-major/worker-minor loop.
+        tail = generator.exponential(
+            scale=loads_row / stragglings, size=(int(num_draws), len(models))
+        )
+        return shifts * loads_row + tail
 
     def cdf(self, load: int, t: Number) -> Number:
         load = self._check_load(load)
@@ -115,6 +137,22 @@ class DeterministicDelay(DelayModel):
     def mean(self, load: int) -> float:
         return self.seconds_per_example * self._check_load(load)
 
+    @classmethod
+    def sample_grid(
+        cls,
+        models: Sequence[DelayModel],
+        loads: Sequence[int],
+        rng: RandomState = None,
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        params = cls._grid_parameters(models, ("seconds_per_example",))
+        if params is None:
+            return super().sample_grid(models, loads, rng, num_draws)
+        (rates,) = params
+        loads_row = cls._check_grid_loads(models, loads)
+        # Deterministic: no randomness is consumed, matching the scalar path.
+        return np.tile(rates * loads_row, (int(num_draws), 1))
+
     def cdf(self, load: int, t: Number) -> Number:
         load = self._check_load(load)
         t_arr = np.asarray(t, dtype=float)
@@ -151,10 +189,27 @@ class ParetoDelay(DelayModel):
     def mean(self, load: int) -> float:
         load = self._check_load(load)
         if self.alpha <= 1.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"the Pareto mean is infinite for alpha <= 1 (alpha={self.alpha})"
             )
         return self.scale * load * self.alpha / (self.alpha - 1.0)
+
+    @classmethod
+    def sample_grid(
+        cls,
+        models: Sequence[DelayModel],
+        loads: Sequence[int],
+        rng: RandomState = None,
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        params = cls._grid_parameters(models, ("alpha", "scale"))
+        if params is None:
+            return super().sample_grid(models, loads, rng, num_draws)
+        alphas, scales = params
+        loads_row = cls._check_grid_loads(models, loads)
+        generator = cls._rng(rng)
+        draws = 1.0 + generator.pareto(alphas, size=(int(num_draws), len(models)))
+        return scales * loads_row * draws
 
     def cdf(self, load: int, t: Number) -> Number:
         load = self._check_load(load)
@@ -250,6 +305,31 @@ class TraceDelay(DelayModel):
 
     def mean(self, load: int) -> float:
         return float(self.trace.mean()) * self._check_load(load)
+
+    @classmethod
+    def sample_grid(
+        cls,
+        models: Sequence[DelayModel],
+        loads: Sequence[int],
+        rng: RandomState = None,
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        # One batched draw is only possible when every worker replays the
+        # *same* trace (one `choice` call per element, same population) with
+        # the unmodified scalar sampler; mixed traces and sample() overrides
+        # fall back to the generic scalar grid.
+        if not cls._all_native(models):
+            return super().sample_grid(models, loads, rng, num_draws)
+        trace = models[0].trace
+        if not all(
+            model.trace is trace or np.array_equal(model.trace, trace)
+            for model in models
+        ):
+            return super().sample_grid(models, loads, rng, num_draws)
+        loads_row = cls._check_grid_loads(models, loads)
+        generator = cls._rng(rng)
+        draws = generator.choice(trace, size=(int(num_draws), len(models)), replace=True)
+        return draws * loads_row
 
     def __repr__(self) -> str:
         return f"TraceDelay(num_samples={self.trace.size})"

@@ -75,6 +75,58 @@ class TestTimingBackend:
         assert result.total_time > 0
         assert result.summary()["scheme"] == "bcc"
 
+    def test_engine_knob_results_are_identical(self, cluster):
+        spec = JobSpec(
+            scheme={"name": "bcc", "load": 4},
+            cluster=cluster,
+            num_units=20,
+            num_iterations=6,
+            seed=11,
+        )
+        loop = TimingSimBackend(engine="loop").run(spec)
+        vectorized = TimingSimBackend(engine="vectorized").run(spec)
+        auto = TimingSimBackend().run(spec)
+        assert loop.summary() == vectorized.summary() == auto.summary()
+
+    def test_engine_via_backend_options_overrides_instance(self, cluster):
+        base = JobSpec(
+            scheme="uncoded",
+            cluster=cluster,
+            num_units=20,
+            num_iterations=4,
+            seed=2,
+        )
+        loop_backend = TimingSimBackend(engine="loop")
+        plain = loop_backend.run(base)
+        overridden = loop_backend.run(
+            base.replace(backend_options={"engine": "vectorized"})
+        )
+        assert plain.summary() == overridden.summary()
+
+    def test_unknown_engine_rejected(self, cluster):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            TimingSimBackend(engine="warp")
+        spec = JobSpec(
+            scheme="uncoded",
+            cluster=cluster,
+            num_units=10,
+            num_iterations=2,
+            backend_options={"engine": "warp"},
+        )
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            TimingSimBackend().run(spec)
+
+    def test_unknown_backend_option_rejected(self, cluster):
+        spec = JobSpec(
+            scheme="uncoded",
+            cluster=cluster,
+            num_units=10,
+            num_iterations=2,
+            backend_options={"warp_speed": True},
+        )
+        with pytest.raises(ConfigurationError, match="warp_speed"):
+            TimingSimBackend().run(spec)
+
     def test_requires_cluster(self):
         spec = JobSpec(scheme="uncoded", num_units=10)
         with pytest.raises(ConfigurationError, match="cluster"):

@@ -192,3 +192,57 @@ class TestSweepValidation:
     def test_bad_executor_rejected(self, base):
         with pytest.raises(ConfigurationError, match="executor"):
             run_sweep(Sweep(base), max_workers=2, executor="gpu")
+
+
+class TestEngineThreading:
+    """The timing-engine knob flows through the sweep layer unchanged."""
+
+    def test_vectorized_backend_instance_matches_loop(self, base):
+        from repro.api import TimingSimBackend
+
+        sweep_kwargs = dict(
+            parameters={"scheme.load": [2, 4]},
+            trials=2,
+        )
+        loop = run_sweep(Sweep(base, backend=TimingSimBackend(engine="loop"), **sweep_kwargs))
+        vectorized = run_sweep(
+            Sweep(base, backend=TimingSimBackend(engine="vectorized"), **sweep_kwargs)
+        )
+        assert loop.to_table().render() == vectorized.to_table().render()
+        for a, b in zip(loop.records, vectorized.records):
+            assert a.result.summary() == b.result.summary()
+
+    def test_engine_backend_survives_process_pool(self, base):
+        from repro.api import TimingSimBackend
+
+        sweep = Sweep(
+            base,
+            parameters={"scheme.load": [2, 4]},
+            trials=2,
+            backend=TimingSimBackend(engine="vectorized"),
+        )
+        serial = run_sweep(sweep)
+        forked = run_sweep(sweep, max_workers=2, executor="process")
+        assert serial.to_table().render() == forked.to_table().render()
+
+    def test_engine_as_sweep_axis(self, base):
+        # Each cell keeps its spawned seed across runs, so reversing the
+        # engine axis pits loop against vectorized at identical seeds.
+        forward = run_sweep(
+            Sweep(
+                base,
+                parameters={
+                    "backend_options": [{"engine": "loop"}, {"engine": "vectorized"}]
+                },
+            )
+        )
+        reverse = run_sweep(
+            Sweep(
+                base,
+                parameters={
+                    "backend_options": [{"engine": "vectorized"}, {"engine": "loop"}]
+                },
+            )
+        )
+        for a, b in zip(forward.records, reverse.records):
+            assert a.result.summary() == b.result.summary()

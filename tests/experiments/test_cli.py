@@ -128,3 +128,25 @@ class TestSweepCommand:
         assert code == 0
         assert "semantic backend" in captured
         assert "final_loss" in captured
+
+    def test_engine_flag_default_and_choices(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.engine == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--engine", "warp"])
+
+    def test_engine_choices_print_identical_tables(self, capsys):
+        argv = [
+            "sweep",
+            "--scheme", "bcc",
+            "--loads", "5",
+            "--workers", "20",
+            "--units", "20",
+            "--iterations", "3",
+            "--trials", "2",
+        ]
+        outputs = {}
+        for engine in ("loop", "vectorized", "auto"):
+            assert main(argv + ["--engine", engine]) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["loop"] == outputs["vectorized"] == outputs["auto"]

@@ -7,14 +7,17 @@ few iterations to stay fast.
 import numpy as np
 import pytest
 
+import repro.runtime.job as job_module
 from repro.datasets.batching import make_batches
 from repro.datasets.synthetic import make_linear_regression_data, make_separable_classification_data
+from repro.exceptions import RuntimeBackendError
 from repro.gradients.least_squares import LeastSquaresLoss
 from repro.gradients.logistic import LogisticLoss
 from repro.optim.gradient_descent import GradientDescent
 from repro.optim.nesterov import NesterovAcceleratedGradient
 from repro.optim.trainer import train
 from repro.runtime.job import run_distributed_job
+from repro.runtime.worker import ResultMessage
 from repro.schemes.bcc import BCCScheme
 from repro.schemes.coded import CyclicRepetitionScheme
 from repro.schemes.uncoded import UncodedScheme
@@ -66,6 +69,82 @@ class TestRunDistributedJob:
         )
         np.testing.assert_allclose(result.training.weights, centralised.weights, atol=1e-8)
         assert result.average_recovery_threshold <= 6
+
+    def test_iteration_timeout_must_be_positive(self):
+        dataset, _ = make_linear_regression_data(8, 2, seed=0)
+        plan = UncodedScheme().build_plan(8, 2)
+        with pytest.raises(RuntimeBackendError):
+            run_distributed_job(
+                plan,
+                LeastSquaresLoss(),
+                dataset,
+                GradientDescent(0.1),
+                num_iterations=1,
+                iteration_timeout=0.0,
+            )
+
+    def test_stale_replay_hits_iteration_deadline(self, monkeypatch):
+        """A worker replaying old-iteration results must not hang the master.
+
+        Every stale message used to re-arm ``receive_timeout``, so a replayer
+        could spin the loop forever; the per-iteration deadline now raises.
+        The communicator and process pool are faked so the master sees an
+        endless stream of stale messages without real child processes.
+        """
+
+        class _StaleCommunicator:
+            def __init__(self, num_workers, *, context=None):
+                self.num_workers = num_workers
+
+            def worker_channel(self, worker):
+                return None
+
+            def broadcast(self, payload):
+                pass
+
+            def receive_any(self, timeout=None):
+                # Always an answer to a long-gone broadcast.
+                return 0, ResultMessage(
+                    iteration=-1,
+                    worker_id=0,
+                    message=np.zeros(2),
+                    compute_seconds=0.0,
+                )
+
+            def drain(self):
+                pass
+
+        class _InertProcess:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def start(self):
+                pass
+
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return False
+
+        class _InertContext:
+            def Process(self, *args, **kwargs):
+                return _InertProcess()
+
+        monkeypatch.setattr(job_module, "InProcessCommunicator", _StaleCommunicator)
+        monkeypatch.setattr(job_module.mp, "get_context", lambda *a, **k: _InertContext())
+
+        dataset, _ = make_linear_regression_data(8, 2, seed=0)
+        plan = UncodedScheme().build_plan(8, 2)
+        with pytest.raises(RuntimeBackendError, match="did not complete within"):
+            run_distributed_job(
+                plan,
+                LeastSquaresLoss(),
+                dataset,
+                GradientDescent(0.1),
+                num_iterations=1,
+                iteration_timeout=0.2,
+            )
 
     def test_coded_scheme_runtime(self):
         dataset, _ = make_linear_regression_data(12, 3, seed=2)

@@ -73,6 +73,61 @@ class TestSimulateJob:
             np.mean([outcome.workers_heard for outcome in result.iterations])
         )
 
+    def test_aggregates_invalidated_on_same_length_replacement(
+        self, homogeneous_cluster, rng
+    ):
+        # Regression: the cache used to be keyed on len(iterations) alone, so
+        # replacing an outcome at an unchanged length served stale totals.
+        result = simulate_job(BCCScheme(load=3), homogeneous_cluster, 12, 4, rng=rng)
+        stale_total = result.total_time
+        replacement = result.iterations[0]
+        bumped = type(replacement)(
+            total_time=replacement.total_time + 100.0,
+            computation_time=replacement.computation_time,
+            communication_time=replacement.communication_time + 100.0,
+            workers_heard=replacement.workers_heard,
+            communication_load=replacement.communication_load,
+            workers_finished_compute=replacement.workers_finished_compute,
+            heard_workers=replacement.heard_workers,
+        )
+        result.iterations[0] = bumped
+        assert result.num_iterations == 4
+        assert result.total_time == pytest.approx(stale_total + 100.0)
+
+    def test_aggregates_invalidated_on_every_mutation_kind(self, homogeneous_cluster, rng):
+        result = simulate_job(BCCScheme(load=3), homogeneous_cluster, 12, 4, rng=rng)
+        total_of_four = result.total_time
+        removed = result.iterations.pop()
+        assert result.total_time == pytest.approx(total_of_four - removed.total_time)
+        result.iterations.append(removed)
+        assert result.total_time == pytest.approx(total_of_four)
+        result.iterations.clear()
+        with pytest.raises(SimulationError):
+            result.average_recovery_threshold
+        assert result.total_time == 0.0
+
+    def test_cache_survives_pickle_round_trip(self, homogeneous_cluster, rng):
+        import pickle
+
+        result = simulate_job(BCCScheme(load=3), homogeneous_cluster, 12, 4, rng=rng)
+        expected = result.total_time  # populate the cache before pickling
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.total_time == pytest.approx(expected)
+        clone.iterations.pop()
+        assert clone.total_time == pytest.approx(
+            sum(outcome.total_time for outcome in clone.iterations)
+        )
+
+    def test_plain_list_reassignment_disables_caching_safely(
+        self, homogeneous_cluster, rng
+    ):
+        result = simulate_job(BCCScheme(load=3), homogeneous_cluster, 12, 4, rng=rng)
+        _ = result.total_time
+        result.iterations = list(result.iterations)[:2]
+        assert result.total_time == pytest.approx(
+            sum(outcome.total_time for outcome in result.iterations)
+        )
+
 
 class TestSemanticTrainingRun:
     @pytest.fixture

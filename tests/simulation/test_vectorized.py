@@ -1,0 +1,338 @@
+"""Equivalence tests: the vectorized engine vs the per-iteration loop.
+
+The acceptance bar is *bit-identical* results at a fixed seed — not
+approximate agreement — for every registered scheme, both master-link modes,
+deterministic and stochastic communication models, and the scalar fallbacks
+(mixed/unsupported delay models, custom aggregators). ``IterationOutcome``
+is a frozen dataclass of floats and ints, so ``==`` over the iteration lists
+compares every metric exactly; the summaries are compared with plain dict
+equality for the same reason.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.schemes.base import (
+    ExecutionPlan,
+    MasterAggregator,
+    sum_encoder,
+)
+from repro.schemes.bcc import BCCScheme
+from repro.schemes.registry import available_schemes, scheme_from_config
+from repro.schemes.uncoded import UncodedScheme
+from repro.simulation.job import simulate_job
+from repro.simulation.vectorized import (
+    ENGINES,
+    resolve_engine,
+    simulate_job_vectorized,
+)
+from repro.stragglers.communication import (
+    LinearCommunicationModel,
+    ZeroCommunicationModel,
+)
+from repro.stragglers.models import (
+    BimodalStragglerDelay,
+    DeterministicDelay,
+    ParetoDelay,
+    ShiftedExponentialDelay,
+    TraceDelay,
+)
+
+# One representative configuration per registered scheme. ``m`` is the unit
+# count; coded schemes need m = n, the heterogeneous schemes derive their
+# loads from the cluster.
+SCHEME_MATRIX = {
+    "uncoded": ({"name": "uncoded"}, 24),
+    "bcc": ({"name": "bcc", "load": 4}, 24),
+    "randomized": ({"name": "randomized", "load": 4}, 24),
+    "ignore-stragglers": ({"name": "ignore-stragglers", "wait_fraction": 0.75}, 24),
+    "cyclic-repetition": ({"name": "cyclic-repetition", "load": 3}, 12),
+    "reed-solomon": ({"name": "reed-solomon", "load": 3}, 12),
+    "fractional-repetition": ({"name": "fractional-repetition", "load": 3}, 12),
+    "generalized-bcc": ({"name": "generalized-bcc"}, 24),
+    "load-balanced": ({"name": "load-balanced"}, 24),
+}
+
+HETEROGENEOUS = {"generalized-bcc", "load-balanced"}
+
+
+def make_cluster(name: str) -> ClusterSpec:
+    if name in HETEROGENEOUS:
+        return ClusterSpec.paper_fig5_cluster(
+            num_workers=12,
+            num_fast=2,
+            communication=LinearCommunicationModel(latency=0.05, seconds_per_unit=0.02),
+        )
+    return ClusterSpec.homogeneous(
+        12,
+        ShiftedExponentialDelay(straggling=1.0, shift=0.01),
+        LinearCommunicationModel(latency=0.05, seconds_per_unit=0.02),
+    )
+
+
+def run_both(config, cluster, num_units, *, seed=123, num_iterations=9, **kwargs):
+    loop = simulate_job(
+        scheme_from_config(config, cluster=cluster),
+        cluster,
+        num_units,
+        num_iterations,
+        rng=seed,
+        **kwargs,
+    )
+    vectorized = simulate_job_vectorized(
+        scheme_from_config(config, cluster=cluster),
+        cluster,
+        num_units,
+        num_iterations,
+        rng=seed,
+        **kwargs,
+    )
+    return loop, vectorized
+
+
+def assert_identical(loop, vectorized):
+    assert loop.summary() == vectorized.summary()  # exact float equality
+    assert list(loop.iterations) == list(vectorized.iterations)
+
+
+class TestSchemeEquivalence:
+    def test_matrix_covers_every_registered_scheme(self):
+        assert sorted(SCHEME_MATRIX) == available_schemes(), (
+            "a newly registered scheme must be added to the engine "
+            "equivalence matrix"
+        )
+
+    @pytest.mark.parametrize("name", sorted(SCHEME_MATRIX))
+    def test_serialized_link_identical(self, name):
+        config, num_units = SCHEME_MATRIX[name]
+        loop, vectorized = run_both(config, make_cluster(name), num_units)
+        assert_identical(loop, vectorized)
+
+    @pytest.mark.parametrize("name", sorted(SCHEME_MATRIX))
+    def test_parallel_link_identical(self, name):
+        config, num_units = SCHEME_MATRIX[name]
+        loop, vectorized = run_both(
+            config, make_cluster(name), num_units, serialize_master_link=False
+        )
+        assert_identical(loop, vectorized)
+
+    @pytest.mark.parametrize("name", ["bcc", "uncoded", "fractional-repetition"])
+    def test_stochastic_communication_identical(self, name):
+        # Jitter makes transfer draws consume randomness, forcing the
+        # vectorized engine onto the per-iteration draw schedule.
+        config, num_units = SCHEME_MATRIX[name]
+        cluster = ClusterSpec.homogeneous(
+            12,
+            ShiftedExponentialDelay(straggling=2.0),
+            LinearCommunicationModel(latency=0.01, seconds_per_unit=0.05, jitter=0.2),
+        )
+        loop, vectorized = run_both(config, cluster, num_units)
+        assert_identical(loop, vectorized)
+        loop, vectorized = run_both(
+            config, cluster, num_units, serialize_master_link=False
+        )
+        assert_identical(loop, vectorized)
+
+    def test_unit_size_scales_identically(self):
+        loop, vectorized = run_both(
+            {"name": "bcc", "load": 4}, make_cluster("bcc"), 24, unit_size=50
+        )
+        assert_identical(loop, vectorized)
+
+
+class TestDelayModelPaths:
+    def test_deterministic_delays_and_ties(self):
+        # Equal compute times everywhere: stresses stable tie-breaking in
+        # both the completion sort and the serialized-link recurrence.
+        cluster = ClusterSpec.homogeneous(
+            8, DeterministicDelay(1.0), LinearCommunicationModel(seconds_per_unit=0.5)
+        )
+        loop, vectorized = run_both({"name": "uncoded"}, cluster, 16)
+        assert_identical(loop, vectorized)
+
+    def test_pareto_delays_identical(self):
+        cluster = ClusterSpec.homogeneous(
+            10, ParetoDelay(alpha=2.0, scale=0.5), ZeroCommunicationModel()
+        )
+        loop, vectorized = run_both({"name": "bcc", "load": 5}, cluster, 20)
+        assert_identical(loop, vectorized)
+
+    def test_trace_delays_identical(self):
+        cluster = ClusterSpec.homogeneous(
+            6, TraceDelay([0.1, 0.4, 0.9, 1.5]), ZeroCommunicationModel()
+        )
+        loop, vectorized = run_both({"name": "uncoded"}, cluster, 12)
+        assert_identical(loop, vectorized)
+
+    def test_bimodal_takes_scalar_grid_fallback_identically(self):
+        # Bimodal interleaves two RNG calls per draw, so it has no batched
+        # grid; the generic fallback must still match the loop exactly.
+        cluster = ClusterSpec.homogeneous(
+            6, BimodalStragglerDelay(), ZeroCommunicationModel()
+        )
+        loop, vectorized = run_both({"name": "bcc", "load": 4}, cluster, 12)
+        assert_identical(loop, vectorized)
+
+    def test_mixed_model_cluster_identical(self):
+        workers = ClusterSpec.homogeneous(3, ShiftedExponentialDelay(1.0)).workers
+        from repro.cluster.spec import WorkerSpec
+
+        mixed = ClusterSpec(
+            workers=workers
+            + (
+                WorkerSpec(compute=ParetoDelay(alpha=3.0), name="pareto"),
+                WorkerSpec(compute=DeterministicDelay(0.7), name="det"),
+                WorkerSpec(compute=BimodalStragglerDelay(), name="bimodal"),
+            ),
+            communication=LinearCommunicationModel(seconds_per_unit=0.1),
+        )
+        loop, vectorized = run_both({"name": "uncoded"}, mixed, 12)
+        assert_identical(loop, vectorized)
+
+
+class TestSubclassedModelsStayExact:
+    """Overriding sample() must force the scalar fallback, not a wrong batch."""
+
+    def test_delay_subclass_overriding_sample_matches_loop(self):
+        class DoubledDelay(ShiftedExponentialDelay):
+            def sample(self, load, rng=None, size=None):
+                return 2.0 * super().sample(load, rng=rng, size=size)
+
+        from repro.cluster.spec import WorkerSpec
+
+        cluster = ClusterSpec(
+            workers=(
+                WorkerSpec(compute=DoubledDelay(1.0)),
+                WorkerSpec(compute=ShiftedExponentialDelay(1.0)),
+                WorkerSpec(compute=DoubledDelay(2.0)),
+                WorkerSpec(compute=ShiftedExponentialDelay(2.0)),
+            ),
+            communication=LinearCommunicationModel(seconds_per_unit=0.1),
+        )
+        loop, vectorized = run_both({"name": "uncoded"}, cluster, 8)
+        assert_identical(loop, vectorized)
+
+    def test_communication_subclass_overriding_sample_matches_loop(self):
+        class NoisyLink(LinearCommunicationModel):
+            def sample(self, message_size, rng=None, size=None):
+                from repro.utils.rng import as_generator
+
+                base = super().sample(message_size, rng=None, size=size)
+                return base + as_generator(rng).exponential(0.5, size=size)
+
+        noisy = NoisyLink(latency=0.1, seconds_per_unit=0.2)  # jitter == 0
+        assert not noisy.is_deterministic
+        cluster = ClusterSpec.homogeneous(
+            8, ShiftedExponentialDelay(1.0), noisy
+        )
+        loop, vectorized = run_both({"name": "bcc", "load": 4}, cluster, 16)
+        assert_identical(loop, vectorized)
+
+
+class TestFallbackAndEdgeCases:
+    def test_custom_aggregator_uses_scalar_fallback_identically(self):
+        # A stopping rule the kernel registry has never seen: wait for the
+        # first even-indexed worker. Both engines must agree through the
+        # aggregator-driven fallback.
+        class FirstEvenAggregator(MasterAggregator):
+            def __init__(self):
+                super().__init__()
+                self._done = False
+
+            def _accept(self, worker, message):
+                if worker % 2 == 0:
+                    self._done = True
+                    return True
+                return False
+
+            def is_complete(self):
+                return self._done
+
+            def decode(self):  # pragma: no cover - timing-only tests
+                raise NotImplementedError
+
+        base = UncodedScheme().build_plan(12, 12)
+        plan = ExecutionPlan(
+            scheme_name="first-even",
+            num_units=12,
+            unit_assignment=base.unit_assignment,
+            message_sizes=base.message_sizes,
+            aggregator_factory=FirstEvenAggregator,
+            encoder=sum_encoder,
+        )
+        cluster = make_cluster("uncoded")
+        loop = simulate_job(plan, cluster, 12, 9, rng=7)
+        vectorized = simulate_job_vectorized(plan, cluster, 12, 9, rng=7)
+        assert_identical(loop, vectorized)
+
+    def test_idle_workers_identical(self):
+        # Explicit zero loads: idle workers never draw, never arrive.
+        cluster = make_cluster("load-balanced")
+        config = {"name": "load-balanced", "loads": [6, 0, 6, 0, 6, 0, 6, 0, 0, 0, 0, 0]}
+        loop, vectorized = run_both(config, cluster, 24)
+        assert_identical(loop, vectorized)
+        assert set(loop.iterations[0].heard_workers) == {0, 2, 4, 6}
+
+    def test_single_worker_single_iteration(self):
+        cluster = ClusterSpec.homogeneous(1, ShiftedExponentialDelay(1.0))
+        loop, vectorized = run_both(
+            {"name": "uncoded"}, cluster, 5, num_iterations=1
+        )
+        assert_identical(loop, vectorized)
+
+    def test_infeasible_plan_raises_like_the_loop(self):
+        scheme = BCCScheme(load=5)
+        missing = None
+        for seed in range(200):
+            plan = scheme.build_plan(20, 4, rng=seed)
+            if not plan.can_ever_complete():
+                missing = plan
+                break
+        assert missing is not None, "expected to find an infeasible placement"
+        cluster = ClusterSpec.homogeneous(4, DeterministicDelay(1.0))
+        with pytest.raises(SimulationError):
+            simulate_job(missing, cluster, 20, 2, rng=0)
+        with pytest.raises(SimulationError):
+            simulate_job_vectorized(missing, cluster, 20, 2, rng=0)
+
+    def test_cluster_size_mismatch_raises(self):
+        plan = UncodedScheme().build_plan(10, 5)
+        cluster = ClusterSpec.homogeneous(4, DeterministicDelay(1.0))
+        with pytest.raises(SimulationError):
+            simulate_job_vectorized(plan, cluster, 10, 2, rng=0)
+
+
+class TestEngineKnob:
+    def test_simulate_job_engine_dispatch(self):
+        cluster = make_cluster("bcc")
+        reference = simulate_job_vectorized(BCCScheme(4), cluster, 24, 6, rng=3)
+        via_knob = simulate_job(BCCScheme(4), cluster, 24, 6, rng=3, engine="vectorized")
+        assert_identical(reference, via_knob)
+
+    def test_engine_names(self):
+        assert set(ENGINES) == {"loop", "vectorized", "auto"}
+        with pytest.raises(ConfigurationError):
+            resolve_engine("warp", num_iterations=1, num_workers=1)
+        with pytest.raises(ConfigurationError):
+            simulate_job(
+                BCCScheme(4), make_cluster("bcc"), 24, 2, rng=0, engine="warp"
+            )
+
+    def test_auto_picks_by_job_size(self):
+        assert resolve_engine("auto", num_iterations=1, num_workers=4) == "loop"
+        assert (
+            resolve_engine("auto", num_iterations=1000, num_workers=1000)
+            == "vectorized"
+        )
+        assert resolve_engine("loop", num_iterations=10**6, num_workers=10**6) == "loop"
+        assert resolve_engine("vectorized", num_iterations=1, num_workers=1) == (
+            "vectorized"
+        )
+
+    def test_auto_equals_both_engines_anyway(self):
+        cluster = make_cluster("uncoded")
+        auto = simulate_job(UncodedScheme(), cluster, 24, 40, rng=5, engine="auto")
+        loop = simulate_job(UncodedScheme(), cluster, 24, 40, rng=5, engine="loop")
+        assert_identical(loop, auto)

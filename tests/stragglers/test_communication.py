@@ -49,3 +49,64 @@ class TestZeroCommunication:
         assert model.sample(100.0, rng=rng) == 0.0
         np.testing.assert_array_equal(model.sample(5.0, rng=rng, size=3), np.zeros(3))
         assert model.mean(42.0) == 0.0
+
+    def test_negative_size_rejected_like_linear_model(self, rng):
+        # Regression: the zero model used to accept any message size while
+        # the linear model validated, so swapping models changed whether a
+        # buggy caller was caught.
+        model = ZeroCommunicationModel()
+        with pytest.raises(ValueError):
+            model.sample(-1.0, rng=rng)
+        with pytest.raises(ValueError):
+            model.sample(-1.0, rng=rng, size=3)
+        with pytest.raises(ValueError):
+            model.mean(-1.0)
+
+
+class TestBatchedTransfers:
+    """sample_batch / is_deterministic, the vectorized engine's comm path."""
+
+    def test_deterministic_flags(self):
+        assert ZeroCommunicationModel().is_deterministic
+        assert LinearCommunicationModel(latency=0.1).is_deterministic
+        assert not LinearCommunicationModel(jitter=0.5).is_deterministic
+
+    def test_linear_batch_matches_scalar_sequence_with_jitter(self):
+        model = LinearCommunicationModel(latency=0.2, seconds_per_unit=0.5, jitter=0.3)
+        sizes = np.array([1.0, 3.0, 0.0, 2.0])
+        batched = model.sample_batch(sizes, rng=np.random.default_rng(4))
+        generator = np.random.default_rng(4)
+        scalar = np.array([model.sample(float(s), rng=generator) for s in sizes])
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_linear_batch_without_jitter_is_affine(self):
+        model = LinearCommunicationModel(latency=0.2, seconds_per_unit=0.5)
+        np.testing.assert_allclose(
+            model.sample_batch(np.array([0.0, 2.0])), [0.2, 1.2]
+        )
+
+    def test_zero_batch_is_zero(self):
+        np.testing.assert_array_equal(
+            ZeroCommunicationModel().sample_batch(np.array([1.0, 2.0])), [0.0, 0.0]
+        )
+
+    def test_batch_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            LinearCommunicationModel().sample_batch(np.array([1.0, -2.0]))
+        with pytest.raises(ValueError):
+            ZeroCommunicationModel().sample_batch(np.array([-1.0]))
+
+    def test_generic_fallback_loops_scalar_sample(self):
+        from repro.stragglers.communication import CommunicationModel
+
+        class Fixed(CommunicationModel):
+            def sample(self, message_size, rng=None, size=None):
+                return 2.0 * message_size if size is None else np.full(size, 2.0 * message_size)
+
+            def mean(self, message_size):
+                return 2.0 * message_size
+
+        np.testing.assert_allclose(
+            Fixed().sample_batch(np.array([1.0, 3.0])), [2.0, 6.0]
+        )
+        assert not Fixed().is_deterministic

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.exceptions import ConfigurationError, ReproError
+from repro.stragglers.base import DelayModel
 from repro.stragglers.models import (
     BimodalStragglerDelay,
     DeterministicDelay,
@@ -90,8 +92,12 @@ class TestPareto:
 
     def test_mean_formula_and_infinite_mean(self):
         assert ParetoDelay(alpha=2.0, scale=1.0).mean(1) == pytest.approx(2.0)
-        with pytest.raises(ValueError):
+        # An infinite mean is a library-domain failure, not a bare ValueError,
+        # so callers catching ReproError handle it uniformly.
+        with pytest.raises(ConfigurationError):
             ParetoDelay(alpha=1.0).mean(1)
+        with pytest.raises(ReproError):
+            ParetoDelay(alpha=0.5).mean(3)
 
     def test_cdf(self):
         model = ParetoDelay(alpha=2.0, scale=1.0)
@@ -146,3 +152,89 @@ class TestTrace:
             TraceDelay([1.0, -2.0])
         with pytest.raises(ValueError):
             TraceDelay([np.inf])
+
+
+class TestBatchedSampling:
+    """The stream contract behind the vectorized engine's equivalence."""
+
+    def _scalar_grid(self, models, loads, seed, num_draws):
+        generator = np.random.default_rng(seed)
+        return np.array(
+            [
+                [model.sample(load, rng=generator) for model, load in zip(models, loads)]
+                for _ in range(num_draws)
+            ]
+        )
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ShiftedExponentialDelay(straggling=2.0, shift=0.5),
+            ExponentialDelay(straggling=1.5),
+            DeterministicDelay(0.3),
+            ParetoDelay(alpha=2.5, scale=0.7),
+            BimodalStragglerDelay(),
+            TraceDelay([0.1, 0.4, 0.9]),
+        ],
+    )
+    def test_sample_batch_matches_sized_sample(self, model):
+        batched = model.sample_batch(5, rng=np.random.default_rng(0), size=64)
+        sized = model.sample(5, rng=np.random.default_rng(0), size=64)
+        np.testing.assert_array_equal(batched, sized)
+
+    def test_sample_batch_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            DeterministicDelay(1.0).sample_batch(3, size=0)
+
+    @pytest.mark.parametrize(
+        "models",
+        [
+            [ShiftedExponentialDelay(1.0, 0.1), ShiftedExponentialDelay(4.0, 0.0)],
+            [ShiftedExponentialDelay(1.0), ExponentialDelay(3.0)],
+            [DeterministicDelay(1.0), DeterministicDelay(0.25)],
+            [ParetoDelay(2.0, 1.0), ParetoDelay(3.5, 0.2)],
+            [TraceDelay([0.2, 0.8]), TraceDelay([0.2, 0.8])],
+        ],
+        ids=["shift-exp", "mixed-exp-subclass", "deterministic", "pareto", "trace"],
+    )
+    def test_sample_grid_matches_scalar_loop(self, models):
+        loads = [3, 7]
+        grid = type(models[0]).sample_grid(
+            models, loads, rng=np.random.default_rng(11), num_draws=20
+        )
+        scalar = self._scalar_grid(models, loads, seed=11, num_draws=20)
+        assert grid.shape == (20, 2)
+        np.testing.assert_array_equal(grid, scalar)
+
+    def test_sample_grid_mixed_classes_falls_back_identically(self):
+        models = [ShiftedExponentialDelay(1.0), ParetoDelay(2.0), BimodalStragglerDelay()]
+        loads = [2, 4, 6]
+        grid = type(models[0]).sample_grid(
+            models, loads, rng=np.random.default_rng(5), num_draws=10
+        )
+        scalar = self._scalar_grid(models, loads, seed=5, num_draws=10)
+        np.testing.assert_array_equal(grid, scalar)
+
+    def test_sample_grid_mixed_traces_fall_back_identically(self):
+        models = [TraceDelay([0.1, 0.2]), TraceDelay([0.3, 0.4, 0.5])]
+        loads = [1, 2]
+        grid = TraceDelay.sample_grid(
+            models, loads, rng=np.random.default_rng(9), num_draws=15
+        )
+        scalar = self._scalar_grid(models, loads, seed=9, num_draws=15)
+        np.testing.assert_array_equal(grid, scalar)
+
+    def test_sample_grid_validates_loads(self):
+        models = [DeterministicDelay(1.0), DeterministicDelay(1.0)]
+        with pytest.raises(ValueError):
+            DeterministicDelay.sample_grid(models, [1, 0], num_draws=2)
+        with pytest.raises(ValueError):
+            DeterministicDelay.sample_grid(models, [1], num_draws=2)
+
+    def test_generic_fallback_is_the_base_implementation(self):
+        # The base-class grid must accept arbitrary model mixes — it is the
+        # correctness anchor every override defers to.
+        models = [BimodalStragglerDelay(), TraceDelay([1.0])]
+        grid = DelayModel.sample_grid(models, [2, 3], rng=0, num_draws=4)
+        scalar = self._scalar_grid(models, [2, 3], seed=0, num_draws=4)
+        np.testing.assert_array_equal(grid, scalar)
