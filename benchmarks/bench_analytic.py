@@ -1,0 +1,115 @@
+"""Benchmark of the analytic backend: closed forms vs Monte-Carlo simulation.
+
+Runs a Fig. 2-sized sweep (m = n = 100, the full computational-load grid for
+BCC and the randomized scheme plus the uncoded and cyclic-repetition
+baselines) through the vectorized timing engine and through the analytic
+backend, asserts the two agree within the documented 15 % relative error on
+every cell, and asserts the analytic backend is at least 100x faster — the
+acceptance bar of its introduction.
+
+Both sides estimate the same quantity: the expected per-iteration runtime
+over the placement randomness *and* the arrival randomness. Monte Carlo
+therefore replicates each cell over several independently drawn placements
+(``TRIALS``) x many iterations; the analytic backend produces the same
+expectation in one O(1) evaluation per cell, which is where the speedup
+comes from — and it grows linearly with the iteration budget.
+"""
+
+import time
+
+from repro.api import JobSpec, Sweep, TimingSimBackend, run_sweep
+from repro.experiments.ec2 import ec2_like_cluster
+
+NUM_WORKERS = 100
+NUM_UNITS = 100
+UNIT_SIZE = 100
+NUM_ITERATIONS = 600
+TRIALS = 8
+MINIMUM_SPEEDUP = 100.0
+TOLERANCE = 0.15
+
+SCHEMES = (
+    [{"name": "bcc", "load": r} for r in range(5, 51, 5)]
+    + [{"name": "randomized", "load": r} for r in range(5, 51, 5)]
+    + [{"name": "uncoded"}, {"name": "cyclic-repetition", "load": 10}]
+)
+
+
+def _base() -> JobSpec:
+    return JobSpec(
+        scheme=SCHEMES[0],
+        cluster=ec2_like_cluster(NUM_WORKERS),
+        num_units=NUM_UNITS,
+        num_iterations=NUM_ITERATIONS,
+        unit_size=UNIT_SIZE,
+        serialize_master_link=False,
+        seed=0,
+    )
+
+
+def test_analytic_backend_at_least_100x_faster(benchmark, report):
+    base = _base()
+
+    started = time.perf_counter()
+    simulated = run_sweep(
+        Sweep(
+            base,
+            parameters={"scheme": SCHEMES},
+            trials=TRIALS,
+            backend=TimingSimBackend(engine="vectorized"),
+        )
+    )
+    simulated_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    analytic = run_sweep(
+        Sweep(base, parameters={"scheme": SCHEMES}, backend="analytic")
+    )
+    analytic_seconds = time.perf_counter() - started
+
+    speedup = simulated_seconds / analytic_seconds
+    simulated_rows = simulated.aggregate(metrics=["total_time"])
+    rows = []
+    worst_error = 0.0
+    for sim_row, ana_record in zip(simulated_rows, analytic.records):
+        sim_mean = sim_row["total_time"] / NUM_ITERATIONS
+        ana_mean = ana_record.result.total_time / NUM_ITERATIONS
+        error = abs(ana_mean - sim_mean) / sim_mean
+        worst_error = max(worst_error, error)
+        rows.append(
+            f"{ana_record.result.scheme_name:20s} sim={sim_mean:.5f}s "
+            f"analytic={ana_mean:.5f}s err={100 * error:5.1f}%"
+        )
+        assert error <= TOLERANCE, rows[-1]
+
+    rendered = "\n".join(
+        rows
+        + [
+            "",
+            f"vectorized sweep: {simulated_seconds:8.3f}s "
+            f"({len(SCHEMES)} cells x {TRIALS} placements x "
+            f"{NUM_ITERATIONS} iterations)",
+            f"analytic sweep:   {analytic_seconds:8.3f}s "
+            f"({len(SCHEMES)} closed-form evaluations)",
+            f"speedup:          {speedup:8.1f}x (required >= {MINIMUM_SPEEDUP:.0f}x)",
+            f"worst cell error: {100 * worst_error:8.1f}% (allowed <= 15%)",
+        ]
+    )
+    report(
+        "Analytic backend vs vectorized engine — Fig. 2-sized sweep",
+        rendered,
+        speedup=speedup,
+        worst_error=worst_error,
+        simulated_seconds=simulated_seconds,
+        analytic_seconds=analytic_seconds,
+    )
+    assert speedup >= MINIMUM_SPEEDUP, (
+        f"analytic backend only {speedup:.1f}x faster than the vectorized "
+        f"engine (required {MINIMUM_SPEEDUP:.0f}x)"
+    )
+
+    benchmark(
+        lambda: run_sweep(
+            Sweep(base, parameters={"scheme": SCHEMES}, backend="analytic")
+        )
+    )

@@ -12,9 +12,9 @@ speeds. This example
    load-balancing baseline,
 4. evaluates the Theorem 2 lower/upper bounds for the same cluster, and
 5. shows that the heterogeneous schemes are constructible *by name* — from
-   the registry (``make_scheme("generalized-bcc", cluster=...)``) and from a
-   plain config mapping inside a :class:`~repro.api.JobSpec`, which injects
-   the job's cluster automatically.
+   the registry (``scheme_from_config("generalized-bcc", cluster=...)``) and
+   from a plain config mapping inside a :class:`~repro.api.JobSpec`, which
+   injects the job's cluster automatically.
 
 Run with::
 
@@ -23,7 +23,7 @@ Run with::
 
 import numpy as np
 
-from repro import ClusterSpec, make_scheme, solve_p2_allocation, theorem2_bounds
+from repro import ClusterSpec, scheme_from_config, solve_p2_allocation, theorem2_bounds
 from repro.api import JobSpec, run
 from repro.cluster.allocation import load_balanced_allocation
 from repro.experiments.fig5 import run_fig5
@@ -67,10 +67,10 @@ def main() -> None:
     print()
 
     # --- 4. Config-driven construction of the heterogeneous schemes ------- #
-    scheme = make_scheme("generalized-bcc", cluster=cluster)
+    scheme = scheme_from_config("generalized-bcc", cluster=cluster)
     plan = scheme.build_feasible_plan(num_examples, cluster.num_workers, rng=0)
     print(
-        f"make_scheme('generalized-bcc', cluster=...) assigns "
+        f"scheme_from_config('generalized-bcc', cluster=...) assigns "
         f"{int(plan.metadata['loads'].sum())} examples in total"
     )
     job = run(

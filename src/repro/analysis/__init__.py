@@ -1,6 +1,15 @@
-"""Analytical results: coupon-collector mathematics, recovery-threshold and
-communication-load formulas for every scheme, and the Theorem 1 / Theorem 2
-bound evaluators used by the benchmark harness."""
+"""Analytical results: the paper's closed forms and their estimators.
+
+The package collects coupon-collector mathematics (:mod:`~repro.analysis.coupon`),
+recovery-threshold and communication-load formulas for every scheme
+(:mod:`~repro.analysis.thresholds`), order statistics of worker completion
+times (:mod:`~repro.analysis.order_statistics`), the Theorem 1 / Theorem 2
+bound evaluators used by the benchmark harness (:mod:`~repro.analysis.bounds`),
+the homogeneous-cluster run-time predictor
+(:mod:`~repro.analysis.runtime_prediction`), and the per-scheme closed-form
+runtime estimators behind the analytic backend
+(:mod:`~repro.analysis.analytic`).
+"""
 
 from repro.analysis.coupon import (
     harmonic_number,
@@ -38,6 +47,21 @@ from repro.analysis.order_statistics import (
     monte_carlo_kth_completion,
 )
 from repro.analysis.runtime_prediction import IterationPrediction, predict_iteration_time
+from repro.analysis.analytic import (
+    DEFAULT_QUANTILES,
+    AnalyticIteration,
+    coupon_threshold_pmf,
+    coverage_runtime,
+    expected_arrivals_until_group_complete,
+    fractional_group_runtime,
+    homogeneous_compute_parameters,
+    maximum_runtime,
+    normal_quantile,
+    order_statistic_runtime,
+    randomized_threshold_pmf,
+    transfer_parameters,
+    worker_compute_parameters,
+)
 
 __all__ = [
     "harmonic_number",
@@ -70,4 +94,17 @@ __all__ = [
     "monte_carlo_kth_completion",
     "IterationPrediction",
     "predict_iteration_time",
+    "DEFAULT_QUANTILES",
+    "AnalyticIteration",
+    "coupon_threshold_pmf",
+    "coverage_runtime",
+    "expected_arrivals_until_group_complete",
+    "fractional_group_runtime",
+    "homogeneous_compute_parameters",
+    "maximum_runtime",
+    "normal_quantile",
+    "order_statistic_runtime",
+    "randomized_threshold_pmf",
+    "transfer_parameters",
+    "worker_compute_parameters",
 ]

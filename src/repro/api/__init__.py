@@ -4,9 +4,10 @@ The API layer unifies the three historical entry points
 (:func:`~repro.simulation.job.simulate_job`,
 :func:`~repro.simulation.job.simulate_training_run`,
 :func:`~repro.runtime.job.run_distributed_job`) behind a declarative job
-specification and interchangeable execution backends, and builds the
-parameter-sweep engine every figure/table driver, example, and the CLI run
-through.
+specification and interchangeable execution backends — including the
+closed-form :class:`~repro.api.backends.AnalyticBackend`, which estimates
+the same metrics without simulating at all — and builds the parameter-sweep
+engine every figure/table driver, example, and the CLI run through.
 
 Quickstart
 ----------
@@ -31,6 +32,7 @@ from repro.api.backends import (
     TimingSimBackend,
     SemanticSimBackend,
     MultiprocessBackend,
+    AnalyticBackend,
     available_backends,
     get_backend,
     run,
@@ -46,6 +48,7 @@ __all__ = [
     "TimingSimBackend",
     "SemanticSimBackend",
     "MultiprocessBackend",
+    "AnalyticBackend",
     "available_backends",
     "get_backend",
     "run",

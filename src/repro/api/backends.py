@@ -1,6 +1,6 @@
 """Execution backends: one ``run(spec) -> RunResult`` front door each.
 
-Three implementations cover the repository's execution substrates:
+Four implementations cover the repository's execution substrates:
 
 * :class:`TimingSimBackend` — discrete-event simulation, timing only (the
   mode every figure/table benchmark uses; thousands of iterations/second).
@@ -8,6 +8,9 @@ Three implementations cover the repository's execution substrates:
   gradients driving the optimizer, so the run also trains a model.
 * :class:`MultiprocessBackend` — one OS process per worker; wall-clock
   measurements of a genuinely parallel run.
+* :class:`AnalyticBackend` — no execution at all: closed-form expected
+  runtimes via :meth:`~repro.schemes.base.Scheme.analytic_runtime`, O(1) in
+  the iteration count, for sweeps at scales Monte Carlo cannot touch.
 
 Anything with a ``run(spec)`` method (or a bare callable) satisfies the
 :class:`Backend` protocol, which is what the sweep engine dispatches on —
@@ -18,11 +21,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Protocol, Type, Union, runtime_checkable
 
+from repro.analysis.analytic import DEFAULT_QUANTILES
 from repro.api.result import RunResult
 from repro.api.spec import JobSpec
 from repro.exceptions import ConfigurationError
 from repro.runtime.job import run_distributed_job
-from repro.simulation.job import simulate_job, simulate_training_run
+from repro.simulation.iteration import IterationOutcome
+from repro.simulation.job import RepeatedOutcomeLog, simulate_job, simulate_training_run
 from repro.simulation.vectorized import validate_engine
 
 __all__ = [
@@ -31,6 +36,7 @@ __all__ = [
     "TimingSimBackend",
     "SemanticSimBackend",
     "MultiprocessBackend",
+    "AnalyticBackend",
     "available_backends",
     "get_backend",
     "run",
@@ -185,10 +191,94 @@ class MultiprocessBackend:
         return RunResult.from_distributed(result, backend=self.name)
 
 
+class AnalyticBackend:
+    """Closed-form expected runtimes — no iteration is ever simulated.
+
+    The spec's scheme supplies its own closed form via
+    :meth:`~repro.schemes.base.Scheme.analytic_runtime` (order statistics of
+    shift-exponential arrivals, coupon-collector stopping indices, group-wise
+    maxima; see :mod:`repro.analysis.analytic`); the backend replicates the
+    per-iteration expectation across the spec's iteration budget so the
+    result tabulates exactly like a simulated run. The cost of a run is
+    independent of ``num_iterations``, which makes parameter sweeps
+    effectively free next to Monte Carlo.
+
+    The returned :class:`~repro.api.result.RunResult` carries the
+    order-statistic quantiles in ``extras["analytic_quantiles"]``
+    (per-iteration) and ``extras["analytic_total_quantiles"]``
+    (normal-approximation quantiles of the total over all iterations), plus
+    the per-iteration variance in ``extras["analytic_variance"]``.
+
+    Schemes or cluster models outside the tractable regime raise
+    :class:`~repro.exceptions.AnalyticIntractableError`; the spec's seed is
+    ignored (there is nothing random to draw).
+
+    Parameters
+    ----------
+    quantiles:
+        Quantile levels to evaluate; a spec-level
+        ``backend_options["quantiles"]`` overrides this per run.
+    """
+
+    name = "analytic"
+
+    _OPTIONS = frozenset({"quantiles"})
+
+    def __init__(self, quantiles=DEFAULT_QUANTILES) -> None:
+        self.quantiles = tuple(float(q) for q in quantiles)
+
+    def run(self, spec: JobSpec) -> RunResult:
+        options = dict(spec.backend_options)
+        unknown = sorted(set(options) - self._OPTIONS)
+        if unknown:
+            raise ConfigurationError(
+                f"analytic backend does not understand option(s) {unknown}; "
+                f"recognised: {sorted(self._OPTIONS)}"
+            )
+        quantiles = tuple(
+            float(q) for q in options.pop("quantiles", self.quantiles)
+        )
+        scheme = spec.resolve_scheme()
+        estimate = scheme.analytic_runtime(
+            spec.require_cluster(),
+            spec.resolved_num_units,
+            unit_size=spec.resolved_unit_size,
+            serialize_master_link=spec.serialize_master_link,
+            quantiles=quantiles,
+        )
+        # One expected outcome standing in for the whole iteration budget:
+        # every aggregate (totals, averages) matches the closed form exactly,
+        # and both memory and aggregation stay O(1) in num_iterations.
+        outcome = IterationOutcome(
+            total_time=estimate.total_time,
+            computation_time=estimate.computation_time,
+            communication_time=estimate.communication_time,
+            workers_heard=estimate.recovery_threshold,
+            communication_load=estimate.communication_load,
+            workers_finished_compute=estimate.workers_finished_compute,
+            heard_workers=(),
+        )
+        result = RunResult(
+            scheme_name=scheme.name,
+            iterations=RepeatedOutcomeLog(outcome, spec.num_iterations),
+            backend=self.name,
+        )
+        result.extras["analytic_quantiles"] = dict(estimate.quantiles)
+        result.extras["analytic_total_quantiles"] = estimate.total_runtime_quantiles(
+            spec.num_iterations
+        )
+        result.extras["analytic_variance"] = estimate.variance
+        result.extras["analytic_mode"] = estimate.mode
+        if estimate.details:
+            result.extras["analytic_details"] = dict(estimate.details)
+        return result
+
+
 _BACKENDS: Dict[str, Type] = {
     TimingSimBackend.name: TimingSimBackend,
     SemanticSimBackend.name: SemanticSimBackend,
     MultiprocessBackend.name: MultiprocessBackend,
+    AnalyticBackend.name: AnalyticBackend,
 }
 
 

@@ -99,7 +99,37 @@ class JobSpec:
         backends, ignored by timing-only simulation.
     backend_options:
         Backend-specific extras (e.g. ``receive_timeout`` or
-        ``straggle_delays`` for the multiprocessing backend).
+        ``straggle_delays`` for the multiprocessing backend, ``engine`` for
+        the timing backend, ``quantiles`` for the analytic backend).
+
+    Examples
+    --------
+    Declare a BCC job on a deterministic ten-worker cluster and execute it
+    (the default backend is the timing-only simulator; any other backend
+    accepts the same spec):
+
+    >>> from repro.api import JobSpec, run
+    >>> from repro.cluster.spec import ClusterSpec
+    >>> from repro.stragglers.models import DeterministicDelay
+    >>> cluster = ClusterSpec.homogeneous(10, DeterministicDelay(0.01))
+    >>> spec = JobSpec(
+    ...     scheme={"name": "bcc", "load": 5},
+    ...     cluster=cluster,
+    ...     num_units=20,
+    ...     num_iterations=3,
+    ...     seed=0,
+    ... )
+    >>> spec.resolved_num_units
+    20
+    >>> run(spec).num_iterations
+    3
+
+    Sweep-style overrides derive cell specs without mutating the base:
+
+    >>> spec.with_overrides({"scheme.load": 10}).scheme["load"]
+    10
+    >>> spec.scheme["load"]
+    5
     """
 
     scheme: SchemeLike

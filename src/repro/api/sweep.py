@@ -32,7 +32,7 @@ import numpy as np
 from repro.api.backends import BackendLike, get_backend
 from repro.api.result import RunResult
 from repro.api.spec import JobSpec
-from repro.exceptions import ConfigurationError
+from repro.exceptions import AnalyticIntractableError, ConfigurationError
 from repro.schemes.base import Scheme
 from repro.utils.rng import as_generator, random_seed_sequence
 from repro.utils.tables import TextTable
@@ -236,7 +236,16 @@ class SweepResult:
 
 def _run_task(task: Tuple[object, JobSpec]) -> RunResult:
     backend, spec = task
-    return backend.run(spec)
+    try:
+        return backend.run(spec)
+    except AnalyticIntractableError as error:
+        # Surface which sweep cell fell outside the closed-form regime —
+        # with dozens of cells, "which configuration?" is the question.
+        raise AnalyticIntractableError(
+            f"sweep cell (scheme={spec.scheme!r}, "
+            f"serialize_master_link={spec.serialize_master_link}) has no "
+            f"closed-form runtime: {error}"
+        ) from error
 
 
 def run_sweep(
@@ -263,6 +272,37 @@ def run_sweep(
         are; custom runner closures usually are not). Threads still help
         when the backend itself waits on other processes or IO (e.g.
         :class:`~repro.api.backends.MultiprocessBackend`).
+
+    Examples
+    --------
+    Sweep the computational load over one base spec and read the records
+    back in cell order:
+
+    >>> from repro.api import JobSpec, Sweep, run_sweep
+    >>> from repro.cluster.spec import ClusterSpec
+    >>> from repro.stragglers.models import DeterministicDelay
+    >>> cluster = ClusterSpec.homogeneous(10, DeterministicDelay(0.01))
+    >>> base = JobSpec(
+    ...     scheme={"name": "bcc", "load": 5},
+    ...     cluster=cluster,
+    ...     num_units=20,
+    ...     num_iterations=2,
+    ...     seed=0,
+    ... )
+    >>> result = run_sweep(Sweep(base, parameters={"scheme.load": [5, 10]}))
+    >>> len(result)
+    2
+    >>> [record.params["scheme.load"] for record in result]
+    [5, 10]
+
+    The same sweep on the closed-form analytic backend never simulates an
+    iteration (and is therefore O(1) in ``num_iterations``):
+
+    >>> analytic = run_sweep(
+    ...     Sweep(base, parameters={"scheme.load": [5, 10]}, backend="analytic")
+    ... )
+    >>> [record.result.backend for record in analytic]
+    ['analytic', 'analytic']
     """
     backend = get_backend(sweep.backend)
     cells = sweep.cells()

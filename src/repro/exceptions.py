@@ -11,6 +11,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "AnalyticIntractableError",
     "AssignmentError",
     "DecodingError",
     "CoverageError",
@@ -30,6 +31,19 @@ class ConfigurationError(ReproError):
 
     Raised eagerly, at object-construction time whenever possible, so that a
     misconfigured experiment fails before any expensive work is performed.
+    """
+
+
+class AnalyticIntractableError(ConfigurationError):
+    """No closed-form runtime model covers the requested configuration.
+
+    Raised by :meth:`repro.schemes.base.Scheme.analytic_runtime` (and the
+    :class:`~repro.api.backends.AnalyticBackend` built on it) when a scheme,
+    delay model, communication model, or link mode falls outside the regime
+    the closed-form analysis covers — e.g. Pareto-tailed workers, a custom
+    communication model, or a serialised master link combined with a
+    heterogeneous cluster. The message names the missing piece so callers can
+    either switch to a simulation backend or restrict the sweep grid.
     """
 
 

@@ -53,6 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.add_argument(
         "--trials", type=int, default=20, help="Monte-Carlo trials per load (0 to skip)"
     )
+    fig2.add_argument(
+        "--backend",
+        choices=("timing", "analytic"),
+        default="timing",
+        help=(
+            "estimator for the cross-check columns: Monte-Carlo simulation "
+            "(timing) or the closed-form analytic backend"
+        ),
+    )
 
     for name, help_text in (
         ("table1", "Table I: scenario one breakdown"),
@@ -62,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         scenario.add_argument(
             "--iterations", type=int, default=100, help="GD iterations (default: 100)"
         )
+        scenario.add_argument(
+            "--backend",
+            choices=("timing", "analytic"),
+            default="timing",
+            help="Monte-Carlo simulation or closed-form analytic breakdown",
+        )
 
     fig5 = subparsers.add_parser("fig5", help="Fig. 5: heterogeneous LB vs generalized BCC")
     fig5.add_argument("--examples", type=int, default=500, help="number of examples m")
@@ -70,11 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
     theorem1 = subparsers.add_parser("theorem1", help="Theorem 1 validation")
     theorem1.add_argument("--examples", type=int, default=100)
     theorem1.add_argument("--trials", type=int, default=1000)
+    theorem1.add_argument(
+        "--estimator",
+        choices=("monte-carlo", "analytic"),
+        default="monte-carlo",
+        help="cross-check column: sampled draws or the analytic backend",
+    )
 
     theorem2 = subparsers.add_parser("theorem2", help="Theorem 2 validation")
     theorem2.add_argument("--examples", type=int, default=100)
     theorem2.add_argument("--trials", type=int, default=200)
     theorem2.add_argument("--workers", type=int, default=50)
+    theorem2.add_argument(
+        "--analytic",
+        action="store_true",
+        help="also print the closed-form coverage-time estimate",
+    )
 
     sweep = subparsers.add_parser(
         "sweep", help="generic scheme/load sweep through the unified API"
@@ -109,9 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--backend",
-        choices=("timing", "semantic"),
+        choices=("timing", "semantic", "analytic"),
         default="timing",
-        help="timing-only simulation or semantic training under simulated time",
+        help=(
+            "timing-only simulation, semantic training under simulated time, "
+            "or closed-form analytic expected runtimes (no simulation at all)"
+        ),
     )
     sweep.add_argument(
         "--engine",
@@ -196,6 +225,8 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
 
         backend = TimingSimBackend(engine=args.engine)
     else:
+        # "semantic" and "analytic" resolve by name; --engine only steers the
+        # timing backend.
         backend = args.backend
     sweep = Sweep(
         base,
@@ -224,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_workers=args.workers,
             monte_carlo_trials=args.trials,
             rng=args.seed,
+            backend=args.backend,
         )
         print(result.render())
     elif args.experiment in ("table1", "table2"):
@@ -232,7 +264,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.experiment == "table1"
             else ScenarioConfig.scenario_two()
         )
-        result = run_scenario(config, rng=args.seed, num_iterations=args.iterations)
+        result = run_scenario(
+            config,
+            rng=args.seed,
+            num_iterations=args.iterations,
+            backend=args.backend,
+        )
         print(result.render())
         print()
         print(
@@ -248,7 +285,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.render())
     elif args.experiment == "theorem1":
         validation = run_theorem1_validation(
-            num_examples=args.examples, num_trials=args.trials, rng=args.seed
+            num_examples=args.examples,
+            num_trials=args.trials,
+            rng=args.seed,
+            estimator=args.estimator,
         )
         print(validation.render())
     elif args.experiment == "theorem2":
@@ -260,6 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cluster=cluster,
             num_trials=args.trials,
             rng=args.seed,
+            analytic=args.analytic,
         )
         print(validation.render())
     elif args.experiment == "sweep":

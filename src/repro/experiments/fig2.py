@@ -47,12 +47,15 @@ class Fig2Result:
     loads: List[int]
     curves: Dict[str, List[float]] = field(default_factory=dict)
     simulated: Dict[str, List[float]] = field(default_factory=dict)
+    estimate_label: str = "sim"
 
     def render(self) -> str:
         """Monospace table with one row per load and one column per curve."""
         headers = ["r", *sorted(self.curves)]
         if self.simulated:
-            headers += [f"{name} (sim)" for name in sorted(self.simulated)]
+            headers += [
+                f"{name} ({self.estimate_label})" for name in sorted(self.simulated)
+            ]
         table = TextTable(
             headers,
             title=(
@@ -74,14 +77,18 @@ def _simulate_thresholds(
     num_workers: int,
     trials: int,
     rng: np.random.Generator,
+    backend: str = "timing",
 ) -> Dict[str, List[float]]:
-    """Monte-Carlo the BCC and randomized stopping rules over every load.
+    """Estimate the BCC and randomized stopping rules over every load.
 
-    One `run_sweep` grid covers the whole (load x scheme) plane: each trial
-    re-draws the random placement and simulates a single iteration, so the
-    trial-averaged recovery threshold estimates the schemes' random
-    thresholds. The shared seed strategy threads one generator through the
-    cells in order, matching the historic hand-written loop draw for draw.
+    One `run_sweep` grid covers the whole (load x scheme) plane. With the
+    default ``"timing"`` backend each trial re-draws the random placement and
+    simulates a single iteration, so the trial-averaged recovery threshold
+    estimates the schemes' random thresholds Monte-Carlo style; the shared
+    seed strategy threads one generator through the cells in order, matching
+    the historic hand-written loop draw for draw. With ``backend="analytic"``
+    the same grid returns the closed-form expected thresholds instead —
+    no iteration is simulated and ``trials`` collapses to one evaluation.
     """
     cluster = ClusterSpec.homogeneous(num_workers, ExponentialDelay(straggling=1.0))
     base = JobSpec(
@@ -98,8 +105,8 @@ def _simulate_thresholds(
             "scheme.load": [int(load) for load in loads],
             "scheme.name": ["bcc", "randomized"],
         },
-        trials=trials,
-        backend="timing",
+        trials=1 if backend == "analytic" else trials,
+        backend=backend,
         seed_strategy="shared",
     )
     simulated: Dict[str, List[float]] = {"bcc": [], "randomized": []}
@@ -119,8 +126,9 @@ def run_fig2(
     *,
     monte_carlo_trials: int = 30,
     rng: RandomState = 0,
+    backend: str = "timing",
 ) -> Fig2Result:
-    """Compute the Fig. 2 curves (and Monte-Carlo cross-checks).
+    """Compute the Fig. 2 curves (and Monte-Carlo or analytic cross-checks).
 
     Parameters
     ----------
@@ -131,7 +139,12 @@ def run_fig2(
         ``5, 10, ..., 50`` (the figure's x-axis range).
     monte_carlo_trials:
         Trials per load for the simulated BCC / randomized thresholds; set to
-        0 to skip simulation.
+        0 to skip the cross-check columns entirely.
+    backend:
+        ``"timing"`` (default) estimates the random thresholds by Monte-Carlo
+        simulation; ``"analytic"`` evaluates them in closed form through the
+        :class:`~repro.api.backends.AnalyticBackend`, so the figure
+        regenerates without simulating a single iteration.
     """
     m = check_positive_int(num_examples, "num_examples")
     n = check_positive_int(num_workers, "num_workers")
@@ -149,7 +162,9 @@ def run_fig2(
 
     simulated: Dict[str, List[float]] = {}
     if monte_carlo_trials > 0:
-        simulated = _simulate_thresholds(loads, m, n, monte_carlo_trials, generator)
+        simulated = _simulate_thresholds(
+            loads, m, n, monte_carlo_trials, generator, backend=backend
+        )
 
     return Fig2Result(
         num_examples=m,
@@ -157,4 +172,5 @@ def run_fig2(
         loads=loads,
         curves=curves,
         simulated=simulated,
+        estimate_label="analytic" if backend == "analytic" else "sim",
     )

@@ -158,6 +158,7 @@ def run_scenario(
     rng: RandomState = 0,
     semantic: bool = False,
     num_iterations: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ScenarioResult:
     """Run one Fig. 4 scenario on the EC2-like simulated cluster.
 
@@ -173,6 +174,10 @@ def run_scenario(
         timing breakdown is identical in distribution to the timing-only run).
     num_iterations:
         Override the scenario's iteration count (useful for quick checks).
+    backend:
+        Override the timing-only backend: ``"analytic"`` regenerates the
+        Table I/II breakdown from the closed forms instead of Monte-Carlo
+        simulation (ignored when ``semantic=True``).
     """
     config = config or ScenarioConfig.scenario_one()
     if num_iterations is not None:
@@ -201,7 +206,7 @@ def run_scenario(
         base = base.replace(
             num_units=config.num_batches, unit_size=config.points_per_batch
         )
-        backend = "timing"
+        backend = backend or "timing"
     else:
         data_config = LogisticDataConfig(
             num_examples=config.num_examples, num_features=config.num_features

@@ -16,12 +16,18 @@ compares the loss reached.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.coding.placement import uncoded_placement
-from repro.exceptions import ConfigurationError, DecodingError
+from repro.analysis.analytic import (
+    DEFAULT_QUANTILES,
+    homogeneous_compute_parameters,
+    order_statistic_runtime,
+    transfer_parameters,
+)
+from repro.exceptions import AnalyticIntractableError, ConfigurationError, DecodingError
 from repro.schemes.base import ExecutionPlan, MasterAggregator, Scheme, sum_encoder
 from repro.schemes.registry import register_scheme
 from repro.utils.rng import RandomState
@@ -158,6 +164,46 @@ class IgnoreStragglersScheme(Scheme):
             aggregator_factory=aggregator_factory,
             encoder=sum_encoder,
             metadata={"wait_fraction": self.wait_fraction, "required_workers": required},
+        )
+
+    def analytic_runtime(
+        self,
+        cluster,
+        num_units: int,
+        *,
+        unit_size: int = 1,
+        serialize_master_link: bool = True,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        """Closed form: the ``ceil(wait_fraction * n)``-th arrival.
+
+        The stopping index is fixed by construction; only the first
+        ``K`` (exchangeable) workers matter, so the balanced split's ±1 unit
+        imbalance is folded into the average per-worker load.
+        """
+        m = check_positive_int(num_units, "num_units")
+        n = cluster.num_workers
+        if m < n:
+            raise AnalyticIntractableError(
+                f"the ignore-stragglers closed form needs every worker to "
+                f"hold data; m={m} units cannot cover n={n} workers"
+            )
+        det_e, tail_e = homogeneous_compute_parameters(cluster)
+        fixed, jitter = transfer_parameters(cluster.communication, 1.0)
+        examples = (m / n) * unit_size
+        required = self._required_workers(n)
+        return order_statistic_runtime(
+            scheme=self.name,
+            num_workers=n,
+            threshold=float(required),
+            compute_deterministic=det_e * examples,
+            compute_tail_mean=tail_e * examples,
+            transfer_fixed=fixed,
+            transfer_jitter_mean=jitter,
+            message_size=1.0,
+            serialize_master_link=serialize_master_link,
+            quantiles=quantiles,
+            details={"wait_fraction": self.wait_fraction},
         )
 
     def expected_recovery_threshold(

@@ -37,9 +37,15 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.analytic import DEFAULT_QUANTILES
 from repro.coding.assignment import DataAssignment
 from repro.coding.linear_code import LinearGradientCode
-from repro.exceptions import ConfigurationError, CoverageError, DecodingError
+from repro.exceptions import (
+    AnalyticIntractableError,
+    ConfigurationError,
+    CoverageError,
+    DecodingError,
+)
 from repro.utils.rng import RandomState
 
 __all__ = [
@@ -541,6 +547,52 @@ class Scheme(abc.ABC):
         return cls(**options)
 
     # ------------------------------------------------------------------ #
+    def analytic_runtime(
+        self,
+        cluster,
+        num_units: int,
+        *,
+        unit_size: int = 1,
+        serialize_master_link: bool = True,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        """Closed-form expected per-iteration runtime of this scheme.
+
+        This is the hook behind :class:`~repro.api.backends.AnalyticBackend`:
+        given the cluster (whose :class:`~repro.stragglers.base.DelayModel`
+        and :class:`~repro.stragglers.communication.CommunicationModel`
+        supply the arrival-time distributions), return an
+        :class:`~repro.analysis.analytic.AnalyticIteration` describing the
+        expected iteration time, its order-statistic quantiles, and the
+        expected recovery threshold / communication load — without simulating
+        a single iteration.
+
+        Subclasses implement it for the regimes their stopping rule admits in
+        closed form; the base implementation (and any implementation asked
+        for an uncovered configuration, e.g. Pareto workers or a serialised
+        link on a heterogeneous cluster) raises
+        :class:`~repro.exceptions.AnalyticIntractableError` so callers can
+        fall back to a simulation backend.
+
+        Parameters
+        ----------
+        cluster:
+            The :class:`~repro.cluster.ClusterSpec` whose delay and
+            communication models parameterise the closed forms.
+        num_units:
+            Number of data units ``m``.
+        unit_size:
+            Examples per unit (scales the computation-time parameters).
+        serialize_master_link:
+            Whether master-side receptions are serialised over one link.
+        quantiles:
+            Quantile levels to evaluate alongside the mean.
+        """
+        raise AnalyticIntractableError(
+            f"scheme {self.name!r} has no closed-form runtime model; run it "
+            "on a simulation backend instead"
+        )
+
     def expected_recovery_threshold(
         self, num_units: int, num_workers: int
     ) -> Optional[float]:

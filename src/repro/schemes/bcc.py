@@ -2,13 +2,21 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.thresholds import bcc_communication_load, bcc_recovery_threshold
 from repro.coding.placement import bcc_placement
 from repro.datasets.batching import contiguous_partition
+from repro.analysis.analytic import (
+    DEFAULT_QUANTILES,
+    coupon_threshold_pmf,
+    homogeneous_compute_parameters,
+    order_statistic_runtime,
+    transfer_parameters,
+)
+from repro.analysis.coupon import harmonic_number
 from repro.exceptions import ConfigurationError
 from repro.schemes.registry import register_scheme
 from repro.schemes.base import (
@@ -101,6 +109,61 @@ class BCCScheme(Scheme):
         )
 
     # ------------------------------------------------------------------ #
+    def analytic_runtime(
+        self,
+        cluster,
+        num_units: int,
+        *,
+        unit_size: int = 1,
+        serialize_master_link: bool = True,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        """Closed form: coupon-collector stopping index over i.i.d. arrivals.
+
+        The batch ids arriving at the master are i.i.d. uniform over the
+        ``N = ceil(m/r)`` batches, so the recovery threshold is the classic
+        coupon-collector stopping time — evaluated as its exact distribution
+        conditioned on feasibility (``K <= n``) via the collected-types
+        Markov chain (:func:`~repro.analysis.analytic.coupon_threshold_pmf`),
+        else as the ``N H_N`` mean capped at ``n``. The iteration time is the
+        corresponding mixture of arrival order statistics.
+        """
+        m = check_positive_int(num_units, "num_units")
+        n = cluster.num_workers
+        if self.load > m:
+            raise ConfigurationError(
+                f"load {self.load} exceeds the number of data units {m}"
+            )
+        num_batches = -(-m // self.load)
+        if num_batches > n:
+            raise ConfigurationError(
+                f"BCC needs at least as many workers as batches; got "
+                f"{num_batches} batches for {n} workers (increase the load)"
+            )
+        det_e, tail_e = homogeneous_compute_parameters(cluster)
+        fixed, jitter = transfer_parameters(cluster.communication, 1.0)
+        # Balanced batches hold m/N units on average (exactly r when r | m).
+        examples = (m / num_batches) * unit_size
+        pmf = coupon_threshold_pmf(num_batches, n)
+        threshold = (
+            pmf
+            if pmf is not None
+            else min(num_batches * harmonic_number(num_batches), float(n))
+        )
+        return order_statistic_runtime(
+            scheme=self.name,
+            num_workers=n,
+            threshold=threshold,
+            compute_deterministic=det_e * examples,
+            compute_tail_mean=tail_e * examples,
+            transfer_fixed=fixed,
+            transfer_jitter_mean=jitter,
+            message_size=1.0,
+            serialize_master_link=serialize_master_link,
+            quantiles=quantiles,
+            details={"num_batches": float(num_batches)},
+        )
+
     def expected_recovery_threshold(
         self, num_units: int, num_workers: int
     ) -> Optional[float]:

@@ -10,7 +10,7 @@ and send a single coded vector per worker, so ``K = L = n - s = m - r + 1``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -22,6 +22,13 @@ from repro.coding.cyclic_repetition import CyclicRepetitionCode
 from repro.coding.fractional import FractionalRepetitionCode
 from repro.coding.linear_code import LinearGradientCode
 from repro.coding.reed_solomon import ReedSolomonStyleCode
+from repro.analysis.analytic import (
+    DEFAULT_QUANTILES,
+    fractional_group_runtime,
+    homogeneous_compute_parameters,
+    order_statistic_runtime,
+    transfer_parameters,
+)
 from repro.exceptions import ConfigurationError
 from repro.schemes.base import CodedAggregator, ExecutionPlan, Scheme
 from repro.schemes.registry import register_scheme
@@ -96,6 +103,52 @@ class _LinearCodeScheme(Scheme):
             metadata={"code": code, "load": self.load},
         )
 
+    def _check_analytic_dimensions(self, num_units: int, num_workers: int) -> None:
+        m = check_positive_int(num_units, "num_units")
+        if m != num_workers:
+            raise ConfigurationError(
+                f"{self.name} operates on one data partition per worker "
+                f"(m = n); got m={m}, n={num_workers}. Group the units into "
+                "n partitions first (the simulator's unit granularity does this)."
+            )
+        if self.load > m:
+            raise ConfigurationError(
+                f"load {self.load} exceeds the number of data units {m}"
+            )
+
+    def analytic_runtime(
+        self,
+        cluster,
+        num_units: int,
+        *,
+        unit_size: int = 1,
+        serialize_master_link: bool = True,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        """Closed form: the ``(n - r + 1)``-th order statistic of the arrivals.
+
+        The worst-case code designs decode after exactly ``n - s = n - r + 1``
+        workers regardless of which workers straggle, so the stopping index
+        is deterministic and the iteration time is a plain order statistic.
+        """
+        n = cluster.num_workers
+        self._check_analytic_dimensions(num_units, n)
+        det_e, tail_e = homogeneous_compute_parameters(cluster)
+        fixed, jitter = transfer_parameters(cluster.communication, 1.0)
+        examples = self.load * unit_size
+        return order_statistic_runtime(
+            scheme=self.name,
+            num_workers=n,
+            threshold=float(n - self.load + 1),
+            compute_deterministic=det_e * examples,
+            compute_tail_mean=tail_e * examples,
+            transfer_fixed=fixed,
+            transfer_jitter_mean=jitter,
+            message_size=1.0,
+            serialize_master_link=serialize_master_link,
+            quantiles=quantiles,
+        )
+
     def expected_recovery_threshold(
         self, num_units: int, num_workers: int
     ) -> Optional[float]:
@@ -158,3 +211,45 @@ class FractionalRepetitionScheme(_LinearCodeScheme):
 
     def _build_code(self, num_workers: int, rng: RandomState) -> LinearGradientCode:
         return FractionalRepetitionCode(num_workers, self.load - 1)
+
+    def analytic_runtime(
+        self,
+        cluster,
+        num_units: int,
+        *,
+        unit_size: int = 1,
+        serialize_master_link: bool = True,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        """Closed form for the opportunistic stopping rule.
+
+        The master decodes when the first of the ``r`` replication groups has
+        fully reported, i.e. at the *minimum over groups of the group-wise
+        maximum* — an alternating harmonic sum in closed form (parallel
+        link), or the exact expected stopping index fed to the serialised
+        recurrence (serialised link). This is the opportunistic behaviour of
+        the paper's footnote 2, frequently much earlier than the worst-case
+        ``n - r + 1``.
+        """
+        n = cluster.num_workers
+        self._check_analytic_dimensions(num_units, n)
+        if n % self.load != 0:
+            raise ConfigurationError(
+                f"the fractional repetition scheme requires (s + 1) | n; "
+                f"got n={n}, s={self.load - 1}"
+            )
+        det_e, tail_e = homogeneous_compute_parameters(cluster)
+        fixed, jitter = transfer_parameters(cluster.communication, 1.0)
+        examples = self.load * unit_size
+        return fractional_group_runtime(
+            scheme=self.name,
+            num_groups=self.load,
+            group_size=n // self.load,
+            compute_deterministic=det_e * examples,
+            compute_tail_mean=tail_e * examples,
+            transfer_fixed=fixed,
+            transfer_jitter_mean=jitter,
+            message_size=1.0,
+            serialize_master_link=serialize_master_link,
+            quantiles=quantiles,
+        )

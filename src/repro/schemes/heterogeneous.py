@@ -14,7 +14,14 @@ from repro.cluster.allocation import (
 from repro.cluster.spec import ClusterSpec
 from repro.coding.placement import heterogeneous_random_placement
 from repro.coding.assignment import DataAssignment
-from repro.exceptions import ConfigurationError
+from repro.analysis.analytic import (
+    DEFAULT_QUANTILES,
+    coverage_runtime,
+    maximum_runtime,
+    transfer_parameters,
+    worker_compute_parameters,
+)
+from repro.exceptions import AnalyticIntractableError, ConfigurationError
 from repro.schemes.base import (
     CountAggregator,
     ExecutionPlan,
@@ -120,6 +127,54 @@ class GeneralizedBCCScheme(Scheme):
             metadata={"loads": loads},
         )
 
+    def analytic_runtime(
+        self,
+        cluster,
+        num_units: int,
+        *,
+        unit_size: int = 1,
+        serialize_master_link: bool = True,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        """Coverage closed form for heterogeneous random placements.
+
+        A unit is uncovered at time ``t`` with probability
+        ``prod_i (1 - (l_i/m) F_i(t))`` over the workers' arrival CDFs; the
+        Poissonised completion CDF ``(1 - rho)^m`` is integrated by
+        deterministic quadrature (see
+        :func:`~repro.analysis.analytic.coverage_runtime`). Only the parallel
+        master link is covered — serialising heterogeneous per-unit messages
+        has no tractable form.
+        """
+        if serialize_master_link:
+            raise AnalyticIntractableError(
+                "the generalized BCC coverage rule has no closed form under a "
+                "serialised master link; use serialize_master_link=False or a "
+                "simulation backend"
+            )
+        m = check_positive_int(num_units, "num_units")
+        n = cluster.num_workers
+        loads = self.resolve_loads(m, n)
+        arrival = []
+        compute = []
+        for worker in range(n):
+            det_e, tail_e = worker_compute_parameters(cluster.workers[worker].compute)
+            examples = int(loads[worker]) * unit_size
+            fixed, jitter = transfer_parameters(
+                cluster.communication, float(loads[worker])
+            )
+            compute.append((det_e * examples, tail_e * examples))
+            arrival.append((det_e * examples + fixed, tail_e * examples + jitter))
+        return coverage_runtime(
+            scheme=self.name,
+            num_units=m,
+            worker_loads=loads,
+            arrival_parameters=arrival,
+            compute_parameters=compute,
+            quantiles=quantiles,
+            details={"total_load": float(np.sum(loads))},
+        )
+
     def __repr__(self) -> str:
         source = "explicit" if self._explicit_loads is not None else "cluster-p2"
         return f"GeneralizedBCCScheme(loads={source})"
@@ -202,6 +257,51 @@ class LoadBalancedScheme(Scheme):
             aggregator_factory=aggregator_factory,
             encoder=sum_encoder,
             metadata={"loads": loads},
+        )
+
+    def analytic_runtime(
+        self,
+        cluster,
+        num_units: int,
+        *,
+        unit_size: int = 1,
+        serialize_master_link: bool = True,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        """Group-wise maximum over every worker that holds at least one unit.
+
+        The disjoint placement makes the iteration end at the maximum of the
+        active workers' independent arrivals; the product-of-CDFs survival
+        function is integrated exactly (workers with identical speed and
+        load collapse into groups contributing a power of their shared CDF).
+        Parallel master link only.
+        """
+        if serialize_master_link:
+            raise AnalyticIntractableError(
+                "the load-balanced closed form covers the parallel master "
+                "link only; use serialize_master_link=False or a simulation "
+                "backend"
+            )
+        m = check_positive_int(num_units, "num_units")
+        n = cluster.num_workers
+        loads = self.resolve_loads(m, n)
+        fixed, jitter = transfer_parameters(cluster.communication, 1.0)
+        arrival = []
+        compute = []
+        for worker in range(n):
+            if loads[worker] <= 0:
+                continue
+            det_e, tail_e = worker_compute_parameters(cluster.workers[worker].compute)
+            examples = int(loads[worker]) * unit_size
+            compute.append((det_e * examples, tail_e * examples))
+            arrival.append((det_e * examples + fixed, tail_e * examples + jitter))
+        return maximum_runtime(
+            scheme=self.name,
+            arrival_parameters=arrival,
+            compute_parameters=compute,
+            communication_load=float(len(arrival)),
+            quantiles=quantiles,
+            details={"active_workers": float(len(arrival))},
         )
 
     def __repr__(self) -> str:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -11,6 +11,13 @@ from repro.analysis.thresholds import (
     randomized_recovery_threshold,
 )
 from repro.coding.placement import random_subset_placement
+from repro.analysis.analytic import (
+    DEFAULT_QUANTILES,
+    homogeneous_compute_parameters,
+    order_statistic_runtime,
+    randomized_threshold_pmf,
+    transfer_parameters,
+)
 from repro.exceptions import ConfigurationError
 from repro.schemes.base import (
     ExecutionPlan,
@@ -65,6 +72,55 @@ class SimpleRandomizedScheme(Scheme):
             aggregator_factory=aggregator_factory,
             encoder=identity_encoder,
             metadata={"load": self.load},
+        )
+
+    def analytic_runtime(
+        self,
+        cluster,
+        num_units: int,
+        *,
+        unit_size: int = 1,
+        serialize_master_link: bool = True,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        """Closed form: exact expected coverage index over i.i.d. arrivals.
+
+        The stopping index — workers until the random ``r``-subsets cover
+        all ``m`` units — is evaluated as its exact distribution conditioned
+        on feasibility (``K <= n``) via the covered-units Markov chain
+        (:func:`~repro.analysis.analytic.randomized_threshold_pmf`); when the
+        problem is too large for the exact program the unconditional
+        expectation (:func:`~repro.analysis.thresholds.randomized_recovery_threshold`)
+        capped at ``n`` stands in. The iteration time is the corresponding
+        mixture of arrival order statistics with ``r``-unit messages.
+        """
+        m = check_positive_int(num_units, "num_units")
+        n = cluster.num_workers
+        if self.load > m:
+            raise ConfigurationError(
+                f"load {self.load} exceeds the number of data units {m}"
+            )
+        det_e, tail_e = homogeneous_compute_parameters(cluster)
+        fixed, jitter = transfer_parameters(cluster.communication, float(self.load))
+        examples = self.load * unit_size
+        threshold = randomized_threshold_pmf(m, self.load, n)
+        if threshold is None:
+            # Past the exact program's size cap the paper's asymptotic
+            # (exact inclusion–exclusion is itself rational arithmetic over
+            # C(m, .), so switch forms around a few hundred units).
+            expected_k = randomized_recovery_threshold(m, self.load, exact=m <= 400)
+            threshold = min(expected_k, float(n))
+        return order_statistic_runtime(
+            scheme=self.name,
+            num_workers=n,
+            threshold=threshold,
+            compute_deterministic=det_e * examples,
+            compute_tail_mean=tail_e * examples,
+            transfer_fixed=fixed,
+            transfer_jitter_mean=jitter,
+            message_size=float(self.load),
+            serialize_master_link=serialize_master_link,
+            quantiles=quantiles,
         )
 
     def expected_recovery_threshold(

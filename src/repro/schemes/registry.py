@@ -155,13 +155,28 @@ _LEGACY_NAMES = (
 )
 
 
+_DEPRECATION_POINTER = (
+    "see the scheme-registry page of the documentation site "
+    "(docs/registry.rst) for the replacement API"
+)
+
+
 def scheme_registry() -> Dict[str, Callable[..., Scheme]]:
     """Deprecated mapping from legacy scheme name to constructor.
 
     Kept for backward compatibility with the pre-``register_scheme`` API; it
     lists only the schemes constructible from a bare ``load``. New code
     should use :func:`available_schemes` and :func:`scheme_from_config`.
+
+    .. deprecated::
+        Use :func:`available_schemes` / :func:`scheme_from_config`.
     """
+    warnings.warn(
+        "scheme_registry() is deprecated; use available_schemes() and "
+        f"scheme_from_config() instead — {_DEPRECATION_POINTER}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
     def legacy_constructor(key: str) -> Callable[..., Scheme]:
         def build(load: Optional[int] = None) -> Scheme:
@@ -174,6 +189,10 @@ def scheme_registry() -> Dict[str, Callable[..., Scheme]]:
 
 def make_scheme(name: str, load: int = 1, **kwargs: object) -> Scheme:
     """Construct a scheme by name (deprecated shim over the config registry).
+
+    .. deprecated::
+        Use :func:`scheme_from_config` — it validates every parameter against
+        the scheme's constructor instead of silently ignoring them.
 
     Parameters
     ----------
@@ -190,6 +209,12 @@ def make_scheme(name: str, load: int = 1, **kwargs: object) -> Scheme:
         ``make_scheme("load-balanced", cluster=my_cluster)`` — so the
         heterogeneous schemes are constructible by name too.
     """
+    warnings.warn(
+        "make_scheme() is deprecated; use scheme_from_config() instead — "
+        f"{_DEPRECATION_POINTER}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     cls = get_scheme_class(name)
     options: Dict[str, object] = dict(kwargs)
     cluster = options.pop("cluster", None)

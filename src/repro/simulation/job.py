@@ -9,6 +9,7 @@ timing metrics and an actual trained model under simulated time.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -27,7 +28,7 @@ from repro.simulation.iteration import IterationOutcome, simulate_iteration
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int
 
-__all__ = ["JobResult", "simulate_job", "simulate_training_run"]
+__all__ = ["JobResult", "RepeatedOutcomeLog", "simulate_job", "simulate_training_run"]
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,112 @@ for _name in (
 del _name
 
 
+class RepeatedOutcomeLog(_IterationLog):
+    """One expected outcome standing in for ``repetitions`` identical iterations.
+
+    The analytic backend's per-iteration estimate is the same for every
+    iteration, so materialising one list entry per iteration would make an
+    O(1) estimate O(num_iterations) in memory. This log reports
+    ``repetitions`` iterations while storing the outcome once (the read-side
+    sequence protocol — iteration, indexing, membership, equality — is
+    overridden accordingly, since the inherited list storage stays empty),
+    and :meth:`JobResult._aggregates` recognises it and computes the totals
+    in O(1) as well. The log is immutable — an analytic result is a
+    closed-form value, not a trace to append to.
+    """
+
+    def __init__(self, outcome: "IterationOutcome", repetitions: int) -> None:
+        super().__init__()
+        self.outcome = outcome
+        self.repetitions = int(repetitions)
+
+    # -- read-side sequence protocol (the underlying list stays empty) --- #
+    def __len__(self) -> int:
+        return self.repetitions
+
+    def __bool__(self) -> bool:
+        return self.repetitions > 0
+
+    def __iter__(self):
+        return itertools.repeat(self.outcome, self.repetitions)
+
+    def __reversed__(self):
+        return itertools.repeat(self.outcome, self.repetitions)
+
+    def __contains__(self, item) -> bool:
+        return self.repetitions > 0 and (item is self.outcome or item == self.outcome)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.outcome] * len(range(*index.indices(self.repetitions)))
+        index = int(index)
+        if index < 0:
+            index += self.repetitions
+        if not 0 <= index < self.repetitions:
+            raise IndexError("iteration index out of range")
+        return self.outcome
+
+    def count(self, value) -> int:
+        return self.repetitions if value in self else 0
+
+    def index(self, value, *args) -> int:
+        if value in self:
+            return 0
+        raise ValueError(f"{value!r} is not in the log")
+
+    def __eq__(self, other) -> bool:
+        try:
+            if len(other) != self.repetitions:
+                return False
+            return all(entry == self.outcome for entry in other)
+        except TypeError:
+            return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # mirrors list: logs are unhashable
+
+    def __add__(self, other):
+        return list(self) + list(other)
+
+    def __radd__(self, other):
+        return list(other) + list(self)
+
+    def __mul__(self, times):
+        return list(self) * times
+
+    __rmul__ = __mul__
+
+    def __reduce__(self):
+        return (type(self), (self.outcome, self.repetitions))
+
+    def _immutable(self, *args, **kwargs):
+        raise TypeError(
+            "a repeated-outcome log is immutable; analytic results cannot be "
+            "appended to"
+        )
+
+
+for _name in (
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "clear",
+    "sort",
+    "reverse",
+    "__setitem__",
+    "__delitem__",
+    "__iadd__",
+    "__imul__",
+):
+    setattr(RepeatedOutcomeLog, _name, RepeatedOutcomeLog._immutable)
+del _name
+
+
 @dataclass
 class JobResult:
     """Aggregate timing metrics of a simulated multi-iteration job.
@@ -131,6 +238,25 @@ class JobResult:
             and cached[0] == (version, len(self.iterations))
         ):
             return cached[1]
+        if isinstance(self.iterations, RepeatedOutcomeLog):
+            # Every entry is the same expected outcome: the totals are plain
+            # multiples and the averages are the values themselves, in O(1).
+            outcome = self.iterations.outcome
+            count = self.iterations.repetitions
+            aggregates = _JobAggregates(
+                total_time=outcome.total_time * count,
+                total_computation_time=outcome.computation_time * count,
+                total_communication_time=outcome.communication_time * count,
+                average_recovery_threshold=(
+                    float(outcome.workers_heard) if count else None
+                ),
+                average_communication_load=(
+                    float(outcome.communication_load) if count else None
+                ),
+            )
+            if version is not None:
+                self._aggregate_cache = ((version, count), aggregates)
+            return aggregates
         total = []
         computation = []
         communication = []

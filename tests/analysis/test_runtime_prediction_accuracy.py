@@ -1,0 +1,92 @@
+"""Tolerance-pinned accuracy regression for repro.analysis.runtime_prediction.
+
+The module docstring (and the docs site) claims ~15 % agreement with the
+discrete-event simulator over the paper's EC2 parameter range. This test pins
+that claim so it cannot silently rot: every (scenario, scheme, load) cell of
+the EC2-like grid must predict the simulator's placement-averaged mean
+iteration time — and its recovery threshold — within 15 % relative error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.runtime_prediction import predict_iteration_time
+from repro.experiments.ec2 import EC2LikeConfig, ec2_like_cluster
+from repro.schemes.registry import scheme_from_config
+from repro.simulation.job import simulate_job
+
+TOLERANCE = 0.15
+PLACEMENTS = 4
+ITERATIONS = 250
+UNIT_SIZE = 100
+
+#: The paper's two scenarios (Tables I / II) and its computational loads.
+SCENARIOS = [(50, 50), (100, 100)]
+CASES = [
+    ("uncoded", None),
+    ("bcc", 5),
+    ("bcc", 10),
+    ("bcc", 25),
+    ("cyclic-repetition", 10),
+    ("randomized", 10),
+]
+
+
+def _config(scheme: str, load) -> dict:
+    if load is None:
+        return {"name": scheme}
+    return {"name": scheme, "load": load}
+
+
+@pytest.mark.parametrize("num_workers,num_units", SCENARIOS)
+@pytest.mark.parametrize("scheme,load", CASES, ids=lambda v: str(v))
+def test_prediction_within_fifteen_percent_of_simulation(
+    num_workers, num_units, scheme, load
+):
+    ec2 = EC2LikeConfig()
+    cluster = ec2_like_cluster(num_workers, ec2)
+    prediction = predict_iteration_time(
+        scheme,
+        num_units,
+        num_workers,
+        load if load is not None else max(num_units // num_workers, 1),
+        UNIT_SIZE,
+        compute=cluster.workers[0].compute,
+        communication=cluster.communication,
+    )
+
+    mean_times = []
+    thresholds = []
+    for seed in range(PLACEMENTS):
+        job = simulate_job(
+            scheme_from_config(_config(scheme, load)),
+            cluster,
+            num_units,
+            ITERATIONS,
+            rng=seed,
+            unit_size=UNIT_SIZE,
+            serialize_master_link=False,
+            engine="vectorized",
+        )
+        mean_times.append(job.total_time / ITERATIONS)
+        thresholds.append(job.average_recovery_threshold)
+    simulated_time = float(np.mean(mean_times))
+    simulated_threshold = float(np.mean(thresholds))
+
+    time_error = abs(prediction.total_time - simulated_time) / simulated_time
+    assert time_error <= TOLERANCE, (
+        f"{scheme} (r={load}, n={num_workers}): predicted "
+        f"{prediction.total_time:.5f}s vs simulated {simulated_time:.5f}s "
+        f"({100 * time_error:.1f}% off)"
+    )
+    threshold_error = (
+        abs(prediction.recovery_threshold - simulated_threshold)
+        / simulated_threshold
+    )
+    assert threshold_error <= TOLERANCE, (
+        f"{scheme} (r={load}, n={num_workers}): predicted threshold "
+        f"{prediction.recovery_threshold:.2f} vs simulated "
+        f"{simulated_threshold:.2f} ({100 * threshold_error:.1f}% off)"
+    )

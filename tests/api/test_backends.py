@@ -41,7 +41,7 @@ def workload(small_logistic_dataset, logistic_model) -> Workload:
 
 class TestDispatch:
     def test_names(self):
-        assert available_backends() == ["multiprocess", "semantic", "timing"]
+        assert available_backends() == ["analytic", "multiprocess", "semantic", "timing"]
 
     def test_get_backend_by_name_instance_and_callable(self):
         assert isinstance(get_backend("timing"), TimingSimBackend)

@@ -1,0 +1,29 @@
+"""Execute the doctested examples of the repro.api public surface.
+
+The documentation site renders these docstrings verbatim (autodoc), so the
+examples must actually run — this test keeps the rendered reference and the
+code from drifting apart.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import repro.api.spec
+import repro.api.sweep
+
+
+def _run(module) -> doctest.TestResults:
+    return doctest.testmod(module, verbose=False)
+
+
+def test_jobspec_doctests_pass():
+    results = _run(repro.api.spec)
+    assert results.attempted > 0, "the JobSpec examples were not collected"
+    assert results.failed == 0
+
+
+def test_run_sweep_doctests_pass():
+    results = _run(repro.api.sweep)
+    assert results.attempted > 0, "the run_sweep examples were not collected"
+    assert results.failed == 0

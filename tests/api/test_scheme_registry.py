@@ -15,6 +15,7 @@ from repro.schemes import (
     register_scheme,
     scheme_accepts,
     scheme_from_config,
+    scheme_registry,
 )
 from repro.schemes.registry import _REGISTRY
 from repro.stragglers.models import ExponentialDelay
@@ -109,6 +110,16 @@ class TestStrictness:
 
 
 class TestLegacyShims:
+    def test_make_scheme_emits_deprecation_pointing_at_the_docs(self):
+        with pytest.warns(DeprecationWarning, match=r"docs/registry\.rst"):
+            scheme = make_scheme("bcc", load=2)
+        assert scheme.name == "bcc"
+
+    def test_scheme_registry_emits_deprecation_pointing_at_the_docs(self):
+        with pytest.warns(DeprecationWarning, match="scheme_from_config"):
+            registry = scheme_registry()
+        assert "bcc" in registry
+
     def test_make_scheme_warns_on_ignored_load(self):
         with pytest.warns(UserWarning, match="ignoring load"):
             scheme = make_scheme("uncoded", load=9)

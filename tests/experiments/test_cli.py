@@ -60,6 +60,54 @@ class TestMain:
         assert "Theorem 2" in captured
 
 
+class TestAnalyticPaths:
+    """The closed-form flags of every rewired experiment driver."""
+
+    def test_fig2_analytic_backend(self, capsys):
+        code = main(
+            ["fig2", "--examples", "20", "--workers", "20", "--trials", "1",
+             "--backend", "analytic"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "(analytic)" in captured
+
+    def test_table1_analytic_backend(self, capsys):
+        code = main(["table1", "--iterations", "5", "--backend", "analytic"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "scenario-one" in captured
+        assert "BCC speed-up" in captured
+
+    def test_theorem1_analytic_estimator(self, capsys):
+        code = main(
+            ["theorem1", "--examples", "40", "--trials", "10",
+             "--estimator", "analytic"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "K_BCC analytic" in captured
+
+    def test_theorem2_analytic_flag(self, capsys):
+        code = main(
+            ["theorem2", "--examples", "40", "--trials", "30", "--workers", "20",
+             "--analytic"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "analytic generalized-BCC coverage time" in captured
+
+    def test_sweep_analytic_backend(self, capsys):
+        code = main(
+            ["sweep", "--backend", "analytic", "--scheme", "bcc",
+             "--loads", "5,10", "--workers", "20", "--units", "20",
+             "--iterations", "50"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "analytic backend" in captured
+
+
 class TestSweepCommand:
     def test_defaults(self):
         args = build_parser().parse_args(["sweep"])
