@@ -24,7 +24,8 @@ from typing import Callable, Dict, Protocol, Type, Union, runtime_checkable
 from repro.analysis.analytic import DEFAULT_QUANTILES
 from repro.api.result import RunResult
 from repro.api.spec import JobSpec
-from repro.exceptions import ConfigurationError
+from repro.cluster.dynamic import DynamicClusterSpec
+from repro.exceptions import AnalyticIntractableError, ConfigurationError
 from repro.runtime.job import run_distributed_job
 from repro.simulation.iteration import IterationOutcome
 from repro.simulation.job import RepeatedOutcomeLog, simulate_job, simulate_training_run
@@ -159,6 +160,12 @@ class MultiprocessBackend:
                 f"recognised: {sorted(self._OPTIONS)}"
             )
         num_workers = options.pop("num_workers", None)
+        if isinstance(spec.cluster, DynamicClusterSpec):
+            raise ConfigurationError(
+                "the multiprocess backend runs real OS-process workers and "
+                "cannot emulate a DynamicClusterSpec; use the timing or "
+                "semantic simulation backends for dynamic clusters"
+            )
         if spec.cluster is not None:
             if num_workers is not None and num_workers != spec.cluster.num_workers:
                 raise ConfigurationError(
@@ -209,9 +216,10 @@ class AnalyticBackend:
     (normal-approximation quantiles of the total over all iterations), plus
     the per-iteration variance in ``extras["analytic_variance"]``.
 
-    Schemes or cluster models outside the tractable regime raise
-    :class:`~repro.exceptions.AnalyticIntractableError`; the spec's seed is
-    ignored (there is nothing random to draw).
+    Schemes or cluster models outside the tractable regime — including any
+    non-stationary :class:`~repro.cluster.dynamic.DynamicClusterSpec` —
+    raise :class:`~repro.exceptions.AnalyticIntractableError`; the spec's
+    seed is ignored (there is nothing random to draw).
 
     Parameters
     ----------
@@ -238,9 +246,17 @@ class AnalyticBackend:
         quantiles = tuple(
             float(q) for q in options.pop("quantiles", self.quantiles)
         )
+        cluster = spec.require_cluster()
+        if isinstance(cluster, DynamicClusterSpec):
+            raise AnalyticIntractableError(
+                "the cluster is non-stationary (DynamicClusterSpec): the "
+                "closed-form runtime models assume one delay model per "
+                "worker for the whole job; run the spec on the timing "
+                "backend (both engines support dynamic clusters) instead"
+            )
         scheme = spec.resolve_scheme()
         estimate = scheme.analytic_runtime(
-            spec.require_cluster(),
+            cluster,
             spec.resolved_num_units,
             unit_size=spec.resolved_unit_size,
             serialize_master_link=spec.serialize_master_link,

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.cluster.dynamic import DynamicClusterSpec
 from repro.cluster.spec import ClusterSpec
 from repro.datasets.base import Dataset
 from repro.datasets.batching import BatchSpec
@@ -79,8 +80,14 @@ class JobSpec:
         Config-form schemes are resolved against the registry with the
         spec's cluster, so heterogeneous schemes work by name too.
     cluster:
-        The (simulated) cluster. Required by the simulation backends;
-        optional for custom sweep runners that do not simulate workers.
+        The (simulated) cluster — a stationary
+        :class:`~repro.cluster.spec.ClusterSpec` or a
+        :class:`~repro.cluster.dynamic.DynamicClusterSpec` (time-varying
+        stragglers and worker churn; simulation backends only, the analytic
+        backend raises
+        :class:`~repro.exceptions.AnalyticIntractableError`). Required by
+        the simulation backends; optional for custom sweep runners that do
+        not simulate workers.
     num_units:
         Number of data units; ``None`` derives it from the workload.
     num_iterations:
@@ -133,7 +140,7 @@ class JobSpec:
     """
 
     scheme: SchemeLike
-    cluster: Optional[ClusterSpec] = None
+    cluster: Optional[Union[ClusterSpec, DynamicClusterSpec]] = None
     num_units: Optional[int] = None
     num_iterations: int = 1
     seed: RandomState = 0
@@ -185,8 +192,16 @@ class JobSpec:
         return 1
 
     def resolve_scheme(self) -> Scheme:
-        """Build (or pass through) the scheme, injecting the spec's cluster."""
-        return scheme_from_config(self.scheme, cluster=self.cluster)
+        """Build (or pass through) the scheme, injecting the spec's cluster.
+
+        A dynamic cluster injects its *base* cluster: placement (and
+        heterogeneous load allocation) is planned against the nominal
+        cluster, then the dynamics perturb execution.
+        """
+        cluster = self.cluster
+        if isinstance(cluster, DynamicClusterSpec):
+            cluster = cluster.base
+        return scheme_from_config(self.scheme, cluster=cluster)
 
     def rng(self) -> np.random.Generator:
         """The job's random generator (shared instances pass through unchanged)."""

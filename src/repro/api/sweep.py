@@ -32,7 +32,11 @@ import numpy as np
 from repro.api.backends import BackendLike, get_backend
 from repro.api.result import RunResult
 from repro.api.spec import JobSpec
-from repro.exceptions import AnalyticIntractableError, ConfigurationError
+from repro.exceptions import (
+    AnalyticIntractableError,
+    ConfigurationError,
+    SimulationError,
+)
 from repro.schemes.base import Scheme
 from repro.utils.rng import as_generator, random_seed_sequence
 from repro.utils.tables import TextTable
@@ -245,6 +249,14 @@ def _run_task(task: Tuple[object, JobSpec]) -> RunResult:
             f"sweep cell (scheme={spec.scheme!r}, "
             f"serialize_master_link={spec.serialize_master_link}) has no "
             f"closed-form runtime: {error}"
+        ) from error
+    except SimulationError as error:
+        # Same courtesy for simulation failures: name the cell. The usual
+        # cause is a dynamic cluster whose churn removed the last holders of
+        # a data unit; the churn ablation driver (repro.experiments.churn)
+        # reports such cells as FAILED instead of aborting.
+        raise SimulationError(
+            f"sweep cell (scheme={spec.scheme!r}) could not complete: {error}"
         ) from error
 
 

@@ -13,6 +13,7 @@ many examples each worker should be assigned. This package provides:
 """
 
 from repro.cluster.spec import WorkerSpec, ClusterSpec
+from repro.cluster.dynamic import ChurnEvent, ClusterTimeline, DynamicClusterSpec
 from repro.cluster.allocation import (
     AllocationResult,
     solve_p2_allocation,
@@ -31,6 +32,9 @@ from repro.cluster.waiting_time import (
 __all__ = [
     "WorkerSpec",
     "ClusterSpec",
+    "ChurnEvent",
+    "ClusterTimeline",
+    "DynamicClusterSpec",
     "AllocationResult",
     "solve_p2_allocation",
     "load_balanced_allocation",

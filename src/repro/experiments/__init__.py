@@ -13,6 +13,7 @@ Fig. 5                 :func:`repro.experiments.fig5.run_fig5`
 Theorem 1 validation   :func:`repro.experiments.theorems.run_theorem1_validation`
 Theorem 2 validation   :func:`repro.experiments.theorems.run_theorem2_validation`
 Ablations              :mod:`repro.experiments.ablations`
+Churn ablation         :func:`repro.experiments.churn.run_churn_ablation`
 =====================  =====================================================
 """
 
@@ -25,6 +26,13 @@ from repro.experiments.theorems import (
     run_theorem1_validation,
     Theorem2Validation,
     run_theorem2_validation,
+)
+from repro.experiments.churn import (
+    ChurnAblationConfig,
+    ChurnAblationResult,
+    available_dynamics,
+    dynamics_from_spec,
+    run_churn_ablation,
 )
 from repro.experiments.ablations import (
     load_sweep,
@@ -49,6 +57,11 @@ __all__ = [
     "run_theorem1_validation",
     "Theorem2Validation",
     "run_theorem2_validation",
+    "ChurnAblationConfig",
+    "ChurnAblationResult",
+    "available_dynamics",
+    "dynamics_from_spec",
+    "run_churn_ablation",
     "load_sweep",
     "straggler_intensity_sweep",
     "delay_model_comparison",

@@ -1,0 +1,312 @@
+"""Off-grid ablation: coded gradient schemes under dynamic clusters.
+
+The paper's universality claim — BCC needs no knowledge of the delay
+distribution — is evaluated on *stationary* clusters. This driver extends the
+comparison off-grid: the same schemes run on clusters whose stragglers vary
+over time (Markov slow/fast regimes, drifting slowdown), lose workers to spot
+preemption, and churn (scripted leave/join events). Schemes whose placements
+carry no redundancy can *fail outright* under churn — an iteration whose
+required workers are vacant never completes — and the ablation reports that
+as a ``FAILED`` row rather than a number, which is itself the result: BCC
+and the replicated/coded schemes keep running where uncoded cannot.
+
+The driver doubles as the home of the CLI's ``--dynamics`` parser
+(:func:`dynamics_from_spec`), so ``sweep --dynamics markov:slowdown=8`` and
+the ``churn`` sub-command share one scenario vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api import JobSpec, TimingSimBackend
+from repro.cluster.dynamic import ChurnEvent, DynamicClusterSpec
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.experiments.ec2 import ec2_like_cluster
+from repro.schemes.registry import scheme_accepts
+from repro.stragglers.dynamics import available_processes
+from repro.utils.rng import RandomState, random_seed_sequence
+from repro.utils.tables import TextTable
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ChurnAblationConfig",
+    "ChurnAblationResult",
+    "available_dynamics",
+    "dynamics_from_spec",
+    "default_scenarios",
+    "run_churn_ablation",
+]
+
+#: Scenario names accepted by :func:`dynamics_from_spec` beyond the process
+#: registry: ``churn`` scripts periodic preemptions plus one permanent leave.
+_SCENARIO_ONLY = ("churn",)
+
+
+def available_dynamics() -> List[str]:
+    """Names accepted by ``--dynamics``: registered processes + scenarios."""
+    return sorted(set(available_processes()) | set(_SCENARIO_ONLY))
+
+
+def _parse_value(text: str) -> object:
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            continue
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def dynamics_from_spec(
+    spec: str,
+    base: ClusterSpec,
+    *,
+    num_iterations: Optional[int] = None,
+) -> DynamicClusterSpec:
+    """Build a :class:`DynamicClusterSpec` from a CLI-style spec string.
+
+    The grammar is ``name[:key=value,key=value,...]`` where ``name`` is a
+    registered worker process (``markov``, ``drift``, ``preempt``) or the
+    scripted ``churn`` scenario::
+
+        markov
+        markov:slowdown=8,p_slow=0.1
+        preempt:preempt_probability=0.05,recovery_iterations=4
+        churn:period=10,recovery=3
+
+    ``churn`` preempts worker ``t // period mod n`` every ``period``
+    iterations (default 10) for ``recovery`` iterations (default 3) and
+    permanently removes the last worker halfway through the job
+    (``num_iterations`` sizes the schedule; it defaults to 100 events' worth).
+    """
+    name, _, tail = spec.partition(":")
+    name = name.strip()
+    options: Dict[str, object] = {}
+    if tail:
+        for part in tail.split(","):
+            key, separator, value = part.partition("=")
+            if not separator:
+                raise ConfigurationError(
+                    f"malformed --dynamics option {part!r}; expected key=value"
+                )
+            options[key.strip()] = _parse_value(value.strip())
+    if name == "churn":
+        period = int(options.pop("period", 10))
+        recovery = int(options.pop("recovery", 3))
+        if options:
+            raise ConfigurationError(
+                f"churn scenario does not accept the option(s) {sorted(options)}"
+            )
+        check_positive_int(period, "period")
+        check_positive_int(recovery, "recovery")
+        horizon = int(num_iterations) if num_iterations else 100
+        if horizon < 2:
+            raise ConfigurationError(
+                "the churn scenario schedules its events across the job and "
+                f"needs a horizon of at least 2 iterations, got {horizon}; "
+                "use a worker process (markov/drift/preempt) for shorter jobs"
+            )
+        events: List[ChurnEvent] = [
+            ChurnEvent(
+                kind="preempt",
+                worker=(start // period) % base.num_workers,
+                iteration=start,
+                recovery=recovery,
+            )
+            for start in range(period, horizon, period)
+        ]
+        if horizon >= 2:
+            events.append(
+                ChurnEvent(
+                    kind="leave",
+                    worker=base.num_workers - 1,
+                    iteration=horizon // 2,
+                )
+            )
+        return DynamicClusterSpec(base, events=tuple(events))
+    if name not in available_processes():
+        raise ConfigurationError(
+            f"unknown dynamics {name!r}; available: {available_dynamics()}"
+        )
+    return DynamicClusterSpec(base, dynamics={"name": name, **options})
+
+
+def default_scenarios(
+    base: ClusterSpec, num_iterations: int
+) -> Dict[str, Union[ClusterSpec, DynamicClusterSpec]]:
+    """The ablation's scenario column: stationary plus four dynamic regimes."""
+    return {
+        "static": base,
+        "markov": dynamics_from_spec(
+            "markov:slowdown=8,p_slow=0.08,p_recover=0.4", base
+        ),
+        "drift": dynamics_from_spec("drift:final_factor=3.0", base),
+        "preempt": dynamics_from_spec(
+            "preempt:preempt_probability=0.03,recovery_iterations=3", base
+        ),
+        "churn": dynamics_from_spec(
+            "churn", base, num_iterations=num_iterations
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class ChurnAblationConfig:
+    """Shape of the churn ablation's jobs (scaled down from the paper)."""
+
+    num_workers: int = 20
+    num_units: int = 20
+    unit_size: int = 100
+    load: int = 5
+    num_iterations: int = 30
+    trials: int = 3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_workers",
+            "num_units",
+            "unit_size",
+            "load",
+            "num_iterations",
+            "trials",
+        ):
+            check_positive_int(getattr(self, name), name)
+
+
+@dataclass
+class ChurnAblationResult:
+    """Per (scenario, scheme) trial-averaged metrics, ``None`` for failures."""
+
+    config: ChurnAblationConfig
+    scenario_names: List[str] = field(default_factory=list)
+    scheme_names: List[str] = field(default_factory=list)
+    total_times: Dict[tuple, Optional[float]] = field(default_factory=dict)
+    recovery_thresholds: Dict[tuple, Optional[float]] = field(default_factory=dict)
+    failures: Dict[tuple, int] = field(default_factory=dict)
+
+    def completed(self, scenario: str, scheme: str) -> bool:
+        """Whether every trial of the cell recovered the gradient."""
+        return self.failures.get((scenario, scheme), 0) == 0
+
+    def speedup_over(self, scenario: str, scheme: str, baseline: str) -> float:
+        """Relative total-time reduction of ``scheme`` vs ``baseline``."""
+        fast = self.total_times[(scenario, scheme)]
+        slow = self.total_times[(scenario, baseline)]
+        if fast is None or slow is None:
+            raise SimulationError(
+                f"scenario {scenario!r}: cannot compare {scheme!r} with "
+                f"{baseline!r}; a cell failed to complete"
+            )
+        return 1.0 - fast / slow
+
+    def render(self) -> str:
+        """Monospace table, one row per scenario with per-scheme totals."""
+        headers = ["scenario"]
+        for scheme in self.scheme_names:
+            headers += [f"{scheme} T", f"{scheme} k"]
+        table = TextTable(
+            headers,
+            title=(
+                "Churn ablation — total time T and realised threshold k, "
+                f"n={self.config.num_workers}, m={self.config.num_units} "
+                f"units x {self.config.unit_size}, r={self.config.load}, "
+                f"{self.config.num_iterations} iterations, "
+                f"{self.config.trials} trial(s)"
+            ),
+        )
+        for scenario in self.scenario_names:
+            row: List[object] = [scenario]
+            for scheme in self.scheme_names:
+                key = (scenario, scheme)
+                if self.failures.get(key, 0):
+                    row += ["FAILED", "-"]
+                else:
+                    row += [
+                        self.total_times[key],
+                        self.recovery_thresholds[key],
+                    ]
+            table.add_row(row)
+        return table.render()
+
+
+def _scheme_configs(config: ChurnAblationConfig) -> Dict[str, Mapping[str, object]]:
+    """The compared schemes: the paper's three plus fractional repetition."""
+    names = ("uncoded", "cyclic-repetition", "fractional-repetition", "bcc")
+    configs: Dict[str, Mapping[str, object]] = {}
+    for name in names:
+        if scheme_accepts(name, "load"):
+            configs[name] = {"name": name, "load": config.load}
+        else:
+            configs[name] = {"name": name}
+    return configs
+
+
+def run_churn_ablation(
+    config: Optional[ChurnAblationConfig] = None,
+    *,
+    rng: RandomState = 0,
+    schemes: Optional[Mapping[str, Mapping[str, object]]] = None,
+    scenarios: Optional[Mapping[str, Union[ClusterSpec, DynamicClusterSpec]]] = None,
+    engine: str = "auto",
+) -> ChurnAblationResult:
+    """Run the BCC-vs-baselines comparison across dynamic-cluster scenarios.
+
+    Every (scenario, scheme, trial) cell runs through the unified API on the
+    timing backend; a trial whose aggregator can never complete (coverage
+    lost to churn) marks the cell ``FAILED`` instead of aborting the
+    ablation. Trials are seeded from spawned
+    :class:`numpy.random.SeedSequence` children, so cells are independent
+    and the ablation is deterministic under ``rng``.
+    """
+    config = config or ChurnAblationConfig()
+    base = ec2_like_cluster(config.num_workers)
+    scenarios = dict(
+        scenarios
+        if scenarios is not None
+        else default_scenarios(base, config.num_iterations)
+    )
+    schemes = dict(schemes if schemes is not None else _scheme_configs(config))
+    backend = TimingSimBackend(engine=engine)
+
+    result = ChurnAblationResult(
+        config=config,
+        scenario_names=list(scenarios),
+        scheme_names=list(schemes),
+    )
+    root = random_seed_sequence(rng)
+    children = iter(root.spawn(len(scenarios) * len(schemes) * config.trials))
+    for scenario_name, cluster in scenarios.items():
+        for scheme_name, scheme_config in schemes.items():
+            totals: List[float] = []
+            thresholds: List[float] = []
+            failures = 0
+            for _trial in range(config.trials):
+                spec = JobSpec(
+                    scheme=scheme_config,
+                    cluster=cluster,
+                    num_units=config.num_units,
+                    num_iterations=config.num_iterations,
+                    unit_size=config.unit_size,
+                    serialize_master_link=False,
+                    seed=next(children),
+                )
+                try:
+                    run = backend.run(spec)
+                except SimulationError:
+                    failures += 1
+                    continue
+                totals.append(run.total_time)
+                thresholds.append(run.average_recovery_threshold)
+            key = (scenario_name, scheme_name)
+            result.failures[key] = failures
+            result.total_times[key] = float(np.mean(totals)) if totals else None
+            result.recovery_thresholds[key] = (
+                float(np.mean(thresholds)) if thresholds else None
+            )
+    return result

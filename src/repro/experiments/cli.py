@@ -10,6 +10,9 @@ Usage::
     python -m repro.experiments.cli sweep --scheme bcc --scheme uncoded \
         --loads 5,10,25 --workers 50 --units 50 --trials 3 --parallel 4 \
         --engine vectorized
+    python -m repro.experiments.cli sweep --dynamics markov:slowdown=8 \
+        --scheme bcc --scheme cyclic-repetition --loads 10
+    python -m repro.experiments.cli churn --workers 20 --iterations 30
 
 Each sub-command runs the corresponding experiment driver at (scaled-down by
 default, paper-scale via flags) settings and prints the reproduced table to
@@ -28,6 +31,12 @@ from typing import List, Optional
 
 from repro.api import JobSpec, Sweep, Workload, run_sweep
 from repro.cluster.spec import ClusterSpec
+from repro.experiments.churn import (
+    ChurnAblationConfig,
+    available_dynamics,
+    dynamics_from_spec,
+    run_churn_ablation,
+)
 from repro.experiments.ec2 import ec2_like_cluster
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig4 import ScenarioConfig, run_scenario
@@ -153,6 +162,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
+        "--dynamics",
+        metavar="NAME[:k=v,...]",
+        default=None,
+        help=(
+            "run the sweep on a dynamic cluster: a registered worker process "
+            "with optional parameters (e.g. markov:slowdown=8,p_slow=0.1) or "
+            "the scripted churn scenario; available: "
+            f"{', '.join(available_dynamics())} (simulation backends only)"
+        ),
+    )
+    sweep.add_argument(
         "--features",
         type=int,
         default=100,
@@ -175,6 +195,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    churn = subparsers.add_parser(
+        "churn",
+        help="dynamic-cluster ablation: BCC vs baselines under churn",
+    )
+    churn.add_argument("--workers", type=int, default=20, help="cluster size n")
+    churn.add_argument("--units", type=int, default=20, help="data units m")
+    churn.add_argument(
+        "--unit-size", type=int, default=100, help="examples per unit"
+    )
+    churn.add_argument(
+        "--load", type=int, default=5, help="computational load r of the coded schemes"
+    )
+    churn.add_argument(
+        "--iterations", type=int, default=30, help="GD iterations per run"
+    )
+    churn.add_argument(
+        "--trials", type=int, default=3, help="Monte-Carlo trials per cell"
+    )
+    churn.add_argument(
+        "--engine",
+        choices=("loop", "vectorized", "auto"),
+        default="auto",
+        help="timing engine (both produce identical results)",
+    )
+
     return parser
 
 
@@ -182,6 +227,11 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
     """Build and run the ``sweep`` sub-command's grid; return the table text."""
     scheme_names = args.schemes or ["bcc", "uncoded"]
     cluster = ec2_like_cluster(args.workers)
+    dynamics_spec = getattr(args, "dynamics", None)
+    if dynamics_spec:
+        cluster = dynamics_from_spec(
+            dynamics_spec, cluster, num_iterations=args.iterations
+        )
     scheme_configs: List[dict] = []
     for name in scheme_names:
         if scheme_accepts(name, "load"):
@@ -235,11 +285,13 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
         backend=backend,
     )
     result = run_sweep(sweep, max_workers=args.parallel, executor=args.executor)
+    dynamics_note = f", dynamics={dynamics_spec}" if dynamics_spec else ""
     table = result.to_table(
         title=(
             f"Sweep — {args.backend} backend, n={args.workers} workers, "
             f"m={args.units} units x {args.unit_size}, "
             f"{args.iterations} iterations, {args.trials} trial(s)"
+            f"{dynamics_note}"
         ),
     )
     return table.render()
@@ -305,6 +357,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(validation.render())
     elif args.experiment == "sweep":
         print(run_cli_sweep(args))
+    elif args.experiment == "churn":
+        ablation = run_churn_ablation(
+            ChurnAblationConfig(
+                num_workers=args.workers,
+                num_units=args.units,
+                unit_size=args.unit_size,
+                load=args.load,
+                num_iterations=args.iterations,
+                trials=args.trials,
+            ),
+            rng=args.seed,
+            engine=args.engine,
+        )
+        print(ablation.render())
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

@@ -37,6 +37,31 @@ from repro.utils.validation import check_positive_int
 __all__ = ["IterationOutcome", "simulate_iteration"]
 
 
+def incomplete_iteration_error(
+    scheme_name: str, vacant_workers: int
+) -> SimulationError:
+    """The master heard everyone it could hear and still cannot finish.
+
+    One message builder shared by both engines, so the loop and vectorized
+    paths report the same failure identically. ``vacant_workers`` counts
+    assigned workers that can never report this iteration (their completion
+    time is infinite — vacant slots of a dynamic cluster): with none, the
+    placement itself is infeasible; with some, coverage was lost to
+    churn/preemption.
+    """
+    if vacant_workers:
+        return SimulationError(
+            f"scheme {scheme_name!r}: the master could not recover the "
+            f"gradient even after every available worker reported "
+            f"({vacant_workers} assigned worker slot(s) never report this "
+            "iteration — coverage lost to churn/preemption)"
+        )
+    return SimulationError(
+        f"scheme {scheme_name!r}: the master could not recover the "
+        "gradient even after all workers reported (infeasible placement)"
+    )
+
+
 @dataclass(frozen=True)
 class IterationOutcome:
     """Timing metrics of one simulated iteration.
@@ -154,10 +179,8 @@ def simulate_iteration(
             total_time = float(arrival_times[worker])
             break
     if not np.isfinite(total_time):
-        raise SimulationError(
-            f"scheme {plan.scheme_name!r}: the master could not recover the "
-            "gradient even after all workers reported (infeasible placement)"
-        )
+        vacant = int(np.sum(~np.isfinite(compute_times[loads_examples > 0])))
+        raise incomplete_iteration_error(plan.scheme_name, vacant)
 
     computation_time = float(np.max(compute_times[heard])) if heard else 0.0
     communication_load = float(np.sum(plan.message_sizes[heard]))

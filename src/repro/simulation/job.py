@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.cluster.dynamic import ClusterTimeline, DynamicClusterSpec
 from repro.cluster.spec import ClusterSpec
 from repro.datasets.base import Dataset
 from repro.datasets.batching import BatchSpec
@@ -348,9 +349,25 @@ def _resolve_plan(
     )
 
 
+def _materialize_timeline(
+    cluster: ClusterSpec | DynamicClusterSpec,
+    num_iterations: int,
+    generator: np.random.Generator,
+) -> Optional[ClusterTimeline]:
+    """Realise a dynamic cluster's timeline; ``None`` for stationary clusters.
+
+    Called *after* plan resolution in every engine, so the timeline's
+    (at most one) seed draw sits at the same point of the job stream
+    everywhere — part of the loop==vectorized bit-identity contract.
+    """
+    if isinstance(cluster, DynamicClusterSpec):
+        return cluster.materialize(num_iterations, generator)
+    return None
+
+
 def simulate_job(
     scheme_or_plan: Scheme | ExecutionPlan,
-    cluster: ClusterSpec,
+    cluster: ClusterSpec | DynamicClusterSpec,
     num_units: int,
     num_iterations: int,
     rng: RandomState = None,
@@ -362,8 +379,13 @@ def simulate_job(
     """Timing-only simulation of ``num_iterations`` distributed GD iterations.
 
     The placement is frozen once (as in the paper, data is loaded onto the
-    workers before the iterations start); only the per-iteration completion
-    times vary across iterations.
+    workers before the iterations start). On a stationary
+    :class:`~repro.cluster.spec.ClusterSpec` only the per-iteration
+    completion times vary across iterations; a
+    :class:`~repro.cluster.dynamic.DynamicClusterSpec` additionally varies
+    the per-worker delay models themselves (regime switching, drift,
+    preemption, churn) while the placement — planned against its base
+    cluster — stays frozen.
 
     Parameters
     ----------
@@ -371,8 +393,9 @@ def simulate_job(
         ``"loop"`` (default) iterates :func:`simulate_iteration` in Python;
         ``"vectorized"`` batches every iteration's timing in NumPy
         (:mod:`repro.simulation.vectorized`); ``"auto"`` picks by job size.
-        The engines consume the random stream identically, so the result is
-        the same bit for bit — only the speed differs.
+        The engines consume the random stream identically — on dynamic
+        clusters too — so the result is the same bit for bit; only the
+        speed differs.
     """
     check_positive_int(num_iterations, "num_iterations")
     from repro.simulation.vectorized import resolve_engine, simulate_job_vectorized
@@ -394,11 +417,12 @@ def simulate_job(
         )
     generator = as_generator(rng)
     plan = _resolve_plan(scheme_or_plan, num_units, cluster.num_workers, generator)
+    timeline = _materialize_timeline(cluster, num_iterations, generator)
     result = JobResult(scheme_name=plan.scheme_name)
-    for _iteration in range(num_iterations):
+    for iteration in range(num_iterations):
         outcome = simulate_iteration(
             plan,
-            cluster,
+            cluster if timeline is None else timeline.cluster_at(iteration),
             rng=generator,
             unit_size=unit_size,
             serialize_master_link=serialize_master_link,
@@ -409,7 +433,7 @@ def simulate_job(
 
 def simulate_training_run(
     scheme_or_plan: Scheme | ExecutionPlan,
-    cluster: ClusterSpec,
+    cluster: ClusterSpec | DynamicClusterSpec,
     model: GradientModel,
     dataset: Dataset,
     optimizer: Optimizer,
@@ -441,6 +465,7 @@ def simulate_training_run(
     num_units = unit_spec.num_batches if unit_spec is not None else dataset.num_examples
     unit_size = unit_spec.max_batch_size if unit_spec is not None else 1
     plan = _resolve_plan(scheme_or_plan, num_units, cluster.num_workers, generator)
+    timeline = _materialize_timeline(cluster, num_iterations, generator)
 
     if initial_weights is None:
         initial_weights = model.initial_weights(dataset.num_features)
@@ -451,7 +476,7 @@ def simulate_training_run(
     for iteration in range(num_iterations):
         outcome = simulate_iteration(
             plan,
-            cluster,
+            cluster if timeline is None else timeline.cluster_at(iteration),
             rng=generator,
             unit_size=unit_size,
             serialize_master_link=serialize_master_link,

@@ -60,6 +60,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.dynamic import DynamicClusterSpec
 from repro.cluster.spec import ClusterSpec
 from repro.coding.fractional import FractionalRepetitionCode
 from repro.exceptions import ConfigurationError, SimulationError
@@ -72,8 +73,10 @@ from repro.schemes.base import (
     Scheme,
     UnitCoverageAggregator,
 )
-from repro.simulation.iteration import IterationOutcome
+from repro.simulation.iteration import IterationOutcome, incomplete_iteration_error
 from repro.simulation.job import JobResult, _resolve_plan
+from repro.stragglers.base import DelayModel
+from repro.stragglers.dynamics import UnavailableDelay, memoize_by_id
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int
 
@@ -136,14 +139,24 @@ def simulate_job_vectorized(
     check_positive_int(num_iterations, "num_iterations")
     generator = as_generator(rng)
     plan = _resolve_plan(scheme_or_plan, num_units, cluster.num_workers, generator)
-    outcomes = _simulate_plan_batch(
-        plan,
-        cluster,
-        generator,
-        num_iterations=num_iterations,
-        unit_size=unit_size,
-        serialize_master_link=serialize_master_link,
-    )
+    if isinstance(cluster, DynamicClusterSpec):
+        outcomes = _simulate_dynamic_batch(
+            plan,
+            cluster,
+            generator,
+            num_iterations=num_iterations,
+            unit_size=unit_size,
+            serialize_master_link=serialize_master_link,
+        )
+    else:
+        outcomes = _simulate_plan_batch(
+            plan,
+            cluster,
+            generator,
+            num_iterations=num_iterations,
+            unit_size=unit_size,
+            serialize_master_link=serialize_master_link,
+        )
     result = JobResult(scheme_name=plan.scheme_name)
     result.iterations.extend(outcomes)
     return result
@@ -203,6 +216,105 @@ def _simulate_plan_batch(
                 active_sizes[order], generator
             )
 
+    return _complete_batch(
+        plan, active, message_sizes, compute, transfer, serialize_master_link
+    )
+
+
+def _simulate_dynamic_batch(
+    plan: ExecutionPlan,
+    cluster: DynamicClusterSpec,
+    rng: RandomState,
+    *,
+    num_iterations: int,
+    unit_size: int,
+    serialize_master_link: bool,
+) -> List[IterationOutcome]:
+    """Batch-simulate a job on a :class:`DynamicClusterSpec`.
+
+    The draw schedule mirrors the loop engine's exactly: the timeline is
+    materialised first (one draw when the spec derives its dynamics seed
+    from the job stream), then each iteration draws compute times for its
+    *available* workers in worker order — vacant slots consume nothing —
+    followed, for stochastic communication models, by that iteration's
+    transfer draws in completion order over the workers that finished.
+    Everything downstream of the draws (arrival recurrence, completion
+    kernels, metric assembly) is the same batched code the stationary path
+    runs, so the bit-identity guarantee carries over.
+    """
+    if cluster.num_workers != plan.num_workers:
+        raise SimulationError(
+            f"the plan has {plan.num_workers} workers but the cluster has "
+            f"{cluster.num_workers}"
+        )
+    check_positive_int(unit_size, "unit_size")
+    generator = as_generator(rng)
+    timeline = cluster.materialize(num_iterations, generator)
+
+    loads_units = plan.unit_assignment.loads
+    loads_examples = loads_units * unit_size
+    active = np.flatnonzero(loads_examples > 0)
+    n_active = int(active.size)
+    if n_active == 0:
+        raise _infeasible(plan)
+    active_loads = loads_examples[active]
+    message_sizes = np.asarray(plan.message_sizes, dtype=float)
+    active_sizes = message_sizes[active]
+    communication = cluster.communication
+
+    if n_active == plan.num_workers:
+        model_rows = timeline.models  # every worker active: no reshaping
+    else:
+        model_rows = [
+            [timeline.models[t][int(worker)] for worker in active]
+            for t in range(num_iterations)
+        ]
+    if communication.is_deterministic:
+        compute = _draw_timeline_compute(model_rows, active_loads, generator)
+        transfer = np.broadcast_to(
+            communication.sample_batch(active_sizes), compute.shape
+        )
+    else:
+        # Stochastic transfers interleave with compute draws iteration by
+        # iteration; vacant slots (infinite compute) draw no transfer, like
+        # the loop engine's finite-compute check.
+        compute = np.empty((num_iterations, n_active), dtype=float)
+        transfer = np.zeros((num_iterations, n_active), dtype=float)
+        is_down = memoize_by_id(_is_vacant)
+        for i in range(num_iterations):
+            row = _draw_timeline_row(
+                model_rows[i], active_loads, generator, is_down
+            )
+            compute[i] = row
+            order = np.argsort(row, kind="stable")
+            finished = order[np.isfinite(row[order])]
+            if finished.size:
+                transfer[i, finished] = communication.sample_batch(
+                    active_sizes[finished], generator
+                )
+    return _complete_batch(
+        plan, active, message_sizes, compute, transfer, serialize_master_link
+    )
+
+
+def _complete_batch(
+    plan: ExecutionPlan,
+    active: np.ndarray,
+    message_sizes: np.ndarray,
+    compute: np.ndarray,
+    transfer: np.ndarray,
+    serialize_master_link: bool,
+) -> List[IterationOutcome]:
+    """Completion search + metric assembly over drawn timing matrices.
+
+    Shared tail of the stationary and dynamic paths. ``compute`` may hold
+    ``inf`` for workers that are vacant in an iteration (dynamic clusters):
+    infinite entries sort after every finite arrival, the serialized-link
+    recurrence propagates them unchanged, and an iteration whose completing
+    arrival is infinite is infeasible — exactly the loop engine's behaviour.
+    """
+    num_iterations, n_active = compute.shape
+
     # 2. Arrival times at the master.
     if serialize_master_link:
         order = np.argsort(compute, axis=1, kind="stable")
@@ -249,6 +361,13 @@ def _simulate_plan_batch(
     arrival_ranked = np.take_along_axis(arrivals, arrival_order, axis=1)
     compute_ranked = np.take_along_axis(compute, arrival_order, axis=1)
     total_times = arrival_ranked[rows, completing]
+    if not np.all(np.isfinite(total_times)):
+        # The completing arrival is a vacant slot's: the aggregator can only
+        # finish on workers that left/were preempted, i.e. coverage is lost
+        # for that iteration (dynamic clusters only). Report the first
+        # failing iteration's vacancy count, like the loop engine would.
+        first_bad = int(np.argmin(np.isfinite(total_times)))
+        raise _infeasible(plan, int(np.sum(~np.isfinite(compute[first_bad]))))
     computation_times = np.maximum.accumulate(compute_ranked, axis=1)[rows, completing]
     workers_finished = np.sum(compute <= total_times[:, None], axis=1)
     heard_matrix = active[arrival_order]
@@ -272,11 +391,90 @@ def _simulate_plan_batch(
     return outcomes
 
 
-def _infeasible(plan: ExecutionPlan) -> SimulationError:
-    return SimulationError(
-        f"scheme {plan.scheme_name!r}: the master could not recover the "
-        "gradient even after all workers reported (infeasible placement)"
-    )
+def _is_vacant(model: DelayModel) -> bool:
+    return isinstance(model, UnavailableDelay)
+
+
+def _draw_timeline_row(
+    row: Sequence[DelayModel],
+    loads: np.ndarray,
+    rng: RandomState,
+    is_down: Optional[Callable[[DelayModel], bool]] = None,
+) -> np.ndarray:
+    """One iteration's compute draws over a time-varying model row.
+
+    Vacant slots (:class:`~repro.stragglers.dynamics.UnavailableDelay`) get
+    ``inf`` without touching the generator; the available workers draw in
+    worker-index order through their most specific :meth:`sample_grid` —
+    the loop engine's exact consumption order for that iteration.
+    ``is_down`` (a :func:`~repro.stragglers.dynamics.memoize_by_id`-wrapped
+    vacancy check shared across a job's rows) avoids re-classifying the few
+    distinct model instances a timeline repeats.
+    """
+    if is_down is None:
+        is_down = _is_vacant
+    up = [j for j, model in enumerate(row) if not is_down(model)]
+    out = np.full(len(row), np.inf, dtype=float)
+    if up:
+        models = [row[j] for j in up]
+        up_loads = [int(loads[j]) for j in up]
+        out[up] = type(models[0]).sample_grid(models, up_loads, rng, 1)[0]
+    return out
+
+
+def _draw_timeline_compute(
+    model_rows: List[List[DelayModel]], loads: np.ndarray, rng: RandomState
+) -> np.ndarray:
+    """All iterations' compute draws over a time-varying model grid.
+
+    Contiguous runs of iterations whose rows are *all native* under the run's
+    leading model class are drawn with one :meth:`sample_timeline` call (for
+    shift-exponential timelines — the Markov/drift regimes — that is a single
+    batched NumPy draw); rows containing vacant slots or mixed classes fall
+    back to :func:`_draw_timeline_row`. Either way the stream is consumed
+    iteration-major, worker-minor, matching the loop engine.
+    """
+    generator = as_generator(rng)
+    num_rows = len(model_rows)
+    out = np.empty((num_rows, len(loads)), dtype=float)
+    # Timelines repeat few distinct model objects, so the per-cell
+    # native-sampler and vacancy checks are memoized on object identity
+    # (one memo per lead class) — block detection costs O(cells) dict hits
+    # instead of O(cells) abc instance checks.
+    native_memos: dict = {}
+    is_down = memoize_by_id(_is_vacant)
+
+    def row_native(lead: type, row: Sequence[DelayModel]) -> bool:
+        memo = native_memos.get(lead)
+        if memo is None:
+            memo = memoize_by_id(
+                lambda model: isinstance(model, lead)
+                and type(model).sample is lead.sample
+            )
+            native_memos[lead] = memo
+        return all(memo(model) for model in row)
+
+    start = 0
+    while start < num_rows:
+        lead = type(model_rows[start][0])
+        end = start
+        while end < num_rows and row_native(lead, model_rows[end]):
+            end += 1
+        if end > start:
+            out[start:end] = lead.sample_timeline(
+                model_rows[start:end], loads, generator
+            )
+            start = end
+        else:
+            out[start] = _draw_timeline_row(
+                model_rows[start], loads, generator, is_down
+            )
+            start += 1
+    return out
+
+
+def _infeasible(plan: ExecutionPlan, vacant_workers: int = 0) -> SimulationError:
+    return incomplete_iteration_error(plan.scheme_name, vacant_workers)
 
 
 def _draw_compute_grid(

@@ -22,6 +22,18 @@ from repro.stragglers.communication import (
     LinearCommunicationModel,
     ZeroCommunicationModel,
 )
+from repro.stragglers.dynamics import (
+    UnavailableDelay,
+    ScaledDelay,
+    scale_delay,
+    WorkerProcess,
+    MarkovModulatedDelay,
+    DriftingDelay,
+    PreemptionModel,
+    register_process,
+    available_processes,
+    process_from_config,
+)
 
 __all__ = [
     "DelayModel",
@@ -34,4 +46,14 @@ __all__ = [
     "CommunicationModel",
     "LinearCommunicationModel",
     "ZeroCommunicationModel",
+    "UnavailableDelay",
+    "ScaledDelay",
+    "scale_delay",
+    "WorkerProcess",
+    "MarkovModulatedDelay",
+    "DriftingDelay",
+    "PreemptionModel",
+    "register_process",
+    "available_processes",
+    "process_from_config",
 ]

@@ -112,6 +112,39 @@ class DelayModel(abc.ABC):
         return out
 
     @classmethod
+    def sample_timeline(
+        cls,
+        model_rows: Sequence[Sequence["DelayModel"]],
+        loads: Sequence[int],
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        """Draw a ``(len(model_rows), len(loads))`` matrix of completion times
+        across a *time-varying* model grid.
+
+        ``model_rows[i][j]`` supplies cell ``(i, j)`` with load ``loads[j]`` —
+        the dynamic-cluster analogue of :meth:`sample_grid`, where every row
+        may use different model instances (e.g. a Markov-modulated worker's
+        per-iteration regimes). The **stream contract** matches
+        :meth:`sample_grid`: the matrix is filled row-major, consuming the
+        RNG exactly like nested scalar ``sample`` calls (row ``i`` is drawn
+        before row ``i + 1``, worker-minor within a row). The base
+        implementation dispatches each row through the row's own most
+        specific :meth:`sample_grid`; subclasses override it with a single
+        vectorized call when every cell in the matrix uses their unmodified
+        scalar sampler.
+        """
+        generator = as_generator(rng)
+        num_rows = len(model_rows)
+        out = np.empty((num_rows, len(loads)), dtype=float)
+        for i, row in enumerate(model_rows):
+            if len(row) != len(loads):
+                raise ValueError(
+                    f"model row {i} has {len(row)} models but {len(loads)} loads"
+                )
+            out[i] = type(row[0]).sample_grid(row, loads, generator, 1)[0]
+        return out
+
+    @classmethod
     def _all_native(cls, models: Sequence["DelayModel"]) -> bool:
         """Whether every model is a ``cls`` using ``cls``'s scalar sampler.
 

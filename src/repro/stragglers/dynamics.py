@@ -1,0 +1,475 @@
+"""Time-varying straggler processes.
+
+The paper's evaluation freezes one delay model per worker for the whole job.
+Real fleets do not hold still: EC2 instances flip between fast and slow
+phases, performance drifts as co-tenants come and go, and spot instances are
+preempted and replaced mid-job. This module models those regimes as *worker
+processes*: a :class:`WorkerProcess` maps a worker's stationary base
+:class:`~repro.stragglers.base.DelayModel` to one effective delay model **per
+iteration**, so the rest of the stack (both timing engines, the API layer)
+keeps treating each single iteration exactly as before.
+
+Three processes cover the production folklore:
+
+* :class:`MarkovModulatedDelay` — a two-state (fast/slow) Markov chain per
+  worker; in the slow regime the worker's completion times are multiplied by
+  ``slowdown``.
+* :class:`DriftingDelay` — a deterministic drift: the worker's delay scale
+  ramps (or decays) geometrically from ``initial_factor`` to
+  ``final_factor`` over the job.
+* :class:`PreemptionModel` — spot-style kill/replace: each iteration an up
+  worker is preempted with probability ``preempt_probability`` and its slot
+  stays vacant (:class:`UnavailableDelay`) for ``recovery_iterations``
+  iterations while the replacement boots and reloads its data.
+
+Determinism contract
+--------------------
+A process draws from the *dynamics* generator handed to
+:meth:`WorkerProcess.timeline` — never from the job's draw stream — and its
+consumption depends only on ``num_iterations``, never on the realised states.
+:meth:`repro.cluster.dynamic.DynamicClusterSpec.materialize` relies on this to
+keep timelines reproducible and identical across the loop and vectorized
+engines.
+
+Scaling a delay model
+---------------------
+:func:`scale_delay` multiplies a model's completion times by a constant
+*without changing how the model consumes the random stream*: the built-in
+families are re-parameterised in closed form (a shift-exponential scaled by
+``c`` is again shift-exponential with shift ``c * a`` and straggling
+``mu / c``), so a Markov-modulated shift-exponential worker still takes the
+vectorized engine's single-batched-draw fast path. Unknown models fall back
+to a :class:`ScaledDelay` wrapper that delegates sampling to the wrapped
+model (consuming its stream unchanged) and multiplies the result.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Mapping, Optional, Type, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.stragglers.base import DelayModel
+from repro.stragglers.models import (
+    DeterministicDelay,
+    ParetoDelay,
+    ShiftedExponentialDelay,
+    TraceDelay,
+)
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import (
+    check_in_range,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "UnavailableDelay",
+    "UNAVAILABLE",
+    "ScaledDelay",
+    "scale_delay",
+    "memoize_by_id",
+    "WorkerProcess",
+    "MarkovModulatedDelay",
+    "DriftingDelay",
+    "PreemptionModel",
+    "register_process",
+    "available_processes",
+    "process_from_config",
+]
+
+Number = Union[float, np.ndarray]
+
+
+class UnavailableDelay(DelayModel):
+    """A vacant worker slot: the worker never reports.
+
+    :meth:`sample` returns infinity and — crucially for the engines'
+    bit-identity guarantee — consumes **no** randomness, exactly like an idle
+    worker. Both engines treat an infinite completion time as "never
+    arrives": the serialized link skips the slot, the aggregator never hears
+    from it, and an iteration that cannot complete without it raises
+    :class:`~repro.exceptions.SimulationError` (lost coverage is an error,
+    not a silent stall).
+    """
+
+    def sample(
+        self, load: int, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        self._check_load(load)
+        if size is None:
+            return float("inf")
+        return np.full(int(size), np.inf, dtype=float)
+
+    def mean(self, load: int) -> float:
+        self._check_load(load)
+        return float("inf")
+
+    def cdf(self, load: int, t: Number) -> Number:
+        self._check_load(load)
+        values = np.zeros_like(np.asarray(t, dtype=float))
+        return float(values) if np.isscalar(t) else values
+
+    def __repr__(self) -> str:
+        return "UnavailableDelay()"
+
+
+#: Shared sentinel instance used by cluster timelines for vacant slots.
+UNAVAILABLE = UnavailableDelay()
+
+
+class ScaledDelay(DelayModel):
+    """``factor`` times an arbitrary wrapped delay model.
+
+    Generic fallback of :func:`scale_delay` for model classes without a
+    closed-form re-parameterisation. Sampling delegates to the wrapped model
+    (consuming the random stream identically) and multiplies the result, so
+    the engines' draw-order contract is preserved; the wrapper never takes a
+    vectorized grid fast path, which is correct (the generic scalar grid is
+    always available) just slower.
+    """
+
+    def __init__(self, inner: DelayModel, factor: float) -> None:
+        if not isinstance(inner, DelayModel):
+            raise ConfigurationError(
+                f"inner must be a DelayModel, got {type(inner).__name__}"
+            )
+        self.inner = inner
+        self.factor = check_in_range(factor, "factor", low=0.0, inclusive=False)
+
+    def sample(
+        self, load: int, rng: RandomState = None, size: Optional[int] = None
+    ) -> Number:
+        result = self.inner.sample(load, rng=rng, size=size)
+        result = result * self.factor
+        return float(result) if size is None else result
+
+    def mean(self, load: int) -> float:
+        return self.factor * self.inner.mean(load)
+
+    def cdf(self, load: int, t: Number) -> Number:
+        t_arr = np.asarray(t, dtype=float)
+        values = self.inner.cdf(load, t_arr / self.factor)
+        return float(values) if np.isscalar(t) else values
+
+    def __repr__(self) -> str:
+        return f"ScaledDelay({self.inner!r}, factor={self.factor!r})"
+
+
+def _uses_native_sampler(model: DelayModel, cls: Type[DelayModel]) -> bool:
+    """Whether ``model`` is a ``cls`` still using ``cls``'s scalar sampler."""
+    return isinstance(model, cls) and type(model).sample is cls.sample
+
+
+def memoize_by_id(function):
+    """Memoize a one-argument function on its argument's object identity.
+
+    Timelines repeat a handful of model *instances* (a Markov worker
+    alternates between two models, vacant slots share one sentinel), so
+    per-cell classification — vacancy checks, native-sampler checks,
+    parameter extraction — reduces to one dict hit per cell instead of an
+    ``isinstance``/``getattr`` pass. Every hot per-cell predicate of the
+    dynamic subsystem goes through this single helper so the criteria cannot
+    drift apart between the engines. The cache holds strong references to
+    nothing (only ``id()`` keys), so callers must keep it scoped to one
+    materialisation/draw pass where the model objects stay alive.
+    """
+    cache: Dict[int, object] = {}
+
+    def memoized(argument):
+        key = id(argument)
+        if key not in cache:
+            cache[key] = function(argument)
+        return cache[key]
+
+    return memoized
+
+
+def scale_delay(model: DelayModel, factor: float) -> DelayModel:
+    """A delay model whose completion times are ``factor`` times ``model``'s.
+
+    The built-in families are re-parameterised in closed form so the scaled
+    model samples through the *same* code path (and therefore keeps the
+    vectorized grid fast paths and the per-draw stream consumption) as the
+    original:
+
+    * shift-exponential ``(mu, a)`` → ``(mu / factor, a * factor)``,
+    * deterministic ``s`` → ``s * factor``,
+    * Pareto ``(alpha, scale)`` → ``(alpha, scale * factor)``,
+    * trace replay → the trace's per-example times times ``factor``.
+
+    Subclasses that override ``sample`` (a changed distribution) and unknown
+    model classes are wrapped in :class:`ScaledDelay` instead.
+    """
+    factor = check_in_range(factor, "factor", low=0.0, inclusive=False)
+    if factor == 1.0:
+        return model
+    if isinstance(model, UnavailableDelay):
+        return model
+    if _uses_native_sampler(model, ShiftedExponentialDelay):
+        return ShiftedExponentialDelay(
+            straggling=model.straggling / factor, shift=model.shift * factor
+        )
+    if _uses_native_sampler(model, DeterministicDelay):
+        return DeterministicDelay(
+            seconds_per_example=model.seconds_per_example * factor
+        )
+    if _uses_native_sampler(model, ParetoDelay):
+        return ParetoDelay(alpha=model.alpha, scale=model.scale * factor)
+    if _uses_native_sampler(model, TraceDelay):
+        return TraceDelay(per_example_times=model.trace * factor)
+    return ScaledDelay(model, factor)
+
+
+# --------------------------------------------------------------------------- #
+# Worker processes
+# --------------------------------------------------------------------------- #
+class WorkerProcess(abc.ABC):
+    """A time-varying transformation of one worker's delay model.
+
+    Subclasses implement :meth:`timeline`: given the worker's stationary base
+    model and the job horizon, return the effective delay model of every
+    iteration. The determinism contract (module docstring) requires the
+    number of values drawn from ``rng`` to depend only on
+    ``num_iterations``.
+    """
+
+    #: Whether :meth:`timeline` may emit :class:`UnavailableDelay` entries.
+    #: Processes that only reshape delays (regime switching, drift) leave it
+    #: ``False`` so cluster materialisation can skip the per-cell
+    #: availability scan of their columns.
+    can_remove_workers: bool = False
+
+    @abc.abstractmethod
+    def timeline(
+        self, base: DelayModel, num_iterations: int, rng: RandomState = None
+    ) -> List[DelayModel]:
+        """Effective delay models of one worker, one entry per iteration."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+_PROCESSES: Dict[str, Type[WorkerProcess]] = {}
+
+#: A value resolvable into a worker process: an instance, a registered name,
+#: or a config mapping with a ``name`` key plus constructor kwargs.
+ProcessLike = Union[WorkerProcess, str, Mapping[str, object]]
+
+
+def register_process(name: str):
+    """Class decorator registering a :class:`WorkerProcess` under ``name``.
+
+    Mirrors the scheme registry: registered processes become nameable in
+    ``dynamics={...}`` configs everywhere a
+    :class:`~repro.cluster.dynamic.DynamicClusterSpec` is built (the API
+    layer, the sweep engine, the CLI's ``--dynamics`` flag).
+    """
+
+    def decorator(cls: Type[WorkerProcess]) -> Type[WorkerProcess]:
+        existing = _PROCESSES.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"process name {name!r} is already registered to "
+                f"{existing.__name__}"
+            )
+        _PROCESSES[name] = cls
+        cls.name = name
+        return cls
+
+    return decorator
+
+
+def available_processes() -> List[str]:
+    """Sorted names of every registered worker process."""
+    return sorted(_PROCESSES)
+
+
+def process_from_config(process: ProcessLike) -> WorkerProcess:
+    """Resolve a process instance, name, or config mapping into a process."""
+    if isinstance(process, WorkerProcess):
+        return process
+    if isinstance(process, str):
+        config: Dict[str, object] = {"name": process}
+    elif isinstance(process, Mapping):
+        config = dict(process)
+    else:
+        raise ConfigurationError(
+            "expected a WorkerProcess, a registered process name, or a "
+            f"config mapping, got {type(process).__name__}"
+        )
+    name = config.pop("name", None)
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            "a process config needs a 'name' key naming a registered "
+            f"process; available: {available_processes()}"
+        )
+    try:
+        cls = _PROCESSES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown process {name!r}; available: {available_processes()}"
+        ) from None
+    try:
+        return cls(**config)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"process {name!r} rejected its parameters {sorted(config)}: {error}"
+        ) from None
+
+
+@register_process("markov")
+class MarkovModulatedDelay(WorkerProcess):
+    """Two-state (fast/slow) Markov regime switching per worker.
+
+    Each iteration the worker is either in its *fast* regime (the base delay
+    model) or its *slow* regime (completion times multiplied by
+    ``slowdown``). The regime evolves as a Markov chain: a fast worker turns
+    slow with probability ``p_slow`` per iteration, a slow worker recovers
+    with probability ``p_recover``.
+
+    Parameters
+    ----------
+    slowdown:
+        Multiplicative slowdown in the slow regime (``>= 1``).
+    p_slow:
+        Per-iteration probability of entering the slow regime.
+    p_recover:
+        Per-iteration probability of leaving it.
+    start_slow:
+        Whether the worker begins the job in the slow regime.
+    """
+
+    def __init__(
+        self,
+        slowdown: float = 8.0,
+        p_slow: float = 0.05,
+        p_recover: float = 0.4,
+        start_slow: bool = False,
+    ) -> None:
+        self.slowdown = check_in_range(slowdown, "slowdown", low=1.0)
+        self.p_slow = check_probability(p_slow, "p_slow")
+        self.p_recover = check_probability(p_recover, "p_recover")
+        self.start_slow = bool(start_slow)
+
+    def timeline(
+        self, base: DelayModel, num_iterations: int, rng: RandomState = None
+    ) -> List[DelayModel]:
+        check_positive_int(num_iterations, "num_iterations")
+        generator = as_generator(rng)
+        # One uniform per iteration, drawn as a block so consumption is
+        # fixed regardless of the realised regime path.
+        draws = generator.random(num_iterations)
+        slow_model = scale_delay(base, self.slowdown)
+        models: List[DelayModel] = []
+        slow = self.start_slow
+        for t in range(num_iterations):
+            models.append(slow_model if slow else base)
+            threshold = self.p_recover if slow else self.p_slow
+            if draws[t] < threshold:
+                slow = not slow
+        return models
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkovModulatedDelay(slowdown={self.slowdown!r}, "
+            f"p_slow={self.p_slow!r}, p_recover={self.p_recover!r}, "
+            f"start_slow={self.start_slow!r})"
+        )
+
+
+@register_process("drift")
+class DriftingDelay(WorkerProcess):
+    """Deterministic geometric drift of the worker's delay scale.
+
+    The worker's completion-time scale interpolates geometrically from
+    ``initial_factor`` (iteration 0) to ``final_factor`` (last iteration):
+    ``final > initial`` models a worker that degrades over the job (thermal
+    throttling, co-tenant pressure), ``final < initial`` one that warms up.
+    The process draws no randomness.
+    """
+
+    def __init__(
+        self, final_factor: float = 3.0, initial_factor: float = 1.0
+    ) -> None:
+        self.final_factor = check_in_range(
+            final_factor, "final_factor", low=0.0, inclusive=False
+        )
+        self.initial_factor = check_in_range(
+            initial_factor, "initial_factor", low=0.0, inclusive=False
+        )
+
+    def timeline(
+        self, base: DelayModel, num_iterations: int, rng: RandomState = None
+    ) -> List[DelayModel]:
+        check_positive_int(num_iterations, "num_iterations")
+        if num_iterations == 1:
+            return [scale_delay(base, self.initial_factor)]
+        ratio = self.final_factor / self.initial_factor
+        return [
+            scale_delay(
+                base,
+                self.initial_factor * ratio ** (t / (num_iterations - 1)),
+            )
+            for t in range(num_iterations)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftingDelay(final_factor={self.final_factor!r}, "
+            f"initial_factor={self.initial_factor!r})"
+        )
+
+
+@register_process("preempt")
+class PreemptionModel(WorkerProcess):
+    """Spot-style preemption: kill the worker, replace it after a lag.
+
+    Each iteration an up worker is preempted with probability
+    ``preempt_probability``; its slot is then vacant
+    (:class:`UnavailableDelay`) for ``recovery_iterations`` iterations —
+    the replacement instance boots and reloads the worker's data partition —
+    after which it resumes with the base delay model. Preemption draws are
+    taken as one block per worker, so consumption is independent of the
+    realised kill pattern.
+    """
+
+    can_remove_workers = True
+
+    def __init__(
+        self,
+        preempt_probability: float = 0.02,
+        recovery_iterations: int = 3,
+    ) -> None:
+        self.preempt_probability = check_probability(
+            preempt_probability, "preempt_probability"
+        )
+        self.recovery_iterations = check_positive_int(
+            recovery_iterations, "recovery_iterations"
+        )
+
+    def timeline(
+        self, base: DelayModel, num_iterations: int, rng: RandomState = None
+    ) -> List[DelayModel]:
+        check_positive_int(num_iterations, "num_iterations")
+        generator = as_generator(rng)
+        draws = generator.random(num_iterations)
+        models: List[DelayModel] = []
+        down_remaining = 0
+        for t in range(num_iterations):
+            if down_remaining == 0 and draws[t] < self.preempt_probability:
+                down_remaining = self.recovery_iterations
+            if down_remaining > 0:
+                models.append(UNAVAILABLE)
+                down_remaining -= 1
+            else:
+                models.append(base)
+        return models
+
+    def __repr__(self) -> str:
+        return (
+            f"PreemptionModel(preempt_probability={self.preempt_probability!r}, "
+            f"recovery_iterations={self.recovery_iterations!r})"
+        )

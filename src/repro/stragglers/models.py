@@ -87,6 +87,46 @@ class ShiftedExponentialDelay(DelayModel):
         )
         return shifts * loads_row + tail
 
+    @classmethod
+    def sample_timeline(
+        cls,
+        model_rows: Sequence[Sequence[DelayModel]],
+        loads: Sequence[int],
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        if not model_rows:
+            return super().sample_timeline(model_rows, loads, rng)
+        shape = (len(model_rows), len(loads))
+        from repro.stragglers.dynamics import memoize_by_id
+
+        # Timelines repeat few distinct model objects (a Markov worker
+        # alternates between two), so the native check and the (mu, a)
+        # lookup are memoized per model object: one dict hit per cell
+        # instead of per-cell isinstance + getattr passes. None marks a
+        # cell outside this class's native sampler (fall back below).
+        cell_parameters = memoize_by_id(
+            lambda model: (float(model.straggling), float(model.shift))
+            if isinstance(model, cls) and type(model).sample is cls.sample
+            else None
+        )
+        stragglings = np.empty(shape)
+        shifts = np.empty(shape)
+        for i, row in enumerate(model_rows):
+            if len(row) != shape[1]:
+                raise ValueError("model rows must all have one model per load")
+            for j, model in enumerate(row):
+                params = cell_parameters(model)
+                if params is None:
+                    return super().sample_timeline(model_rows, loads, rng)
+                stragglings[i, j], shifts[i, j] = params
+        loads_row = cls._check_grid_loads(model_rows[0], loads)
+        generator = cls._rng(rng)
+        # One broadcast draw fills the matrix in C order (row-major, cell by
+        # cell), so the stream matches per-row scalar draws even though every
+        # cell carries its own (mu, a) — the dynamic engine's fast path.
+        tail = generator.exponential(scale=loads_row / stragglings, size=shape)
+        return shifts * loads_row + tail
+
     def cdf(self, load: int, t: Number) -> Number:
         load = self._check_load(load)
         t_arr = np.asarray(t, dtype=float)

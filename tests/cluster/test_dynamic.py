@@ -1,0 +1,187 @@
+"""Tests for DynamicClusterSpec, ChurnEvent, and timeline materialisation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dynamic import ChurnEvent, ClusterTimeline, DynamicClusterSpec
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import AnalyticIntractableError, ConfigurationError
+from repro.stragglers.dynamics import (
+    DriftingDelay,
+    MarkovModulatedDelay,
+    UnavailableDelay,
+)
+from repro.stragglers.models import DeterministicDelay, ShiftedExponentialDelay
+
+
+@pytest.fixture
+def base() -> ClusterSpec:
+    return ClusterSpec.homogeneous(6, ShiftedExponentialDelay(1.0, 0.1))
+
+
+class TestChurnEvent:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            ChurnEvent("explode", 0, 0)
+        with pytest.raises(ConfigurationError, match="worker"):
+            ChurnEvent("leave", -1, 0)
+        with pytest.raises(ConfigurationError, match="iteration"):
+            ChurnEvent("leave", 0, -1)
+        with pytest.raises(ValueError):
+            ChurnEvent("preempt", 0, 0, recovery=0)
+        with pytest.raises(ConfigurationError, match="preempt"):
+            ChurnEvent("leave", 0, 0, recovery=2)
+
+    def test_from_config(self):
+        event = ChurnEvent.from_config(
+            {"kind": "preempt", "worker": 2, "iteration": 5, "recovery": 3}
+        )
+        assert event == ChurnEvent("preempt", 2, 5, 3)
+        with pytest.raises(ConfigurationError, match="missing"):
+            ChurnEvent.from_config({"kind": "leave", "worker": 1})
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            ChurnEvent.from_config(
+                {"kind": "leave", "worker": 1, "iteration": 0, "extra": 1}
+            )
+
+
+class TestDynamicClusterSpec:
+    def test_requires_some_time_variation(self, base):
+        with pytest.raises(ConfigurationError, match="time .*variation|variation"):
+            DynamicClusterSpec(base)
+
+    def test_requires_a_cluster_base(self):
+        with pytest.raises(ConfigurationError, match="ClusterSpec"):
+            DynamicClusterSpec("not-a-cluster", dynamics="drift")
+
+    def test_event_worker_out_of_range(self, base):
+        with pytest.raises(ConfigurationError, match="targets worker"):
+            DynamicClusterSpec(base, events=[ChurnEvent("leave", 99, 0)])
+
+    def test_initially_absent_out_of_range(self, base):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            DynamicClusterSpec(base, initially_absent=[6])
+
+    def test_events_accept_config_mappings(self, base):
+        spec = DynamicClusterSpec(
+            base,
+            events=[{"kind": "leave", "worker": 1, "iteration": 2}],
+        )
+        assert spec.events == (ChurnEvent("leave", 1, 2),)
+
+    def test_per_worker_dynamics_mapping(self, base):
+        spec = DynamicClusterSpec(
+            base,
+            dynamics={0: "drift", 3: {"name": "markov", "slowdown": 2.0}},
+        )
+        processes = spec._processes
+        assert isinstance(processes[0], DriftingDelay)
+        assert isinstance(processes[3], MarkovModulatedDelay)
+        assert processes[1] is None
+
+    def test_per_worker_mapping_rejects_bad_keys(self, base):
+        with pytest.raises(ConfigurationError, match="worker index"):
+            DynamicClusterSpec(base, dynamics={"zero": "drift"})
+        with pytest.raises(ConfigurationError, match="target worker"):
+            DynamicClusterSpec(base, dynamics={42: "drift"})
+
+    def test_availability_schedule(self, base):
+        spec = DynamicClusterSpec(
+            base,
+            initially_absent=[4],
+            events=[
+                ChurnEvent("preempt", 2, 3, 2),
+                ChurnEvent("leave", 5, 6),
+                ChurnEvent("join", 5, 8),
+                ChurnEvent("join", 4, 5),
+            ],
+        )
+        up = spec.availability(10)
+        assert not up[:, 4][:5].any() and up[5:, 4].all()  # scale-out join
+        assert not up[3:5, 2].any() and up[5:, 2].all()  # preempt + rejoin
+        assert up[:6, 5].all() and not up[6:8, 5].any() and up[8:, 5].all()
+
+    def test_events_beyond_the_horizon_are_ignored(self, base):
+        spec = DynamicClusterSpec(base, events=[ChurnEvent("leave", 0, 50)])
+        assert spec.availability(10).all()
+
+    def test_analytic_entry_points_raise_typed_error(self, base):
+        spec = DynamicClusterSpec(base, dynamics="drift")
+        for method in ("delay_models", "straggling_parameters", "shift_parameters"):
+            with pytest.raises(AnalyticIntractableError, match="non-stationary"):
+                getattr(spec, method)()
+
+
+class TestMaterialize:
+    def test_consumes_exactly_one_draw_without_a_pinned_seed(self, base):
+        spec = DynamicClusterSpec(base, dynamics="drift")
+        probe = np.random.default_rng(0)
+        spec.materialize(5, probe)
+        reference = np.random.default_rng(0)
+        reference.integers(0, 2**63)
+        assert probe.bit_generator.state == reference.bit_generator.state
+
+    def test_pinned_seed_consumes_nothing_and_fixes_the_scenario(self, base):
+        spec = DynamicClusterSpec(
+            base, dynamics={"name": "preempt", "preempt_probability": 0.3}, seed=7
+        )
+        probe = np.random.default_rng(0)
+        state = probe.bit_generator.state
+        timeline_a = spec.materialize(20, probe)
+        assert probe.bit_generator.state == state
+        timeline_b = spec.materialize(20, np.random.default_rng(999))
+        np.testing.assert_array_equal(
+            timeline_a.availability, timeline_b.availability
+        )
+
+    def test_timeline_is_deterministic_under_the_job_seed(self, base):
+        spec = DynamicClusterSpec(
+            base, dynamics={"name": "markov", "p_slow": 0.4}
+        )
+        timelines = [
+            spec.materialize(8, np.random.default_rng(3)) for _ in range(2)
+        ]
+        for row_a, row_b in zip(timelines[0].models, timelines[1].models):
+            assert [repr(m) for m in row_a] == [repr(m) for m in row_b]
+
+    def test_vacant_slots_hold_unavailable_models(self, base):
+        spec = DynamicClusterSpec(base, events=[ChurnEvent("leave", 2, 1)])
+        timeline = spec.materialize(3, np.random.default_rng(0))
+        assert not isinstance(timeline.models[0][2], UnavailableDelay)
+        assert isinstance(timeline.models[1][2], UnavailableDelay)
+        assert isinstance(timeline.models[2][2], UnavailableDelay)
+        assert timeline.availability[1:, 2].sum() == 0
+
+    def test_cluster_at_snapshots_share_communication_and_names(self, base):
+        spec = DynamicClusterSpec(base, dynamics="drift")
+        timeline = spec.materialize(4, np.random.default_rng(0))
+        snapshot = timeline.cluster_at(2)
+        assert snapshot.num_workers == base.num_workers
+        assert snapshot.communication is base.communication
+        assert [w.name for w in snapshot.workers] == [w.name for w in base.workers]
+
+    def test_worker_spec_cache_reuses_frozen_specs(self, base):
+        spec = DynamicClusterSpec(
+            base, dynamics={"name": "markov", "p_slow": 0.0}
+        )
+        timeline = spec.materialize(3, np.random.default_rng(0))
+        first = timeline.cluster_at(0).workers[0]
+        again = timeline.cluster_at(1).workers[0]
+        assert first is again
+
+    def test_process_returning_wrong_length_raises(self, base):
+        class Broken(DriftingDelay):
+            def timeline(self, model, num_iterations, rng=None):
+                return [model]
+
+        spec = DynamicClusterSpec(base, dynamics=Broken())
+        with pytest.raises(ConfigurationError, match="returned 1 models"):
+            spec.materialize(5, np.random.default_rng(0))
+
+    def test_timeline_shape_validation(self, base):
+        with pytest.raises(ConfigurationError, match="matrix"):
+            ClusterTimeline(
+                base,
+                [[DeterministicDelay(1.0)] * base.num_workers],
+                np.ones((2, base.num_workers), dtype=bool),
+            )

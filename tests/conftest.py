@@ -1,9 +1,32 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite (and the Hypothesis profiles).
+
+Profiles
+--------
+``default``
+    Hypothesis's stock behaviour: fresh random examples every run, which is
+    what local development wants (every run explores new corners).
+``ci``
+    Derandomized, reproducible example generation for the tier-1 property
+    job: the same examples on every run, so a CI failure is always
+    reproducible locally with ``HYPOTHESIS_PROFILE=ci``. Select it via the
+    ``HYPOTHESIS_PROFILE`` environment variable.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.cluster.spec import ClusterSpec
 from repro.datasets.base import Dataset

@@ -1,0 +1,116 @@
+"""Golden-seed regression fixtures for the paper-figure drivers.
+
+Small fixed-seed runs of the ``fig2`` and ``fig4`` drivers are snapshotted
+as JSON under ``tests/experiments/golden/``; these tests regenerate the runs
+and diff them against the snapshots. Any engine or RNG-contract refactor
+that silently drifts the paper figures fails here, with the exact metric
+named — the complement of the pairwise engine-equivalence suites, which
+cannot see a drift that moves *both* engines together.
+
+Regenerate the snapshots (after an *intentional* output change) with::
+
+    PYTHONPATH=src python tests/experiments/test_golden_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig4 import ScenarioConfig, run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Comparison tolerance: loose enough for cross-platform libm wiggle, tight
+#: enough that any real change of the simulated draws or accounting fails.
+RELATIVE_TOLERANCE = 1e-9
+
+
+def generate_fig2() -> dict:
+    """A scaled-down Fig. 2 run at a fixed seed, as plain JSON data."""
+    result = run_fig2(
+        num_examples=40, num_workers=40, monte_carlo_trials=5, rng=7
+    )
+    return {
+        "num_examples": result.num_examples,
+        "num_workers": result.num_workers,
+        "loads": [int(load) for load in result.loads],
+        "curves": {
+            name: [float(value) for value in values]
+            for name, values in sorted(result.curves.items())
+        },
+        "simulated": {
+            name: [float(value) for value in values]
+            for name, values in sorted(result.simulated.items())
+        },
+    }
+
+
+def generate_fig4() -> dict:
+    """A scaled-down Table I (Fig. 4 scenario one) run at a fixed seed."""
+    config = ScenarioConfig.scenario_one(num_iterations=5)
+    result = run_scenario(config, rng=3)
+    return {
+        "scenario": config.name,
+        "rows": {
+            scheme: {
+                key: (float(value) if key != "scheme" else value)
+                for key, value in result.row(scheme).items()
+            }
+            for scheme in sorted(result.jobs)
+        },
+    }
+
+
+FIXTURES = {
+    "fig2_m40_n40_seed7.json": generate_fig2,
+    "fig4_scenario_one_5iter_seed3.json": generate_fig4,
+}
+
+
+def _assert_matches(expected, actual, path=""):
+    """Recursive diff with a relative tolerance on floats, exact elsewhere."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected a mapping"
+        assert sorted(expected) == sorted(actual), f"{path}: keys differ"
+        for key in expected:
+            _assert_matches(expected[key], actual[key], f"{path}/{key}")
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), f"{path}: lengths differ"
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            _assert_matches(left, right, f"{path}[{index}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(
+            expected, rel=RELATIVE_TOLERANCE, abs=1e-12
+        ), f"{path}: {actual!r} drifted from the golden {expected!r}"
+    else:
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+def test_driver_output_matches_golden_snapshot(fixture):
+    golden_path = GOLDEN_DIR / fixture
+    assert golden_path.exists(), (
+        f"missing golden fixture {golden_path}; regenerate with "
+        "`PYTHONPATH=src python tests/experiments/test_golden_fixtures.py`"
+    )
+    expected = json.loads(golden_path.read_text())
+    actual = FIXTURES[fixture]()
+    _assert_matches(expected, actual, path=fixture)
+
+
+def test_fixture_regeneration_is_deterministic():
+    # The generators must be pure functions of their fixed seeds, otherwise
+    # the snapshots could never be trusted in the first place.
+    assert generate_fig2() == generate_fig2()
+
+
+if __name__ == "__main__":
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, generate in FIXTURES.items():
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(generate(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")

@@ -1,0 +1,161 @@
+"""Monotonicity properties of the expected runtime, for every scheme.
+
+Physically obvious invariants that catch sign/parameterisation bugs across
+the whole stack:
+
+* runtime is **non-increasing in the straggling parameter** ``mu`` (larger
+  ``mu`` means the exponential tail decays faster, i.e. *less* straggling);
+* runtime is **non-decreasing in the per-worker computational load** as
+  scaled by ``unit_size`` (more examples per unit means every worker
+  computes longer).
+
+Both are checked on the analytic path (expected values, all nine registered
+schemes) and on the vectorized engine at fixed seeds, where they hold
+*draw-for-draw*: scaling ``mu`` or ``unit_size`` rescales every completion
+time computed from the same underlying uniform draws, so the comparison is
+deterministic, not statistical.
+
+The scheme's own computational load ``r`` is deliberately *not* tested for
+monotonicity: the paper's Fig. 2 tradeoff is exactly that larger ``r`` buys
+a smaller recovery threshold at more computation per worker, so total time
+is non-monotone in ``r``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import JobSpec, TimingSimBackend, run
+from repro.cluster.spec import ClusterSpec
+from repro.schemes.registry import available_schemes
+from repro.stragglers.communication import LinearCommunicationModel
+from repro.stragglers.models import ShiftedExponentialDelay
+
+# One representative configuration per registered scheme (m = units).
+SCHEME_MATRIX = {
+    "uncoded": ({"name": "uncoded"}, 24),
+    "bcc": ({"name": "bcc", "load": 6}, 24),
+    "randomized": ({"name": "randomized", "load": 8}, 24),
+    "ignore-stragglers": ({"name": "ignore-stragglers", "wait_fraction": 0.75}, 24),
+    "cyclic-repetition": ({"name": "cyclic-repetition", "load": 4}, 12),
+    "reed-solomon": ({"name": "reed-solomon", "load": 4}, 12),
+    "fractional-repetition": ({"name": "fractional-repetition", "load": 4}, 12),
+    "generalized-bcc": ({"name": "generalized-bcc"}, 24),
+    "load-balanced": ({"name": "load-balanced"}, 24),
+}
+
+HETEROGENEOUS = {"generalized-bcc", "load-balanced"}
+
+MU_GRID = (0.5, 1.0, 2.0, 4.0)
+UNIT_SIZE_GRID = (1, 2, 5)
+
+COMMUNICATION = LinearCommunicationModel(latency=0.02, seconds_per_unit=0.01)
+
+
+def make_cluster(name: str, mu_factor: float = 1.0) -> ClusterSpec:
+    if name in HETEROGENEOUS:
+        return ClusterSpec.paper_fig5_cluster(
+            num_workers=12,
+            num_fast=2,
+            slow_straggling=1.0 * mu_factor,
+            fast_straggling=20.0 * mu_factor,
+            shift=0.5,
+            communication=COMMUNICATION,
+        )
+    return ClusterSpec.homogeneous(
+        12,
+        ShiftedExponentialDelay(straggling=mu_factor, shift=0.05),
+        COMMUNICATION,
+    )
+
+
+def make_spec(name: str, *, mu_factor=1.0, unit_size=2, seed=0) -> JobSpec:
+    config, num_units = SCHEME_MATRIX[name]
+    return JobSpec(
+        scheme=config,
+        cluster=make_cluster(name, mu_factor),
+        num_units=num_units,
+        num_iterations=5,
+        unit_size=unit_size,
+        # Serialized + heterogeneous has no closed form; the parallel link
+        # keeps one grid valid for both execution paths and all schemes.
+        serialize_master_link=False,
+        seed=seed,
+    )
+
+
+def assert_monotone(values, *, direction: str, context: str) -> None:
+    arr = list(values)
+    tolerance = 1e-12
+    for left, right in zip(arr, arr[1:]):
+        if direction == "non-increasing":
+            assert right <= left + tolerance, f"{context}: {arr}"
+        else:
+            assert right >= left - tolerance, f"{context}: {arr}"
+
+
+class TestMatrixCoverage:
+    def test_matrix_covers_every_registered_scheme(self):
+        assert sorted(SCHEME_MATRIX) == available_schemes()
+
+
+class TestAnalyticMonotonicity:
+    @pytest.mark.parametrize("name", sorted(SCHEME_MATRIX))
+    def test_expected_runtime_non_increasing_in_straggling(self, name):
+        totals = [
+            run(make_spec(name, mu_factor=mu), backend="analytic").total_time
+            for mu in MU_GRID
+        ]
+        assert_monotone(
+            totals, direction="non-increasing", context=f"{name} vs mu"
+        )
+
+    @pytest.mark.parametrize("name", sorted(SCHEME_MATRIX))
+    def test_expected_runtime_non_decreasing_in_unit_size(self, name):
+        totals = [
+            run(make_spec(name, unit_size=size), backend="analytic").total_time
+            for size in UNIT_SIZE_GRID
+        ]
+        assert_monotone(
+            totals, direction="non-decreasing", context=f"{name} vs unit_size"
+        )
+
+
+class TestVectorizedMonotonicity:
+    """Per-seed monotonicity on the vectorized engine.
+
+    The heterogeneous schemes re-derive their placement loads from the
+    cluster's straggling parameters, so the ``mu`` comparison (which would
+    change the placement itself) only covers the schemes whose placement is
+    cluster-independent; every scheme is covered by the ``unit_size``
+    comparison and by the analytic checks above.
+    """
+
+    @pytest.mark.parametrize("name", sorted(set(SCHEME_MATRIX) - HETEROGENEOUS))
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_runtime_non_increasing_in_straggling(self, name, seed):
+        backend = TimingSimBackend(engine="vectorized")
+        totals = [
+            backend.run(make_spec(name, mu_factor=mu, seed=seed)).total_time
+            for mu in MU_GRID
+        ]
+        assert_monotone(
+            totals, direction="non-increasing", context=f"{name} vs mu @ {seed}"
+        )
+
+    @pytest.mark.parametrize("name", sorted(SCHEME_MATRIX))
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_runtime_non_decreasing_in_unit_size(self, name, seed):
+        backend = TimingSimBackend(engine="vectorized")
+        totals = [
+            backend.run(make_spec(name, unit_size=size, seed=seed)).total_time
+            for size in UNIT_SIZE_GRID
+        ]
+        assert_monotone(
+            totals,
+            direction="non-decreasing",
+            context=f"{name} vs unit_size @ {seed}",
+        )

@@ -175,6 +175,80 @@ class TestDelayModelPaths:
         loop, vectorized = run_both({"name": "bcc", "load": 4}, cluster, 12)
         assert_identical(loop, vectorized)
 
+    def test_mixed_trace_delays_take_scalar_grid_fallback_identically(self):
+        # Different per-worker traces defeat the shared-population batched
+        # `choice`, so the engine must fall back to the generic scalar grid
+        # — and still match the loop bit for bit, in both link modes and
+        # with transfer draws interleaving (stochastic communication).
+        from repro.cluster.spec import WorkerSpec
+
+        traces = [
+            [0.1, 0.4, 0.9],
+            [0.2, 0.3, 0.5, 1.5],
+            [0.05, 2.0],
+            [1.0, 1.1, 1.2],
+            [0.4, 0.4, 0.8],
+            [0.6, 0.2],
+        ]
+        cluster = ClusterSpec(
+            workers=tuple(
+                WorkerSpec(compute=TraceDelay(trace), name=f"worker-{i}")
+                for i, trace in enumerate(traces)
+            ),
+            communication=LinearCommunicationModel(
+                latency=0.05, seconds_per_unit=0.02, jitter=0.01
+            ),
+        )
+        for serialize in (True, False):
+            loop, vectorized = run_both(
+                {"name": "bcc", "load": 4},
+                cluster,
+                12,
+                serialize_master_link=serialize,
+            )
+            assert_identical(loop, vectorized)
+
+    def test_equal_but_distinct_trace_arrays_keep_the_native_grid(self):
+        # Same per-example times in different array objects: the engine may
+        # batch (np.array_equal check) and must still match the loop.
+        from repro.cluster.spec import WorkerSpec
+
+        cluster = ClusterSpec(
+            workers=tuple(
+                WorkerSpec(compute=TraceDelay([0.1, 0.4, 0.9, 1.5]), name=f"w{i}")
+                for i in range(6)
+            ),
+            communication=ZeroCommunicationModel(),
+        )
+        loop, vectorized = run_both({"name": "uncoded"}, cluster, 12)
+        assert_identical(loop, vectorized)
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            TraceDelay([0.1, 0.4, 0.9, 1.5, 2.2]),
+            BimodalStragglerDelay(),
+            ParetoDelay(alpha=2.5, scale=0.3),
+        ],
+        ids=lambda model: type(model).__name__,
+    )
+    def test_sample_batch_fallback_equals_sized_draws(self, model):
+        # Models without a native sample_batch inherit the base fallback,
+        # whose contract is equality with the sized draw path — the stream
+        # guarantee the engine's communication batching builds on.
+        batch = model.sample_batch(3, np.random.default_rng(11), size=7)
+        sized = model.sample(3, np.random.default_rng(11), size=7)
+        np.testing.assert_array_equal(batch, sized)
+
+    def test_trace_grid_native_path_equals_generic_fallback(self):
+        from repro.stragglers.base import DelayModel
+
+        model = TraceDelay([0.1, 0.4, 0.9, 1.5, 2.2])
+        models, loads = [model] * 3, [2, 3, 4]
+        native = TraceDelay.sample_grid(models, loads, np.random.default_rng(0), 5)
+        generic = DelayModel.sample_grid(models, loads, np.random.default_rng(0), 5)
+        np.testing.assert_array_equal(native, generic)
+
     def test_mixed_model_cluster_identical(self):
         workers = ClusterSpec.homogeneous(3, ShiftedExponentialDelay(1.0)).workers
         from repro.cluster.spec import WorkerSpec
