@@ -25,7 +25,7 @@ Quickstart
 """
 
 from repro.api.spec import JobSpec, Workload
-from repro.api.result import RunResult
+from repro.api.result import RECORD_MODES, RunResult, validate_record
 from repro.api.backends import (
     Backend,
     BackendLike,
@@ -42,7 +42,9 @@ from repro.api.sweep import Sweep, SweepRecord, SweepResult, run_sweep
 __all__ = [
     "JobSpec",
     "Workload",
+    "RECORD_MODES",
     "RunResult",
+    "validate_record",
     "Backend",
     "BackendLike",
     "TimingSimBackend",

@@ -19,17 +19,32 @@ custom Monte-Carlo runners slot in the same way.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Protocol, Type, Union, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Protocol,
+    Sequence,
+    Type,
+    Union,
+    runtime_checkable,
+)
 
 from repro.analysis.analytic import DEFAULT_QUANTILES
-from repro.api.result import RunResult
+from repro.api.result import RunResult, validate_record
 from repro.api.spec import JobSpec
 from repro.cluster.dynamic import DynamicClusterSpec
 from repro.exceptions import AnalyticIntractableError, ConfigurationError
 from repro.runtime.job import run_distributed_job
+from repro.schemes.base import ExecutionPlan
 from repro.simulation.iteration import IterationOutcome
 from repro.simulation.job import RepeatedOutcomeLog, simulate_job, simulate_training_run
-from repro.simulation.vectorized import validate_engine
+from repro.simulation.vectorized import (
+    resolve_engine,
+    simulate_job_batch,
+    validate_engine,
+)
+from repro.utils.rng import RandomState
 
 __all__ = [
     "Backend",
@@ -79,7 +94,13 @@ class TimingSimBackend:
     def __init__(self, engine: str = "auto") -> None:
         self.engine = validate_engine(engine)
 
-    def run(self, spec: JobSpec) -> RunResult:
+    def _checked_options(self, spec: JobSpec) -> dict:
+        """The spec's backend options, rejecting unrecognised keys.
+
+        The single validation both entry points (:meth:`run` and
+        :meth:`run_batch`) share, so they cannot drift on which specs they
+        accept.
+        """
         options = dict(spec.backend_options)
         unknown = sorted(set(options) - self._OPTIONS)
         if unknown:
@@ -87,6 +108,10 @@ class TimingSimBackend:
                 f"timing backend does not understand option(s) {unknown}; "
                 f"recognised: {sorted(self._OPTIONS)}"
             )
+        return options
+
+    def run(self, spec: JobSpec) -> RunResult:
+        options = self._checked_options(spec)
         engine = options.pop("engine", self.engine)
         job = simulate_job(
             spec.resolve_scheme(),
@@ -99,6 +124,73 @@ class TimingSimBackend:
             engine=engine,
         )
         return RunResult.from_job(job, backend=self.name)
+
+    # -- trial batching ------------------------------------------------- #
+    def _spec_engine(self, spec: JobSpec) -> str:
+        """The engine a spec would run on (spec-level option wins)."""
+        return spec.backend_options.get("engine", self.engine)
+
+    def supports_trial_batching(self, spec: JobSpec) -> bool:
+        """Whether :meth:`run_batch` can execute this spec.
+
+        True when the spec's effective engine resolves to ``"vectorized"``
+        for the spec's job size — the trial-batched entry point is a
+        vectorized-engine feature; under ``"loop"`` (or an ``"auto"`` that
+        picks the loop) the sweep engine keeps per-trial tasks.
+        """
+        cluster = spec.cluster
+        if cluster is None:
+            return False
+        return (
+            resolve_engine(
+                self._spec_engine(spec),
+                num_iterations=spec.num_iterations,
+                num_workers=cluster.num_workers,
+            )
+            == "vectorized"
+        )
+
+    def run_batch(
+        self,
+        spec: JobSpec,
+        seeds: Sequence[RandomState],
+        *,
+        record: str = "full",
+    ) -> List[RunResult]:
+        """Execute ``len(seeds)`` Monte-Carlo trials of one spec in one call.
+
+        The trial-batched fast path behind
+        :func:`~repro.api.sweep.run_sweep`'s cell dispatch: one
+        :func:`~repro.simulation.vectorized.simulate_job_batch` entry
+        resolves the spec's scheme once and simulates every trial over the
+        stacked draw tensor (see that function for the RNG contract making
+        each trial bit-identical to a solo run at the same seed). The spec's
+        own ``seed`` is unused — the per-trial ``seeds`` replace it.
+
+        ``record="summary"`` compacts each result before returning it, so a
+        process pool ships aggregate statistics instead of pickling full
+        per-iteration logs.
+        """
+        validate_record(record)
+        self._checked_options(spec)
+        if not self.supports_trial_batching(spec):
+            raise ConfigurationError(
+                "trial batching needs the vectorized engine; this spec "
+                f"resolves to engine={self._spec_engine(spec)!r}"
+            )
+        jobs = simulate_job_batch(
+            spec.resolve_scheme(),
+            spec.require_cluster(),
+            num_units=spec.resolved_num_units,
+            num_iterations=spec.num_iterations,
+            seeds=seeds,
+            unit_size=spec.resolved_unit_size,
+            serialize_master_link=spec.serialize_master_link,
+        )
+        results = [RunResult.from_job(job, backend=self.name) for job in jobs]
+        if record == "summary":
+            results = [result.compact() for result in results]
+        return results
 
 
 class SemanticSimBackend:
@@ -179,9 +271,13 @@ class MultiprocessBackend:
                 "backend option to size the worker pool"
             )
         rng = spec.rng()
-        plan = spec.resolve_scheme().build_feasible_plan(
-            spec.resolved_num_units, int(num_workers), rng
-        )
+        resolved = spec.resolve_scheme()
+        if isinstance(resolved, ExecutionPlan):
+            plan = resolved
+        else:
+            plan = resolved.build_feasible_plan(
+                spec.resolved_num_units, int(num_workers), rng
+            )
         worker_seed = int(rng.integers(0, 2**31 - 1))
         result = run_distributed_job(
             plan,
@@ -255,6 +351,12 @@ class AnalyticBackend:
                 "backend (both engines support dynamic clusters) instead"
             )
         scheme = spec.resolve_scheme()
+        if isinstance(scheme, ExecutionPlan):
+            raise AnalyticIntractableError(
+                "the spec carries a pre-built execution plan; the analytic "
+                "backend needs the scheme itself (its closed form averages "
+                "over placements, it cannot price one frozen plan)"
+            )
         estimate = scheme.analytic_runtime(
             cluster,
             spec.resolved_num_units,

@@ -7,21 +7,45 @@ optional training trace) and
 the multiprocessing runtime), so callers can hold results from any backend in
 one table without caring where they came from. ``summary()`` is preserved
 from ``JobResult`` and ``to_table()`` renders the headline metrics.
+
+Record modes
+------------
+A result normally carries its **full** per-iteration log. For Monte-Carlo
+sweeps only the aggregates usually matter, and shipping thousands of
+:class:`~repro.simulation.iteration.IterationOutcome` objects across a
+process pool's pickle boundary dwarfs the simulation itself. ``compact()``
+converts a result to **summary** form: the headline aggregates are frozen
+into ``summary_data``, the iteration log (and training trace) is dropped,
+and every aggregate property keeps answering from the frozen summary.
+:func:`~repro.api.sweep.run_sweep` exposes this as ``record="summary"``;
+:func:`validate_record` is the single source of the mode names.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.exceptions import SimulationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.runtime.job import DistributedRunResult
 from repro.simulation.job import JobResult
 from repro.utils.tables import TextTable
 
-__all__ = ["RunResult"]
+__all__ = ["RECORD_MODES", "RunResult", "validate_record"]
+
+#: Recognised ``record`` knob values across the sweep stack.
+RECORD_MODES = ("full", "summary")
+
+
+def validate_record(record: str) -> str:
+    """Validate a ``record`` knob value, returning it unchanged."""
+    if record not in RECORD_MODES:
+        raise ConfigurationError(
+            f"unknown record mode {record!r}; expected one of {list(RECORD_MODES)}"
+        )
+    return record
 
 
 @dataclass
@@ -46,6 +70,9 @@ class RunResult(JobResult):
         Total wall-clock time of a real run (0.0 for simulated runs).
     extras:
         Free-form metrics attached by custom sweep runners.
+    summary_data:
+        Frozen headline metrics of a compacted (``record="summary"``)
+        result; ``None`` while the full iteration log is carried.
     """
 
     backend: str = ""
@@ -53,6 +80,7 @@ class RunResult(JobResult):
     workers_heard: List[int] = field(default_factory=list)
     total_seconds: float = 0.0
     extras: Dict[str, object] = field(default_factory=dict)
+    summary_data: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -80,11 +108,42 @@ class RunResult(JobResult):
         )
 
     # ------------------------------------------------------------------ #
+    def compact(self) -> "RunResult":
+        """This result in summary form (see "Record modes" above).
+
+        Freezes :meth:`summary` into ``summary_data`` and drops the
+        per-iteration log and training trace, so the result pickles in a few
+        hundred bytes however many iterations it simulated. Aggregate
+        properties (``total_time``, ``average_recovery_threshold``, ...) and
+        :meth:`summary` keep answering from the frozen values; per-iteration
+        access (``iterations``, ``training``) is gone. Already-compact
+        results are returned unchanged.
+        """
+        if self.summary_data is not None and not self.iterations:
+            return self
+        return RunResult(
+            scheme_name=self.scheme_name,
+            backend=self.backend,
+            total_seconds=self.total_seconds,
+            extras=dict(self.extras),
+            summary_data=dict(self.summary()),
+        )
+
+    def _frozen(self, key: str) -> Optional[object]:
+        """A compacted result's frozen summary value, or ``None``."""
+        if self.summary_data is not None and not self.iterations:
+            return self.summary_data.get(key)
+        return None
+
+    # ------------------------------------------------------------------ #
     @property
     def num_iterations(self) -> int:
         """Number of executed iterations (simulated or wall-clock)."""
         if self.iterations:
             return len(self.iterations)
+        frozen = self._frozen("iterations")
+        if frozen is not None:
+            return int(frozen)
         return len(self.iteration_times)
 
     @property
@@ -92,20 +151,52 @@ class RunResult(JobResult):
         """Mean workers waited for per iteration, from whichever record exists."""
         if self.iterations:
             return JobResult.average_recovery_threshold.fget(self)
+        frozen = self._frozen("recovery_threshold")
+        if frozen is not None:
+            return float(frozen)
         if self.workers_heard:
             return float(np.mean(self.workers_heard))
         raise SimulationError("the run recorded no iterations")
+
+    @property
+    def average_communication_load(self) -> float:
+        """Mean per-iteration communication load, surviving compaction."""
+        frozen = self._frozen("communication_load")
+        if frozen is not None:
+            return float(frozen)
+        return JobResult.average_communication_load.fget(self)
 
     @property
     def total_time(self) -> float:
         """Total running time: simulated when available, else wall-clock."""
         if self.iterations:
             return JobResult.total_time.fget(self)
+        frozen = self._frozen("total_time")
+        if frozen is not None:
+            return float(frozen)
         return self.total_seconds
+
+    @property
+    def total_computation_time(self) -> float:
+        """Total computation time, surviving compaction."""
+        frozen = self._frozen("computation_time")
+        if frozen is not None:
+            return float(frozen)
+        return JobResult.total_computation_time.fget(self)
+
+    @property
+    def total_communication_time(self) -> float:
+        """Total communication time, surviving compaction."""
+        frozen = self._frozen("communication_time")
+        if frozen is not None:
+            return float(frozen)
+        return JobResult.total_communication_time.fget(self)
 
     # ------------------------------------------------------------------ #
     def summary(self) -> dict:
         """Headline metrics; the ``JobResult`` keys are preserved verbatim."""
+        if self.summary_data is not None and not self.iterations:
+            return dict(self.summary_data)
         if self.iterations:
             data = JobResult.summary(self)
         else:

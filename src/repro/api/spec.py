@@ -24,7 +24,7 @@ from repro.datasets.batching import BatchSpec
 from repro.exceptions import ConfigurationError
 from repro.gradients.base import GradientModel
 from repro.optim.base import Optimizer
-from repro.schemes.base import Scheme
+from repro.schemes.base import ExecutionPlan, Scheme
 from repro.schemes.registry import SchemeLike, scheme_from_config
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int
@@ -78,7 +78,12 @@ class JobSpec:
         A :class:`~repro.schemes.Scheme` instance, a registered scheme name
         (``"bcc"``), or a config mapping (``{"name": "bcc", "load": 10}``).
         Config-form schemes are resolved against the registry with the
-        spec's cluster, so heterogeneous schemes work by name too.
+        spec's cluster, so heterogeneous schemes work by name too. The sweep
+        engine may also place a pre-built
+        :class:`~repro.schemes.base.ExecutionPlan` here (its per-cell plan
+        hoisting): the simulation backends then skip plan resolution
+        entirely — which consumes no randomness, so it only happens when the
+        scheme's planning is itself draw-free.
     cluster:
         The (simulated) cluster — a stationary
         :class:`~repro.cluster.spec.ClusterSpec` or a
@@ -191,13 +196,17 @@ class JobSpec:
             return self.workload.unit_size
         return 1
 
-    def resolve_scheme(self) -> Scheme:
+    def resolve_scheme(self) -> Union[Scheme, ExecutionPlan]:
         """Build (or pass through) the scheme, injecting the spec's cluster.
 
         A dynamic cluster injects its *base* cluster: placement (and
         heterogeneous load allocation) is planned against the nominal
-        cluster, then the dynamics perturb execution.
+        cluster, then the dynamics perturb execution. A pre-built
+        :class:`~repro.schemes.base.ExecutionPlan` passes through unchanged
+        (the simulation entry points accept either).
         """
+        if isinstance(self.scheme, ExecutionPlan):
+            return self.scheme
         cluster = self.cluster
         if isinstance(cluster, DynamicClusterSpec):
             cluster = cluster.base
@@ -253,7 +262,7 @@ class JobSpec:
                     "name or a 'scheme.<parameter>' key"
                 )
         if scheme_updates:
-            if isinstance(scheme, Scheme):
+            if isinstance(scheme, (Scheme, ExecutionPlan)):
                 raise ConfigurationError(
                     "cannot apply 'scheme.*' overrides to an already-built "
                     "scheme instance; specify the scheme as a name or config "

@@ -18,6 +18,39 @@ Seeding strategies
     behaviour of the hand-written experiment loops, preserved so the rewired
     figure/table drivers reproduce their pre-API output byte for byte. The
     stream is inherently sequential, so this strategy refuses parallelism.
+
+The hot path
+------------
+Trial count is the knob Monte-Carlo users turn most, so :func:`run_sweep`
+works hard to keep its cost sub-linear:
+
+* **Plan hoisting.** A cell's scheme planning depends only on the cell's
+  parameters whenever it consumes no randomness (every deterministic
+  placement). ``run_sweep`` detects that with a probe build (comparing the
+  probe generator's state before and after) and re-plans once per cell
+  instead of once per trial, passing the frozen
+  :class:`~repro.schemes.base.ExecutionPlan` through the spec. Random
+  placements (BCC, randomized, Reed-Solomon's seed draw) are left alone —
+  their plan *is* part of what a trial samples — so hoisting never changes
+  a single bit of any result, on either engine and under either seeding
+  strategy.
+* **Trial batching** (``trial_batching=``). Under the spawn strategy a
+  whole cell can be dispatched as *one* task that simulates every trial in
+  one vectorized engine entry (:meth:`TimingSimBackend.run_batch
+  <repro.api.backends.TimingSimBackend.run_batch>`). ``"auto"`` (default)
+  batches exactly the cells where that is bit-identical to per-trial tasks
+  (vectorized engine + draw-free planning); ``"always"`` also batches cells
+  with random placements, freezing one placement per cell — each trial is
+  then bit-identical to a solo run with the shared plan at the same spawned
+  seed (the :func:`~repro.simulation.vectorized.simulate_job_batch`
+  contract), but the trial average estimates the runtime *given* that
+  placement rather than averaged over placements; ``"never"`` keeps
+  per-trial tasks.
+* **Summary records** (``record="summary"``). Each task compacts its
+  :class:`~repro.api.result.RunResult` before returning it, so a process
+  pool ships a few hundred bytes of aggregates per trial instead of
+  pickling full per-iteration logs across the process boundary. Tables and
+  aggregate metrics are unchanged; per-iteration access is dropped.
 """
 
 from __future__ import annotations
@@ -29,20 +62,35 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.api.backends import BackendLike, get_backend
-from repro.api.result import RunResult
+from repro.api.backends import (
+    BackendLike,
+    SemanticSimBackend,
+    TimingSimBackend,
+    get_backend,
+)
+from repro.api.result import RunResult, validate_record
 from repro.api.spec import JobSpec
 from repro.exceptions import (
     AnalyticIntractableError,
     ConfigurationError,
     SimulationError,
 )
-from repro.schemes.base import Scheme
+from repro.schemes.base import ExecutionPlan, Scheme
+from repro.utils.counting import CountingList
 from repro.utils.rng import as_generator, random_seed_sequence
 from repro.utils.tables import TextTable
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Sweep", "SweepRecord", "SweepResult", "run_sweep"]
+__all__ = [
+    "Sweep",
+    "SweepRecord",
+    "SweepResult",
+    "TRIAL_BATCHING_MODES",
+    "run_sweep",
+]
+
+#: Recognised ``trial_batching`` knob values (see the module docstring).
+TRIAL_BATCHING_MODES = ("auto", "always", "never")
 
 
 @dataclass(frozen=True)
@@ -150,11 +198,32 @@ def _format_value(value: object) -> object:
 
 @dataclass
 class SweepResult:
-    """All records of one sweep, plus tabulation helpers."""
+    """All records of one sweep, plus tabulation helpers.
+
+    The per-cell aggregation (the work behind :meth:`aggregate` and every
+    :meth:`to_table` call) is cached, keyed on the record list's mutation
+    counter — so repeated tabulation of a finished sweep costs one dict copy
+    per cell, while *any* mutation of ``records`` (appends, but also
+    in-place replacements a ``len()`` key would miss) recomputes.
+    """
 
     records: List[SweepRecord] = field(default_factory=list)
     parameter_names: Tuple[str, ...] = ()
     trials: int = 1
+    _aggregate_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.records, CountingList):
+            self.records = CountingList(self.records)
+
+    def __getstate__(self) -> dict:
+        # Unpickling rebuilds the record list with a fresh mutation counter;
+        # a carried cache could collide with a different history. Drop it.
+        state = self.__dict__.copy()
+        state["_aggregate_cache"] = None
+        return state
 
     # ------------------------------------------------------------------ #
     def __iter__(self):
@@ -189,20 +258,43 @@ class SweepResult:
         """One dict per cell: parameters plus trial-averaged numeric metrics.
 
         ``metrics`` defaults to every numeric key appearing in the records'
-        summaries, in first-seen order.
+        summaries, in first-seen order. The result is cached (see the class
+        docstring); the key tracks both the record *list* and each result's
+        own iteration-log mutation counter, so editing a result in place
+        (e.g. appending or removing outcomes) recomputes too. Callers
+        receive fresh per-row dict copies, so mutating a returned row never
+        corrupts the cache.
         """
+        metrics_key = None if metrics is None else tuple(metrics)
+        version = getattr(self.records, "version", None)
+        result_versions = tuple(
+            getattr(record.result.iterations, "version", -1)
+            for record in self.records
+        )
+        cache_key = (version, len(self.records), result_versions, metrics_key)
+        cached = self._aggregate_cache
+        if version is not None and cached is not None and cached[0] == cache_key:
+            return [dict(row) for row in cached[1]]
+
+        # One pass over the records: group by cell and collect summaries.
+        by_cell: Dict[int, List[SweepRecord]] = {}
+        summaries: Dict[int, List[dict]] = {}
+        for record in self.records:
+            by_cell.setdefault(record.cell, []).append(record)
+            summaries.setdefault(record.cell, []).append(record.result.summary())
         if metrics is None:
             seen: Dict[str, None] = {}
-            for record in self.records:
-                for key, value in record.result.summary().items():
-                    if isinstance(value, (int, float)) and not isinstance(value, bool):
-                        seen.setdefault(key)
+            for cell_summaries in summaries.values():
+                for summary in cell_summaries:
+                    for key, value in summary.items():
+                        if isinstance(value, (int, float)) and not isinstance(
+                            value, bool
+                        ):
+                            seen.setdefault(key)
             metrics = list(seen)
         rows: List[Dict[str, object]] = []
-        for cell in range(self.num_cells):
-            records = self.cell_records(cell)
-            if not records:
-                continue
+        for cell in sorted(by_cell):
+            records = by_cell[cell]
             row: Dict[str, object] = {
                 key: _format_value(value) for key, value in records[0].params.items()
             }
@@ -210,13 +302,15 @@ class SweepResult:
             if len(schemes) == 1:
                 row.setdefault("scheme", next(iter(schemes)))
             row["trials"] = len(records)
-            summaries = [record.result.summary() for record in records]
+            cell_summaries = summaries[cell]
             for metric in metrics:
-                values = [s[metric] for s in summaries if metric in s]
+                values = [s[metric] for s in cell_summaries if metric in s]
                 if values:
                     row[metric] = float(np.mean(values))
             rows.append(row)
-        return rows
+        if version is not None:
+            self._aggregate_cache = (cache_key, rows)
+        return [dict(row) for row in rows]
 
     def to_table(
         self,
@@ -238,10 +332,24 @@ class SweepResult:
         return table
 
 
-def _run_task(task: Tuple[object, JobSpec]) -> RunResult:
-    backend, spec = task
+def _run_task(task: tuple) -> List[RunResult]:
+    """Execute one sweep task — a single (cell, trial) run or a whole cell.
+
+    Tasks are ``("trial", backend, spec, record)`` or ``("cell", backend,
+    spec, seeds, record)``; either way a list of results comes back (one per
+    trial), compacted when ``record="summary"`` so only aggregates cross a
+    process pool's pickle boundary.
+    """
+    kind, backend, spec = task[0], task[1], task[2]
     try:
-        return backend.run(spec)
+        if kind == "cell":
+            seeds, record = task[3], task[4]
+            return backend.run_batch(spec, seeds, record=record)
+        record = task[3]
+        result = backend.run(spec)
+        if record == "summary":
+            result = result.compact()
+        return [result]
     except AnalyticIntractableError as error:
         # Surface which sweep cell fell outside the closed-form regime —
         # with dozens of cells, "which configuration?" is the question.
@@ -260,11 +368,56 @@ def _run_task(task: Tuple[object, JobSpec]) -> RunResult:
         ) from error
 
 
+def _probe_rng_free_plan(spec: JobSpec) -> Optional[ExecutionPlan]:
+    """The spec's execution plan if planning consumes no randomness, else None.
+
+    Builds the plan with a probe generator and compares the generator's
+    state before and after: an unchanged state proves the placement cannot
+    depend on the trial's seed, so one plan can stand in for every trial —
+    and for every seeding strategy — without changing a single draw. Random
+    placements (and anything that fails to plan; the real run will surface
+    the error with full context) return ``None``.
+    """
+    if spec.cluster is None or isinstance(spec.scheme, ExecutionPlan):
+        return None
+    try:
+        scheme = spec.resolve_scheme()
+        probe = np.random.default_rng(0)
+        state = probe.bit_generator.state
+        plan = scheme.build_feasible_plan(
+            spec.resolved_num_units, spec.cluster.num_workers, probe
+        )
+        if probe.bit_generator.state != state:
+            return None
+        return plan
+    except Exception:
+        return None
+
+
+def _hoist_cell_plan(backend, spec: JobSpec, trials: int) -> JobSpec:
+    """Per-cell plan hoisting: re-plan once per cell when provably safe.
+
+    Only the simulation backends understand a plan-carrying spec, and
+    hoisting only pays with several trials; beyond that the safety argument
+    is :func:`_probe_rng_free_plan`'s — draw-free planning means the hoisted
+    spec runs bit-identically to the original on both engines, under both
+    seeding strategies.
+    """
+    if trials < 2 or not isinstance(backend, (TimingSimBackend, SemanticSimBackend)):
+        return spec
+    plan = _probe_rng_free_plan(spec)
+    if plan is None:
+        return spec
+    return spec.replace(scheme=plan)
+
+
 def run_sweep(
     sweep: Sweep,
     *,
     max_workers: Optional[int] = None,
     executor: str = "thread",
+    record: str = "full",
+    trial_batching: str = "auto",
 ) -> SweepResult:
     """Execute every (cell, trial) task of a sweep and collect the records.
 
@@ -284,6 +437,19 @@ def run_sweep(
         are; custom runner closures usually are not). Threads still help
         when the backend itself waits on other processes or IO (e.g.
         :class:`~repro.api.backends.MultiprocessBackend`).
+    record:
+        ``"full"`` (default) keeps every result's per-iteration log;
+        ``"summary"`` compacts each result to its aggregate statistics in
+        the worker (see :meth:`RunResult.compact
+        <repro.api.result.RunResult.compact>`), so parallel sweeps stop
+        pickling iteration logs across process boundaries. Tables and
+        aggregate metrics are identical in both modes.
+    trial_batching:
+        ``"auto"`` (default), ``"always"``, or ``"never"`` — whether whole
+        cells are dispatched as single trial-batched engine entries instead
+        of one task per (cell, trial). See the module docstring: ``"auto"``
+        batches exactly when bit-identical to per-trial execution,
+        ``"always"`` additionally freezes one random placement per cell.
 
     Examples
     --------
@@ -316,12 +482,23 @@ def run_sweep(
     >>> [record.result.backend for record in analytic]
     ['analytic', 'analytic']
     """
+    validate_record(record)
+    if trial_batching not in TRIAL_BATCHING_MODES:
+        raise ConfigurationError(
+            f"unknown trial_batching mode {trial_batching!r}; expected one "
+            f"of {list(TRIAL_BATCHING_MODES)}"
+        )
     backend = get_backend(sweep.backend)
     cells = sweep.cells()
     parallel = max_workers is not None and max_workers > 1
+    # A hoisted plan carries scheme-defined closures that may not pickle;
+    # keep specs pickle-clean when tasks cross a process boundary. (Results
+    # are unaffected either way: hoisting only happens when it cannot
+    # change a draw, and cell tasks re-plan inside the worker.)
+    hoist_ok = not (parallel and executor == "process")
 
-    specs: List[JobSpec] = []
-    order: List[Tuple[int, Mapping[str, object], int]] = []
+    tasks: List[tuple] = []
+    layout: List[List[Tuple[int, Mapping[str, object], int]]] = []
     if sweep.seed_strategy == "shared":
         if parallel:
             raise ConfigurationError(
@@ -332,20 +509,29 @@ def run_sweep(
         generator = as_generator(sweep.base.seed)
         for index, params in enumerate(cells):
             cell_spec = sweep.base.with_overrides(params)
+            if hoist_ok:
+                cell_spec = _hoist_cell_plan(backend, cell_spec, sweep.trials)
             for trial in range(sweep.trials):
-                specs.append(cell_spec.replace(seed=generator))
-                order.append((index, params, trial))
+                tasks.append(("trial", backend, cell_spec.replace(seed=generator), record))
+                layout.append([(index, params, trial)])
     else:
         root = random_seed_sequence(sweep.base.seed)
         children = root.spawn(len(cells) * sweep.trials)
         for index, params in enumerate(cells):
             cell_spec = sweep.base.with_overrides(params)
-            for trial in range(sweep.trials):
-                child = children[index * sweep.trials + trial]
-                specs.append(cell_spec.replace(seed=child))
-                order.append((index, params, trial))
+            cell_children = children[index * sweep.trials : (index + 1) * sweep.trials]
+            if _batch_cell(backend, cell_spec, sweep.trials, trial_batching):
+                tasks.append(("cell", backend, cell_spec, list(cell_children), record))
+                layout.append(
+                    [(index, params, trial) for trial in range(sweep.trials)]
+                )
+                continue
+            if hoist_ok:
+                cell_spec = _hoist_cell_plan(backend, cell_spec, sweep.trials)
+            for trial, child in enumerate(cell_children):
+                tasks.append(("trial", backend, cell_spec.replace(seed=child), record))
+                layout.append([(index, params, trial)])
 
-    tasks = [(backend, spec) for spec in specs]
     if not parallel:
         results = [_run_task(task) for task in tasks]
     else:
@@ -362,10 +548,36 @@ def run_sweep(
 
     records = [
         SweepRecord(cell=index, params=params, trial=trial, result=result)
-        for (index, params, trial), result in zip(order, results)
+        for task_layout, task_results in zip(layout, results)
+        for (index, params, trial), result in zip(task_layout, task_results)
     ]
     return SweepResult(
         records=records,
         parameter_names=tuple(sweep.parameters),
         trials=sweep.trials,
     )
+
+
+def _batch_cell(backend, spec: JobSpec, trials: int, trial_batching: str) -> bool:
+    """Whether one cell should run as a single trial-batched task.
+
+    ``"never"`` and single-trial cells keep per-trial tasks; otherwise the
+    backend must support trial batching for this spec (a vectorized-engine
+    :class:`~repro.api.backends.TimingSimBackend`). ``"always"`` then
+    batches unconditionally (one placement per cell for random schemes —
+    the documented :func:`~repro.simulation.vectorized.simulate_job_batch`
+    semantics) while ``"auto"`` additionally demands draw-free planning, the
+    condition under which batching is bit-identical to per-trial execution.
+    """
+    if trial_batching == "never" or trials < 2:
+        return False
+    if not isinstance(backend, TimingSimBackend):
+        return False
+    try:
+        if not backend.supports_trial_batching(spec):
+            return False
+    except ConfigurationError:
+        return False
+    if trial_batching == "always":
+        return True
+    return _probe_rng_free_plan(spec) is not None

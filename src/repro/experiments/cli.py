@@ -10,6 +10,9 @@ Usage::
     python -m repro.experiments.cli sweep --scheme bcc --scheme uncoded \
         --loads 5,10,25 --workers 50 --units 50 --trials 3 --parallel 4 \
         --engine vectorized
+    python -m repro.experiments.cli sweep --scheme bcc --loads 10 \
+        --trials 256 --engine vectorized --trial-batching always \
+        --record summary
     python -m repro.experiments.cli sweep --dynamics markov:slowdown=8 \
         --scheme bcc --scheme cyclic-repetition --loads 10
     python -m repro.experiments.cli churn --workers 20 --iterations 30
@@ -194,6 +197,28 @@ def build_parser() -> argparse.ArgumentParser:
             "processes (the default) are what actually speed it up"
         ),
     )
+    sweep.add_argument(
+        "--record",
+        choices=("full", "summary"),
+        default="full",
+        help=(
+            "what each task ships back: the full per-iteration log or just "
+            "aggregate statistics (identical tables, far less pickling "
+            "under --parallel)"
+        ),
+    )
+    sweep.add_argument(
+        "--trial-batching",
+        dest="trial_batching",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help=(
+            "dispatch whole cells as single trial-batched vectorized runs: "
+            "'auto' only where bit-identical to per-trial execution, "
+            "'always' also for random placements (one frozen placement per "
+            "cell), 'never' keeps one task per (cell, trial)"
+        ),
+    )
 
     churn = subparsers.add_parser(
         "churn",
@@ -284,7 +309,13 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
         trials=args.trials,
         backend=backend,
     )
-    result = run_sweep(sweep, max_workers=args.parallel, executor=args.executor)
+    result = run_sweep(
+        sweep,
+        max_workers=args.parallel,
+        executor=args.executor,
+        record=getattr(args, "record", "full"),
+        trial_batching=getattr(args, "trial_batching", "auto"),
+    )
     dynamics_note = f", dynamics={dynamics_spec}" if dynamics_spec else ""
     table = result.to_table(
         title=(

@@ -26,6 +26,7 @@ from repro.optim.trainer import IterationRecord, TrainingResult
 from repro.schemes.base import ExecutionPlan, Scheme
 from repro.simulation.execution import worker_message
 from repro.simulation.iteration import IterationOutcome, simulate_iteration
+from repro.utils.counting import CountingList
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int
 
@@ -43,52 +44,14 @@ class _JobAggregates:
     average_communication_load: Optional[float]
 
 
-class _IterationLog(list):
+class _IterationLog(CountingList):
     """A list of outcomes that counts its mutations.
 
-    :class:`JobResult` keys its aggregate cache on :attr:`version`, so *any*
-    mutation — including replacing an outcome at an unchanged length, which
-    a pure ``len()`` key would miss — invalidates the cached totals.
+    :class:`JobResult` keys its aggregate cache on
+    :attr:`~repro.utils.counting.CountingList.version`, so *any* mutation —
+    including replacing an outcome at an unchanged length, which a pure
+    ``len()`` key would miss — invalidates the cached totals.
     """
-
-    # Class-level default: unpickling rebuilds the list through append()
-    # before __init__ runs, so the counter must resolve without an instance
-    # attribute.
-    version = 0
-
-    def __init__(self, iterable=()) -> None:
-        super().__init__(iterable)
-        self.version = 0
-
-
-def _make_counting(name: str):
-    method = getattr(list, name)
-
-    def counting(self, *args, **kwargs):
-        result = method(self, *args, **kwargs)
-        self.version += 1
-        return result
-
-    counting.__name__ = name
-    return counting
-
-
-for _name in (
-    "append",
-    "extend",
-    "insert",
-    "remove",
-    "pop",
-    "clear",
-    "sort",
-    "reverse",
-    "__setitem__",
-    "__delitem__",
-    "__iadd__",
-    "__imul__",
-):
-    setattr(_IterationLog, _name, _make_counting(_name))
-del _name
 
 
 class RepeatedOutcomeLog(_IterationLog):

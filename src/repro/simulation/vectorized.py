@@ -52,6 +52,32 @@ a prefix-decodability walk replicating :class:`CodedAggregator`'s
 custom aggregator fall back to a scalar completion scan that feeds the
 plan's own aggregator — draws and arrival times stay vectorized, so the
 fallback is still far faster than the loop engine.
+
+Trial batching
+--------------
+:func:`simulate_job_batch` adds a third axis: it simulates ``T`` independent
+Monte-Carlo *trials* of the same job in one engine entry. The plan is
+resolved once, one ``(trials x iterations x workers)`` tensor of computation
+draws is produced through :meth:`~repro.stragglers.base.DelayModel.sample_trials`,
+and the arrival recurrence + completion kernels run over the stacked
+``(trials * iterations, workers)`` row matrix — rows are independent, so the
+per-row machinery of :func:`_complete_batch` applies unchanged. The **RNG
+contract** extends the solo engine's:
+
+* ``seeds[t]`` drives trial ``t`` and only trial ``t``. When a
+  :class:`~repro.schemes.base.Scheme` (not a plan) is passed, the plan is
+  resolved from ``seeds[0]``'s generator first — exactly where a solo run at
+  ``seeds[0]`` would resolve it — and then *shared* by every trial.
+* Consequently trial ``0`` is bit-identical to
+  ``simulate_job_vectorized(scheme, ..., rng=seeds[0])`` and every trial
+  ``t`` is bit-identical to ``simulate_job_vectorized(plan, ...,
+  rng=seeds[t])`` with the shared plan passed in (plan resolution consumes
+  no randomness then). For schemes whose placement is deterministic the two
+  statements coincide: every trial matches a solo *scheme* run at its seed.
+
+Memory stays bounded: trials are processed in chunks so the stacked row
+matrices never exceed ``_BATCH_CELL_BUDGET`` cells, whatever the trial
+count.
 """
 
 from __future__ import annotations
@@ -80,7 +106,13 @@ from repro.stragglers.dynamics import UnavailableDelay, memoize_by_id
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ENGINES", "resolve_engine", "simulate_job_vectorized", "validate_engine"]
+__all__ = [
+    "ENGINES",
+    "resolve_engine",
+    "simulate_job_batch",
+    "simulate_job_vectorized",
+    "validate_engine",
+]
 
 #: Recognised engine names for the ``engine=`` knobs across the stack.
 ENGINES = ("loop", "vectorized", "auto")
@@ -94,6 +126,14 @@ _AUTO_THRESHOLD = 256
 #: 0-based arrival position that completes each iteration; the sentinel
 #: value ``n_active`` means "never completes".
 _Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+#: Trial-batched runs chunk the trial axis so the stacked
+#: ``(trials * iterations, workers)`` row matrices stay below this many
+#: cells (~128 MiB of float64 per matrix at the default): a sweep cell with
+#: thousands of trials streams through in bounded memory. Chunk boundaries
+#: fall between whole trials and rows are independent, so chunking cannot
+#: change any result.
+_BATCH_CELL_BUDGET = 1 << 24
 
 
 def validate_engine(engine: str) -> str:
@@ -162,40 +202,158 @@ def simulate_job_vectorized(
     return result
 
 
+def simulate_job_batch(
+    scheme_or_plan: Scheme | ExecutionPlan,
+    cluster: ClusterSpec,
+    num_units: int,
+    num_iterations: int,
+    seeds: Sequence[RandomState],
+    *,
+    unit_size: int = 1,
+    serialize_master_link: bool = True,
+) -> List[JobResult]:
+    """Simulate ``len(seeds)`` independent Monte-Carlo trials of one job.
+
+    The trial-batched engine entry point (see the module docstring's "Trial
+    batching" section): the plan is resolved **once** — from ``seeds[0]``'s
+    generator, exactly where a solo run at ``seeds[0]`` would resolve it —
+    and shared by every trial; each trial ``t`` then consumes its own
+    ``seeds[t]`` stream precisely like :func:`simulate_job_vectorized` with
+    the shared plan passed in, which makes every returned
+    :class:`~repro.simulation.job.JobResult` bit-identical to the
+    corresponding solo run. The arrival recurrence and completion kernels
+    run once over the stacked ``(trials * iterations, workers)`` rows (in
+    memory-bounded trial chunks), so per-trial Python and planning overhead
+    — the cost that dominates short Monte-Carlo replications — is paid once
+    per *cell* instead of once per trial.
+
+    Note the shared-plan semantics: a scheme with a *random* placement
+    (e.g. BCC) freezes one placement for all trials here, whereas a loop of
+    solo scheme runs would re-draw it per trial. Callers that need to
+    average over placements (not just over completion-time draws) should
+    keep per-trial runs; :func:`repro.api.sweep.run_sweep`'s ``"auto"``
+    trial-batching mode makes exactly that distinction.
+
+    Parameters
+    ----------
+    seeds:
+        One seed-like value (int, ``SeedSequence``, ``Generator``) per
+        trial. An empty sequence is a configuration error.
+
+    Raises
+    ------
+    SimulationError
+        If *any* trial contains an iteration that cannot complete; the whole
+        batch fails, like the failing solo run would.
+    """
+    check_positive_int(num_iterations, "num_iterations")
+    if len(seeds) == 0:
+        raise ConfigurationError("simulate_job_batch needs at least one trial seed")
+    generators = [as_generator(seed) for seed in seeds]
+    plan = _resolve_plan(
+        scheme_or_plan, num_units, cluster.num_workers, generators[0]
+    )
+    active, active_loads, message_sizes, active_sizes = _active_arrays(
+        plan, cluster, unit_size
+    )
+    dynamic = isinstance(cluster, DynamicClusterSpec)
+    if not dynamic:
+        models = cluster.delay_models()
+        active_models = [models[int(worker)] for worker in active]
+        communication = cluster.communication
+    n_active = int(active.size)
+
+    # Chunk the trial axis so the stacked row matrices stay memory-bounded;
+    # chunk boundaries fall between whole trials and every row is
+    # independent, so the chunking is invisible in the results.
+    trials_per_chunk = max(1, _BATCH_CELL_BUDGET // max(num_iterations * n_active, 1))
+    results: List[JobResult] = []
+    for start in range(0, len(generators), trials_per_chunk):
+        chunk = generators[start : start + trials_per_chunk]
+        if not dynamic and communication.is_deterministic:
+            # The 3-D fast path: one tensor through sample_trials (trial-
+            # major, so the C-order reshape keeps each trial's rows intact).
+            compute = type(active_models[0]).sample_trials(
+                active_models, active_loads, chunk, num_iterations
+            ).reshape(len(chunk) * num_iterations, n_active)
+            transfer = np.broadcast_to(
+                communication.sample_batch(active_sizes), compute.shape
+            )
+        else:
+            compute = np.empty((len(chunk) * num_iterations, n_active), dtype=float)
+            transfer = np.empty_like(compute)
+            for t, generator in enumerate(chunk):
+                rows = slice(t * num_iterations, (t + 1) * num_iterations)
+                if dynamic:
+                    compute[rows], transfer[rows] = _draw_dynamic_matrices(
+                        cluster,
+                        plan,
+                        active,
+                        active_loads,
+                        active_sizes,
+                        generator,
+                        num_iterations,
+                    )
+                else:
+                    compute[rows], transfer[rows] = _draw_stationary_matrices(
+                        active_models,
+                        active_loads,
+                        active_sizes,
+                        communication,
+                        generator,
+                        num_iterations,
+                    )
+        outcomes = _complete_batch(
+            plan, active, message_sizes, compute, transfer, serialize_master_link
+        )
+        for t in range(len(chunk)):
+            result = JobResult(scheme_name=plan.scheme_name)
+            result.iterations.extend(
+                outcomes[t * num_iterations : (t + 1) * num_iterations]
+            )
+            results.append(result)
+    return results
+
+
 # --------------------------------------------------------------------------- #
 # Engine core
 # --------------------------------------------------------------------------- #
-def _simulate_plan_batch(
-    plan: ExecutionPlan,
-    cluster: ClusterSpec,
-    rng: RandomState,
-    *,
-    num_iterations: int,
-    unit_size: int,
-    serialize_master_link: bool,
-) -> List[IterationOutcome]:
+def _active_arrays(plan: ExecutionPlan, cluster, unit_size: int):
+    """Per-plan invariants shared by every iteration (and every trial).
+
+    Returns ``(active, active_loads, message_sizes, active_sizes)`` where
+    ``active`` indexes the workers with a positive example load; raises when
+    the plan/cluster sizes disagree or no worker computes anything.
+    """
     if cluster.num_workers != plan.num_workers:
         raise SimulationError(
             f"the plan has {plan.num_workers} workers but the cluster has "
             f"{cluster.num_workers}"
         )
     check_positive_int(unit_size, "unit_size")
-    generator = as_generator(rng)
-
-    loads_units = plan.unit_assignment.loads
-    loads_examples = loads_units * unit_size
+    loads_examples = plan.unit_assignment.loads * unit_size
     active = np.flatnonzero(loads_examples > 0)
-    n_active = int(active.size)
-    if n_active == 0:
+    if active.size == 0:
         raise _infeasible(plan)
-    models = cluster.delay_models()
-    active_models = [models[int(worker)] for worker in active]
-    active_loads = loads_examples[active]
     message_sizes = np.asarray(plan.message_sizes, dtype=float)
-    active_sizes = message_sizes[active]
-    communication = cluster.communication
+    return active, loads_examples[active], message_sizes, message_sizes[active]
 
-    # 1. Computation and transfer times, (num_iterations, n_active) each.
+
+def _draw_stationary_matrices(
+    active_models: List[DelayModel],
+    active_loads: np.ndarray,
+    active_sizes: np.ndarray,
+    communication,
+    generator: np.random.Generator,
+    num_iterations: int,
+) -> tuple:
+    """One trial's ``(num_iterations, n_active)`` compute/transfer matrices.
+
+    The single shared implementation of the stationary draw schedule (see
+    the module docstring): one batched grid draw under a deterministic
+    communication model, the per-iteration compute/transfer interleave under
+    a stochastic one.
+    """
     if communication.is_deterministic:
         compute = _draw_compute_grid(
             active_models, active_loads, generator, num_iterations
@@ -206,6 +364,7 @@ def _simulate_plan_batch(
     else:
         # Stochastic transfers interleave with compute draws iteration by
         # iteration; reproduce the loop's schedule (see module docstring).
+        n_active = int(active_loads.size)
         compute = np.empty((num_iterations, n_active), dtype=float)
         transfer = np.empty((num_iterations, n_active), dtype=float)
         for i in range(num_iterations):
@@ -215,22 +374,19 @@ def _simulate_plan_batch(
             transfer[i, order] = communication.sample_batch(
                 active_sizes[order], generator
             )
-
-    return _complete_batch(
-        plan, active, message_sizes, compute, transfer, serialize_master_link
-    )
+    return compute, transfer
 
 
-def _simulate_dynamic_batch(
-    plan: ExecutionPlan,
+def _draw_dynamic_matrices(
     cluster: DynamicClusterSpec,
-    rng: RandomState,
-    *,
+    plan: ExecutionPlan,
+    active: np.ndarray,
+    active_loads: np.ndarray,
+    active_sizes: np.ndarray,
+    generator: np.random.Generator,
     num_iterations: int,
-    unit_size: int,
-    serialize_master_link: bool,
-) -> List[IterationOutcome]:
-    """Batch-simulate a job on a :class:`DynamicClusterSpec`.
+) -> tuple:
+    """One trial's compute/transfer matrices on a dynamic cluster.
 
     The draw schedule mirrors the loop engine's exactly: the timeline is
     materialised first (one draw when the spec derives its dynamics seed
@@ -238,29 +394,10 @@ def _simulate_dynamic_batch(
     *available* workers in worker order — vacant slots consume nothing —
     followed, for stochastic communication models, by that iteration's
     transfer draws in completion order over the workers that finished.
-    Everything downstream of the draws (arrival recurrence, completion
-    kernels, metric assembly) is the same batched code the stationary path
-    runs, so the bit-identity guarantee carries over.
     """
-    if cluster.num_workers != plan.num_workers:
-        raise SimulationError(
-            f"the plan has {plan.num_workers} workers but the cluster has "
-            f"{cluster.num_workers}"
-        )
-    check_positive_int(unit_size, "unit_size")
-    generator = as_generator(rng)
     timeline = cluster.materialize(num_iterations, generator)
-
-    loads_units = plan.unit_assignment.loads
-    loads_examples = loads_units * unit_size
-    active = np.flatnonzero(loads_examples > 0)
-    n_active = int(active.size)
-    if n_active == 0:
-        raise _infeasible(plan)
-    active_loads = loads_examples[active]
-    message_sizes = np.asarray(plan.message_sizes, dtype=float)
-    active_sizes = message_sizes[active]
     communication = cluster.communication
+    n_active = int(active.size)
 
     if n_active == plan.num_workers:
         model_rows = timeline.models  # every worker active: no reshaping
@@ -292,6 +429,60 @@ def _simulate_dynamic_batch(
                 transfer[i, finished] = communication.sample_batch(
                     active_sizes[finished], generator
                 )
+    return compute, transfer
+
+
+def _simulate_plan_batch(
+    plan: ExecutionPlan,
+    cluster: ClusterSpec,
+    rng: RandomState,
+    *,
+    num_iterations: int,
+    unit_size: int,
+    serialize_master_link: bool,
+) -> List[IterationOutcome]:
+    generator = as_generator(rng)
+    active, active_loads, message_sizes, active_sizes = _active_arrays(
+        plan, cluster, unit_size
+    )
+    models = cluster.delay_models()
+    active_models = [models[int(worker)] for worker in active]
+    compute, transfer = _draw_stationary_matrices(
+        active_models,
+        active_loads,
+        active_sizes,
+        cluster.communication,
+        generator,
+        num_iterations,
+    )
+    return _complete_batch(
+        plan, active, message_sizes, compute, transfer, serialize_master_link
+    )
+
+
+def _simulate_dynamic_batch(
+    plan: ExecutionPlan,
+    cluster: DynamicClusterSpec,
+    rng: RandomState,
+    *,
+    num_iterations: int,
+    unit_size: int,
+    serialize_master_link: bool,
+) -> List[IterationOutcome]:
+    """Batch-simulate a job on a :class:`DynamicClusterSpec`.
+
+    Everything downstream of the draws (arrival recurrence, completion
+    kernels, metric assembly) is the same batched code the stationary path
+    runs, so the bit-identity guarantee carries over; see
+    :func:`_draw_dynamic_matrices` for the draw schedule.
+    """
+    generator = as_generator(rng)
+    active, active_loads, message_sizes, active_sizes = _active_arrays(
+        plan, cluster, unit_size
+    )
+    compute, transfer = _draw_dynamic_matrices(
+        cluster, plan, active, active_loads, active_sizes, generator, num_iterations
+    )
     return _complete_batch(
         plan, active, message_sizes, compute, transfer, serialize_master_link
     )

@@ -27,6 +27,20 @@ completion times at once through two batched paths:
   single vectorized call only when every model in the group uses their
   unmodified scalar sampler (numpy's broadcast sampling fills C-order,
   element-sequentially, which preserves the stream).
+* :meth:`DelayModel.sample_trials` — a
+  ``(num_trials, num_draws, num_workers)`` tensor of draws for the
+  trial-batched engine (:func:`~repro.simulation.vectorized.simulate_job_batch`).
+  Every Monte-Carlo trial owns an *independent* generator (a spawned
+  :class:`numpy.random.SeedSequence` child in the sweep engine), so the
+  trial axis cannot be collapsed into one numpy call; the **stream
+  contract** is per slice instead: slice ``t`` must consume ``rngs[t]``
+  exactly like ``sample_grid(models, loads, rngs[t], num_draws)`` would.
+  That is what makes each trial of a batched job bit-identical to a solo
+  run at the same seed. The base implementation stacks per-trial
+  :meth:`sample_grid` calls (each already vectorized by the models' most
+  specific override); subclasses override it to hoist the per-model
+  parameter extraction out of the trial loop — or, for draw-free models,
+  to fill the whole tensor in one call.
 """
 
 from __future__ import annotations
@@ -109,6 +123,30 @@ class DelayModel(abc.ABC):
         for i in range(int(num_draws)):
             for j, (model, load) in enumerate(zip(models, loads)):
                 out[i, j] = model.sample(int(load), rng=generator)
+        return out
+
+    @classmethod
+    def sample_trials(
+        cls,
+        models: Sequence["DelayModel"],
+        loads: Sequence[int],
+        rngs: Sequence[RandomState],
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        """Draw a ``(len(rngs), num_draws, len(models))`` tensor of completion
+        times — one independent ``(num_draws, num_workers)`` grid per trial.
+
+        ``rngs[t]`` drives trial ``t``'s slice and **only** that slice; the
+        stream contract is that slice ``t`` equals (and consumes ``rngs[t]``
+        exactly like) ``sample_grid(models, loads, rngs[t], num_draws)``.
+        Trials own independent generators, so the base implementation is the
+        per-trial loop below — already one vectorized grid call per trial;
+        subclasses hoist the parameter extraction (or, when no randomness is
+        consumed at all, fill the tensor in a single call).
+        """
+        out = np.empty((len(rngs), int(num_draws), len(models)), dtype=float)
+        for t, rng in enumerate(rngs):
+            out[t] = cls.sample_grid(models, loads, rng, num_draws)
         return out
 
     @classmethod

@@ -31,6 +31,19 @@ consumption depends only on ``num_iterations``, never on the realised states.
 keep timelines reproducible and identical across the loop and vectorized
 engines.
 
+The trial-batched engine
+(:func:`~repro.simulation.vectorized.simulate_job_batch`) extends the same
+contract along the trial axis: every Monte-Carlo trial materialises its own
+timeline from its own per-trial generator (consuming at most the one
+scenario-seed draw a solo run would), so each trial's dynamics realisation
+is bit-identical to the corresponding solo run. A spec whose dynamics seed
+is *pinned* draws nothing from any trial's stream and therefore replays the
+same scripted scenario in every trial — by design: pinned scenarios are
+scripts, not samples. :class:`UnavailableDelay` consumes no randomness on
+any path (scalar, grid, timeline, or trial tensor), which is what lets
+vacant slots appear and disappear between trials without shifting a single
+draw.
+
 Scaling a delay model
 ---------------------
 :func:`scale_delay` multiplies a model's completion times by a constant

@@ -88,6 +88,30 @@ class ShiftedExponentialDelay(DelayModel):
         return shifts * loads_row + tail
 
     @classmethod
+    def sample_trials(
+        cls,
+        models: Sequence[DelayModel],
+        loads: Sequence[int],
+        rngs: Sequence[RandomState],
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        params = cls._grid_parameters(models, ("straggling", "shift"))
+        if params is None:
+            return super().sample_trials(models, loads, rngs, num_draws)
+        stragglings, shifts = params
+        loads_row = cls._check_grid_loads(models, loads)
+        scale = loads_row / stragglings
+        base = shifts * loads_row
+        # The (mu, a) extraction above is hoisted out of the trial loop; the
+        # draws themselves stay per trial because every trial consumes its
+        # own independent generator (the sample_trials stream contract).
+        shape = (int(num_draws), len(models))
+        out = np.empty((len(rngs), *shape), dtype=float)
+        for t, rng in enumerate(rngs):
+            out[t] = base + cls._rng(rng).exponential(scale=scale, size=shape)
+        return out
+
+    @classmethod
     def sample_timeline(
         cls,
         model_rows: Sequence[Sequence[DelayModel]],
@@ -192,6 +216,24 @@ class DeterministicDelay(DelayModel):
         loads_row = cls._check_grid_loads(models, loads)
         # Deterministic: no randomness is consumed, matching the scalar path.
         return np.tile(rates * loads_row, (int(num_draws), 1))
+
+    @classmethod
+    def sample_trials(
+        cls,
+        models: Sequence[DelayModel],
+        loads: Sequence[int],
+        rngs: Sequence[RandomState],
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        params = cls._grid_parameters(models, ("seconds_per_example",))
+        if params is None:
+            return super().sample_trials(models, loads, rngs, num_draws)
+        (rates,) = params
+        loads_row = cls._check_grid_loads(models, loads)
+        # No randomness at all: the whole (trials, draws, workers) tensor is
+        # one broadcast — the only model family where the trial axis truly
+        # collapses into a single call without touching any generator.
+        return np.tile(rates * loads_row, (len(rngs), int(num_draws), 1))
 
     def cdf(self, load: int, t: Number) -> Number:
         load = self._check_load(load)

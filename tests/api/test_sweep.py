@@ -194,6 +194,218 @@ class TestSweepValidation:
             run_sweep(Sweep(base), max_workers=2, executor="gpu")
 
 
+class TestTrialBatchingModes:
+    """The run_sweep cell fast path and its identity guarantees."""
+
+    def _vector_sweep(self, base, schemes, trials=4):
+        from repro.api import TimingSimBackend
+
+        return Sweep(
+            base,
+            parameters={"scheme": schemes},
+            trials=trials,
+            backend=TimingSimBackend(engine="vectorized"),
+        )
+
+    def test_auto_is_identical_to_never(self, base):
+        """Auto batches only where provably bit-identical — including the
+        fallback for random placements (bcc re-draws per trial)."""
+        sweep = self._vector_sweep(
+            base,
+            [
+                {"name": "bcc", "load": 4},
+                {"name": "uncoded"},
+                {"name": "cyclic-repetition", "load": 2},
+            ],
+        )
+        auto = run_sweep(sweep, trial_batching="auto")
+        never = run_sweep(sweep, trial_batching="never")
+        assert len(auto.records) == len(never.records)
+        for a, b in zip(auto.records, never.records):
+            assert (a.cell, a.trial) == (b.cell, b.trial)
+            assert a.result.summary() == b.result.summary()
+
+    def test_always_matches_solo_runs_with_the_shared_plan(self, base):
+        from repro.api import TimingSimBackend
+        from repro.simulation.vectorized import simulate_job_vectorized
+        from repro.utils.rng import random_seed_sequence
+
+        import numpy as np
+
+        trials = 3
+        sweep = Sweep(
+            base,
+            trials=trials,
+            backend=TimingSimBackend(engine="vectorized"),
+        )
+        result = run_sweep(sweep, trial_batching="always")
+        children = random_seed_sequence(base.seed).spawn(trials)
+        generator = np.random.default_rng(children[0])
+        plan = base.resolve_scheme().build_feasible_plan(
+            base.num_units, base.cluster.num_workers, generator
+        )
+        for trial in range(trials):
+            rng = generator if trial == 0 else np.random.default_rng(children[trial])
+            solo = simulate_job_vectorized(
+                plan,
+                base.cluster,
+                base.num_units,
+                base.num_iterations,
+                rng,
+                serialize_master_link=base.serialize_master_link,
+            )
+            summary = dict(result.records[trial].result.summary())
+            assert summary.pop("backend") == "timing"
+            assert summary == solo.summary()
+
+    def test_parallel_batched_matches_serial(self, base):
+        sweep = self._vector_sweep(
+            base, [{"name": "uncoded"}, {"name": "bcc", "load": 4}]
+        )
+        serial = run_sweep(sweep, trial_batching="always")
+        pooled = run_sweep(
+            sweep, max_workers=2, executor="process", trial_batching="always"
+        )
+        assert serial.to_table().render() == pooled.to_table().render()
+
+    def test_unknown_mode_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="trial_batching"):
+            run_sweep(Sweep(base), trial_batching="sometimes")
+
+    def test_loop_engine_keeps_per_trial_tasks(self, base):
+        """Trial batching silently stands down for the loop engine."""
+        from repro.api import TimingSimBackend
+
+        sweep = Sweep(
+            base,
+            trials=2,
+            backend=TimingSimBackend(engine="loop"),
+        )
+        batched = run_sweep(sweep, trial_batching="always")
+        plain = run_sweep(sweep, trial_batching="never")
+        for a, b in zip(batched.records, plain.records):
+            assert a.result.summary() == b.result.summary()
+
+
+class TestRecordModes:
+    def test_summary_record_preserves_tables_and_aggregates(self, base):
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]}, trials=2)
+        full = run_sweep(sweep, record="full")
+        summary = run_sweep(sweep, record="summary")
+        assert full.to_table().render() == summary.to_table().render()
+        assert full.aggregate() == summary.aggregate()
+        for a, b in zip(full.records, summary.records):
+            assert a.result.summary() == b.result.summary()
+            assert len(a.result.iterations) == a.result.num_iterations
+            assert len(b.result.iterations) == 0
+            assert b.result.num_iterations == a.result.num_iterations
+            assert b.result.total_time == a.result.total_time
+
+    def test_summary_record_shrinks_pickles(self, base):
+        import pickle
+
+        sweep = Sweep(base.replace(num_iterations=200), trials=1)
+        full = run_sweep(sweep, record="full")
+        compact = run_sweep(sweep, record="summary")
+        assert len(pickle.dumps(compact.records[0].result)) < len(
+            pickle.dumps(full.records[0].result)
+        ) / 10
+
+    def test_summary_record_through_a_process_pool(self, base):
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]}, trials=2)
+        serial = run_sweep(sweep)
+        pooled = run_sweep(
+            sweep, max_workers=2, executor="process", record="summary"
+        )
+        assert serial.to_table().render() == pooled.to_table().render()
+
+    def test_unknown_record_mode_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="record"):
+            run_sweep(Sweep(base), record="everything")
+
+
+class TestPlanHoisting:
+    def test_hoisting_preserves_shared_strategy_stream(self, base):
+        """Draw-free planning is hoisted per cell; random planning is not —
+        either way the shared-generator stream must not move."""
+        for scheme in ({"name": "cyclic-repetition", "load": 2}, {"name": "bcc", "load": 4}):
+            sweep = Sweep(
+                base.replace(scheme=scheme),
+                trials=3,
+                seed_strategy="shared",
+            )
+            hoisted = run_sweep(sweep)
+            # The reference: per-trial execution with hoisting forced off.
+            from repro.api import sweep as sweep_module
+
+            original = sweep_module._hoist_cell_plan
+            try:
+                sweep_module._hoist_cell_plan = lambda backend, spec, trials: spec
+                reference = run_sweep(sweep)
+            finally:
+                sweep_module._hoist_cell_plan = original
+            for a, b in zip(hoisted.records, reference.records):
+                assert a.result.summary() == b.result.summary()
+
+    def test_probe_detects_random_planning(self, base):
+        from repro.api.sweep import _probe_rng_free_plan
+
+        assert _probe_rng_free_plan(base) is None  # bcc draws its placement
+        # Cyclic repetition draws its code coefficients during planning, so
+        # it must also be detected as random — unlike its deterministic
+        # Reed-Solomon sibling.
+        random_code = base.replace(scheme={"name": "cyclic-repetition", "load": 2})
+        assert _probe_rng_free_plan(random_code) is None
+        deterministic = base.replace(scheme={"name": "reed-solomon", "load": 2})
+        plan = _probe_rng_free_plan(deterministic)
+        assert plan is not None
+        assert plan.scheme_name == "reed-solomon"
+
+
+class TestAggregationCache:
+    def test_repeated_aggregation_is_cached(self, base):
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]}, trials=2)
+        result = run_sweep(sweep)
+        first = result.aggregate()
+        assert result._aggregate_cache is not None
+        cached_rows = result._aggregate_cache[1]
+        assert result.aggregate() == first
+        assert result._aggregate_cache[1] is cached_rows  # served from cache
+
+    def test_any_mutation_invalidates_the_cache(self, base):
+        result = run_sweep(Sweep(base, trials=2))
+        before = result.aggregate()
+        # Same-length replacement — the case a len()-keyed cache would miss.
+        replacement = run_sweep(Sweep(base.replace(seed=123), trials=2)).records[0]
+        result.records[0] = replacement
+        after = result.aggregate()
+        assert after != before
+
+    def test_in_place_result_mutation_invalidates_the_cache(self, base):
+        """Editing a result's iteration log (not the records list) recomputes."""
+        result = run_sweep(Sweep(base, trials=1))
+        before = result.aggregate()
+        assert before[0]["iterations"] == base.num_iterations
+        result.records[0].result.iterations.pop()
+        after = result.aggregate()
+        assert after[0]["iterations"] == base.num_iterations - 1
+
+    def test_returned_rows_are_copies(self, base):
+        result = run_sweep(Sweep(base, trials=2))
+        rows = result.aggregate()
+        rows[0]["total_time"] = -1.0
+        assert result.aggregate()[0]["total_time"] != -1.0
+
+    def test_cache_is_dropped_on_pickle(self, base):
+        import pickle
+
+        result = run_sweep(Sweep(base, trials=2))
+        result.aggregate()
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone._aggregate_cache is None
+        assert clone.aggregate() == result.aggregate()
+
+
 class TestEngineThreading:
     """The timing-engine knob flows through the sweep layer unchanged."""
 

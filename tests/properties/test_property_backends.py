@@ -9,7 +9,11 @@ the repository's strongest correctness oracle on every draw:
   clusters alike;
 * the closed-form analytic backend agrees with the vectorized engine —
   exactly on deterministic clusters, within a Monte-Carlo tolerance on
-  shift-exponential ones.
+  shift-exponential ones;
+* the trial-batched engine (:func:`simulate_job_batch`) returns, for every
+  trial, exactly the result a solo vectorized run produces at that trial's
+  spawned seed with the shared plan — the sweep fast path's correctness
+  oracle, on stationary and dynamic clusters alike.
 
 The CI job runs this suite under the ``ci`` Hypothesis profile (registered in
 ``tests/conftest.py``) with derandomized, reproducible example generation.
@@ -222,6 +226,81 @@ class TestLoopVectorizedBitIdentity:
         if loop_status == "completed":
             assert loop.summary() == vectorized.summary()
             assert list(loop.iterations) == list(vectorized.iterations)
+
+
+class TestTrialBatchedBitIdentity:
+    """simulate_job_batch slices == solo runs, over random valid JobSpecs."""
+
+    @staticmethod
+    def _assert_batch_matches_solo(spec: JobSpec, num_trials: int) -> None:
+        from repro.simulation.vectorized import (
+            simulate_job_batch,
+            simulate_job_vectorized,
+        )
+        from repro.utils.rng import random_seed_sequence
+
+        seeds = random_seed_sequence(spec.seed).spawn(num_trials)
+        scheme = spec.resolve_scheme()
+        try:
+            batch = simulate_job_batch(
+                scheme,
+                spec.cluster,
+                spec.resolved_num_units,
+                spec.num_iterations,
+                seeds,
+                unit_size=spec.resolved_unit_size,
+                serialize_master_link=spec.serialize_master_link,
+            )
+        except SimulationError:
+            batch = None
+        # Re-derive the shared plan exactly as the batch does (from
+        # seeds[0]); trial 0 continues that generator, later trials start
+        # fresh at their own child.
+        generator = np.random.default_rng(seeds[0])
+        plan = scheme.build_feasible_plan(
+            spec.resolved_num_units, spec.cluster.num_workers, generator
+        )
+        solos = []
+        failed = False
+        for trial in range(num_trials):
+            rng = generator if trial == 0 else np.random.default_rng(seeds[trial])
+            try:
+                solos.append(
+                    simulate_job_vectorized(
+                        plan,
+                        spec.cluster,
+                        spec.resolved_num_units,
+                        spec.num_iterations,
+                        rng,
+                        unit_size=spec.resolved_unit_size,
+                        serialize_master_link=spec.serialize_master_link,
+                    )
+                )
+            except SimulationError:
+                failed = True
+                break
+        if batch is None:
+            # The batch fails as one unit: some trial must fail solo too.
+            assert failed
+            return
+        assert not failed
+        for trial, solo in enumerate(solos):
+            assert list(batch[trial].iterations) == list(solo.iterations)
+            assert batch[trial].summary() == solo.summary()
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_stationary_trials_match_solo_runs(self, data):
+        spec = draw_spec(data.draw, dynamic=False)
+        num_trials = data.draw(st.integers(2, 4), label="trials")
+        self._assert_batch_matches_solo(spec, num_trials)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_dynamic_trials_match_solo_runs(self, data):
+        spec = draw_spec(data.draw, dynamic=True)
+        num_trials = data.draw(st.integers(2, 3), label="trials")
+        self._assert_batch_matches_solo(spec, num_trials)
 
 
 class TestAnalyticAgreesWithSimulation:
