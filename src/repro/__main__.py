@@ -1,0 +1,17 @@
+"""``python -m repro`` — the package's front-door command.
+
+Delegates to the experiments CLI, which hosts every sub-command::
+
+    python -m repro lint src/repro --format json
+    python -m repro fig2
+    python -m repro sweep --scheme bcc --loads 5,10,25
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

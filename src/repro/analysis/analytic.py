@@ -42,7 +42,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.coupon import harmonic_number
-from repro.exceptions import AnalyticIntractableError
+from repro.exceptions import AnalyticIntractableError, ConfigurationError
 from repro.stragglers.base import DelayModel
 from repro.stragglers.communication import (
     CommunicationModel,
@@ -235,7 +235,7 @@ def transfer_parameters(
 def normal_quantile(q: float) -> float:
     """Inverse standard-normal CDF (Acklam's rational approximation, ~1e-9)."""
     if not 0.0 < q < 1.0:
-        raise ValueError(f"quantile level must lie in (0, 1), got {q}")
+        raise ConfigurationError(f"quantile level must lie in (0, 1), got {q}")
     # Coefficients of Peter Acklam's approximation.
     a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
          1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)

@@ -15,6 +15,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_nonnegative, check_positive_int
 
@@ -31,7 +32,7 @@ __all__ = [
 def harmonic_number(n: int) -> float:
     """The ``n``-th harmonic number ``H_n = sum_{k=1..n} 1/k`` (``H_0 = 0``)."""
     if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
+        raise ConfigurationError(f"n must be non-negative, got {n}")
     if n == 0:
         return 0.0
     return float(np.sum(1.0 / np.arange(1, n + 1)))
@@ -80,7 +81,7 @@ def coverage_probability_after_draws(num_types: int, num_draws: int) -> float:
     """
     n = check_positive_int(num_types, "num_types")
     if num_draws < 0:
-        raise ValueError(f"num_draws must be non-negative, got {num_draws}")
+        raise ConfigurationError(f"num_draws must be non-negative, got {num_draws}")
     if num_draws < n:
         return 0.0
     # Inclusion-exclusion: P = sum_k (-1)^k C(N, k) ((N - k)/N)^D. The

@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.analysis.coupon import harmonic_number
 from repro.stragglers.base import DelayModel
 from repro.stragglers.models import ShiftedExponentialDelay
@@ -43,9 +44,9 @@ def expected_kth_exponential_order_statistic(
     n = check_positive_int(num_samples, "num_samples")
     k = check_positive_int(k, "k")
     if k > n:
-        raise ValueError(f"k must be at most num_samples ({n}), got {k}")
+        raise ConfigurationError(f"k must be at most num_samples ({n}), got {k}")
     if rate <= 0:
-        raise ValueError(f"rate must be positive, got {rate}")
+        raise ConfigurationError(f"rate must be positive, got {rate}")
     return (harmonic_number(n) - harmonic_number(n - k)) / rate
 
 
@@ -90,7 +91,7 @@ def monte_carlo_kth_completion(
     n = check_positive_int(num_workers, "num_workers")
     k = check_positive_int(k, "k")
     if k > n:
-        raise ValueError(f"k must be at most num_workers ({n}), got {k}")
+        raise ConfigurationError(f"k must be at most num_workers ({n}), got {k}")
     check_positive_int(num_trials, "num_trials")
     generator = as_generator(rng)
     times = model.sample(load, rng=generator, size=(num_trials, n))

@@ -111,6 +111,7 @@ class TimingSimBackend:
         return options
 
     def run(self, spec: JobSpec) -> RunResult:
+        """Simulate ``spec`` and return its timing-only :class:`RunResult`."""
         options = self._checked_options(spec)
         engine = options.pop("engine", self.engine)
         job = simulate_job(
@@ -205,6 +206,7 @@ class SemanticSimBackend:
     name = "semantic"
 
     def run(self, spec: JobSpec) -> RunResult:
+        """Run ``spec`` with real gradients under simulated timing."""
         workload = spec.require_workload()
         job = simulate_training_run(
             spec.resolve_scheme(),
@@ -243,6 +245,7 @@ class MultiprocessBackend:
     )
 
     def run(self, spec: JobSpec) -> RunResult:
+        """Execute ``spec`` on real worker processes and report wall times."""
         workload = spec.require_workload()
         options = dict(spec.backend_options)
         unknown = sorted(set(options) - self._OPTIONS)
@@ -328,10 +331,11 @@ class AnalyticBackend:
 
     _OPTIONS = frozenset({"quantiles"})
 
-    def __init__(self, quantiles=DEFAULT_QUANTILES) -> None:
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
         self.quantiles = tuple(float(q) for q in quantiles)
 
     def run(self, spec: JobSpec) -> RunResult:
+        """Evaluate ``spec``'s closed-form expected runtime as a result."""
         options = dict(spec.backend_options)
         unknown = sorted(set(options) - self._OPTIONS)
         if unknown:

@@ -58,11 +58,12 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.backends import (
+    Backend,
     BackendLike,
     SemanticSimBackend,
     TimingSimBackend,
@@ -226,7 +227,7 @@ class SweepResult:
         return state
 
     # ------------------------------------------------------------------ #
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SweepRecord]:
         return iter(self.records)
 
     def __len__(self) -> int:
@@ -271,7 +272,7 @@ class SweepResult:
             getattr(record.result.iterations, "version", -1)
             for record in self.records
         )
-        cache_key = (version, len(self.records), result_versions, metrics_key)
+        cache_key = (version, result_versions, metrics_key)
         cached = self._aggregate_cache
         if version is not None and cached is not None and cached[0] == cache_key:
             return [dict(row) for row in cached[1]]
@@ -382,6 +383,7 @@ def _probe_rng_free_plan(spec: JobSpec) -> Optional[ExecutionPlan]:
         return None
     try:
         scheme = spec.resolve_scheme()
+        # reprolint: allow[RNG001] reason=state-probe generator; draws are discarded and the unchanged-state check is the whole point
         probe = np.random.default_rng(0)
         state = probe.bit_generator.state
         plan = scheme.build_feasible_plan(
@@ -394,7 +396,7 @@ def _probe_rng_free_plan(spec: JobSpec) -> Optional[ExecutionPlan]:
         return None
 
 
-def _hoist_cell_plan(backend, spec: JobSpec, trials: int) -> JobSpec:
+def _hoist_cell_plan(backend: Backend, spec: JobSpec, trials: int) -> JobSpec:
     """Per-cell plan hoisting: re-plan once per cell when provably safe.
 
     Only the simulation backends understand a plan-carrying spec, and
@@ -558,7 +560,7 @@ def run_sweep(
     )
 
 
-def _batch_cell(backend, spec: JobSpec, trials: int, trial_batching: str) -> bool:
+def _batch_cell(backend: Backend, spec: JobSpec, trials: int, trial_batching: str) -> bool:
     """Whether one cell should run as a single trial-batched task.
 
     ``"never"`` and single-trial cells keep per-trial tasks; otherwise the

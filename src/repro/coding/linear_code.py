@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.coding.assignment import DataAssignment
-from repro.exceptions import DecodingError
+from repro.exceptions import ConfigurationError, DecodingError
 from repro.utils.validation import check_array_2d
 
 __all__ = ["LinearGradientCode"]
@@ -54,7 +54,7 @@ class LinearGradientCode:
         self.name = name
         self.decoding_tolerance = float(decoding_tolerance)
         if self.decoding_tolerance <= 0:
-            raise ValueError("decoding_tolerance must be positive")
+            raise ConfigurationError("decoding_tolerance must be positive")
 
     # ------------------------------------------------------------------ #
     @property

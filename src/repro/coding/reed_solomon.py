@@ -70,6 +70,7 @@ class ReedSolomonStyleCode(LinearGradientCode):
         for attempt in range(cls._MAX_ATTEMPTS):
             # A seed fixed by (n, s, attempt) makes the construction a pure
             # function of the code parameters.
+            # reprolint: allow[RNG001] reason=seed is a pure function of the code parameters; the construction is deterministic
             rng = np.random.default_rng(np.random.SeedSequence(entropy=(n, s, attempt)))
             auxiliary = rng.standard_normal((s, n))
             auxiliary[:, -1] = -auxiliary[:, :-1].sum(axis=1)

@@ -1,0 +1,218 @@
+"""Per-module and whole-project context handed to every lint rule.
+
+Rules see two things:
+
+* a :class:`ModuleContext` — one file's AST, source, dotted module name, and
+  pragma index; and
+* a :class:`ProjectModel` — a lightweight cross-file class-hierarchy index,
+  so rules like ``RNG002`` (batch-path parity) and ``SCHEME001`` (analytic
+  obligation) can resolve inheritance across modules without importing any
+  project code. Resolution is purely syntactic — classes are matched by
+  name — which is exactly right for a linter: it never executes the tree it
+  judges, so it can lint broken or half-written code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.devtools.pragmas import PragmaIndex, parse_pragmas
+
+__all__ = ["ModuleContext", "ClassInfo", "ProjectModel", "module_name_for_path"]
+
+
+def module_name_for_path(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Uses the right-most ``repro`` directory component as the package root
+    (``.../src/repro/api/sweep.py`` → ``repro.api.sweep``); files outside a
+    ``repro`` tree — lint fixtures, scripts — fall back to their stem. Rules
+    scope themselves by these names (e.g. ``DOC001`` only applies under
+    ``repro.api``), so fixture tests can opt into a scope by creating the
+    matching directory shape.
+    """
+    parts = list(path.parts)
+    name = path.stem
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            dotted = parts[index:-1] + ([] if name == "__init__" else [name])
+            return ".".join(dotted)
+    return name
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    module: str
+    source: str
+    tree: Optional[ast.Module]
+    pragmas: PragmaIndex
+    parse_error: Optional[SyntaxError] = None
+
+    @classmethod
+    def from_path(cls, path: Path) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(source, path)
+
+    @classmethod
+    def from_source(cls, source: str, path: Path) -> "ModuleContext":
+        tree: Optional[ast.Module] = None
+        error: Optional[SyntaxError] = None
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            error = exc
+        return cls(
+            path=path,
+            module=module_name_for_path(path),
+            source=source,
+            tree=tree,
+            pragmas=parse_pragmas(source),
+            parse_error=error,
+        )
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether this module lives in (or under) any of ``packages``."""
+        return any(
+            self.module == package or self.module.startswith(package + ".")
+            for package in packages
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, as seen syntactically."""
+
+    name: str
+    module: str
+    path: Path
+    lineno: int
+    bases: List[str]
+    methods: Set[str]
+    decorators: List[str]
+    node: ast.ClassDef = field(repr=False)
+
+
+def _attribute_tail(expression: ast.expr) -> str:
+    """``a.b.c`` → ``c``; bare names pass through; anything else → ``""``."""
+    if isinstance(expression, ast.Attribute):
+        return expression.attr
+    if isinstance(expression, ast.Name):
+        return expression.id
+    return ""
+
+
+def _class_methods(node: ast.ClassDef) -> Set[str]:
+    """Names bound in the class body: defs plus simple aliases.
+
+    Aliases matter because idioms like ``__rmul__ = __mul__`` define a
+    method without a ``def``.
+    """
+    methods: Set[str] = set()
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods.add(statement.name)
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    methods.add(target.id)
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name):
+                methods.add(statement.target.id)
+    return methods
+
+
+class ProjectModel:
+    """A name-keyed class-hierarchy index across every linted module."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, List[ClassInfo]] = {}
+
+    @classmethod
+    def from_modules(cls, modules: Iterable[ModuleContext]) -> "ProjectModel":
+        model = cls()
+        for context in modules:
+            if context.tree is None:
+                continue
+            for node in ast.walk(context.tree):
+                if isinstance(node, ast.ClassDef):
+                    model._add(
+                        ClassInfo(
+                            name=node.name,
+                            module=context.module,
+                            path=context.path,
+                            lineno=node.lineno,
+                            bases=[_attribute_tail(base) for base in node.bases],
+                            methods=_class_methods(node),
+                            decorators=[
+                                _attribute_tail(
+                                    dec.func if isinstance(dec, ast.Call) else dec
+                                )
+                                for dec in node.decorator_list
+                            ],
+                            node=node,
+                        )
+                    )
+        return model
+
+    def _add(self, info: ClassInfo) -> None:
+        self._classes.setdefault(info.name, []).append(info)
+
+    def lookup(self, name: str, *, near: Optional[str] = None) -> Optional[ClassInfo]:
+        """The class named ``name``, preferring a definition in ``near``'s module."""
+        candidates = self._classes.get(name)
+        if not candidates:
+            return None
+        if near is not None:
+            for candidate in candidates:
+                if candidate.module == near:
+                    return candidate
+        return candidates[0]
+
+    def ancestry(self, info: ClassInfo) -> Iterator[ClassInfo]:
+        """``info`` followed by every resolvable ancestor, breadth-first."""
+        seen: Set[str] = set()
+        queue: List[ClassInfo] = [info]
+        while queue:
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            yield current
+            for base in current.bases:
+                parent = self.lookup(base, near=current.module)
+                if parent is not None:
+                    queue.append(parent)
+
+    def is_subclass_of(self, info: ClassInfo, roots: Sequence[str]) -> bool:
+        """Whether ``info`` descends (syntactically) from any name in ``roots``.
+
+        A direct base name matching a root counts even when the root class is
+        outside the linted file set.
+        """
+        for ancestor in self.ancestry(info):
+            if ancestor.name in roots and ancestor is not info:
+                return True
+            if any(base in roots for base in ancestor.bases):
+                return True
+        return False
+
+    def defines_in_ancestry(
+        self, info: ClassInfo, method: str, *, stop_at: Sequence[str] = ()
+    ) -> bool:
+        """Whether ``method`` is defined by ``info`` or an ancestor.
+
+        Ancestors named in ``stop_at`` (typically the abstract root that
+        declares the contract) do not count as providers.
+        """
+        for ancestor in self.ancestry(info):
+            if ancestor.name in stop_at:
+                continue
+            if method in ancestor.methods:
+                return True
+        return False

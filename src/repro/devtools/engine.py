@@ -1,0 +1,153 @@
+"""The lint engine: file discovery, rule execution, pragma accounting.
+
+Two passes. The first parses every file into a
+:class:`~repro.devtools.context.ModuleContext` and builds the cross-file
+:class:`~repro.devtools.context.ProjectModel`; the second runs every rule
+over every module, filters pragma-suppressed findings (marking each pragma
+used), and finally emits the meta findings that keep the pragma system
+honest:
+
+* ``LINT000`` — a file failed to parse (nothing else can be checked in it);
+* ``LINT001`` — a pragma names a rule the engine does not know;
+* ``LINT002`` — a pragma carries no ``reason=``;
+* ``LINT003`` — a pragma suppressed nothing and is stale.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Type, Union
+
+from repro.devtools.context import ModuleContext, ProjectModel
+from repro.devtools.findings import Finding, Severity, sort_findings
+from repro.devtools.rules import Rule, get_rule, rule_catalogue
+from repro.exceptions import ConfigurationError
+
+__all__ = ["iter_python_files", "lint_modules", "lint_paths", "lint_source"]
+
+_SKIP_DIRECTORIES = {"__pycache__", ".git", ".hypothesis", "_build"}
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            found.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not (_SKIP_DIRECTORIES & set(candidate.parts))
+            )
+        elif path.suffix == ".py":
+            found.append(path)
+        elif not path.exists():
+            raise ConfigurationError(f"no such file or directory: {path}")
+    unique: List[Path] = []
+    seen = set()
+    for path in found:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _resolve_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    if select is None:
+        return [rule_class() for rule_class in rule_catalogue()]
+    return [get_rule(rule_id)() for rule_id in select]
+
+
+def lint_modules(
+    modules: Sequence[ModuleContext], *, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the (optionally restricted) rule catalogue over parsed modules."""
+    rules = _resolve_rules(select)
+    ran_rule_ids = {rule.id for rule in rules}
+    known_rule_ids = {rule_class().id for rule_class in rule_catalogue()}
+    project = ProjectModel.from_modules(modules)
+    findings: List[Finding] = []
+    for module in modules:
+        if module.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule="LINT000",
+                    path=str(module.path),
+                    line=module.parse_error.lineno or 1,
+                    message=f"file does not parse: {module.parse_error.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        for rule in rules:
+            for finding in rule.check(module, project):
+                if not module.pragmas.suppresses(finding.rule, finding.line):
+                    findings.append(finding)
+        findings.extend(_pragma_findings(module, known_rule_ids, ran_rule_ids))
+    return sort_findings(findings)
+
+
+def _pragma_findings(
+    module: ModuleContext, known_rule_ids: set, ran_rule_ids: set
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for pragma in module.pragmas.pragmas:
+        unknown = sorted(pragma.rules - known_rule_ids)
+        if unknown:
+            findings.append(
+                Finding(
+                    rule="LINT001",
+                    path=str(module.path),
+                    line=pragma.line,
+                    message=f"pragma names unknown rule(s): {', '.join(unknown)}",
+                    severity=Severity.WARNING,
+                )
+            )
+        if pragma.reason is None:
+            findings.append(
+                Finding(
+                    rule="LINT002",
+                    path=str(module.path),
+                    line=pragma.line,
+                    message=(
+                        "pragma has no reason=; every suppression must say"
+                        " why the invariant holds anyway"
+                    ),
+                    severity=Severity.WARNING,
+                )
+            )
+        # Staleness is only judged when every rule the pragma names actually
+        # ran — a restricted --select must not flag other rules' pragmas.
+        if not pragma.used and not unknown and pragma.rules <= ran_rule_ids:
+            findings.append(
+                Finding(
+                    rule="LINT003",
+                    path=str(module.path),
+                    line=pragma.line,
+                    message=(
+                        "stale pragma: it suppressed no finding; delete it"
+                        " (or the contract it documents has drifted)"
+                    ),
+                    severity=Severity.WARNING,
+                )
+            )
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]], *, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint files and directory trees; the main entry point."""
+    modules = [ModuleContext.from_path(path) for path in iter_python_files(paths)]
+    return lint_modules(modules, select=select)
+
+
+def lint_source(
+    source: str,
+    path: Union[str, Path] = "<string>.py",
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one in-memory snippet — the fixture-test entry point."""
+    module = ModuleContext.from_source(source, Path(path))
+    return lint_modules([module], select=select)

@@ -1,0 +1,92 @@
+"""Findings emitted by the :mod:`repro.devtools` static-analysis engine.
+
+A :class:`Finding` is one rule violation anchored to a file and line. It is
+deliberately a plain, JSON-serialisable value object so the engine, the
+reporters, and the test fixtures can all treat findings as data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Severity", "Finding", "sort_findings"]
+
+
+class Severity(enum.IntEnum):
+    """How serious a finding is. Higher values sort first in reports.
+
+    ``reprolint`` exits non-zero on *any* finding regardless of severity —
+    the repo ships clean — so severity is a reporting aid, not a gate.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        """Parse ``"error"`` / ``"warning"`` / ``"info"`` (case-insensitive)."""
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ConfigurationError(f"unknown severity {name!r}") from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: Severity = Severity.ERROR
+    column: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable representation (the ``--format json`` shape)."""
+        payload: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+    def format(self) -> str:
+        """The one-line human-readable form used by the text reporter."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: by path, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule))
+
+
+def summarize(findings: Iterable[Finding]) -> Dict[str, int]:
+    """Per-rule finding counts, for report footers and the JSON summary."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def max_severity(findings: Iterable[Finding]) -> Optional[Severity]:
+    """The highest severity present, or ``None`` for an empty report."""
+    severities = [finding.severity for finding in findings]
+    return max(severities) if severities else None

@@ -1,0 +1,103 @@
+"""The ``# reprolint: allow[...]`` inline suppression system.
+
+Every suppression must name the rule(s) it silences **and** carry a reason::
+
+    probe = np.random.default_rng(0)  # reprolint: allow[RNG001] reason=state-probe, draws are discarded
+
+A pragma applies to findings on its own line, or — when it stands alone on a
+comment line — to the line directly below it::
+
+    # reprolint: allow[EXC001] reason=mirrors list.index's ValueError contract
+    raise ValueError(f"{value!r} is not in the log")
+
+Pragmas are themselves linted: a pragma with no ``reason=`` still suppresses
+but is reported (``LINT002``), a pragma naming an unknown rule is reported
+(``LINT001``), and a pragma that suppressed nothing is reported as stale
+(``LINT003``). This keeps the escape hatch honest — suppressions cannot
+accumulate silently.
+
+Comments are located with :mod:`tokenize`, so a ``# reprolint:`` sequence
+inside a string literal is never mistaken for a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+__all__ = ["Pragma", "PragmaIndex", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:reason=(?P<reason>.*))?$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# reprolint: allow[...]`` comment."""
+
+    line: int
+    rules: Set[str]
+    reason: Optional[str]
+    standalone: bool  # the comment is the only thing on its line
+    used: bool = field(default=False, compare=False)
+
+    @property
+    def target_line(self) -> int:
+        """The source line whose findings this pragma suppresses."""
+        return self.line + 1 if self.standalone else self.line
+
+
+class PragmaIndex:
+    """All pragmas of one module, indexed by the line they suppress."""
+
+    def __init__(self, pragmas: List[Pragma]) -> None:
+        self.pragmas = pragmas
+        self._by_target: Dict[int, List[Pragma]] = {}
+        for pragma in pragmas:
+            self._by_target.setdefault(pragma.target_line, []).append(pragma)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is pragma-suppressed.
+
+        Marks the matching pragma as used so the engine can report stale
+        suppressions afterwards.
+        """
+        suppressed = False
+        for pragma in self._by_target.get(line, ()):
+            if rule in pragma.rules:
+                pragma.used = True
+                suppressed = True
+        return suppressed
+
+
+def parse_pragmas(source: str) -> PragmaIndex:
+    """Extract every ``reprolint`` pragma from a module's source text."""
+    pragmas: List[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparseable files already produce a LINT000 parse-error finding;
+        # there is nothing meaningful to suppress in them.
+        return PragmaIndex([])
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        rules = {name.strip() for name in match.group("rules").split(",") if name.strip()}
+        reason = match.group("reason")
+        if reason is not None:
+            reason = reason.strip() or None
+        line_no = token.start[0]
+        text = lines[line_no - 1] if line_no <= len(lines) else ""
+        standalone = text.strip().startswith("#")
+        pragmas.append(
+            Pragma(line=line_no, rules=rules, reason=reason, standalone=standalone)
+        )
+    return PragmaIndex(pragmas)

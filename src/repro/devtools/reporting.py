@@ -1,0 +1,49 @@
+"""Text and JSON reporters for lint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.devtools.findings import Finding, summarize
+from repro.devtools.rules import rule_catalogue
+
+__all__ = ["format_text", "format_json", "format_rule_listing"]
+
+
+def format_text(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
+    """The human-readable report: one line per finding plus a summary."""
+    lines: List[str] = [finding.format() for finding in findings]
+    if findings:
+        counts = summarize(findings)
+        per_rule = ", ".join(f"{rule}: {count}" for rule, count in counts.items())
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+            f" in {checked_files} file{'s' if checked_files != 1 else ''}"
+            f" ({per_rule})"
+        )
+    else:
+        lines.append(f"checked {checked_files} files: clean")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
+    """The machine-readable report consumed by CI."""
+    payload = {
+        "version": 1,
+        "checked_files": checked_files,
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": summarize(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def format_rule_listing() -> str:
+    """The ``--list-rules`` catalogue: id, severity, title, rationale."""
+    lines: List[str] = []
+    for rule_class in rule_catalogue():
+        rule = rule_class()
+        lines.append(f"{rule.id} [{rule.severity}] {rule.title}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""The rule framework: base class and registry.
+
+A rule is a small, stateless class with an ``id``, a default severity, a
+one-line ``title``, a ``rationale`` naming the invariant it guards, and a
+:meth:`Rule.check` generator yielding :class:`~repro.devtools.findings.Finding`
+objects for one module. Rules register themselves with
+:func:`register_rule`, mirroring the scheme registry idiom used across the
+repo, so the engine, the CLI's ``--list-rules``, and the documentation all
+enumerate one catalogue.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List, Type
+
+from repro.devtools.context import ModuleContext, ProjectModel
+from repro.devtools.findings import Finding, Severity
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Rule", "register_rule", "rule_catalogue", "get_rule"]
+
+_RULES: Dict[str, Type["Rule"]] = {}
+
+
+class Rule(abc.ABC):
+    """One statically-checkable project contract."""
+
+    id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    rationale: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext, project: ProjectModel) -> Iterator[Finding]:
+        """Yield every violation of this rule found in ``module``."""
+
+    def finding(
+        self,
+        module: ModuleContext,
+        line: int,
+        message: str,
+        *,
+        column: int = 0,
+        severity: "Severity | None" = None,
+    ) -> Finding:
+        """Build a finding anchored in ``module`` with this rule's identity."""
+        return Finding(
+            rule=self.id,
+            path=str(module.path),
+            line=line,
+            column=column,
+            message=message,
+            severity=self.severity if severity is None else severity,
+        )
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global catalogue."""
+    if not cls.id:
+        raise ConfigurationError(f"rule {cls.__name__} must define a non-empty id")
+    if cls.id in _RULES:
+        raise ConfigurationError(f"duplicate rule id {cls.id!r}")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def rule_catalogue() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by id."""
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Look one rule up by id, raising a typed error for unknown names."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise ConfigurationError(
+            f"unknown rule {rule_id!r}; known rules: {known}"
+        ) from None

@@ -26,11 +26,17 @@ class ReproError(Exception):
     """Base class for every exception raised by the ``repro`` library."""
 
 
-class ConfigurationError(ReproError):
+class ConfigurationError(ReproError, ValueError):
     """An invalid combination of parameters was supplied.
 
     Raised eagerly, at object-construction time whenever possible, so that a
     misconfigured experiment fails before any expensive work is performed.
+
+    ``ValueError`` is kept as a base for backwards compatibility: the
+    validation helpers in :mod:`repro.utils.validation` (and many
+    constructor checks) historically raised bare ``ValueError``, so existing
+    ``except ValueError`` call sites keep working while new code can catch
+    the library hierarchy precisely.
     """
 
 
@@ -47,8 +53,13 @@ class AnalyticIntractableError(ConfigurationError):
     """
 
 
-class DataError(ReproError):
-    """A dataset, batch specification, or example index set is invalid."""
+class DataError(ReproError, ValueError):
+    """A dataset, batch specification, or example index set is invalid.
+
+    Like :class:`ConfigurationError`, keeps ``ValueError`` as a base so the
+    shape/label checks in :mod:`repro.gradients` that historically raised
+    bare ``ValueError`` stay catchable the old way.
+    """
 
 
 class AssignmentError(ReproError):

@@ -34,6 +34,7 @@ from typing import List, Optional
 
 from repro.api import JobSpec, Sweep, Workload, run_sweep
 from repro.cluster.spec import ClusterSpec
+from repro.devtools import cli as lint_cli
 from repro.experiments.churn import (
     ChurnAblationConfig,
     available_dynamics,
@@ -220,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically check the library's determinism/parity/exception contracts",
+    )
+    lint_cli.build_parser(lint)
+
     churn = subparsers.add_parser(
         "churn",
         help="dynamic-cluster ablation: BCC vs baselines under churn",
@@ -332,6 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Run one experiment and print its table; return a process exit code."""
     args = build_parser().parse_args(argv)
 
+    if args.experiment == "lint":
+        return lint_cli.run(args)
     if args.experiment == "fig2":
         result = run_fig2(
             num_examples=args.examples,

@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.datasets.base import Dataset
 from repro.gradients.base import GradientModel
 
@@ -72,5 +73,5 @@ def classification_error(
     """Fraction of misclassified examples (for models with a ``predict``)."""
     predictions = model.predict(weights, dataset.features)
     if predictions is None:
-        raise ValueError(f"model {model.name!r} does not support prediction")
+        raise ConfigurationError(f"model {model.name!r} does not support prediction")
     return float(np.mean(predictions != dataset.labels))

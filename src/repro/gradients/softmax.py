@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError, DataError
 from repro.gradients.base import GradientModel
 from repro.utils.validation import check_positive_int
 
@@ -28,7 +29,7 @@ class SoftmaxLoss(GradientModel):
     def __init__(self, num_classes: int) -> None:
         self.num_classes = check_positive_int(num_classes, "num_classes")
         if self.num_classes < 2:
-            raise ValueError("num_classes must be at least 2")
+            raise ConfigurationError("num_classes must be at least 2")
 
     @property
     def name(self) -> str:
@@ -38,7 +39,7 @@ class SoftmaxLoss(GradientModel):
     def _unflatten(self, weights: np.ndarray, num_features: int) -> np.ndarray:
         expected = self.num_classes * num_features
         if weights.shape[0] != expected:
-            raise ValueError(
+            raise DataError(
                 f"weights must have length num_classes * p = {expected}, "
                 f"got {weights.shape[0]}"
             )
@@ -53,7 +54,7 @@ class SoftmaxLoss(GradientModel):
     def _one_hot(self, labels: np.ndarray) -> np.ndarray:
         classes = labels.astype(int)
         if classes.min() < 0 or classes.max() >= self.num_classes:
-            raise ValueError(
+            raise DataError(
                 f"labels must be integers in [0, {self.num_classes}), "
                 f"got range [{classes.min()}, {classes.max()}]"
             )

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.optim.schedules import ConstantSchedule, LearningRateSchedule
 
 __all__ = ["Optimizer", "OptimizerState"]
@@ -58,6 +59,7 @@ class Optimizer(abc.ABC):
         if isinstance(schedule, (int, float)):
             schedule = ConstantSchedule(float(schedule))
         if not isinstance(schedule, LearningRateSchedule):
+            # reprolint: allow[EXC001] reason=wrong type is a programming error; TypeError propagates unchanged by the hierarchy contract
             raise TypeError(
                 "schedule must be a LearningRateSchedule or a positive float, "
                 f"got {type(schedule).__name__}"
@@ -78,7 +80,7 @@ class Optimizer(abc.ABC):
         """Create the initial state from a starting weight vector."""
         weights = np.asarray(initial_weights, dtype=float).copy()
         if weights.ndim != 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"initial weights must be a 1-D vector, got shape {weights.shape}"
             )
         return OptimizerState(weights=weights, iteration=0, auxiliary=None)

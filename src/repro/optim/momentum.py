@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.optim.base import Optimizer, OptimizerState
 from repro.optim.schedules import LearningRateSchedule
 from repro.utils.validation import check_in_range
@@ -24,7 +25,7 @@ class HeavyBallMomentum(Optimizer):
         super().__init__(schedule)
         momentum = check_in_range(momentum, "momentum", low=0.0, high=1.0)
         if momentum >= 1.0:
-            raise ValueError("momentum must be strictly less than 1")
+            raise ConfigurationError("momentum must be strictly less than 1")
         self.momentum = momentum
 
     def query_point(self, state: OptimizerState) -> np.ndarray:

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.optim.base import Optimizer, OptimizerState
 from repro.optim.schedules import LearningRateSchedule
 from repro.utils.validation import check_in_range
@@ -48,7 +49,7 @@ class NesterovAcceleratedGradient(Optimizer):
         if momentum is not None:
             momentum = check_in_range(momentum, "momentum", low=0.0, high=1.0)
             if momentum >= 1.0:
-                raise ValueError("momentum must be strictly less than 1")
+                raise ConfigurationError("momentum must be strictly less than 1")
         self.momentum = momentum
 
     def _beta(self, iteration: int) -> float:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_in_range, check_nonnegative, check_positive_int
 
 __all__ = [
@@ -31,10 +32,10 @@ class LearningRateSchedule(abc.ABC):
 
     def __call__(self, iteration: int) -> float:
         if iteration < 0:
-            raise ValueError(f"iteration must be non-negative, got {iteration}")
+            raise ConfigurationError(f"iteration must be non-negative, got {iteration}")
         rate = self.learning_rate(iteration)
         if rate < 0:
-            raise ValueError(f"schedule produced a negative learning rate: {rate}")
+            raise ConfigurationError(f"schedule produced a negative learning rate: {rate}")
         return rate
 
 

@@ -13,6 +13,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.datasets.base import Dataset
 from repro.gradients.base import GradientModel
 from repro.optim.base import Optimizer
@@ -67,7 +68,7 @@ class TrainingResult:
     def final_loss(self) -> float:
         """Loss at the beginning of the last performed iteration."""
         if not self.history:
-            raise ValueError("no iterations were performed")
+            raise ConfigurationError("no iterations were performed")
         return self.history[-1].loss
 
 
@@ -119,7 +120,7 @@ def train(
         query = optimizer.query_point(state)
         gradient = np.asarray(gradient_oracle(query, iteration), dtype=float)
         if gradient.shape != state.weights.shape:
-            raise ValueError(
+            raise ConfigurationError(
                 "gradient oracle returned a vector of shape "
                 f"{gradient.shape}, expected {state.weights.shape}"
             )

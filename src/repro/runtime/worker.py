@@ -60,6 +60,7 @@ def worker_main(task: WorkerTask, channel: QueueChannel) -> None:
             if isinstance(incoming, StopSignal):
                 return
             if not isinstance(incoming, WeightsMessage):
+                # reprolint: allow[EXC001] reason=unexpected IPC payload is a programming error in the runtime protocol, not a library-domain failure
                 raise TypeError(
                     f"worker {task.worker_id} received an unexpected payload "
                     f"of type {type(incoming).__name__}"

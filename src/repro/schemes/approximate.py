@@ -21,7 +21,9 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.coding.placement import uncoded_placement
+from repro.cluster.spec import ClusterSpec
 from repro.analysis.analytic import (
+    AnalyticIteration,
     DEFAULT_QUANTILES,
     homogeneous_compute_parameters,
     order_statistic_runtime,
@@ -168,13 +170,13 @@ class IgnoreStragglersScheme(Scheme):
 
     def analytic_runtime(
         self,
-        cluster,
+        cluster: ClusterSpec,
         num_units: int,
         *,
         unit_size: int = 1,
         serialize_master_link: bool = True,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> AnalyticIteration:
         """Closed form: the ``ceil(wait_fraction * n)``-th arrival.
 
         The stopping index is fixed by construction; only the first

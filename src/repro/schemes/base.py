@@ -37,7 +37,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.analytic import DEFAULT_QUANTILES
+from repro.cluster.spec import ClusterSpec
+from repro.analysis.analytic import AnalyticIteration, DEFAULT_QUANTILES
 from repro.coding.assignment import DataAssignment
 from repro.coding.linear_code import LinearGradientCode
 from repro.exceptions import (
@@ -549,13 +550,13 @@ class Scheme(abc.ABC):
     # ------------------------------------------------------------------ #
     def analytic_runtime(
         self,
-        cluster,
+        cluster: ClusterSpec,
         num_units: int,
         *,
         unit_size: int = 1,
         serialize_master_link: bool = True,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> AnalyticIteration:
         """Closed-form expected per-iteration runtime of this scheme.
 
         This is the hook behind :class:`~repro.api.backends.AnalyticBackend`:

@@ -9,7 +9,9 @@ import numpy as np
 from repro.analysis.thresholds import bcc_communication_load, bcc_recovery_threshold
 from repro.coding.placement import bcc_placement
 from repro.datasets.batching import contiguous_partition
+from repro.cluster.spec import ClusterSpec
 from repro.analysis.analytic import (
+    AnalyticIteration,
     DEFAULT_QUANTILES,
     coupon_threshold_pmf,
     homogeneous_compute_parameters,
@@ -111,13 +113,13 @@ class BCCScheme(Scheme):
     # ------------------------------------------------------------------ #
     def analytic_runtime(
         self,
-        cluster,
+        cluster: ClusterSpec,
         num_units: int,
         *,
         unit_size: int = 1,
         serialize_master_link: bool = True,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> AnalyticIteration:
         """Closed form: coupon-collector stopping index over i.i.d. arrivals.
 
         The batch ids arriving at the master are i.i.d. uniform over the

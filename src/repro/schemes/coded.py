@@ -22,7 +22,9 @@ from repro.coding.cyclic_repetition import CyclicRepetitionCode
 from repro.coding.fractional import FractionalRepetitionCode
 from repro.coding.linear_code import LinearGradientCode
 from repro.coding.reed_solomon import ReedSolomonStyleCode
+from repro.cluster.spec import ClusterSpec
 from repro.analysis.analytic import (
+    AnalyticIteration,
     DEFAULT_QUANTILES,
     fractional_group_runtime,
     homogeneous_compute_parameters,
@@ -118,13 +120,13 @@ class _LinearCodeScheme(Scheme):
 
     def analytic_runtime(
         self,
-        cluster,
+        cluster: ClusterSpec,
         num_units: int,
         *,
         unit_size: int = 1,
         serialize_master_link: bool = True,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> AnalyticIteration:
         """Closed form: the ``(n - r + 1)``-th order statistic of the arrivals.
 
         The worst-case code designs decode after exactly ``n - s = n - r + 1``
@@ -214,13 +216,13 @@ class FractionalRepetitionScheme(_LinearCodeScheme):
 
     def analytic_runtime(
         self,
-        cluster,
+        cluster: ClusterSpec,
         num_units: int,
         *,
         unit_size: int = 1,
         serialize_master_link: bool = True,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> AnalyticIteration:
         """Closed form for the opportunistic stopping rule.
 
         The master decodes when the first of the ``r`` replication groups has

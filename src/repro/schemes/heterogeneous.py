@@ -15,6 +15,7 @@ from repro.cluster.spec import ClusterSpec
 from repro.coding.placement import heterogeneous_random_placement
 from repro.coding.assignment import DataAssignment
 from repro.analysis.analytic import (
+    AnalyticIteration,
     DEFAULT_QUANTILES,
     coverage_runtime,
     maximum_runtime,
@@ -129,13 +130,13 @@ class GeneralizedBCCScheme(Scheme):
 
     def analytic_runtime(
         self,
-        cluster,
+        cluster: ClusterSpec,
         num_units: int,
         *,
         unit_size: int = 1,
         serialize_master_link: bool = True,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> AnalyticIteration:
         """Coverage closed form for heterogeneous random placements.
 
         A unit is uncovered at time ``t`` with probability
@@ -261,13 +262,13 @@ class LoadBalancedScheme(Scheme):
 
     def analytic_runtime(
         self,
-        cluster,
+        cluster: ClusterSpec,
         num_units: int,
         *,
         unit_size: int = 1,
         serialize_master_link: bool = True,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> AnalyticIteration:
         """Group-wise maximum over every worker that holds at least one unit.
 
         The disjoint placement makes the iteration end at the maximum of the

@@ -11,7 +11,9 @@ from repro.analysis.thresholds import (
     randomized_recovery_threshold,
 )
 from repro.coding.placement import random_subset_placement
+from repro.cluster.spec import ClusterSpec
 from repro.analysis.analytic import (
+    AnalyticIteration,
     DEFAULT_QUANTILES,
     homogeneous_compute_parameters,
     order_statistic_runtime,
@@ -76,13 +78,13 @@ class SimpleRandomizedScheme(Scheme):
 
     def analytic_runtime(
         self,
-        cluster,
+        cluster: ClusterSpec,
         num_units: int,
         *,
         unit_size: int = 1,
         serialize_master_link: bool = True,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> AnalyticIteration:
         """Closed form: exact expected coverage index over i.i.d. arrivals.
 
         The stopping index — workers until the random ``r``-subsets cover

@@ -11,7 +11,9 @@ from repro.analysis.thresholds import (
     uncoded_recovery_threshold,
 )
 from repro.coding.placement import uncoded_placement
+from repro.cluster.spec import ClusterSpec
 from repro.analysis.analytic import (
+    AnalyticIteration,
     DEFAULT_QUANTILES,
     homogeneous_compute_parameters,
     maximum_runtime,
@@ -60,13 +62,13 @@ class UncodedScheme(Scheme):
 
     def analytic_runtime(
         self,
-        cluster,
+        cluster: ClusterSpec,
         num_units: int,
         *,
         unit_size: int = 1,
         serialize_master_link: bool = True,
         quantiles: Sequence[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> AnalyticIteration:
         """Closed form: the iteration ends at the *maximum* of ``n`` arrivals.
 
         With ``n | m`` the workers are exchangeable and the ``n``-th order

@@ -99,12 +99,13 @@ class RepeatedOutcomeLog(_IterationLog):
             raise IndexError("iteration index out of range")
         return self.outcome
 
-    def count(self, value) -> int:
+    def count(self, value: object) -> int:
         return self.repetitions if value in self else 0
 
-    def index(self, value, *args) -> int:
+    def index(self, value: object, *args: int) -> int:
         if value in self:
             return 0
+        # reprolint: allow[EXC001] reason=mirrors list.index, which raises bare ValueError; the sequence protocol contract wins here
         raise ValueError(f"{value!r} is not in the log")
 
     def __eq__(self, other) -> bool:
@@ -136,6 +137,7 @@ class RepeatedOutcomeLog(_IterationLog):
         return (type(self), (self.outcome, self.repetitions))
 
     def _immutable(self, *args, **kwargs):
+        # reprolint: allow[EXC001] reason=mutating an immutable sequence is a programming error; TypeError matches tuple/str semantics
         raise TypeError(
             "a repeated-outcome log is immutable; analytic results cannot be "
             "appended to"
@@ -199,7 +201,7 @@ class JobResult:
         if (
             version is not None
             and cached is not None
-            and cached[0] == (version, len(self.iterations))
+            and cached[0] == version
         ):
             return cached[1]
         if isinstance(self.iterations, RepeatedOutcomeLog):
@@ -219,7 +221,7 @@ class JobResult:
                 ),
             )
             if version is not None:
-                self._aggregate_cache = ((version, count), aggregates)
+                self._aggregate_cache = (version, aggregates)
             return aggregates
         total = []
         computation = []
@@ -244,7 +246,7 @@ class JobResult:
             ),
         )
         if version is not None:
-            self._aggregate_cache = ((version, len(self.iterations)), aggregates)
+            self._aggregate_cache = (version, aggregates)
         return aggregates
 
     @property

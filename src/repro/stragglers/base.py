@@ -50,6 +50,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.utils.rng import RandomState, as_generator
 
 __all__ = ["DelayModel"]
@@ -94,7 +95,7 @@ class DelayModel(abc.ABC):
         :meth:`sample_grid`.
         """
         if size < 1:
-            raise ValueError(f"size must be >= 1, got {size}")
+            raise ConfigurationError(f"size must be >= 1, got {size}")
         return np.asarray(self.sample(load, rng=rng, size=int(size)), dtype=float)
 
     @classmethod
@@ -115,7 +116,7 @@ class DelayModel(abc.ABC):
         groups at scalar speed.
         """
         if len(models) != len(loads):
-            raise ValueError(
+            raise ConfigurationError(
                 f"got {len(models)} models but {len(loads)} loads"
             )
         generator = as_generator(rng)
@@ -176,7 +177,7 @@ class DelayModel(abc.ABC):
         out = np.empty((num_rows, len(loads)), dtype=float)
         for i, row in enumerate(model_rows):
             if len(row) != len(loads):
-                raise ValueError(
+                raise ConfigurationError(
                     f"model row {i} has {len(row)} models but {len(loads)} loads"
                 )
             out[i] = type(row[0]).sample_grid(row, loads, generator, 1)[0]
@@ -219,6 +220,7 @@ class DelayModel(abc.ABC):
         The default implementation estimates the CDF by Monte-Carlo; concrete
         models with closed forms override it.
         """
+        # reprolint: allow[RNG001] reason=fixed-seed Monte-Carlo probe; deterministic by construction and independent of experiment streams
         samples = self.sample(load, rng=np.random.default_rng(0), size=20000)
         t_arr = np.asarray(t, dtype=float)
         result = np.mean(samples[None, ...] <= t_arr[..., None], axis=-1)
@@ -227,7 +229,7 @@ class DelayModel(abc.ABC):
     # ------------------------------------------------------------------ #
     def _check_load(self, load: int) -> int:
         if load < 1:
-            raise ValueError(f"load must be a positive number of examples, got {load}")
+            raise ConfigurationError(f"load must be a positive number of examples, got {load}")
         return int(load)
 
     @staticmethod
@@ -236,10 +238,10 @@ class DelayModel(abc.ABC):
     ) -> np.ndarray:
         """Validate per-worker grid loads and return them as a float row."""
         if len(models) != len(loads):
-            raise ValueError(f"got {len(models)} models but {len(loads)} loads")
+            raise ConfigurationError(f"got {len(models)} models but {len(loads)} loads")
         arr = np.asarray(loads)
         if arr.ndim != 1 or (arr.size and arr.min() < 1):
-            raise ValueError(
+            raise ConfigurationError(
                 "loads must be a 1-D sequence of positive example counts, "
                 f"got {loads!r}"
             )

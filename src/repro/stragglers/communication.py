@@ -14,6 +14,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_nonnegative
 
@@ -157,7 +158,7 @@ class LinearCommunicationModel(CommunicationModel):
             return super().sample_batch(message_sizes, rng)
         sizes = np.asarray(message_sizes, dtype=float)
         if sizes.size and sizes.min() < 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"message sizes must be non-negative, got min {sizes.min()}"
             )
         base = self.latency + self.seconds_per_unit * sizes
@@ -200,7 +201,7 @@ class ZeroCommunicationModel(CommunicationModel):
             return super().sample_batch(message_sizes, rng)
         sizes = np.asarray(message_sizes, dtype=float)
         if sizes.size and sizes.min() < 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"message sizes must be non-negative, got min {sizes.min()}"
             )
         return np.zeros(sizes.shape, dtype=float)

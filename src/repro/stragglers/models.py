@@ -62,6 +62,20 @@ class ShiftedExponentialDelay(DelayModel):
         result = self.shift * load + tail
         return float(result) if size is None else result
 
+    def sample_batch(
+        self, load: int, rng: RandomState = None, size: int = 1
+    ) -> np.ndarray:
+        if type(self).sample is not ShiftedExponentialDelay.sample:
+            # A subclass changed the distribution; the generic delegate to
+            # self.sample is the only path guaranteed to match it.
+            return super().sample_batch(load, rng=rng, size=size)
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        load = self._check_load(load)
+        generator = self._rng(rng)
+        tail = generator.exponential(scale=load / self.straggling, size=int(size))
+        return self.shift * load + tail
+
     def mean(self, load: int) -> float:
         load = self._check_load(load)
         return self.shift * load + load / self.straggling
@@ -137,7 +151,7 @@ class ShiftedExponentialDelay(DelayModel):
         shifts = np.empty(shape)
         for i, row in enumerate(model_rows):
             if len(row) != shape[1]:
-                raise ValueError("model rows must all have one model per load")
+                raise ConfigurationError("model rows must all have one model per load")
             for j, model in enumerate(row):
                 params = cell_parameters(model)
                 if params is None:
@@ -197,6 +211,17 @@ class DeterministicDelay(DelayModel):
         if size is None:
             return float(value)
         return np.full(size, value, dtype=float)
+
+    def sample_batch(
+        self, load: int, rng: RandomState = None, size: int = 1
+    ) -> np.ndarray:
+        if type(self).sample is not DeterministicDelay.sample:
+            return super().sample_batch(load, rng=rng, size=size)
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        load = self._check_load(load)
+        # No randomness is consumed, matching the scalar path exactly.
+        return np.full(int(size), self.seconds_per_example * load, dtype=float)
 
     def mean(self, load: int) -> float:
         return self.seconds_per_example * self._check_load(load)
@@ -268,6 +293,18 @@ class ParetoDelay(DelayModel):
         result = self.scale * load * draws
         return float(result) if size is None else result
 
+    def sample_batch(
+        self, load: int, rng: RandomState = None, size: int = 1
+    ) -> np.ndarray:
+        if type(self).sample is not ParetoDelay.sample:
+            return super().sample_batch(load, rng=rng, size=size)
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        load = self._check_load(load)
+        generator = self._rng(rng)
+        draws = 1.0 + generator.pareto(self.alpha, size=int(size))
+        return self.scale * load * draws
+
     def mean(self, load: int) -> float:
         load = self._check_load(load)
         if self.alpha <= 1.0:
@@ -293,6 +330,28 @@ class ParetoDelay(DelayModel):
         draws = 1.0 + generator.pareto(alphas, size=(int(num_draws), len(models)))
         return scales * loads_row * draws
 
+    @classmethod
+    def sample_trials(
+        cls,
+        models: Sequence[DelayModel],
+        loads: Sequence[int],
+        rngs: Sequence[RandomState],
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        params = cls._grid_parameters(models, ("alpha", "scale"))
+        if params is None:
+            return super().sample_trials(models, loads, rngs, num_draws)
+        alphas, scales = params
+        loads_row = cls._check_grid_loads(models, loads)
+        base = scales * loads_row
+        # Parameter extraction is hoisted; the draws stay per trial because
+        # every trial consumes its own generator (the stream contract).
+        shape = (int(num_draws), len(models))
+        out = np.empty((len(rngs), *shape), dtype=float)
+        for t, rng in enumerate(rngs):
+            out[t] = base * (1.0 + cls._rng(rng).pareto(alphas, size=shape))
+        return out
+
     def cdf(self, load: int, t: Number) -> Number:
         load = self._check_load(load)
         t_arr = np.asarray(t, dtype=float)
@@ -305,6 +364,7 @@ class ParetoDelay(DelayModel):
         return f"ParetoDelay(alpha={self.alpha!r}, scale={self.scale!r})"
 
 
+# reprolint: allow[RNG002] reason=sized draws are block-ordered (all jitter then all straggle flags) so no cross-worker vectorization can match the scalar stream; the inherited generic paths delegate to sample() and are the reference
 class BimodalStragglerDelay(DelayModel):
     """"Occasionally very slow" workers.
 
@@ -371,9 +431,9 @@ class TraceDelay(DelayModel):
     def __init__(self, per_example_times: Sequence[float]) -> None:
         trace = np.asarray(per_example_times, dtype=float)
         if trace.ndim != 1 or trace.size == 0:
-            raise ValueError("per_example_times must be a non-empty 1-D sequence")
+            raise ConfigurationError("per_example_times must be a non-empty 1-D sequence")
         if np.any(trace < 0) or not np.all(np.isfinite(trace)):
-            raise ValueError("per_example_times must be finite and non-negative")
+            raise ConfigurationError("per_example_times must be finite and non-negative")
         self.trace = trace
 
     def sample(
@@ -384,6 +444,18 @@ class TraceDelay(DelayModel):
         draws = generator.choice(self.trace, size=size, replace=True)
         result = draws * load
         return float(result) if size is None else result
+
+    def sample_batch(
+        self, load: int, rng: RandomState = None, size: int = 1
+    ) -> np.ndarray:
+        if type(self).sample is not TraceDelay.sample:
+            return super().sample_batch(load, rng=rng, size=size)
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        load = self._check_load(load)
+        generator = self._rng(rng)
+        draws = generator.choice(self.trace, size=int(size), replace=True)
+        return draws * load
 
     def mean(self, load: int) -> float:
         return float(self.trace.mean()) * self._check_load(load)
@@ -412,6 +484,32 @@ class TraceDelay(DelayModel):
         generator = cls._rng(rng)
         draws = generator.choice(trace, size=(int(num_draws), len(models)), replace=True)
         return draws * loads_row
+
+    @classmethod
+    def sample_trials(
+        cls,
+        models: Sequence[DelayModel],
+        loads: Sequence[int],
+        rngs: Sequence[RandomState],
+        num_draws: int = 1,
+    ) -> np.ndarray:
+        if not cls._all_native(models):
+            return super().sample_trials(models, loads, rngs, num_draws)
+        trace = models[0].trace
+        if not all(
+            model.trace is trace or np.array_equal(model.trace, trace)
+            for model in models
+        ):
+            return super().sample_trials(models, loads, rngs, num_draws)
+        loads_row = cls._check_grid_loads(models, loads)
+        # The shared-trace check is hoisted out of the trial loop; each
+        # trial's slice still comes from its own generator, one batched
+        # choice per trial exactly like sample_grid would draw it.
+        shape = (int(num_draws), len(models))
+        out = np.empty((len(rngs), *shape), dtype=float)
+        for t, rng in enumerate(rngs):
+            out[t] = cls._rng(rng).choice(trace, size=shape, replace=True) * loads_row
+        return out
 
     def __repr__(self) -> str:
         return f"TraceDelay(num_samples={self.trace.size})"

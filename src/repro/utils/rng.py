@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
+from repro.exceptions import ConfigurationError
 import numpy as np
 
 __all__ = ["RandomState", "as_generator", "spawn_generators"]
@@ -40,6 +41,7 @@ def as_generator(seed: RandomState = None) -> np.random.Generator:
         return np.random.default_rng(seed)
     if seed is None or isinstance(seed, (int, np.integer)):
         return np.random.default_rng(seed)
+    # reprolint: allow[EXC001] reason=wrong seed type is a programming error; TypeError propagates unchanged by the hierarchy contract
     raise TypeError(
         f"seed must be None, an int, a SeedSequence or a Generator; got {type(seed)!r}"
     )
@@ -60,7 +62,7 @@ def spawn_generators(seed: RandomState, count: int) -> list[np.random.Generator]
         Number of independent generators to create. Must be positive.
     """
     if count <= 0:
-        raise ValueError(f"count must be positive, got {count}")
+        raise ConfigurationError(f"count must be positive, got {count}")
     if isinstance(seed, np.random.Generator):
         # Derive child seeds from the generator itself to stay reproducible.
         seeds = seed.integers(0, 2**63 - 1, size=count)
@@ -90,7 +92,7 @@ def choice_without_replacement(
 ) -> np.ndarray:
     """Sample ``size`` distinct indices from ``range(population)``."""
     if size > population:
-        raise ValueError(
+        raise ConfigurationError(
             f"cannot draw {size} distinct items from a population of {population}"
         )
     return as_generator(seed).choice(population, size=size, replace=False)

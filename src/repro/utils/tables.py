@@ -8,6 +8,7 @@ output is readable directly in a terminal or a CI log.
 
 from __future__ import annotations
 
+from repro.exceptions import ConfigurationError
 from typing import Iterable, List, Sequence, Union
 
 __all__ = ["TextTable", "format_seconds", "format_float"]
@@ -38,7 +39,7 @@ class TextTable:
 
     def __init__(self, headers: Sequence[str], *, title: str = "") -> None:
         if not headers:
-            raise ValueError("a table needs at least one column")
+            raise ConfigurationError("a table needs at least one column")
         self.title = title
         self.headers: List[str] = [str(h) for h in headers]
         self.rows: List[List[str]] = []
@@ -54,7 +55,7 @@ class TextTable:
             else:
                 formatted.append(str(cell))
         if len(formatted) != len(self.headers):
-            raise ValueError(
+            raise ConfigurationError(
                 f"row has {len(formatted)} cells but the table has "
                 f"{len(self.headers)} columns"
             )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from repro.exceptions import ConfigurationError
 from typing import Optional
 
 __all__ = ["Clock", "WallClock", "SimulatedClock", "Timer"]
@@ -41,7 +42,7 @@ class SimulatedClock(Clock):
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
-            raise ValueError(f"start time must be non-negative, got {start}")
+            raise ConfigurationError(f"start time must be non-negative, got {start}")
         self._time = float(start)
 
     def now(self) -> float:
@@ -50,11 +51,12 @@ class SimulatedClock(Clock):
     def advance_to(self, t: float) -> None:
         """Move the clock forward to absolute time ``t``.
 
-        Moving backwards is a programming error in the simulator and raises
-        ``ValueError`` rather than silently corrupting event ordering.
+        Moving backwards would corrupt event ordering, so it raises
+        :class:`~repro.exceptions.ConfigurationError` (a ``ValueError``)
+        instead of proceeding silently.
         """
         if t < self._time:
-            raise ValueError(
+            raise ConfigurationError(
                 f"cannot move simulated clock backwards from {self._time} to {t}"
             )
         self._time = float(t)
@@ -62,7 +64,7 @@ class SimulatedClock(Clock):
     def advance_by(self, dt: float) -> None:
         """Move the clock forward by ``dt >= 0`` seconds."""
         if dt < 0:
-            raise ValueError(f"dt must be non-negative, got {dt}")
+            raise ConfigurationError(f"dt must be non-negative, got {dt}")
         self._time += float(dt)
 
 

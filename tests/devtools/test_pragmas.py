@@ -1,0 +1,117 @@
+"""The pragma system: parsing, suppression, and the LINT meta rules."""
+
+from __future__ import annotations
+
+from repro.devtools import lint_source, parse_pragmas
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestParsing:
+    def test_same_line_pragma(self):
+        pragmas = parse_pragmas(
+            "x = 1  # reprolint: allow[EXC001] reason=because\n"
+        ).pragmas
+        assert len(pragmas) == 1
+        assert pragmas[0].rules == {"EXC001"}
+        assert pragmas[0].reason == "because"
+        assert not pragmas[0].standalone
+        assert pragmas[0].target_line == 1
+
+    def test_standalone_pragma_targets_next_line(self):
+        pragmas = parse_pragmas(
+            "# reprolint: allow[RNG001] reason=probe\nx = 1\n"
+        ).pragmas
+        assert len(pragmas) == 1
+        assert pragmas[0].standalone
+        assert pragmas[0].target_line == 2
+
+    def test_multiple_rules_in_one_pragma(self):
+        pragmas = parse_pragmas(
+            "x = 1  # reprolint: allow[EXC001, RNG001] reason=both\n"
+        ).pragmas
+        assert pragmas[0].rules == {"EXC001", "RNG001"}
+
+    def test_pragma_inside_string_is_ignored(self):
+        pragmas = parse_pragmas(
+            's = "# reprolint: allow[EXC001] reason=not a comment"\n'
+        ).pragmas
+        assert pragmas == []
+
+    def test_plain_comments_are_ignored(self):
+        assert parse_pragmas("x = 1  # a normal comment\n").pragmas == []
+
+
+class TestSuppression:
+    def test_same_line_pragma_suppresses(self):
+        source = (
+            "def f():\n"
+            "    raise ValueError('x')  # reprolint: allow[EXC001] reason=testing\n"
+        )
+        assert lint_source(source) == []
+
+    def test_standalone_pragma_suppresses_the_next_line(self):
+        source = (
+            "def f():\n"
+            "    # reprolint: allow[EXC001] reason=testing\n"
+            "    raise ValueError('x')\n"
+        )
+        assert lint_source(source) == []
+
+    def test_pragma_for_a_different_rule_does_not_suppress(self):
+        source = (
+            "def f():\n"
+            "    raise ValueError('x')  # reprolint: allow[RNG001] reason=wrong rule\n"
+        )
+        findings = lint_source(source)
+        assert "EXC001" in rules_of(findings)
+
+    def test_pragma_on_a_different_line_does_not_suppress(self):
+        source = (
+            "# reprolint: allow[EXC001] reason=too far away\n"
+            "x = 1\n"
+            "def f():\n"
+            "    raise ValueError('x')\n"
+        )
+        findings = lint_source(source)
+        assert "EXC001" in rules_of(findings)
+
+
+class TestMetaRules:
+    def test_parse_error_yields_lint000(self):
+        findings = lint_source("def broken(:\n")
+        assert rules_of(findings) == ["LINT000"]
+
+    def test_unknown_rule_yields_lint001(self):
+        source = "x = 1  # reprolint: allow[NOPE999] reason=typo\n"
+        assert "LINT001" in rules_of(lint_source(source))
+
+    def test_missing_reason_yields_lint002(self):
+        source = (
+            "def f():\n"
+            "    raise ValueError('x')  # reprolint: allow[EXC001]\n"
+        )
+        findings = lint_source(source)
+        assert "LINT002" in rules_of(findings)
+        # the suppression itself still works: no EXC001 escapes
+        assert "EXC001" not in rules_of(findings)
+
+    def test_stale_pragma_yields_lint003(self):
+        source = "x = 1  # reprolint: allow[EXC001] reason=nothing here anymore\n"
+        assert "LINT003" in rules_of(lint_source(source))
+
+    def test_used_pragma_is_not_stale(self):
+        source = (
+            "def f():\n"
+            "    raise ValueError('x')  # reprolint: allow[EXC001] reason=testing\n"
+        )
+        assert lint_source(source) == []
+
+    def test_restricted_select_does_not_flag_other_rules_pragmas(self):
+        # Under --select RNG001 the EXC001 rule never runs, so its pragma
+        # cannot be judged stale.
+        source = "x = 1  # reprolint: allow[EXC001] reason=belongs to another rule\n"
+        findings = lint_source(source, select=["RNG001"])
+        assert "LINT003" not in rules_of(findings)

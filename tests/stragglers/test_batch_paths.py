@@ -1,0 +1,107 @@
+"""Bit-identity of the newly native sample_batch / sample_trials paths.
+
+Every vectorized path added to satisfy the RNG002 contract must consume the
+random stream exactly like the scalar ``sample`` (for ``sample_batch``) or
+like the generic per-trial grid loop (for ``sample_trials``) — same seeds,
+bitwise-equal outputs. A subclass that overrides ``sample`` must make the
+inherited native path step aside and fall back to the generic delegate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stragglers.base import DelayModel
+from repro.stragglers.models import (
+    DeterministicDelay,
+    ParetoDelay,
+    ShiftedExponentialDelay,
+    TraceDelay,
+)
+
+TRACE = [0.4, 1.0, 2.5, 0.9, 1.7]
+
+MODELS = [
+    ShiftedExponentialDelay(straggling=1.3, shift=0.7),
+    DeterministicDelay(seconds_per_example=2.0),
+    ParetoDelay(alpha=2.5, scale=1.2),
+    TraceDelay(TRACE),
+]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_sample_batch_matches_sized_scalar_sample(model):
+    batch = model.sample_batch(7, rng=np.random.default_rng(42), size=64)
+    sized = model.sample(7, rng=np.random.default_rng(42), size=64)
+    np.testing.assert_array_equal(batch, np.asarray(sized, dtype=float))
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_sample_batch_matches_generic_delegate(model):
+    native = model.sample_batch(7, rng=np.random.default_rng(7), size=32)
+    generic = DelayModel.sample_batch(model, 7, rng=np.random.default_rng(7), size=32)
+    np.testing.assert_array_equal(native, generic)
+
+
+@pytest.mark.parametrize(
+    "make_models",
+    [
+        lambda: [ShiftedExponentialDelay(1.0 + 0.1 * j, shift=0.2 * j) for j in range(5)],
+        lambda: [DeterministicDelay(0.5 + j) for j in range(5)],
+        lambda: [ParetoDelay(alpha=1.5 + 0.3 * j, scale=1.0 + 0.1 * j) for j in range(5)],
+        lambda: [TraceDelay(TRACE) for _ in range(5)],
+    ],
+    ids=["shifted-exponential", "deterministic", "pareto", "trace"],
+)
+def test_sample_trials_matches_generic_per_trial_loop(make_models):
+    models = make_models()
+    cls = type(models[0])
+    loads = [3, 5, 7, 2, 9]
+    seeds = [11, 22, 33]
+    native = cls.sample_trials(
+        models, loads, [np.random.default_rng(s) for s in seeds], num_draws=4
+    )
+    generic = DelayModel.sample_trials.__func__(
+        cls, models, loads, [np.random.default_rng(s) for s in seeds], num_draws=4
+    )
+    assert native.shape == (3, 4, 5)
+    np.testing.assert_array_equal(native, generic)
+
+
+class _DoubledShiftedExponential(ShiftedExponentialDelay):
+    """Override sample() to test the native paths' step-aside guard."""
+
+    def sample(self, load, rng=None, size=None):
+        result = super().sample(load, rng=rng, size=size)
+        return 2.0 * result
+
+
+def test_subclass_sample_override_falls_back_to_delegate():
+    model = _DoubledShiftedExponential(straggling=1.5, shift=0.3)
+    batch = model.sample_batch(4, rng=np.random.default_rng(5), size=16)
+    expected = 2.0 * ShiftedExponentialDelay(straggling=1.5, shift=0.3).sample(
+        4, rng=np.random.default_rng(5), size=16
+    )
+    np.testing.assert_array_equal(batch, expected)
+
+
+def test_trace_trials_with_mixed_traces_fall_back():
+    models = [TraceDelay(TRACE), TraceDelay([0.1, 0.2, 0.3])]
+    loads = [2, 3]
+    seeds = [1, 2]
+    native = TraceDelay.sample_trials(
+        models, loads, [np.random.default_rng(s) for s in seeds], num_draws=2
+    )
+    generic = DelayModel.sample_trials.__func__(
+        TraceDelay, models, loads, [np.random.default_rng(s) for s in seeds], num_draws=2
+    )
+    np.testing.assert_array_equal(native, generic)
+
+
+def test_deterministic_trials_consume_no_randomness():
+    models = [DeterministicDelay(1.5), DeterministicDelay(2.0)]
+    rngs = [np.random.default_rng(0), np.random.default_rng(1)]
+    states = [rng.bit_generator.state for rng in rngs]
+    DeterministicDelay.sample_trials(models, [4, 6], rngs, num_draws=3)
+    assert [rng.bit_generator.state for rng in rngs] == states

@@ -1,0 +1,85 @@
+"""Regression tests for the typed-exception migration.
+
+The library-wide conversion of bare ``ValueError``/``RuntimeError`` raises
+to the :mod:`repro.exceptions` hierarchy must be invisible to existing
+callers: ``ConfigurationError`` and ``DataError`` keep ``ValueError`` as a
+base, so historical ``except ValueError`` handlers (and the 70+ tests
+written against them) continue to work, while new code can catch the
+hierarchy precisely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError, ReproError
+from repro.gradients.softmax import SoftmaxLoss
+from repro.optim.nesterov import NesterovAcceleratedGradient
+from repro.optim.schedules import ConstantSchedule
+from repro.stragglers.models import ShiftedExponentialDelay
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class TestHierarchyShape:
+    def test_configuration_error_is_a_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(ConfigurationError, ReproError)
+
+    def test_data_error_is_a_value_error(self):
+        assert issubclass(DataError, ValueError)
+        assert issubclass(DataError, ReproError)
+
+    def test_instances_are_catchable_both_ways(self):
+        error = ConfigurationError("bad")
+        assert isinstance(error, ValueError)
+        assert isinstance(error, ReproError)
+
+
+class TestConvertedSites:
+    def test_validation_helpers_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "n")
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, "p")
+
+    def test_validation_helpers_still_catchable_as_value_error(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "n")
+
+    def test_wrong_type_still_raises_type_error(self):
+        # Programming errors deliberately stay outside the hierarchy.
+        with pytest.raises(TypeError):
+            check_positive_int("five", "n")
+
+    def test_delay_model_construction(self):
+        with pytest.raises(ConfigurationError):
+            ShiftedExponentialDelay(straggling=-1.0)
+        with pytest.raises(ValueError):
+            ShiftedExponentialDelay(straggling=0.0)
+
+    def test_optimizer_schedule_errors(self):
+        with pytest.raises(ConfigurationError):
+            NesterovAcceleratedGradient(-0.5)
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(-1.0)
+        with pytest.raises(TypeError):
+            NesterovAcceleratedGradient(object())
+
+    def test_softmax_parameter_vs_data_errors(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxLoss(num_classes=1)
+        loss = SoftmaxLoss(num_classes=3)
+        features = np.ones((4, 2))
+        labels = np.array([0, 1, 2, 0])
+        with pytest.raises(DataError):
+            # weights of the wrong length is a data-shape failure
+            loss.gradient_sum(np.zeros(5), features, labels)
+        with pytest.raises(DataError):
+            # out-of-range labels are a data failure too
+            loss.gradient_sum(np.zeros(6), features, np.array([0, 1, 5, 0]))
+
+    def test_data_error_catchable_as_value_error(self):
+        loss = SoftmaxLoss(num_classes=3)
+        with pytest.raises(ValueError):
+            loss.gradient_sum(np.zeros(5), np.ones((4, 2)), np.array([0, 1, 2, 0]))
