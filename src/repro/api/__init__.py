@@ -25,6 +25,7 @@ Quickstart
 """
 
 from repro.api.spec import JobSpec, Workload
+from repro.api.fingerprint import canonical_value, fingerprint_spec
 from repro.api.result import RECORD_MODES, RunResult, validate_record
 from repro.api.backends import (
     Backend,
@@ -42,6 +43,8 @@ from repro.api.sweep import Sweep, SweepRecord, SweepResult, run_sweep
 __all__ = [
     "JobSpec",
     "Workload",
+    "canonical_value",
+    "fingerprint_spec",
     "RECORD_MODES",
     "RunResult",
     "validate_record",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.schemes.base import ExecutionPlan, Scheme
 from repro.schemes.registry import SchemeLike, scheme_from_config
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from repro.api.backends import Backend
 
 __all__ = ["Workload", "JobSpec"]
 
@@ -230,6 +233,31 @@ class JobSpec:
                 "(model, dataset, optimizer)"
             )
         return self.workload
+
+    def fingerprint(self, *, backend: Optional["Backend"] = None) -> str:
+        """The spec's canonical content fingerprint (SHA-256 hex digest).
+
+        Keys the result cache: the digest is computed from the spec's
+        *configuration* — scheme, cluster, workload, iteration budget,
+        seed — never from object identity (``id``/``hash``/``repr``), so
+        equal configurations fingerprint identically across processes and
+        sessions, and round-trip unchanged through config serialisation.
+        Pass ``backend`` to fold the executing backend's identity (class
+        and engine/configuration) into the digest; results from different
+        engines must never collide in a cache.
+
+        Raises
+        ------
+        FingerprintError
+            When the spec carries state with no canonical form — a live
+            :class:`numpy.random.Generator` seed, a custom runner
+            callable, or an object whose constructor state is not
+            recoverable. Such specs are uncacheable; the cache computes
+            them normally instead of keying them unsafely.
+        """
+        from repro.api.fingerprint import fingerprint_spec
+
+        return fingerprint_spec(self, backend=backend)
 
     # ------------------------------------------------------------------ #
     def replace(self, **changes: object) -> "JobSpec":

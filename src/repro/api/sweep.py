@@ -56,31 +56,39 @@ works hard to keep its cost sub-linear:
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.api.backends import (
-    Backend,
-    BackendLike,
-    SemanticSimBackend,
-    TimingSimBackend,
-    get_backend,
-)
+from repro.api.backends import BackendLike, get_backend
 from repro.api.result import RunResult, validate_record
 from repro.api.spec import JobSpec
-from repro.exceptions import (
-    AnalyticIntractableError,
-    ConfigurationError,
-    SimulationError,
+from repro.exceptions import ConfigurationError
+from repro.scheduling.core import (
+    SweepPlan,
+    build_sweep_plan,
+    execute_task,
+    hoist_cell_plan,
+    probe_rng_free_plan,
+    should_batch_cell,
 )
-from repro.schemes.base import ExecutionPlan, Scheme
+from repro.scheduling.executors import Executor, resolve_executor
+from repro.schemes.base import Scheme
 from repro.utils.counting import CountingList
-from repro.utils.rng import as_generator, random_seed_sequence
 from repro.utils.tables import TextTable
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from repro.service.cache import ResultCache
+
+# Scheduling internals re-exported under their historical private names;
+# run_sweep resolves these at call time, so tests (and downstream code) can
+# still monkeypatch e.g. ``repro.api.sweep._hoist_cell_plan``.
+_probe_rng_free_plan = probe_rng_free_plan
+_hoist_cell_plan = hoist_cell_plan
+_batch_cell = should_batch_cell
+_run_task = execute_task
 
 __all__ = [
     "Sweep",
@@ -333,95 +341,23 @@ class SweepResult:
         return table
 
 
-def _run_task(task: tuple) -> List[RunResult]:
-    """Execute one sweep task — a single (cell, trial) run or a whole cell.
-
-    Tasks are ``("trial", backend, spec, record)`` or ``("cell", backend,
-    spec, seeds, record)``; either way a list of results comes back (one per
-    trial), compacted when ``record="summary"`` so only aggregates cross a
-    process pool's pickle boundary.
-    """
-    kind, backend, spec = task[0], task[1], task[2]
-    try:
-        if kind == "cell":
-            seeds, record = task[3], task[4]
-            return backend.run_batch(spec, seeds, record=record)
-        record = task[3]
-        result = backend.run(spec)
-        if record == "summary":
-            result = result.compact()
-        return [result]
-    except AnalyticIntractableError as error:
-        # Surface which sweep cell fell outside the closed-form regime —
-        # with dozens of cells, "which configuration?" is the question.
-        raise AnalyticIntractableError(
-            f"sweep cell (scheme={spec.scheme!r}, "
-            f"serialize_master_link={spec.serialize_master_link}) has no "
-            f"closed-form runtime: {error}"
-        ) from error
-    except SimulationError as error:
-        # Same courtesy for simulation failures: name the cell. The usual
-        # cause is a dynamic cluster whose churn removed the last holders of
-        # a data unit; the churn ablation driver (repro.experiments.churn)
-        # reports such cells as FAILED instead of aborting.
-        raise SimulationError(
-            f"sweep cell (scheme={spec.scheme!r}) could not complete: {error}"
-        ) from error
-
-
-def _probe_rng_free_plan(spec: JobSpec) -> Optional[ExecutionPlan]:
-    """The spec's execution plan if planning consumes no randomness, else None.
-
-    Builds the plan with a probe generator and compares the generator's
-    state before and after: an unchanged state proves the placement cannot
-    depend on the trial's seed, so one plan can stand in for every trial —
-    and for every seeding strategy — without changing a single draw. Random
-    placements (and anything that fails to plan; the real run will surface
-    the error with full context) return ``None``.
-    """
-    if spec.cluster is None or isinstance(spec.scheme, ExecutionPlan):
-        return None
-    try:
-        scheme = spec.resolve_scheme()
-        # reprolint: allow[RNG001] reason=state-probe generator; draws are discarded and the unchanged-state check is the whole point
-        probe = np.random.default_rng(0)
-        state = probe.bit_generator.state
-        plan = scheme.build_feasible_plan(
-            spec.resolved_num_units, spec.cluster.num_workers, probe
-        )
-        if probe.bit_generator.state != state:
-            return None
-        return plan
-    except Exception:
-        return None
-
-
-def _hoist_cell_plan(backend: Backend, spec: JobSpec, trials: int) -> JobSpec:
-    """Per-cell plan hoisting: re-plan once per cell when provably safe.
-
-    Only the simulation backends understand a plan-carrying spec, and
-    hoisting only pays with several trials; beyond that the safety argument
-    is :func:`_probe_rng_free_plan`'s — draw-free planning means the hoisted
-    spec runs bit-identically to the original on both engines, under both
-    seeding strategies.
-    """
-    if trials < 2 or not isinstance(backend, (TimingSimBackend, SemanticSimBackend)):
-        return spec
-    plan = _probe_rng_free_plan(spec)
-    if plan is None:
-        return spec
-    return spec.replace(scheme=plan)
-
-
 def run_sweep(
     sweep: Sweep,
     *,
     max_workers: Optional[int] = None,
-    executor: str = "thread",
+    executor: Union[str, Executor] = "thread",
     record: str = "full",
     trial_batching: str = "auto",
+    cache: Optional[Union[str, "ResultCache"]] = None,
 ) -> SweepResult:
     """Execute every (cell, trial) task of a sweep and collect the records.
+
+    ``run_sweep`` is a thin façade over the shared scheduling core
+    (:mod:`repro.scheduling`): build the cell-task plan once, hand it to an
+    executor, collect the records. Every execution mode — serial, thread
+    pool, process pool, async — dispatches the same plan through the same
+    task runner, so they produce bit-identical records under the default
+    ``"spawn"`` seed strategy.
 
     Parameters
     ----------
@@ -429,16 +365,15 @@ def run_sweep(
         The sweep to run.
     max_workers:
         ``None``/``0``/``1`` runs serially; anything larger fans the tasks
-        out over a ``concurrent.futures`` pool. Results are identical either
-        way under the default ``"spawn"`` seed strategy.
+        out over the chosen executor. Results are identical either way
+        under the default ``"spawn"`` seed strategy.
     executor:
-        ``"thread"`` (default) or ``"process"``. The simulation backends are
-        CPU-bound Python loops that hold the GIL, so real speed-up on a
-        multi-core machine needs ``"process"`` — which requires the spec and
-        backend to be picklable (named backends and config-mapping schemes
-        are; custom runner closures usually are not). Threads still help
-        when the backend itself waits on other processes or IO (e.g.
-        :class:`~repro.api.backends.MultiprocessBackend`).
+        ``"thread"`` (default), ``"process"``, ``"async"``, ``"serial"``,
+        or an :class:`~repro.scheduling.executors.Executor` instance.
+        Process pools give real multi-core speed-up for the CPU-bound
+        simulation backends but require picklable specs and backends — see
+        the *Parallel sweeps and pickling* section of :doc:`the performance
+        guide </performance>` for the constraints.
     record:
         ``"full"`` (default) keeps every result's per-iteration log;
         ``"summary"`` compacts each result to its aggregate statistics in
@@ -452,6 +387,16 @@ def run_sweep(
         of one task per (cell, trial). See the module docstring: ``"auto"``
         batches exactly when bit-identical to per-trial execution,
         ``"always"`` additionally freezes one random placement per cell.
+    cache:
+        ``None`` (default) computes every task. A
+        :class:`~repro.service.cache.ResultCache` instance (or a directory
+        path, which opens one with a disk tier there) serves cached tasks
+        by content fingerprint and stores the rest after execution —
+        analytic cells are memoized forever, simulated cells are
+        deterministic at fixed seeds, so repeat sweeps become cache hits.
+        Uncacheable tasks (shared-generator seeds, custom runner backends)
+        are computed as usual. See :doc:`the service guide </service>` for
+        the fingerprint contract.
 
     Examples
     --------
@@ -491,95 +436,74 @@ def run_sweep(
             f"of {list(TRIAL_BATCHING_MODES)}"
         )
     backend = get_backend(sweep.backend)
-    cells = sweep.cells()
     parallel = max_workers is not None and max_workers > 1
-    # A hoisted plan carries scheme-defined closures that may not pickle;
-    # keep specs pickle-clean when tasks cross a process boundary. (Results
-    # are unaffected either way: hoisting only happens when it cannot
-    # change a draw, and cell tasks re-plan inside the worker.)
-    hoist_ok = not (parallel and executor == "process")
-
-    tasks: List[tuple] = []
-    layout: List[List[Tuple[int, Mapping[str, object], int]]] = []
-    if sweep.seed_strategy == "shared":
-        if parallel:
-            raise ConfigurationError(
-                "the 'shared' seed strategy threads one generator through the "
-                "cells sequentially and cannot run in parallel; use the "
-                "'spawn' strategy for parallel sweeps"
-            )
-        generator = as_generator(sweep.base.seed)
-        for index, params in enumerate(cells):
-            cell_spec = sweep.base.with_overrides(params)
-            if hoist_ok:
-                cell_spec = _hoist_cell_plan(backend, cell_spec, sweep.trials)
-            for trial in range(sweep.trials):
-                tasks.append(("trial", backend, cell_spec.replace(seed=generator), record))
-                layout.append([(index, params, trial)])
+    if sweep.seed_strategy == "shared" and parallel:
+        raise ConfigurationError(
+            "the 'shared' seed strategy threads one generator through the "
+            "cells sequentially and cannot run in parallel; use the "
+            "'spawn' strategy for parallel sweeps"
+        )
+    if parallel or not isinstance(executor, str):
+        runner = resolve_executor(executor, max_workers)
     else:
-        root = random_seed_sequence(sweep.base.seed)
-        children = root.spawn(len(cells) * sweep.trials)
-        for index, params in enumerate(cells):
-            cell_spec = sweep.base.with_overrides(params)
-            cell_children = children[index * sweep.trials : (index + 1) * sweep.trials]
-            if _batch_cell(backend, cell_spec, sweep.trials, trial_batching):
-                tasks.append(("cell", backend, cell_spec, list(cell_children), record))
-                layout.append(
-                    [(index, params, trial) for trial in range(sweep.trials)]
-                )
-                continue
-            if hoist_ok:
-                cell_spec = _hoist_cell_plan(backend, cell_spec, sweep.trials)
-            for trial, child in enumerate(cell_children):
-                tasks.append(("trial", backend, cell_spec.replace(seed=child), record))
-                layout.append([(index, params, trial)])
+        # max_workers of None/0/1 has always meant serial execution,
+        # whatever the executor name says.
+        runner = resolve_executor("serial")
 
-    if not parallel:
-        results = [_run_task(task) for task in tasks]
+    plan = build_sweep_plan(
+        sweep,
+        backend=backend,
+        record=record,
+        trial_batching=trial_batching,
+        pickle_safe=runner.pickle_safe,
+        # Resolve the hoist hook at call time so monkeypatching the module
+        # global (a long-standing test seam) still takes effect.
+        hoist=_hoist_cell_plan,
+    )
+
+    if cache is not None:
+        from repro.service.cache import ResultCache
+
+        store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+        results = _execute_with_cache(plan, runner, store)
     else:
-        if executor == "thread":
-            pool_cls = ThreadPoolExecutor
-        elif executor == "process":
-            pool_cls = ProcessPoolExecutor
-        else:
-            raise ConfigurationError(
-                f"executor must be 'thread' or 'process', got {executor!r}"
-            )
-        with pool_cls(max_workers=max_workers) as pool:
-            results = list(pool.map(_run_task, tasks))
+        results = runner.execute(plan.tasks)
 
     records = [
         SweepRecord(cell=index, params=params, trial=trial, result=result)
-        for task_layout, task_results in zip(layout, results)
-        for (index, params, trial), result in zip(task_layout, task_results)
+        for task, task_results in zip(plan.tasks, results)
+        for (index, params, trial), result in zip(task.entries, task_results)
     ]
     return SweepResult(
         records=records,
-        parameter_names=tuple(sweep.parameters),
-        trials=sweep.trials,
+        parameter_names=plan.parameter_names,
+        trials=plan.trials,
     )
 
 
-def _batch_cell(backend: Backend, spec: JobSpec, trials: int, trial_batching: str) -> bool:
-    """Whether one cell should run as a single trial-batched task.
+def _execute_with_cache(
+    plan: SweepPlan, runner: Executor, store: "ResultCache"
+) -> List[List[RunResult]]:
+    """Serve cached tasks from the store, execute the rest, store them back.
 
-    ``"never"`` and single-trial cells keep per-trial tasks; otherwise the
-    backend must support trial batching for this spec (a vectorized-engine
-    :class:`~repro.api.backends.TimingSimBackend`). ``"always"`` then
-    batches unconditionally (one placement per cell for random schemes —
-    the documented :func:`~repro.simulation.vectorized.simulate_job_batch`
-    semantics) while ``"auto"`` additionally demands draw-free planning, the
-    condition under which batching is bit-identical to per-trial execution.
+    Uncacheable tasks (no canonical fingerprint — e.g. shared-generator
+    seeds or custom runner backends) get a ``None`` key and are simply
+    computed. Misses are executed together through the runner, so a mostly
+    cold cache still gets the executor's full parallelism; results come
+    back in task order regardless of the hit/miss split.
     """
-    if trial_batching == "never" or trials < 2:
-        return False
-    if not isinstance(backend, TimingSimBackend):
-        return False
-    try:
-        if not backend.supports_trial_batching(spec):
-            return False
-    except ConfigurationError:
-        return False
-    if trial_batching == "always":
-        return True
-    return _probe_rng_free_plan(spec) is not None
+    keys = [store.task_key(task) for task in plan.tasks]
+    hits = [None if key is None else store.lookup(key) for key in keys]
+    misses = [task for task, hit in zip(plan.tasks, hits) if hit is None]
+    computed = iter(runner.execute(misses)) if misses else iter(())
+
+    results: List[List[RunResult]] = []
+    for task, key, hit in zip(plan.tasks, keys, hits):
+        if hit is not None:
+            results.append(hit)
+            continue
+        task_results = next(computed)
+        if key is not None:
+            store.store(key, task_results)
+        results.append(task_results)
+    return results

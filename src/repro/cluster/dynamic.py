@@ -179,6 +179,7 @@ class ClusterTimeline:
         # alternates between two models); cache the frozen WorkerSpec per
         # (slot, model object) so the loop engine's per-iteration snapshots
         # stay cheap.
+        # reprolint: allow[CACHE002] reason=intra-process memoization per live model object; identity IS the key semantic here, nothing persists or crosses processes
         key = (index, id(model))
         spec = self._worker_cache.get(key)
         if spec is None:

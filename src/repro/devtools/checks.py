@@ -19,9 +19,11 @@ __all__ = [
     "GlobalRandomnessRule",
     "BatchPathParityRule",
     "BareBuiltinRaiseRule",
+    "SchedulerCatchAllRule",
     "SchemeAnalyticObligationRule",
     "WallClockRule",
     "LenKeyedCacheRule",
+    "IdentityKeyedCacheRule",
     "PublicDocstringRule",
     "StrictCoreAnnotationRule",
 ]
@@ -282,6 +284,62 @@ class BareBuiltinRaiseRule(Rule):
 
 
 @register_rule
+class SchedulerCatchAllRule(Rule):
+    """EXC002 — the scheduler core and service never swallow blindly."""
+
+    id = "EXC002"
+    title = "no catch-all exception handlers in repro.scheduling / repro.service"
+    severity = Severity.ERROR
+    rationale = (
+        "The scheduling core decides, per cell, whether to hoist plans, "
+        "batch trials, or serve from cache; a bare `except:` or "
+        "`except Exception:` there turns programming errors into silent "
+        "wrong decisions (the pre-refactor plan probe swallowed every "
+        "failure this way). Scheduler and service code must catch the "
+        "repro exception hierarchy — or narrower — so real bugs propagate."
+    )
+
+    _SCOPE = ("repro.scheduling", "repro.service")
+    _CATCH_ALL = {"Exception", "BaseException"}
+
+    def check(self, module: ModuleContext, project: ProjectModel) -> Iterator[Finding]:
+        if module.tree is None or not module.in_package(*self._SCOPE):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = self._catch_all_name(node.type)
+            if caught is None:
+                continue
+            label = "bare `except:`" if caught == "" else f"`except {caught}`"
+            yield self.finding(
+                module,
+                node.lineno,
+                f"catch-all {label} in scheduler/service code;"
+                " catch ReproError (or a narrower repro.exceptions type) so"
+                " programming errors propagate instead of becoming silent"
+                " scheduling decisions",
+                column=node.col_offset,
+            )
+
+    @classmethod
+    def _catch_all_name(cls, node: Optional[ast.expr]) -> Optional[str]:
+        """The offending name when a handler catches everything, else None."""
+        if node is None:
+            return ""  # a bare ``except:``
+        if isinstance(node, ast.Tuple):
+            for element in node.elts:
+                name = cls._catch_all_name(element)
+                if name:
+                    return name
+            return None
+        chain = _dotted(node)
+        if chain and chain[-1] in cls._CATCH_ALL:
+            return chain[-1]
+        return None
+
+
+@register_rule
 class SchemeAnalyticObligationRule(Rule):
     """SCHEME001 — registered schemes must take a stance on analytics."""
 
@@ -473,6 +531,98 @@ class LenKeyedCacheRule(Rule):
             and not any(cls._mentions_cache(argument) for argument in child.args)
             for child in ast.walk(node)
         )
+
+
+@register_rule
+class IdentityKeyedCacheRule(Rule):
+    """CACHE002 — cache keys come from content, never from identity."""
+
+    id = "CACHE002"
+    title = "no cache keys derived from id()/hash()/repr()"
+    severity = Severity.ERROR
+    rationale = (
+        "The result cache's contract is content addressing: equal "
+        "configurations key equally across processes and sessions. id() is "
+        "an address (reused after garbage collection, different every run), "
+        "hash() is salted per-process for strings and falls back to id() "
+        "for plain objects, and repr() of most objects embeds id(). A key "
+        "touched by any of them serves wrong results or never hits; build "
+        "keys from canonical fingerprints (repro.api.fingerprint) instead."
+    )
+
+    _IDENTITY_CALLS = {"id", "hash", "repr"}
+
+    def check(self, module: ModuleContext, project: ProjectModel) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        flagged: Set[Tuple[int, int]] = set()
+        #: Return statements inside a cache/fingerprint-named function are
+        #: key constructions even when the statement itself names nothing.
+        keying_returns: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = node.name.lower()
+                if "cache" in name or "fingerprint" in name or "key" in name:
+                    keying_returns.update(
+                        child.lineno
+                        for child in ast.walk(node)
+                        if isinstance(child, ast.Return)
+                    )
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Return, ast.Expr)
+            ):
+                continue
+            # Key *construction* sites accept the broader key-name
+            # vocabulary; bare expression statements (e.g. a display call
+            # that happens to use repr() next to a loop variable named
+            # ``key``) must name the cache itself to count.
+            implicated = isinstance(node, ast.Return) and node.lineno in keying_returns
+            if not implicated and not self._touches_cache_key(
+                node, key_names=not isinstance(node, ast.Expr)
+            ):
+                continue
+            for call in ast.walk(node):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Name)
+                    and call.func.id in self._IDENTITY_CALLS
+                    and (call.lineno, call.col_offset) not in flagged
+                ):
+                    flagged.add((call.lineno, call.col_offset))
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        f"cache key derived from {call.func.id}(): identity is"
+                        " not content — it changes across processes and GC"
+                        " cycles; fingerprint the configuration instead"
+                        " (repro.api.fingerprint)",
+                        column=call.col_offset,
+                    )
+
+    @staticmethod
+    def _touches_cache_key(node: ast.AST, *, key_names: bool) -> bool:
+        """Whether a statement involves cache/fingerprint key state.
+
+        Matches identifiers mentioning a cache or fingerprint, and — when
+        ``key_names`` — ``*key``/``key*`` names (``cache_key``,
+        ``task_key``, ``keys``), the vocabulary cache keying actually
+        uses, while ignoring unrelated ``id``/``hash``/``repr`` calls.
+        """
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name):
+                name = child.id.lower()
+            elif isinstance(child, ast.Attribute):
+                name = child.attr.lower()
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name.lower()
+            else:
+                continue
+            if "cache" in name or "fingerprint" in name:
+                return True
+            if key_names and (name.startswith("key") or name.endswith("key")):
+                return True
+        return False
 
 
 @register_rule

@@ -19,6 +19,9 @@ __all__ = [
     "RuntimeBackendError",
     "AllocationError",
     "DataError",
+    "FingerprintError",
+    "ServiceError",
+    "BudgetExceededError",
 ]
 
 
@@ -98,3 +101,27 @@ class RuntimeBackendError(ReproError):
 
 class AllocationError(ReproError):
     """The heterogeneous load-allocation solver could not produce loads."""
+
+
+class FingerprintError(ConfigurationError):
+    """A job spec (or part of one) has no canonical content fingerprint.
+
+    Raised by :meth:`repro.api.spec.JobSpec.fingerprint` when a spec carries
+    state that cannot be canonically serialised — a live
+    :class:`numpy.random.Generator` seed (inherently stateful), a custom
+    runner closure, or an object whose constructor state is not recoverable.
+    The result cache treats such specs as uncacheable and recomputes them.
+    """
+
+
+class ServiceError(ReproError):
+    """The sweep service could not process a request."""
+
+
+class BudgetExceededError(ServiceError):
+    """A sweep submission exceeds the service's per-request cell budget.
+
+    Raised *before* any cell executes, so an oversized request costs
+    nothing; the message names both the request's cell count and the
+    configured budget so callers can split or shrink the grid.
+    """

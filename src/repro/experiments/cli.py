@@ -220,6 +220,57 @@ def build_parser() -> argparse.ArgumentParser:
             "cell), 'never' keeps one task per (cell, trial)"
         ),
     )
+    sweep.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "serve repeated cells from a content-addressed result cache "
+            "persisted in DIR (summary-form results survive across runs; "
+            "keys fingerprint the full spec + seed + backend identity)"
+        ),
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async sweep service over line-delimited JSON on TCP",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8123, help="TCP port")
+    serve.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persist the result cache's disk tier in DIR",
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrent task slots (default: unbounded)",
+    )
+    serve.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="CELLS",
+        help="reject submissions spanning more than CELLS sweep cells",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the first connection closes (scripted/CI use)",
+    )
+    serve.add_argument(
+        "--self-test",
+        dest="self_test",
+        action="store_true",
+        help=(
+            "serve on an ephemeral port, submit the same sweep twice over "
+            "TCP, and require the resubmission to be served from cache"
+        ),
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -322,6 +373,7 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
         executor=args.executor,
         record=getattr(args, "record", "full"),
         trial_batching=getattr(args, "trial_batching", "auto"),
+        cache=getattr(args, "cache", None),
     )
     dynamics_note = f", dynamics={dynamics_spec}" if dynamics_spec else ""
     table = result.to_table(
@@ -397,6 +449,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(validation.render())
     elif args.experiment == "sweep":
         print(run_cli_sweep(args))
+    elif args.experiment == "serve":
+        from repro.service.server import run_server, self_test
+
+        if args.self_test:
+            return self_test(args.host)
+        return run_server(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache,
+            max_workers=args.max_workers,
+            cell_budget=args.budget,
+            once=args.once,
+        )
     elif args.experiment == "churn":
         ablation = run_churn_ablation(
             ChurnAblationConfig(

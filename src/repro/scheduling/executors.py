@@ -1,0 +1,172 @@
+"""Executors: the *how* of sweep execution, one protocol, four strategies.
+
+Every executor consumes the same :class:`~repro.scheduling.core.SweepPlan`
+and dispatches each task through the one
+:func:`~repro.scheduling.core.execute_task` runner, so the strategies can
+only differ in wall-clock, never in results (the executor-equivalence suite
+pins serial == thread == process == async bit-identity).
+
+* :class:`SerialExecutor` — in-order, in-thread; the reference.
+* :class:`PoolExecutor` — a ``concurrent.futures`` thread or process pool.
+  Process pools require picklable tasks; see :doc:`the performance guide
+  </performance>` for the constraints.
+* :class:`AsyncExecutor` — tasks as awaitables on an asyncio loop (each
+  task still runs in a worker thread: the simulators are synchronous,
+  CPU-bound code). This is the substrate :class:`repro.service.SweepService`
+  schedules on, and it doubles as a plain executor via :meth:`execute`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from repro.api.result import RunResult
+from repro.exceptions import ConfigurationError
+from repro.scheduling.core import CellTask, execute_task
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "AsyncExecutor",
+    "resolve_executor",
+]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can execute a sequence of cell tasks, in order.
+
+    ``execute`` returns one result list per task, positionally aligned with
+    the input. ``pickle_safe`` declares whether tasks cross a pickle
+    boundary on the way to execution (process pools) — the plan builder
+    then keeps specs pickle-clean by skipping plan hoisting.
+    """
+
+    name: str
+    pickle_safe: bool
+
+    def execute(self, tasks: Sequence[CellTask]) -> List[List[RunResult]]:
+        """Run every task and return their result lists, in task order."""
+        ...
+
+
+class SerialExecutor:
+    """In-order execution in the calling thread — the reference strategy."""
+
+    name = "serial"
+    pickle_safe = False
+
+    def execute(self, tasks: Sequence[CellTask]) -> List[List[RunResult]]:
+        """Run the tasks one after another, in order."""
+        return [execute_task(task) for task in tasks]
+
+
+class PoolExecutor:
+    """A ``concurrent.futures`` pool: ``kind="thread"`` or ``"process"``.
+
+    The simulation backends are CPU-bound Python/NumPy that hold the GIL,
+    so real speed-up on a multi-core machine needs ``"process"`` — which
+    requires the spec and backend to be picklable (named backends and
+    config-mapping schemes are; custom runner closures usually are not).
+    Threads still help when the backend itself waits on other processes or
+    IO (e.g. :class:`~repro.api.backends.MultiprocessBackend`).
+    """
+
+    def __init__(self, kind: str = "thread", max_workers: Optional[int] = None) -> None:
+        if kind not in ("thread", "process"):
+            raise ConfigurationError(
+                f"pool kind must be 'thread' or 'process', got {kind!r}"
+            )
+        self.kind = kind
+        self.max_workers = max_workers
+
+    @property
+    def name(self) -> str:
+        """The pool flavour, usable as a ``run_sweep(executor=...)`` value."""
+        return self.kind
+
+    @property
+    def pickle_safe(self) -> bool:
+        """Process pools pickle every task across the boundary."""
+        return self.kind == "process"
+
+    def execute(self, tasks: Sequence[CellTask]) -> List[List[RunResult]]:
+        """Fan the tasks out over the pool; results stay in task order."""
+        pool_cls = ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=self.max_workers) as pool:
+            return list(pool.map(execute_task, tasks))
+
+
+class AsyncExecutor:
+    """Task execution as awaitables on an asyncio event loop.
+
+    Each task runs in a worker thread (the simulators are synchronous,
+    CPU-bound code), bounded by ``max_workers`` concurrent slots; the event
+    loop stays free to accept submissions, stream completions, and
+    deduplicate work — which is exactly what
+    :class:`repro.service.SweepService` does with it. :meth:`execute` is
+    the synchronous wrapper for executor-protocol use.
+    """
+
+    name = "async"
+    pickle_safe = False
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+        self._semaphore: Optional[asyncio.Semaphore] = None
+
+    async def run_task(self, task: CellTask) -> List[RunResult]:
+        """Await one task's results, bounded by the concurrency limit."""
+        if self.max_workers is not None and self.max_workers > 0:
+            if self._semaphore is None:
+                self._semaphore = asyncio.Semaphore(self.max_workers)
+            async with self._semaphore:
+                return await asyncio.to_thread(execute_task, task)
+        return await asyncio.to_thread(execute_task, task)
+
+    async def execute_async(self, tasks: Sequence[CellTask]) -> List[List[RunResult]]:
+        """Await every task concurrently; results stay in task order."""
+        return list(await asyncio.gather(*(self.run_task(task) for task in tasks)))
+
+    def execute(self, tasks: Sequence[CellTask]) -> List[List[RunResult]]:
+        """Synchronous entry: drive :meth:`execute_async` on a fresh loop."""
+        return asyncio.run(self.execute_async(tasks))
+
+
+#: ``run_sweep(executor=...)`` string values and their executor factories.
+_EXECUTOR_FACTORIES: dict[str, Callable[[Optional[int]], object]] = {
+    "serial": lambda max_workers: SerialExecutor(),
+    "thread": lambda max_workers: PoolExecutor("thread", max_workers),
+    "process": lambda max_workers: PoolExecutor("process", max_workers),
+    "async": lambda max_workers: AsyncExecutor(max_workers),
+}
+
+
+def resolve_executor(
+    executor: Union[str, Executor], max_workers: Optional[int] = None
+) -> Executor:
+    """Resolve an executor name (or pass an instance through) to an Executor.
+
+    Recognised names: ``"serial"``, ``"thread"``, ``"process"``,
+    ``"async"``. Instances satisfying the :class:`Executor` protocol pass
+    through unchanged (``max_workers`` is ignored for them — it is baked
+    into the instance).
+    """
+    if isinstance(executor, str):
+        try:
+            factory = _EXECUTOR_FACTORIES[executor]
+        except KeyError:
+            raise ConfigurationError(
+                f"executor must be one of {sorted(_EXECUTOR_FACTORIES)} or an "
+                f"Executor instance, got {executor!r}"
+            ) from None
+        return factory(max_workers)  # type: ignore[return-value]
+    if isinstance(executor, Executor):
+        return executor
+    raise ConfigurationError(
+        f"cannot use {executor!r} as an executor; expected a name "
+        f"({sorted(_EXECUTOR_FACTORIES)}) or an Executor instance"
+    )

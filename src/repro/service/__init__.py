@@ -1,0 +1,31 @@
+"""Content-addressed result caching and the async sweep service.
+
+This package mounts the shared scheduling core (:mod:`repro.scheduling`)
+behind two service-grade conveniences:
+
+* :class:`~repro.service.cache.ResultCache` — a content-addressed store of
+  task results keyed by the canonical fingerprint of *(spec configuration,
+  seed, backend identity, engine)* (see :mod:`repro.api.fingerprint`).
+  Analytic cells are memoizable forever; simulated cells are deterministic
+  at fixed seeds, so repeat sweeps become cache hits. A memory tier holds
+  everything; an optional disk tier persists compact summary-form results
+  as JSON across processes.
+* :class:`~repro.service.service.SweepService` — an asyncio service that
+  accepts sweep submissions, deduplicates in-flight and cached cells,
+  streams partial :class:`~repro.api.sweep.SweepRecord` batches as tasks
+  complete, and enforces per-request cell budgets.
+
+:mod:`repro.service.server` exposes the service over a line-delimited JSON
+TCP protocol (the ``repro serve`` sub-command); ``run_sweep(cache=...)``
+uses the cache directly without a service.
+"""
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.service import ServiceStats, SweepService
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "ServiceStats",
+    "SweepService",
+]

@@ -194,6 +194,7 @@ def memoize_by_id(function):
     cache: Dict[int, object] = {}
 
     def memoized(argument):
+        # reprolint: allow[CACHE002] reason=documented intra-process memoization keyed on live object identity within one draw pass; never persisted or content-addressed
         key = id(argument)
         if key not in cache:
             cache[key] = function(argument)

@@ -290,6 +290,148 @@ class TestLenKeyedCache:
 
 
 # --------------------------------------------------------------------- #
+# CACHE002 — identity-derived cache keys
+# --------------------------------------------------------------------- #
+class TestIdentityKeyedCache:
+    def test_id_keyed_cache_is_flagged(self):
+        source = (
+            "def f(self, spec):\n"
+            "    cache_key = (id(spec), self.engine)\n"
+            "    return self._cache[cache_key]\n"
+        )
+        findings = findings_for(source, "CACHE002")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+        assert findings[0].severity is Severity.ERROR
+        assert "id()" in findings[0].message
+
+    def test_hash_keyed_cache_is_flagged(self):
+        source = (
+            "def f(self, spec):\n"
+            "    key = hash(spec)\n"
+            "    return self._cache.get(key)\n"
+        )
+        assert len(findings_for(source, "CACHE002")) == 1
+
+    def test_repr_keyed_store_is_flagged(self):
+        source = (
+            "def f(self, spec, value):\n"
+            "    self._cache[repr(spec)] = value\n"
+        )
+        assert len(findings_for(source, "CACHE002")) == 1
+
+    def test_fingerprint_from_repr_is_flagged(self):
+        source = (
+            "def fingerprint(self, spec):\n"
+            "    return repr(spec)\n"
+        )
+        assert len(findings_for(source, "CACHE002")) == 1
+
+    def test_content_fingerprint_key_is_clean(self):
+        source = (
+            "def f(self, spec, backend):\n"
+            "    cache_key = fingerprint_spec(spec, backend=backend)\n"
+            "    return self._cache.get(cache_key)\n"
+        )
+        assert findings_for(source, "CACHE002") == []
+
+    def test_unrelated_repr_is_clean(self):
+        source = (
+            "def describe(value):\n"
+            "    return 'value: ' + repr(value)\n"
+        )
+        assert findings_for(source, "CACHE002") == []
+
+    def test_display_repr_next_to_key_loop_variable_is_clean(self):
+        # A table-rendering loop whose variable happens to be named ``key``
+        # is formatting, not keying.
+        source = (
+            "def render(self, table):\n"
+            "    for key, value in self.extras.items():\n"
+            "        table.add_row([key, repr(value)])\n"
+        )
+        assert findings_for(source, "CACHE002") == []
+
+    def test_pragma_suppresses_with_reason(self):
+        source = (
+            "def f(self, model):\n"
+            "    # reprolint: allow[CACHE002] reason=intra-process memo on live object identity\n"
+            "    key = id(model)\n"
+            "    return self._cache.get(key)\n"
+        )
+        assert findings_for(source, "CACHE002") == []
+
+
+# --------------------------------------------------------------------- #
+# EXC002 — catch-alls in the scheduler core / service
+# --------------------------------------------------------------------- #
+class TestSchedulerCatchAll:
+    def test_except_exception_in_scheduling_is_flagged(self):
+        source = (
+            "def probe(spec):\n"
+            "    try:\n"
+            "        return spec.plan()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        findings = findings_for(
+            source, "EXC002", path="src/repro/scheduling/core.py"
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert findings[0].severity is Severity.ERROR
+
+    def test_bare_except_in_service_is_flagged(self):
+        source = (
+            "def load(path):\n"
+            "    try:\n"
+            "        return path.read_text()\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        findings = findings_for(
+            source, "EXC002", path="src/repro/service/cache.py"
+        )
+        assert len(findings) == 1
+        assert "bare" in findings[0].message
+
+    def test_catch_all_inside_tuple_is_flagged(self):
+        source = (
+            "def load(path):\n"
+            "    try:\n"
+            "        return path.read_text()\n"
+            "    except (OSError, Exception):\n"
+            "        return None\n"
+        )
+        assert len(
+            findings_for(source, "EXC002", path="src/repro/service/cache.py")
+        ) == 1
+
+    def test_repro_hierarchy_catch_is_clean(self):
+        source = (
+            "from repro.exceptions import ReproError\n"
+            "def probe(spec):\n"
+            "    try:\n"
+            "        return spec.plan()\n"
+            "    except ReproError:\n"
+            "        return None\n"
+        )
+        assert findings_for(
+            source, "EXC002", path="src/repro/scheduling/core.py"
+        ) == []
+
+    def test_outside_scope_is_exempt(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        assert findings_for(source, "EXC002", path="src/repro/utils/misc.py") == []
+
+
+# --------------------------------------------------------------------- #
 # DOC001 — public docstrings in repro.api
 # --------------------------------------------------------------------- #
 class TestPublicDocstring:

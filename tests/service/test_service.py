@@ -1,0 +1,184 @@
+"""The async sweep service: dedup, streaming, budgets, and the TCP front.
+
+``SweepService.run`` must be functionally interchangeable with
+``run_sweep`` (same records, same order); everything the service adds —
+in-flight deduplication, streamed partial batches, cell budgets, the JSON
+protocol — is behaviour on top, pinned here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import JobSpec, Sweep, TimingSimBackend, run_sweep
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import BudgetExceededError, ConfigurationError
+from repro.service import ResultCache, SweepService
+from repro.service.server import (
+    _self_test,
+    self_test,
+    sweep_from_request,
+)
+from repro.stragglers.models import ShiftedExponentialDelay
+
+
+def make_sweep(trials=2, seed=0):
+    cluster = ClusterSpec.homogeneous(8, ShiftedExponentialDelay(1.0, 0.5))
+    base = JobSpec(
+        scheme={"name": "bcc", "load": 4},
+        cluster=cluster,
+        num_units=16,
+        num_iterations=3,
+        seed=seed,
+    )
+    return Sweep(
+        base,
+        parameters={"scheme.load": [4, 8]},
+        trials=trials,
+        backend=TimingSimBackend(engine="auto"),
+    )
+
+
+def records_of(result):
+    return [(r.cell, r.trial, r.result) for r in result]
+
+
+class TestSweepService:
+    def test_run_matches_run_sweep(self):
+        sweep = make_sweep()
+        service = SweepService(max_workers=4)
+        result = service.submit(sweep, record="full")
+        assert records_of(result) == records_of(run_sweep(sweep))
+
+    def test_resubmission_is_served_from_cache(self):
+        sweep = make_sweep()
+        service = SweepService()
+        first = service.submit(sweep)
+        executed = service.stats.tasks_executed
+        second = service.submit(sweep)
+        assert service.stats.tasks_executed == executed
+        assert service.cache.stats.hits == executed
+        assert records_of(second) == records_of(first)
+
+    def test_stream_yields_every_record(self):
+        sweep = make_sweep()
+        service = SweepService(max_workers=2)
+
+        async def collect():
+            batches = []
+            async for batch in service.stream(sweep, record="full"):
+                batches.append(batch)
+            return batches
+
+        batches = asyncio.run(collect())
+        streamed = sorted(
+            ((r.cell, r.trial, r.result) for batch in batches for r in batch),
+        )
+        assert streamed == sorted(records_of(run_sweep(sweep)))
+        # streamed batches arrive one per scheduled task
+        assert all(batch for batch in batches)
+
+    def test_concurrent_identical_submissions_deduplicate(self):
+        sweep = make_sweep()
+        service = SweepService(max_workers=2)
+
+        async def both():
+            return await asyncio.gather(
+                service.run(sweep, record="full"),
+                service.run(sweep, record="full"),
+            )
+
+        first, second = asyncio.run(both())
+        assert records_of(first) == records_of(second)
+        deduped = service.stats.tasks_deduplicated
+        hits = service.cache.stats.hits
+        # Every task of the second submission was either deduplicated
+        # in-flight or served from the cache; none executed twice.
+        assert deduped + hits == service.stats.tasks_executed
+        assert service.cache.stats.stores == service.stats.tasks_executed
+
+    def test_cell_budget_rejects_before_execution(self):
+        service = SweepService(cell_budget=1)
+        with pytest.raises(BudgetExceededError, match="at most 1"):
+            service.submit(make_sweep())
+        assert service.stats.tasks_executed == 0
+        assert service.stats.budget_rejections == 1
+
+    def test_budget_admits_small_submissions(self):
+        service = SweepService(cell_budget=2)
+        result = service.submit(make_sweep())
+        assert len(records_of(result)) == 4
+
+    def test_shared_strategy_executes_sequentially(self):
+        sweep = make_sweep()
+        shared = Sweep(
+            sweep.base,
+            parameters=sweep.parameters,
+            trials=sweep.trials,
+            backend=sweep.backend,
+            seed_strategy="shared",
+        )
+        service = SweepService(max_workers=4)
+        result = service.submit(shared, record="full")
+        assert records_of(result) == records_of(run_sweep(shared))
+        assert service.cache.stats.stores == 0
+
+    def test_service_shares_a_cache_with_run_sweep(self):
+        sweep = make_sweep()
+        cache = ResultCache()
+        run_sweep(sweep, record="summary", cache=cache)
+        service = SweepService(cache=cache)
+        service.submit(sweep, record="summary")
+        assert service.stats.tasks_executed == 0
+
+    def test_invalid_record_rejected(self):
+        service = SweepService()
+        with pytest.raises(ConfigurationError, match="record"):
+            service.submit(make_sweep(), record="everything")
+
+    def test_invalid_trial_batching_rejected(self):
+        service = SweepService()
+        with pytest.raises(ConfigurationError, match="trial_batching"):
+            service.submit(make_sweep(), trial_batching="sometimes")
+
+
+class TestServer:
+    def test_sweep_from_request_builds_cli_equivalent_grid(self):
+        sweep, record, trial_batching = sweep_from_request(
+            {"schemes": ["bcc", "uncoded"], "loads": [5, 10], "workers": 20,
+             "units": 20, "iterations": 5, "trials": 2}
+        )
+        assert len(sweep.cells()) == 3  # bcc x 2 loads + uncoded
+        assert sweep.trials == 2
+        assert record == "summary"
+        assert trial_batching == "auto"
+
+    def test_unknown_request_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown request key"):
+            sweep_from_request({"schemes": ["bcc"], "palette": "dark"})
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            sweep_from_request({"schemes": ["quantum"]})
+
+    def test_unsupported_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            sweep_from_request({"backend": "multiprocess"})
+
+    def test_self_test_round_trip(self):
+        # The full TCP story: serve on an ephemeral port, submit the same
+        # sweep twice, require the resubmission to be served from cache.
+        request = {
+            "schemes": ["bcc"],
+            "loads": [4],
+            "workers": 10,
+            "units": 10,
+            "iterations": 3,
+            "trials": 2,
+        }
+        assert asyncio.run(_self_test("127.0.0.1", request)) == 0
+
+    def test_packaged_self_test_passes(self):
+        assert self_test() == 0
