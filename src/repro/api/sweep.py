@@ -460,6 +460,16 @@ def run_sweep(
         # global (a long-standing test seam) still takes effect.
         hoist=_hoist_cell_plan,
     )
+    # Missing attribute counts as unsafe: third-party executors must opt in
+    # to sequential plans explicitly.
+    if plan.sequential and not getattr(runner, "sequential_safe", False):
+        raise ConfigurationError(
+            "the sweep's plan threads shared state through its tasks (the "
+            "'shared' seed strategy's single generator) and must execute "
+            f"sequentially, but executor {runner.name!r} dispatches tasks "
+            "concurrently; use executor='serial' (or the 'spawn' seed "
+            "strategy) instead"
+        )
 
     if cache is not None:
         from repro.service.cache import ResultCache

@@ -109,7 +109,8 @@ class SweepPlan:
     sequential:
         ``True`` when the tasks thread shared state (the ``"shared"`` seed
         strategy's single generator) and therefore must execute one after
-        another, in order; concurrent executors refuse such plans.
+        another, in order; ``run_sweep`` refuses to hand such plans to any
+        executor whose ``sequential_safe`` flag is not ``True``.
     """
 
     tasks: Tuple[CellTask, ...]

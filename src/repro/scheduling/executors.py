@@ -43,10 +43,16 @@ class Executor(Protocol):
     the input. ``pickle_safe`` declares whether tasks cross a pickle
     boundary on the way to execution (process pools) — the plan builder
     then keeps specs pickle-clean by skipping plan hoisting.
+    ``sequential_safe`` declares that ``execute`` runs the tasks strictly
+    one after another, in order, in the calling process — the property a
+    sequential :class:`~repro.scheduling.core.SweepPlan` (the ``"shared"``
+    seed strategy's single generator threaded through every task) requires;
+    ``run_sweep`` refuses to hand such plans to executors without it.
     """
 
     name: str
     pickle_safe: bool
+    sequential_safe: bool
 
     def execute(self, tasks: Sequence[CellTask]) -> List[List[RunResult]]:
         """Run every task and return their result lists, in task order."""
@@ -58,6 +64,7 @@ class SerialExecutor:
 
     name = "serial"
     pickle_safe = False
+    sequential_safe = True
 
     def execute(self, tasks: Sequence[CellTask]) -> List[List[RunResult]]:
         """Run the tasks one after another, in order."""
@@ -93,6 +100,12 @@ class PoolExecutor:
         """Process pools pickle every task across the boundary."""
         return self.kind == "process"
 
+    #: Pools dispatch tasks concurrently (and process pools additionally
+    #: pickle them, copying any shared generator), so a plan that threads
+    #: shared state through its tasks cannot run here — not even with one
+    #: worker.
+    sequential_safe = False
+
     def execute(self, tasks: Sequence[CellTask]) -> List[List[RunResult]]:
         """Fan the tasks out over the pool; results stay in task order."""
         pool_cls = ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
@@ -113,17 +126,34 @@ class AsyncExecutor:
 
     name = "async"
     pickle_safe = False
+    sequential_safe = False
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         self.max_workers = max_workers
         self._semaphore: Optional[asyncio.Semaphore] = None
+        self._semaphore_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def _limit(self) -> Optional[asyncio.Semaphore]:
+        """The concurrency semaphore for the *running* loop, or ``None``.
+
+        A semaphore is bound to the event loop it is first awaited on, and
+        every :meth:`execute` call runs on a fresh ``asyncio.run`` loop —
+        so a cached semaphore must be replaced whenever the executor is
+        reused on a new loop, or the second use raises ``RuntimeError``.
+        """
+        if self.max_workers is None or self.max_workers <= 0:
+            return None
+        loop = asyncio.get_running_loop()
+        if self._semaphore is None or self._semaphore_loop is not loop:
+            self._semaphore = asyncio.Semaphore(self.max_workers)
+            self._semaphore_loop = loop
+        return self._semaphore
 
     async def run_task(self, task: CellTask) -> List[RunResult]:
         """Await one task's results, bounded by the concurrency limit."""
-        if self.max_workers is not None and self.max_workers > 0:
-            if self._semaphore is None:
-                self._semaphore = asyncio.Semaphore(self.max_workers)
-            async with self._semaphore:
+        limit = self._limit()
+        if limit is not None:
+            async with limit:
                 return await asyncio.to_thread(execute_task, task)
         return await asyncio.to_thread(execute_task, task)
 

@@ -72,6 +72,8 @@ def sweep_from_request(payload: Mapping[str, object]) -> Tuple[Sweep, str, str]:
         )
     scheme_names = list(payload.get("schemes", ["bcc", "uncoded"]))  # type: ignore[arg-type]
     loads = [int(load) for load in payload.get("loads", [5, 10, 25])]  # type: ignore[union-attr]
+    if not scheme_names:
+        raise ConfigurationError("the request must name at least one scheme")
     for name in scheme_names:
         if name not in available_schemes():
             raise ConfigurationError(
@@ -84,6 +86,12 @@ def sweep_from_request(payload: Mapping[str, object]) -> Tuple[Sweep, str, str]:
             scheme_configs.extend({"name": name, "load": load} for load in loads)
         else:
             scheme_configs.append({"name": name})
+    if not scheme_configs:
+        # Every requested scheme sweeps the load axis and "loads" was empty.
+        raise ConfigurationError(
+            "the request expands to zero sweep cells; give a non-empty "
+            "'loads' list for the requested scheme(s)"
+        )
 
     base = JobSpec(
         scheme=scheme_configs[0],

@@ -205,10 +205,15 @@ class SweepService:
             return await asyncio.shield(running)
         running = asyncio.ensure_future(self._execute_and_store(task, key))
         self._inflight[key] = running
-        try:
-            return await asyncio.shield(running)
-        finally:
-            self._inflight.pop(key, None)
+        # Clear the key when the *execution* finishes, not when this caller
+        # stops awaiting it: the await below is shielded, so a cancelled
+        # caller (stream teardown) leaves the task running — popping the key
+        # here would let an identical submission start a duplicate execution
+        # instead of deduplicating against the still-running one.
+        running.add_done_callback(
+            lambda done, key=key: self._inflight.pop(key, None)
+        )
+        return await asyncio.shield(running)
 
     async def _execute_and_store(self, task: CellTask, key: str) -> List[RunResult]:
         results = await self.executor.run_task(task)

@@ -108,6 +108,64 @@ class TestExecutorEquivalence:
             result = run_sweep(sweep, max_workers=2, executor=instance)
             assert records_of(result) == records_of(reference)
 
+    def test_async_executor_instance_is_reusable(self):
+        # Each run_sweep call drives execute() on a fresh asyncio.run loop;
+        # a concurrency semaphore cached from the first loop must not leak
+        # into the second (it would raise "bound to a different event loop").
+        sweep = make_sweep()
+        executor = AsyncExecutor(max_workers=2)
+        first = run_sweep(sweep, executor=executor)
+        second = run_sweep(sweep, executor=executor)
+        assert records_of(second) == records_of(first)
+
+
+def shared_seed_sweep():
+    sweep = make_sweep()
+    return Sweep(
+        sweep.base,
+        parameters=sweep.parameters,
+        trials=sweep.trials,
+        backend=sweep.backend,
+        seed_strategy="shared",
+    )
+
+
+class TestSequentialPlans:
+    def test_only_serial_is_sequential_safe(self):
+        assert SerialExecutor().sequential_safe
+        assert not PoolExecutor("thread", 1).sequential_safe
+        assert not PoolExecutor("process", 1).sequential_safe
+        assert not AsyncExecutor().sequential_safe
+
+    def test_serial_instance_accepts_shared_strategy(self):
+        shared = shared_seed_sweep()
+        reference = run_sweep(shared)
+        result = run_sweep(shared, executor=SerialExecutor())
+        assert records_of(result) == records_of(reference)
+
+    @pytest.mark.parametrize(
+        "instance",
+        [PoolExecutor("thread", 4), PoolExecutor("process", 2), AsyncExecutor(4)],
+        ids=["thread", "process", "async"],
+    )
+    def test_concurrent_instance_refuses_shared_strategy(self, instance):
+        # The instance path bypasses the max_workers-based string guard; the
+        # plan-level check must still refuse to race the shared generator.
+        with pytest.raises(ConfigurationError, match="sequential"):
+            run_sweep(shared_seed_sweep(), executor=instance)
+
+    def test_concurrent_instance_refused_even_without_max_workers(self):
+        with pytest.raises(ConfigurationError, match="sequential"):
+            run_sweep(
+                shared_seed_sweep(),
+                executor=PoolExecutor("thread", 8),
+                max_workers=None,
+            )
+
+    def test_string_executor_with_workers_still_refused(self):
+        with pytest.raises(ConfigurationError, match="seed strategy"):
+            run_sweep(shared_seed_sweep(), executor="thread", max_workers=4)
+
 
 class TestResolveExecutor:
     def test_names_resolve(self):

@@ -143,6 +143,57 @@ class TestSweepService:
         with pytest.raises(ConfigurationError, match="trial_batching"):
             service.submit(make_sweep(), trial_batching="sometimes")
 
+    def test_worker_limited_service_survives_repeat_submissions(self):
+        # Each submit() drives a fresh asyncio.run loop; the executor's
+        # concurrency semaphore must not stay bound to the first loop.
+        service = SweepService(max_workers=2)
+        service.submit(make_sweep(seed=0))
+        result = service.submit(make_sweep(seed=1))  # distinct: forces execution
+        assert len(records_of(result)) == 4
+
+    def test_cancelled_waiter_keeps_inflight_dedup(self):
+        # A cancelled caller must not evict the in-flight entry while the
+        # shielded execution is still running — a concurrent identical
+        # submission has to deduplicate against it, not recompute.
+        from repro.api.backends import get_backend
+        from repro.scheduling.core import build_sweep_plan
+
+        sweep = make_sweep()
+        plan = build_sweep_plan(
+            sweep, backend=get_backend(sweep.backend), record="summary"
+        )
+        task = plan.tasks[0]
+
+        async def scenario():
+            service = SweepService(max_workers=2)
+            key = service.cache.task_key(task)
+            assert key is not None
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def slow_run_task(_task):
+                started.set()
+                await release.wait()
+                return ["sentinel"]
+
+            service.executor.run_task = slow_run_task
+            waiter = asyncio.ensure_future(service._cached_task(task))
+            await started.wait()
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            assert key in service._inflight
+            second = asyncio.ensure_future(service._cached_task(task))
+            await asyncio.sleep(0)
+            release.set()
+            assert await second == ["sentinel"]
+            assert service.stats.tasks_deduplicated == 1
+            assert service.stats.tasks_executed == 1
+            await asyncio.sleep(0)  # let the done-callback clear the key
+            assert key not in service._inflight
+
+        asyncio.run(scenario())
+
 
 class TestServer:
     def test_sweep_from_request_builds_cli_equivalent_grid(self):
@@ -158,6 +209,16 @@ class TestServer:
     def test_unknown_request_key_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown request key"):
             sweep_from_request({"schemes": ["bcc"], "palette": "dark"})
+
+    def test_empty_scheme_list_rejected(self):
+        # An IndexError here would kill the connection task with no error
+        # event; the handler only translates ReproError/ValueError.
+        with pytest.raises(ConfigurationError, match="at least one scheme"):
+            sweep_from_request({"schemes": []})
+
+    def test_empty_load_list_rejected_when_schemes_sweep_load(self):
+        with pytest.raises(ConfigurationError, match="zero sweep cells"):
+            sweep_from_request({"schemes": ["bcc"], "loads": []})
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown scheme"):
