@@ -1,0 +1,610 @@
+"""Cross-validation of the real runtime against the simulators.
+
+The closed loop the paper implies but never automates: run **real** coded
+gradient descent (one OS process per worker) under an injected straggler
+scenario, replay the *identical* scenario through the discrete-event
+simulator, and compare the runtimes the two substrates report. The scenario
+is a :class:`~repro.cluster.dynamic.DynamicClusterSpec` with a **pinned**
+scenario seed, so its materialised timeline (regimes, preemptions, churn) is
+bit-identical on every substrate; only the realised completion-time draws
+differ, and with a few dozen iterations their means concentrate enough to
+gate on a ratio tolerance.
+
+What is compared
+----------------
+Per scheme, the **observed** wall-clock seconds of the multiprocess run
+(injected sleeps dominating; loopback IPC adds small overhead) against the
+**predicted** seconds from :class:`~repro.api.backends.TimingSimBackend`
+averaged over a handful of trials. The closed-form
+:class:`~repro.api.backends.AnalyticBackend` supplies a third column where
+tractable — evaluated on the scenario's *stationary base cluster*, since the
+closed forms do not cover non-stationary dynamics — as a sanity anchor, not
+a gated quantity.
+
+Tolerance
+---------
+The gate is ``|observed/predicted - 1| <= tolerance`` with a default
+tolerance of **0.35** (35%), documented in ``docs/validation.rst``. The
+budget decomposes as roughly 3-5x the standard error of the two run means
+(each a mean over ``num_iterations`` order-statistic maxima with standard
+deviation of a few percent) plus a few percent of systematic overhead bias
+(process scheduling, queue hops) on the real side. Scenarios are calibrated
+so the injected delays sit in the tens of milliseconds — far above the IPC
+overhead, far below anything that would make the suite slow.
+
+Timestamps come from :func:`repro.utils.timing.utc_timestamp` at the CLI
+boundary; this module never reads the host clock (the TIME001 contract),
+so every function here is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.dynamic import ChurnEvent, DynamicClusterSpec
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import AnalyticIntractableError, ConfigurationError
+from repro.runtime.faults import build_fault_schedule
+from repro.stragglers.communication import LinearCommunicationModel
+from repro.stragglers.models import ShiftedExponentialDelay
+from repro.utils.tables import TextTable
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "SchemeValidation",
+    "ValidationReport",
+    "ValidationScenario",
+    "append_validation_record",
+    "golden_scenarios",
+    "golden_trace",
+    "validate_scenario",
+]
+
+#: Documented observed-vs-predicted ratio tolerance (see module docstring
+#: and ``docs/validation.rst``).
+DEFAULT_TOLERANCE = 0.35
+
+
+@dataclass(frozen=True)
+class ValidationScenario:
+    """One pinned cross-validation scenario: cluster, faults, and schemes.
+
+    Everything is plain data (process configs, not process objects), so a
+    scenario is JSON-serialisable and the golden fixtures can pin its exact
+    identity alongside its outputs.
+
+    Attributes
+    ----------
+    name, description:
+        Identity for reports and benchmark records.
+    num_workers, num_units, unit_size, num_features:
+        Job geometry; the workload is a seeded synthetic least-squares
+        problem with ``num_units * unit_size`` examples.
+    num_iterations:
+        GD iterations per run (the averaging horizon of the ratio gate).
+    sim_trials:
+        Timing-simulation trials averaged into the predicted seconds.
+    real_trials:
+        Multiprocess runs (at derived seeds) averaged into the observed
+        seconds; a single realisation of a bursty scenario carries ~10%
+        draw noise over two dozen iterations, so both sides of the ratio
+        are means.
+    schemes:
+        Scheme configs (registry mappings) validated in order.
+    seconds_per_example, straggling:
+        Shift-exponential computation calibration (shift per example and
+        the straggling rate ``mu``; the tail over ``k`` examples has mean
+        ``k / mu`` seconds).
+    comm_latency, comm_seconds_per_unit, comm_jitter:
+        Linear communication calibration (see
+        :class:`~repro.stragglers.communication.LinearCommunicationModel`).
+    dynamics:
+        Optional registered worker-process config applied to every worker
+        (e.g. ``{"name": "markov", "slowdown": 4.0}``).
+    events, initially_absent:
+        Scripted churn, as :class:`~repro.cluster.dynamic.ChurnEvent`
+        mappings and initially-vacant slots.
+    scenario_seed:
+        The **pinned** dynamics seed: with it set, materialising the
+        cluster draws nothing from the job RNG, so the real run and every
+        simulation trial replay the identical timeline.
+    seed:
+        Base spec seed (plan placement and the real run's schedule draws).
+    fault_mode:
+        How the real workers realise vacant cells (``"mute"``/``"respawn"``).
+    tolerance:
+        Ratio gate for this scenario.
+    """
+
+    name: str
+    description: str = ""
+    num_workers: int = 4
+    num_units: int = 4
+    unit_size: int = 3
+    num_features: int = 4
+    num_iterations: int = 24
+    sim_trials: int = 6
+    real_trials: int = 3
+    schemes: Tuple[Mapping[str, object], ...] = (
+        {"name": "uncoded"},
+        {"name": "cyclic-repetition", "load": 3},
+    )
+    seconds_per_example: float = 2.0e-3
+    straggling: float = 600.0
+    comm_latency: float = 1.0e-3
+    comm_seconds_per_unit: float = 2.0e-3
+    comm_jitter: float = 2.0e-2
+    dynamics: Optional[Mapping[str, object]] = None
+    events: Tuple[Mapping[str, object], ...] = ()
+    initially_absent: Tuple[int, ...] = ()
+    scenario_seed: int = 0
+    seed: int = 0
+    fault_mode: str = "mute"
+    tolerance: float = DEFAULT_TOLERANCE
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_iterations, "num_iterations")
+        check_positive_int(self.sim_trials, "sim_trials")
+        check_positive_int(self.real_trials, "real_trials")
+        if not self.schemes:
+            raise ConfigurationError(f"scenario {self.name!r} lists no schemes")
+        if self.tolerance <= 0:
+            raise ConfigurationError(
+                f"tolerance must be positive, got {self.tolerance}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_examples(self) -> int:
+        """Total synthetic training examples."""
+        return self.num_units * self.unit_size
+
+    def base_cluster(self) -> ClusterSpec:
+        """The stationary base cluster (also the analytic anchor's input)."""
+        compute = ShiftedExponentialDelay(
+            straggling=self.straggling,
+            shift=self.seconds_per_example,
+        )
+        communication = LinearCommunicationModel(
+            latency=self.comm_latency,
+            seconds_per_unit=self.comm_seconds_per_unit,
+            jitter=self.comm_jitter,
+        )
+        return ClusterSpec.homogeneous(self.num_workers, compute, communication)
+
+    def build_cluster(self) -> DynamicClusterSpec:
+        """The scenario's dynamic cluster with its pinned timeline seed."""
+        events = tuple(ChurnEvent(**dict(event)) for event in self.events)
+        return DynamicClusterSpec(
+            self.base_cluster(),
+            dynamics=dict(self.dynamics) if self.dynamics is not None else None,
+            events=events,
+            initially_absent=self.initially_absent,
+            seed=self.scenario_seed,
+        )
+
+    def quick(self) -> "ValidationScenario":
+        """A scaled-down copy for smoke runs (fewer iterations and trials).
+
+        The shorter averaging horizon roughly doubles the standard error of
+        the run means, so the gate widens to twice the scenario tolerance —
+        the smoke run checks the loop end-to-end, not the calibration.
+        """
+        return replace(
+            self,
+            num_iterations=max(6, self.num_iterations // 4),
+            sim_trials=max(2, self.sim_trials // 3),
+            real_trials=1,
+            tolerance=2.0 * self.tolerance,
+        )
+
+    def to_config(self) -> Dict[str, object]:
+        """This scenario as plain JSON data (golden-fixture identity)."""
+        return {
+            "name": self.name,
+            "num_workers": self.num_workers,
+            "num_units": self.num_units,
+            "unit_size": self.unit_size,
+            "num_iterations": self.num_iterations,
+            "schemes": [dict(scheme) for scheme in self.schemes],
+            "dynamics": dict(self.dynamics) if self.dynamics else None,
+            "events": [dict(event) for event in self.events],
+            "initially_absent": list(self.initially_absent),
+            "scenario_seed": self.scenario_seed,
+            "seed": self.seed,
+            "fault_mode": self.fault_mode,
+        }
+
+
+def golden_scenarios() -> Tuple[ValidationScenario, ValidationScenario]:
+    """The two pinned scenarios the validation gate (and fixtures) use.
+
+    ``markov-bursts``
+        Every worker's computation is modulated by a two-state Markov chain
+        (bursty slowdowns, never vacant), so every scheme — including
+        uncoded, which tolerates no absence — runs to completion.
+    ``preempt-respawn``
+        Spot-instance-style preemptions plus a scripted delayed join, run in
+        ``"respawn"`` mode (killed workers exit; the master respawns the
+        slot at rejoin). Schemes are the deterministically straggler-tolerant
+        ones (cyclic repetition at load 3 tolerates any 2 absences), and the
+        pinned scenario seed keeps at least ``n - 2`` slots active in every
+        iteration — asserted by the golden fixture's availability trace.
+    """
+    markov = ValidationScenario(
+        name="markov-bursts",
+        description="bursty Markov-modulated slowdowns, no vacancies",
+        num_workers=4,
+        num_units=4,
+        unit_size=3,
+        num_iterations=24,
+        sim_trials=6,
+        schemes=(
+            {"name": "uncoded"},
+            {"name": "cyclic-repetition", "load": 3},
+            {"name": "bcc", "load": 3},
+        ),
+        dynamics={"name": "markov", "slowdown": 5.0, "p_slow": 0.2, "p_recover": 0.5},
+        scenario_seed=2,
+        seed=5,
+        fault_mode="mute",
+    )
+    preempt = ValidationScenario(
+        name="preempt-respawn",
+        description="spot-style preemptions with kill-and-respawn recovery",
+        num_workers=5,
+        num_units=5,
+        unit_size=3,
+        num_iterations=24,
+        sim_trials=6,
+        schemes=(
+            {"name": "cyclic-repetition", "load": 3},
+            {"name": "reed-solomon", "load": 3},
+        ),
+        dynamics={
+            "name": "preempt",
+            "preempt_probability": 0.12,
+            "recovery_iterations": 2,
+        },
+        events=({"kind": "join", "worker": 4, "iteration": 4},),
+        initially_absent=(4,),
+        # Pinned so the availability trace keeps >= n - 2 = 3 slots active in
+        # every iteration (cyclic/RS load 3 tolerate exactly 2 absences)
+        # while still preempting 24 of the 120 cells.
+        scenario_seed=9,
+        seed=9,
+        fault_mode="respawn",
+    )
+    return markov, preempt
+
+
+# --------------------------------------------------------------------------- #
+@dataclass
+class SchemeValidation:
+    """Observed-vs-predicted comparison for one scheme in one scenario."""
+
+    scheme_name: str
+    observed_seconds: float
+    predicted_seconds: float
+    tolerance: float
+    analytic_seconds: Optional[float] = None
+    fault_fingerprint: str = ""
+    scheduled_workers: List[int] = field(default_factory=list)
+    observed_iteration_seconds: List[float] = field(default_factory=list)
+    predicted_iteration_seconds: float = 0.0
+
+    @property
+    def ratio(self) -> float:
+        """Observed wall-clock over simulator-predicted seconds."""
+        if self.predicted_seconds <= 0:
+            raise ConfigurationError(
+                f"scheme {self.scheme_name!r} predicted non-positive seconds"
+            )
+        return self.observed_seconds / self.predicted_seconds
+
+    @property
+    def ratio_error(self) -> float:
+        """``|ratio - 1|`` — the gated quantity."""
+        return abs(self.ratio - 1.0)
+
+    @property
+    def within_tolerance(self) -> bool:
+        """Whether this scheme passes the scenario's ratio gate."""
+        return self.ratio_error <= self.tolerance
+
+    def to_record(self) -> Dict[str, object]:
+        """Machine-readable summary for the benchmark history."""
+        record: Dict[str, object] = {
+            "scheme": self.scheme_name,
+            "observed_seconds": float(self.observed_seconds),
+            "predicted_seconds": float(self.predicted_seconds),
+            "ratio": float(self.ratio),
+            "within_tolerance": bool(self.within_tolerance),
+        }
+        if self.analytic_seconds is not None:
+            record["analytic_seconds"] = float(self.analytic_seconds)
+        if self.fault_fingerprint:
+            record["fault_fingerprint"] = self.fault_fingerprint
+        return record
+
+
+@dataclass
+class ValidationReport:
+    """Every scheme's comparison for one scenario, plus the gate verdict."""
+
+    scenario: ValidationScenario
+    results: List[SchemeValidation] = field(default_factory=list)
+
+    @property
+    def all_within_tolerance(self) -> bool:
+        """Whether every scheme passed the ratio gate."""
+        return all(result.within_tolerance for result in self.results)
+
+    @property
+    def worst_ratio_error(self) -> float:
+        """The largest ``|ratio - 1|`` across schemes."""
+        if not self.results:
+            raise ConfigurationError("the report holds no results")
+        return max(result.ratio_error for result in self.results)
+
+    def to_record(self) -> Dict[str, object]:
+        """Machine-readable record (appended to the benchmark history)."""
+        return {
+            "test": f"validate:{self.scenario.name}",
+            "tolerance": float(self.scenario.tolerance),
+            "num_iterations": self.scenario.num_iterations,
+            "sim_trials": self.scenario.sim_trials,
+            "fault_mode": self.scenario.fault_mode,
+            "all_within_tolerance": bool(self.all_within_tolerance),
+            "schemes": [result.to_record() for result in self.results],
+        }
+
+    def to_table(self) -> TextTable:
+        """Human-readable comparison table."""
+        table = TextTable(
+            ["scheme", "observed (s)", "sim predicted (s)", "analytic (s)",
+             "ratio", "gate"],
+            title=(
+                f"Cross-validation — {self.scenario.name}: "
+                f"{self.scenario.description} "
+                f"({self.scenario.num_iterations} iterations, "
+                f"tolerance {self.scenario.tolerance:.0%})"
+            ),
+        )
+        for result in self.results:
+            table.add_row(
+                [
+                    result.scheme_name,
+                    f"{result.observed_seconds:.3f}",
+                    f"{result.predicted_seconds:.3f}",
+                    "-"
+                    if result.analytic_seconds is None
+                    else f"{result.analytic_seconds:.3f}",
+                    f"{result.ratio:.3f}",
+                    "ok" if result.within_tolerance else "FAIL",
+                ]
+            )
+        return table
+
+
+# --------------------------------------------------------------------------- #
+def _build_workload(scenario: ValidationScenario):
+    """The seeded synthetic least-squares workload the real run trains."""
+    from repro.api import Workload
+    from repro.datasets.batching import make_batches
+    from repro.datasets.synthetic import make_linear_regression_data
+    from repro.gradients.least_squares import LeastSquaresLoss
+    from repro.optim.gradient_descent import GradientDescent
+
+    dataset, _ = make_linear_regression_data(
+        scenario.num_examples, scenario.num_features, seed=scenario.seed
+    )
+    return Workload(
+        model=LeastSquaresLoss(),
+        dataset=dataset,
+        optimizer=GradientDescent(0.05),
+        unit_spec=make_batches(scenario.num_examples, scenario.unit_size),
+    )
+
+
+def validate_scenario(scenario: ValidationScenario) -> ValidationReport:
+    """Run one scenario on real workers and through the simulators.
+
+    For each scheme: ``scenario.real_trials`` multiprocess runs under the
+    scenario's injected fault schedule (observed seconds, averaged),
+    ``scenario.sim_trials`` timing simulations of the identical pinned
+    timeline at derived seeds (predicted seconds, averaged), and — where the
+    closed forms are tractable — the analytic expectation on the stationary
+    base cluster. The availability timeline is bit-identical on every run of
+    both substrates (the scenario seed pins it); only the completion-time
+    draws vary, which is exactly what the means wash out.
+    """
+    # Function-level API imports: repro.api.backends imports repro.analysis,
+    # so the module level would be a cycle.
+    from repro.api import JobSpec, run
+
+    cluster = scenario.build_cluster()
+    workload = _build_workload(scenario)
+    report = ValidationReport(scenario=scenario)
+    for scheme in scenario.schemes:
+        observed_totals = []
+        observed = None
+        for trial in range(scenario.real_trials):
+            spec = JobSpec(
+                scheme=dict(scheme),
+                cluster=cluster,
+                num_iterations=scenario.num_iterations,
+                serialize_master_link=False,
+                seed=scenario.seed + 1000 * trial,
+                workload=workload,
+                backend_options={"fault_mode": scenario.fault_mode},
+            )
+            result = run(spec, backend="multiprocess")
+            observed = observed if observed is not None else result
+            observed_totals.append(result.total_seconds)
+
+        predicted_totals = []
+        for trial in range(scenario.sim_trials):
+            sim_spec = JobSpec(
+                scheme=dict(scheme),
+                cluster=cluster,
+                num_units=scenario.num_units,
+                unit_size=scenario.unit_size,
+                num_iterations=scenario.num_iterations,
+                serialize_master_link=False,
+                seed=scenario.seed + 1 + trial,
+            )
+            predicted_totals.append(run(sim_spec, backend="timing").total_time)
+        predicted = float(np.mean(predicted_totals))
+
+        analytic_seconds: Optional[float] = None
+        try:
+            analytic_spec = JobSpec(
+                scheme=dict(scheme),
+                cluster=scenario.base_cluster(),
+                num_units=scenario.num_units,
+                unit_size=scenario.unit_size,
+                num_iterations=scenario.num_iterations,
+                serialize_master_link=False,
+                seed=scenario.seed,
+            )
+            analytic_seconds = float(
+                run(analytic_spec, backend="analytic").total_time
+            )
+        except AnalyticIntractableError:
+            analytic_seconds = None
+
+        assert observed is not None
+        report.results.append(
+            SchemeValidation(
+                scheme_name=str(scheme.get("name", "?")),
+                observed_seconds=float(np.mean(observed_totals)),
+                predicted_seconds=predicted,
+                tolerance=scenario.tolerance,
+                analytic_seconds=analytic_seconds,
+                fault_fingerprint=str(observed.extras.get("fault_fingerprint", "")),
+                scheduled_workers=list(observed.extras.get("scheduled_workers", [])),
+                observed_iteration_seconds=list(observed.iteration_times),
+                predicted_iteration_seconds=predicted / scenario.num_iterations,
+            )
+        )
+    return report
+
+
+# --------------------------------------------------------------------------- #
+def golden_trace(scenario: ValidationScenario) -> Dict[str, object]:
+    """The deterministic trace of a scenario — the golden-fixture payload.
+
+    Everything here is a pure function of the scenario's pinned seeds, so the
+    golden diff test can require exact (or ``1e-9``-relative) agreement:
+
+    * the scenario config (identity: a drifted scenario fails loudly, it
+      does not silently re-baseline);
+    * the canonical fault-schedule fingerprint and the availability trace
+      (which slots are vacant when, and the per-iteration active counts);
+    * per scheme, the simulator-predicted seconds (the denominator of the
+      validation ratio) and the analytic anchor where tractable, plus each
+      scheme's predicted runtime relative to the first scheme.
+
+    Observed wall-clock seconds are deliberately **absent**: they vary run
+    to run and are gated by the ratio tolerance in :func:`validate_scenario`
+    instead.
+    """
+    from repro.api import JobSpec, run
+
+    cluster = scenario.build_cluster()
+    schedule = build_fault_schedule(
+        cluster,
+        scenario.num_iterations,
+        loads=[scenario.unit_size] * scenario.num_workers,
+        include_communication=False,
+        rng=scenario.seed,
+    )
+    trace: Dict[str, object] = {
+        "config": scenario.to_config(),
+        "fault_fingerprint": schedule.fingerprint(),
+        "availability": schedule.availability.astype(int).tolist(),
+        "active_counts": [int(count) for count in schedule.active_counts],
+        "min_active": int(schedule.active_counts.min()),
+    }
+    schemes: List[Dict[str, object]] = []
+    baseline: Optional[float] = None
+    for scheme in scenario.schemes:
+        predicted_totals = []
+        for trial in range(scenario.sim_trials):
+            sim_spec = JobSpec(
+                scheme=dict(scheme),
+                cluster=cluster,
+                num_units=scenario.num_units,
+                unit_size=scenario.unit_size,
+                num_iterations=scenario.num_iterations,
+                serialize_master_link=False,
+                seed=scenario.seed + 1 + trial,
+            )
+            predicted_totals.append(run(sim_spec, backend="timing").total_time)
+        predicted = float(np.mean(predicted_totals))
+        baseline = predicted if baseline is None else baseline
+        entry: Dict[str, object] = {
+            "scheme": dict(scheme),
+            "predicted_seconds": predicted,
+            "predicted_ratio_vs_first": predicted / baseline,
+        }
+        try:
+            analytic_spec = JobSpec(
+                scheme=dict(scheme),
+                cluster=scenario.base_cluster(),
+                num_units=scenario.num_units,
+                unit_size=scenario.unit_size,
+                num_iterations=scenario.num_iterations,
+                serialize_master_link=False,
+                seed=scenario.seed,
+            )
+            entry["analytic_seconds"] = float(
+                run(analytic_spec, backend="analytic").total_time
+            )
+        except AnalyticIntractableError:
+            entry["analytic_seconds"] = None
+        schemes.append(entry)
+    trace["schemes"] = schemes
+    return trace
+
+
+# --------------------------------------------------------------------------- #
+def append_validation_record(
+    report: ValidationReport,
+    path: Union[str, Path],
+    *,
+    timestamp: str,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Append ``report`` to the benchmark history JSON at ``path``.
+
+    Shares the schema of ``benchmarks/BENCH_sweep.json``:
+    ``{"benchmark": ..., "runs": [...]}``, corrupt or missing files starting
+    a fresh history. The ``timestamp`` comes from the caller (use
+    :func:`repro.utils.timing.utc_timestamp` at the CLI boundary) so this
+    module stays clock-free. Returns the record that was appended.
+    """
+    path = Path(path)
+    record: Dict[str, object] = {"timestamp": timestamp, "quick": bool(quick)}
+    record.update(report.to_record())
+    history: Dict[str, object] = {"benchmark": "bench_sweep", "runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                history = loaded
+        except (OSError, json.JSONDecodeError):
+            pass
+    runs = history.setdefault("runs", [])
+    assert isinstance(runs, list)
+    runs.append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return record

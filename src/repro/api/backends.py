@@ -35,6 +35,12 @@ from repro.api.result import RunResult, validate_record
 from repro.api.spec import JobSpec
 from repro.cluster.dynamic import DynamicClusterSpec
 from repro.exceptions import AnalyticIntractableError, ConfigurationError
+from repro.runtime.faults import (
+    build_fault_schedule,
+    ensure_injectable,
+    plan_example_loads,
+    validate_fault_mode,
+)
 from repro.runtime.job import run_distributed_job
 from repro.schemes.base import ExecutionPlan
 from repro.simulation.iteration import IterationOutcome
@@ -229,7 +235,20 @@ class MultiprocessBackend:
     The worker count comes from the spec's cluster when one is given,
     otherwise from a ``num_workers`` backend option. Recognised
     ``backend_options``: ``num_workers``, ``straggle_delays``,
-    ``receive_timeout``, ``iteration_timeout``, ``mp_context``.
+    ``receive_timeout``, ``iteration_timeout``, ``mp_context``,
+    ``fault_mode``, ``include_communication``.
+
+    A spec carrying an *injectable*
+    :class:`~repro.cluster.dynamic.DynamicClusterSpec` (every worker process
+    drawn from the registered process classes — see
+    :func:`~repro.runtime.faults.ensure_injectable`) is replayed on the real
+    workers through a :class:`~repro.runtime.faults.FaultSchedule`:
+    seed-deterministic injected sleeps per task, with preempted/churned-out
+    slots realised per ``fault_mode`` (``"mute"`` silent skips, the default,
+    or ``"respawn"`` kill-and-respawn). Dynamic specs whose processes are
+    *not* registered raise a typed
+    :class:`~repro.exceptions.ConfigurationError` naming the unsupported
+    process kind.
     """
 
     name = "multiprocess"
@@ -241,6 +260,8 @@ class MultiprocessBackend:
             "receive_timeout",
             "iteration_timeout",
             "mp_context",
+            "fault_mode",
+            "include_communication",
         }
     )
 
@@ -255,12 +276,17 @@ class MultiprocessBackend:
                 f"recognised: {sorted(self._OPTIONS)}"
             )
         num_workers = options.pop("num_workers", None)
-        if isinstance(spec.cluster, DynamicClusterSpec):
-            raise ConfigurationError(
-                "the multiprocess backend runs real OS-process workers and "
-                "cannot emulate a DynamicClusterSpec; use the timing or "
-                "semantic simulation backends for dynamic clusters"
-            )
+        fault_mode = validate_fault_mode(options.pop("fault_mode", "mute"))
+        include_communication = bool(options.pop("include_communication", True))
+        injecting = isinstance(spec.cluster, DynamicClusterSpec)
+        if injecting:
+            ensure_injectable(spec.cluster)
+            if options.get("straggle_delays") is not None:
+                raise ConfigurationError(
+                    "straggle_delays cannot be combined with a "
+                    "DynamicClusterSpec: the cluster's fault schedule "
+                    "already realises every injected sleep"
+                )
         if spec.cluster is not None:
             if num_workers is not None and num_workers != spec.cluster.num_workers:
                 raise ConfigurationError(
@@ -281,6 +307,17 @@ class MultiprocessBackend:
             plan = resolved.build_feasible_plan(
                 spec.resolved_num_units, int(num_workers), rng
             )
+        fault_schedule = None
+        if injecting:
+            assert isinstance(spec.cluster, DynamicClusterSpec)
+            fault_schedule = build_fault_schedule(
+                spec.cluster,
+                spec.num_iterations,
+                loads=plan_example_loads(plan, workload.unit_spec),
+                message_sizes=plan.message_sizes if include_communication else None,
+                include_communication=include_communication,
+                rng=rng,
+            )
         worker_seed = int(rng.integers(0, 2**31 - 1))
         result = run_distributed_job(
             plan,
@@ -292,9 +329,15 @@ class MultiprocessBackend:
             straggle_delays=options.pop("straggle_delays", None),
             seed=worker_seed,
             initial_weights=workload.initial_weights,
+            fault_schedule=fault_schedule,
+            fault_mode=fault_mode,
             **options,
         )
-        return RunResult.from_distributed(result, backend=self.name)
+        wrapped = RunResult.from_distributed(result, backend=self.name)
+        if fault_schedule is not None:
+            wrapped.extras["fault_fingerprint"] = fault_schedule.fingerprint()
+            wrapped.extras["fault_mode"] = fault_mode
+        return wrapped
 
 
 class AnalyticBackend:

@@ -98,7 +98,7 @@ class RunResult(JobResult):
         cls, result: DistributedRunResult, *, backend: str
     ) -> "RunResult":
         """Wrap a multiprocessing :class:`DistributedRunResult`."""
-        return cls(
+        wrapped = cls(
             scheme_name=result.scheme_name,
             training=result.training,
             backend=backend,
@@ -106,6 +106,12 @@ class RunResult(JobResult):
             workers_heard=list(result.workers_heard),
             total_seconds=result.total_seconds,
         )
+        if result.scheduled_workers:
+            # Fault-injected run: keep the realised availability trace so
+            # the cross-validation layer can line it up against the
+            # simulators' replay of the same scenario.
+            wrapped.extras["scheduled_workers"] = list(result.scheduled_workers)
+        return wrapped
 
     # ------------------------------------------------------------------ #
     def compact(self) -> "RunResult":

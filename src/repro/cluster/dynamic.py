@@ -299,6 +299,17 @@ class DynamicClusterSpec:
         return self.base.num_workers
 
     @property
+    def processes(self) -> Optional[Tuple[Optional[WorkerProcess], ...]]:
+        """The resolved per-worker processes (``None`` when fully scripted).
+
+        Entries are ``None`` for workers without dynamics. The tuple is the
+        same object :meth:`materialize` consumes, so callers (e.g. the
+        fault-injection layer's injectability check) classify exactly the
+        processes that will drive the timeline.
+        """
+        return self._processes  # type: ignore[attr-defined]
+
+    @property
     def communication(self) -> CommunicationModel:
         """The master's communication model (shared with the base cluster)."""
         return self.base.communication

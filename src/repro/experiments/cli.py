@@ -16,6 +16,8 @@ Usage::
     python -m repro.experiments.cli sweep --dynamics markov:slowdown=8 \
         --scheme bcc --scheme cyclic-repetition --loads 10
     python -m repro.experiments.cli churn --workers 20 --iterations 30
+    python -m repro.experiments.cli validate --quick --no-append
+    python -m repro.experiments.cli validate --scenario markov-bursts
 
 Each sub-command runs the corresponding experiment driver at (scaled-down by
 default, paper-scale via flags) settings and prints the reproduced table to
@@ -32,6 +34,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.validation import (
+    append_validation_record,
+    golden_scenarios,
+    validate_scenario,
+)
 from repro.api import JobSpec, Sweep, Workload, run_sweep
 from repro.cluster.spec import ClusterSpec
 from repro.devtools import cli as lint_cli
@@ -47,8 +54,9 @@ from repro.experiments.fig4 import ScenarioConfig, run_scenario
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.theorems import run_theorem1_validation, run_theorem2_validation
 from repro.schemes.registry import available_schemes, scheme_accepts
+from repro.utils.timing import utc_timestamp
 
-__all__ = ["build_parser", "main", "run_cli_sweep"]
+__all__ = ["build_parser", "main", "run_cli_sweep", "run_cli_validate"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -272,6 +280,44 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    validate = subparsers.add_parser(
+        "validate",
+        help="cross-validate real multiprocess GD against the simulators",
+        description=(
+            "Run the pinned golden straggler scenarios on real worker "
+            "processes with injected faults, replay the identical timeline "
+            "through the timing simulator, and gate on the observed-vs-"
+            "predicted runtime ratio per scheme. Appends a machine-readable "
+            "record to the benchmark history and exits non-zero if any "
+            "scheme lands outside the documented tolerance."
+        ),
+    )
+    validate.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        choices=[scenario.name for scenario in golden_scenarios()],
+        help="scenario to run (repeatable; default: all golden scenarios)",
+    )
+    validate.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "scaled-down smoke run: fewer iterations and trials, doubled "
+            "tolerance — checks the loop end-to-end, not the calibration"
+        ),
+    )
+    validate.add_argument(
+        "--bench",
+        default="benchmarks/BENCH_sweep.json",
+        help="benchmark history JSON to append to",
+    )
+    validate.add_argument(
+        "--no-append",
+        action="store_true",
+        help="print the comparison tables without touching the history file",
+    )
+
     lint = subparsers.add_parser(
         "lint",
         help="statically check the library's determinism/parity/exception contracts",
@@ -387,12 +433,40 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
     return table.render()
 
 
+def run_cli_validate(args: argparse.Namespace) -> int:
+    """Run the ``validate`` sub-command; return a process exit code.
+
+    Exit code 0 means every scheme of every requested scenario landed within
+    its tolerance; 1 means at least one ratio fell outside the gate (the
+    tables show which).
+    """
+    scenarios = {scenario.name: scenario for scenario in golden_scenarios()}
+    names = args.scenarios or list(scenarios)
+    failed = False
+    for name in names:
+        scenario = scenarios[name]
+        if args.quick:
+            scenario = scenario.quick()
+        report = validate_scenario(scenario)
+        print(report.to_table().render())
+        print()
+        if not args.no_append:
+            append_validation_record(
+                report, args.bench, timestamp=utc_timestamp(), quick=args.quick
+            )
+        if not report.all_within_tolerance:
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Run one experiment and print its table; return a process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.experiment == "lint":
         return lint_cli.run(args)
+    if args.experiment == "validate":
+        return run_cli_validate(args)
     if args.experiment == "fig2":
         result = run_fig2(
             num_examples=args.examples,

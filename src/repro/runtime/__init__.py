@@ -11,6 +11,15 @@ can be slotted in without touching the scheme logic.
 """
 
 from repro.runtime.comm import Communicator, InProcessCommunicator, QueueChannel
+from repro.runtime.faults import (
+    FAULT_MODES,
+    FaultSchedule,
+    build_fault_schedule,
+    ensure_injectable,
+    is_injectable,
+    plan_example_loads,
+    validate_fault_mode,
+)
 from repro.runtime.tasks import WorkerTask, build_worker_tasks
 from repro.runtime.job import DistributedRunResult, run_distributed_job
 
@@ -22,4 +31,11 @@ __all__ = [
     "build_worker_tasks",
     "DistributedRunResult",
     "run_distributed_job",
+    "FAULT_MODES",
+    "FaultSchedule",
+    "build_fault_schedule",
+    "ensure_injectable",
+    "is_injectable",
+    "plan_example_loads",
+    "validate_fault_mode",
 ]

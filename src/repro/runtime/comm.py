@@ -64,6 +64,18 @@ class QueueChannel:
                 f"worker {self.worker_id} timed out waiting for the master"
             ) from error
 
+    def poll(self) -> Any:
+        """Non-blocking receive: the next payload, or ``None`` when idle.
+
+        Lets a worker straggling through an injected sleep notice a newer
+        broadcast and abandon the stale iteration, the way the simulator's
+        round barrier discards unfinished straggler work.
+        """
+        try:
+            return self.downlink.get_nowait()
+        except queue_module.Empty:
+            return None
+
     def send(self, payload: Any) -> None:
         """Send a payload to the master."""
         self.uplink.put((self.worker_id, payload))
@@ -117,6 +129,23 @@ class InProcessCommunicator(Communicator):
         while True:
             try:
                 self._uplink.get_nowait()
+                drained += 1
+            except queue_module.Empty:
+                return drained
+
+    def drain_worker(self, worker: int) -> int:
+        """Discard messages queued on one worker's downlink; return the count.
+
+        The master calls this before respawning a killed worker slot: the
+        dead process left every broadcast since its kill sitting in the
+        queue, and a fresh replacement must start from the *next* broadcast
+        rather than sleep through a backlog of stale iterations.
+        """
+        self._check_worker(worker)
+        drained = 0
+        while True:
+            try:
+                self._downlinks[worker].get_nowait()
                 drained += 1
             except queue_module.Empty:
                 return drained

@@ -16,6 +16,7 @@ from repro.gradients.base import GradientModel
 from repro.optim.base import Optimizer
 from repro.optim.trainer import IterationRecord, TrainingResult
 from repro.runtime.comm import InProcessCommunicator
+from repro.runtime.faults import FaultSchedule, validate_fault_mode
 from repro.runtime.tasks import WorkerTask, build_worker_tasks
 from repro.runtime.worker import ResultMessage, StopSignal, WeightsMessage, worker_main
 from repro.schemes.base import ExecutionPlan
@@ -43,6 +44,9 @@ class DistributedRunResult:
         recovery threshold).
     total_seconds:
         Total wall-clock time across iterations.
+    scheduled_workers:
+        With fault injection: the number of scheduled-active worker slots
+        per iteration (the realised availability trace); empty otherwise.
     """
 
     scheme_name: str
@@ -50,6 +54,7 @@ class DistributedRunResult:
     iteration_times: List[float] = field(default_factory=list)
     workers_heard: List[int] = field(default_factory=list)
     total_seconds: float = 0.0
+    scheduled_workers: List[int] = field(default_factory=list)
 
     @property
     def average_recovery_threshold(self) -> float:
@@ -57,6 +62,17 @@ class DistributedRunResult:
         if not self.workers_heard:
             raise RuntimeBackendError("the run recorded no iterations")
         return float(np.mean(self.workers_heard))
+
+
+def _first_dead_worker(
+    processes: List[Optional[object]], expected: set, heard: set
+) -> Optional[int]:
+    """First scheduled-active worker whose process died before answering."""
+    for worker in sorted(expected - heard):
+        process = processes[worker]
+        if process is not None and not process.is_alive():  # type: ignore[attr-defined]
+            return worker
+    return None
 
 
 def run_distributed_job(
@@ -73,6 +89,8 @@ def run_distributed_job(
     receive_timeout: float = 60.0,
     iteration_timeout: Optional[float] = None,
     mp_context: Optional[str] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    fault_mode: str = "mute",
 ) -> DistributedRunResult:
     """Run a distributed GD job with one OS process per worker.
 
@@ -104,14 +122,44 @@ def run_distributed_job(
     mp_context:
         Multiprocessing start method (``"fork"``, ``"spawn"``); default uses
         the platform default.
+    fault_schedule:
+        Optional realised :class:`~repro.runtime.faults.FaultSchedule`
+        replaying a simulated straggler scenario on the real workers: each
+        worker sleeps its pre-drawn cell before computing, and vacant
+        (``inf``) cells make the slot skip the iteration entirely. The
+        schedule must cover at least ``num_iterations`` rows and exactly
+        ``plan.num_workers`` columns. Mutually exclusive with
+        ``straggle_delays``.
+    fault_mode:
+        How vacant cells are realised (with ``fault_schedule``):
+        ``"mute"`` keeps the process alive but silent, ``"respawn"`` makes
+        it exit at its first vacant cell and the master spawn a fresh
+        replacement — draining the stale broadcast backlog first — when the
+        slot is scheduled active again (kill-and-respawn with recovery lag;
+        ``initially_absent`` slots are spawned lazily at their first active
+        iteration, realising delayed joins).
 
     Notes
     -----
     The number of workers equals ``plan.num_workers`` — keep it modest (a few
     dozen at most) when running on a laptop; the discrete-event simulator is
     the tool for cluster-sized sweeps.
+
+    With fault injection active, a scheduled-active worker found dead while
+    the master is still waiting on it raises a
+    :class:`~repro.exceptions.RuntimeBackendError` naming the worker and the
+    iteration (instead of the generic iteration timeout), and an iteration
+    whose scheduled-active workers have all answered without reaching the
+    plan's coverage fails fast — the real-runtime analogue of the
+    simulators' lost-coverage error.
     """
     check_positive_int(num_iterations, "num_iterations")
+    validate_fault_mode(fault_mode)
+    if fault_schedule is not None and fault_schedule.num_iterations < num_iterations:
+        raise RuntimeBackendError(
+            f"the fault schedule covers {fault_schedule.num_iterations} "
+            f"iteration(s) but the job runs {num_iterations}"
+        )
     if iteration_timeout is None:
         iteration_timeout = receive_timeout * max(plan.num_workers, 1)
     if iteration_timeout <= 0:
@@ -127,17 +175,26 @@ def run_distributed_job(
         unit_spec=unit_spec,
         straggle_delays=straggle_delays,
         seed=seed,
+        fault_schedule=fault_schedule,
+        fault_mode=fault_mode,
     )
     communicator = InProcessCommunicator(plan.num_workers, context=context)
-    processes = []
-    for task in tasks:
+    availability = None if fault_schedule is None else fault_schedule.availability
+    respawning = fault_schedule is not None and fault_mode == "respawn"
+
+    processes: List[Optional[object]] = [None] * plan.num_workers
+    spawned: List[object] = []
+
+    def spawn(worker: int) -> None:
         process = context.Process(
             target=worker_main,
-            args=(task, communicator.worker_channel(task.worker_id)),
+            args=(tasks[worker], communicator.worker_channel(worker)),
             daemon=True,
-            name=f"repro-worker-{task.worker_id}",
+            name=f"repro-worker-{worker}",
         )
-        processes.append(process)
+        processes[worker] = process
+        spawned.append(process)
+        process.start()
 
     if initial_weights is None:
         initial_weights = model.initial_weights(dataset.num_features)
@@ -146,23 +203,72 @@ def run_distributed_job(
     history: List[IterationRecord] = []
     iteration_times: List[float] = []
     workers_heard: List[int] = []
+    scheduled_workers: List[int] = []
     job_started = time.perf_counter()
     total_seconds = 0.0
     try:
-        for process in processes:
-            process.start()
+        for worker in range(plan.num_workers):
+            if respawning and availability is not None and not availability[0, worker]:
+                # Delayed join / initial absence: the slot is spawned lazily
+                # at its first scheduled-active iteration.
+                continue
+            spawn(worker)
 
         for iteration in range(num_iterations):
+            if availability is None:
+                expected = set(range(plan.num_workers))
+            else:
+                expected = {
+                    worker
+                    for worker in range(plan.num_workers)
+                    if availability[iteration, worker]
+                }
+                scheduled_workers.append(len(expected))
+                if not expected:
+                    raise RuntimeBackendError(
+                        f"iteration {iteration} has no scheduled-active "
+                        "workers: the injected scenario leaves the master "
+                        "nothing to aggregate"
+                    )
+            if respawning and availability is not None:
+                for worker in sorted(expected):
+                    stale = processes[worker]
+                    rejoining = stale is None or (
+                        iteration > 0 and not availability[iteration - 1, worker]
+                    )
+                    if not rejoining:
+                        continue
+                    if stale is not None:
+                        # The old process exited at its first vacant cell;
+                        # reap it before reusing the slot.
+                        stale.join(timeout=10.0)  # type: ignore[attr-defined]
+                        if stale.is_alive():  # type: ignore[attr-defined] # pragma: no cover
+                            stale.terminate()  # type: ignore[attr-defined]
+                            stale.join(timeout=5.0)  # type: ignore[attr-defined]
+                    # A fresh replacement must start from the next broadcast,
+                    # not sleep through the backlog queued while dead.
+                    communicator.drain_worker(worker)
+                    spawn(worker)
             iteration_started = time.perf_counter()
             query = optimizer.query_point(state)
             communicator.broadcast(WeightsMessage(iteration=iteration, weights=query))
 
             aggregator = plan.new_aggregator()
             deadline = iteration_started + iteration_timeout
+            heard: set = set()
             complete = False
             while not complete:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0.0:
+                    if fault_schedule is not None:
+                        dead = _first_dead_worker(processes, expected, heard)
+                        if dead is not None:
+                            raise RuntimeBackendError(
+                                f"worker {dead} died before answering "
+                                f"iteration {iteration}: its injected kill "
+                                "left the master waiting on a scheduled-"
+                                "active slot"
+                            )
                     raise RuntimeBackendError(
                         f"iteration {iteration} did not complete within "
                         f"{iteration_timeout:.1f}s: heard "
@@ -170,9 +276,21 @@ def run_distributed_job(
                         "workers may be replaying stale broadcasts or have "
                         "stalled"
                     )
-                worker, payload = communicator.receive_any(
-                    timeout=min(receive_timeout, remaining)
-                )
+                try:
+                    worker, payload = communicator.receive_any(
+                        timeout=min(receive_timeout, remaining)
+                    )
+                except RuntimeBackendError:
+                    if fault_schedule is not None:
+                        dead = _first_dead_worker(processes, expected, heard)
+                        if dead is not None:
+                            raise RuntimeBackendError(
+                                f"worker {dead} died before answering "
+                                f"iteration {iteration}: its injected kill "
+                                "left the master waiting on a scheduled-"
+                                "active slot"
+                            ) from None
+                    raise
                 if isinstance(payload, tuple) and payload and payload[0] == "error":
                     raise RuntimeBackendError(
                         f"worker {payload[1]} failed: {payload[2]}"
@@ -186,7 +304,15 @@ def run_distributed_job(
                     # broadcast; the master simply ignores it (the paper's
                     # master does the same).
                     continue
+                heard.add(payload.worker_id)
                 complete = aggregator.receive(payload.worker_id, payload.message)
+                if not complete and fault_schedule is not None and expected <= heard:
+                    raise RuntimeBackendError(
+                        f"iteration {iteration}: all {len(expected)} "
+                        "scheduled-active worker(s) answered but the "
+                        "aggregator still lacks coverage — the scenario's "
+                        "vacant slots hold units the scheme cannot recover"
+                    )
             workers_heard.append(aggregator.workers_heard)
 
             gradient = aggregator.decode() / float(dataset.num_examples)
@@ -208,12 +334,12 @@ def run_distributed_job(
         total_seconds = time.perf_counter() - job_started
     finally:
         communicator.broadcast(StopSignal())
-        for process in processes:
-            process.join(timeout=10.0)
-        for process in processes:
-            if process.is_alive():  # pragma: no cover - defensive cleanup
-                process.terminate()
-                process.join(timeout=5.0)
+        for process in spawned:
+            process.join(timeout=10.0)  # type: ignore[attr-defined]
+        for process in spawned:
+            if process.is_alive():  # type: ignore[attr-defined] # pragma: no cover
+                process.terminate()  # type: ignore[attr-defined]
+                process.join(timeout=5.0)  # type: ignore[attr-defined]
         communicator.drain()
 
     training = TrainingResult(weights=state.weights, history=history, converged=False)
@@ -223,4 +349,5 @@ def run_distributed_job(
         iteration_times=iteration_times,
         workers_heard=workers_heard,
         total_seconds=total_seconds,
+        scheduled_workers=scheduled_workers,
     )

@@ -11,7 +11,7 @@ and an optional straggler-injection delay model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.exceptions import RuntimeBackendError
 from repro.gradients.base import GradientModel
 from repro.schemes.base import ExecutionPlan
 from repro.stragglers.base import DelayModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.faults import FaultSchedule
 
 __all__ = ["WorkerTask", "build_worker_tasks"]
 
@@ -53,6 +56,16 @@ class WorkerTask:
         worker's total number of examples).
     seed:
         Seed for the worker's private RNG (straggler draws).
+    fault_delays:
+        Optional pre-drawn per-iteration injected sleeps (one column of a
+        :class:`~repro.runtime.faults.FaultSchedule`); ``inf`` entries mark
+        iterations where this worker slot is vacant. Mutually exclusive
+        with ``straggle_delay`` (the schedule already realised every draw).
+    exit_when_absent:
+        With ``fault_delays``: whether the worker process exits at its
+        first vacant iteration (``fault_mode="respawn"`` — the master
+        spawns a replacement when the slot returns) instead of staying
+        alive but silent (``fault_mode="mute"``).
     """
 
     worker_id: int
@@ -63,6 +76,8 @@ class WorkerTask:
     coefficients: Optional[np.ndarray] = None
     straggle_delay: Optional[DelayModel] = None
     seed: Optional[int] = None
+    fault_delays: Optional[np.ndarray] = None
+    exit_when_absent: bool = False
 
     def __post_init__(self) -> None:
         if self.encoding_mode not in ENCODING_MODES:
@@ -76,6 +91,19 @@ class WorkerTask:
             raise RuntimeBackendError(
                 "unit_features and unit_labels must have the same length"
             )
+        if self.fault_delays is not None:
+            if self.straggle_delay is not None:
+                raise RuntimeBackendError(
+                    "fault_delays and straggle_delay are mutually exclusive: "
+                    "a fault schedule already realises every injected sleep"
+                )
+            delays = np.asarray(self.fault_delays, dtype=float)
+            if delays.ndim != 1:
+                raise RuntimeBackendError(
+                    "fault_delays must be a 1-D per-iteration array, got "
+                    f"{delays.ndim} dimension(s)"
+                )
+            self.fault_delays = delays
 
     @property
     def num_units(self) -> int:
@@ -134,6 +162,8 @@ def build_worker_tasks(
     unit_spec: Optional[BatchSpec] = None,
     straggle_delays: Optional[List[Optional[DelayModel]]] = None,
     seed: Optional[int] = None,
+    fault_schedule: Optional["FaultSchedule"] = None,
+    fault_mode: str = "mute",
 ) -> List[WorkerTask]:
     """Flatten an execution plan into one :class:`WorkerTask` per worker.
 
@@ -146,12 +176,34 @@ def build_worker_tasks(
         entries (or ``None`` overall) disable injection for those workers.
     seed:
         Base seed from which per-worker seeds are derived.
+    fault_schedule:
+        Optional realised :class:`~repro.runtime.faults.FaultSchedule`;
+        each worker receives its pre-drawn injected-sleep column. Mutually
+        exclusive with ``straggle_delays``.
+    fault_mode:
+        ``"mute"`` or ``"respawn"`` — how workers realise vacant cells (see
+        :data:`~repro.runtime.faults.FAULT_MODES`).
     """
+    from repro.runtime.faults import validate_fault_mode
+
+    validate_fault_mode(fault_mode)
     if straggle_delays is not None and len(straggle_delays) != plan.num_workers:
         raise RuntimeBackendError(
             "straggle_delays must have one entry per worker "
             f"({len(straggle_delays)} != {plan.num_workers})"
         )
+    if fault_schedule is not None:
+        if straggle_delays is not None:
+            raise RuntimeBackendError(
+                "fault_schedule and straggle_delays are mutually exclusive: "
+                "the schedule already realises every injected sleep"
+            )
+        if fault_schedule.num_workers != plan.num_workers:
+            raise RuntimeBackendError(
+                "the fault schedule covers "
+                f"{fault_schedule.num_workers} workers but the plan has "
+                f"{plan.num_workers}"
+            )
     mode = _encoding_mode_for_plan(plan)
     code = plan.metadata.get("code")
     tasks: List[WorkerTask] = []
@@ -190,6 +242,10 @@ def build_worker_tasks(
                 if straggle_delays is None
                 else straggle_delays[worker],
                 seed=None if seed is None else seed + worker,
+                fault_delays=None
+                if fault_schedule is None
+                else fault_schedule.worker_delays(worker),
+                exit_when_absent=fault_mode == "respawn",
             )
         )
     return tasks

@@ -10,6 +10,7 @@ from a seed.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -21,6 +22,29 @@ from repro.runtime.tasks import WorkerTask
 from repro.utils.rng import as_generator
 
 __all__ = ["StopSignal", "WeightsMessage", "ResultMessage", "worker_main"]
+
+#: How often a straggling worker checks for a newer broadcast mid-sleep.
+_PREEMPT_POLL_SECONDS = 0.002
+
+
+def _sleep_or_yield(channel: QueueChannel, seconds: float) -> Any:
+    """Sleep up to ``seconds``, yielding early to any newer broadcast.
+
+    Returns the preempting payload, or ``None`` once the full sleep elapsed.
+    The chunked poll keeps injected stragglers aligned with the simulator's
+    semantics: when the master moves on to the next iteration, the straggler
+    abandons its stale work there and then instead of carrying the leftover
+    sleep into the new round.
+    """
+    deadline = time.perf_counter() + seconds
+    while True:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            return None
+        time.sleep(min(_PREEMPT_POLL_SECONDS, remaining))
+        preempting = channel.poll()
+        if preempting is not None:
+            return preempting
 
 
 @dataclass(frozen=True)
@@ -52,11 +76,22 @@ def worker_main(task: WorkerTask, channel: QueueChannel) -> None:
     The loop never raises to the caller: any exception is reported to the
     master as a ``("error", worker_id, repr)`` payload so the master can shut
     the job down instead of hanging.
+
+    Fault injection: with ``task.fault_delays`` set, each iteration's
+    pre-drawn sleep is injected before computing. A vacant (``inf``) cell
+    makes the worker skip the reply — staying alive and silent
+    (``fault_mode="mute"``), or exiting immediately so the master can
+    kill-and-respawn the slot (``task.exit_when_absent``, the ``"respawn"``
+    mode). Injected sleeps are abandoned mid-way if a newer broadcast arrives
+    (see :func:`_sleep_or_yield`), and iterations beyond the schedule horizon
+    run uninjected.
     """
     rng = as_generator(task.seed)
+    pending: Any = None
     try:
         while True:
-            incoming: Any = channel.receive()
+            incoming: Any = pending if pending is not None else channel.receive()
+            pending = None
             if isinstance(incoming, StopSignal):
                 return
             if not isinstance(incoming, WeightsMessage):
@@ -66,7 +101,25 @@ def worker_main(task: WorkerTask, channel: QueueChannel) -> None:
                     f"of type {type(incoming).__name__}"
                 )
             started = time.perf_counter()
-            if task.straggle_delay is not None and task.num_examples > 0:
+            if task.fault_delays is not None:
+                injected = 0.0
+                if 0 <= incoming.iteration < len(task.fault_delays):
+                    injected = float(task.fault_delays[incoming.iteration])
+                if math.isinf(injected):
+                    if task.exit_when_absent:
+                        # Simulated preemption: die without a goodbye, like a
+                        # spot instance; the master respawns the slot when
+                        # the schedule brings it back.
+                        return
+                    continue
+                if injected > 0.0:
+                    pending = _sleep_or_yield(channel, injected)
+                    if pending is not None:
+                        # A newer broadcast (or the stop sentinel) arrived
+                        # while this worker straggled: the master has already
+                        # abandoned this iteration, so the worker does too.
+                        continue
+            elif task.straggle_delay is not None and task.num_examples > 0:
                 delay = float(task.straggle_delay.sample(task.num_examples, rng=rng))
                 time.sleep(delay)
             message = task.compute_message(incoming.weights)

@@ -91,6 +91,7 @@ __all__ = [
     "register_process",
     "available_processes",
     "process_from_config",
+    "registered_process_name",
 ]
 
 Number = Union[float, np.ndarray]
@@ -301,6 +302,22 @@ def register_process(name: str):
 def available_processes() -> List[str]:
     """Sorted names of every registered worker process."""
     return sorted(_PROCESSES)
+
+
+def registered_process_name(process: WorkerProcess) -> Optional[str]:
+    """The registry name of ``process``'s exact class, or ``None``.
+
+    A process counts as *registered* only when its concrete class was put in
+    the registry via :func:`register_process` — an unregistered subclass of a
+    registered class returns ``None``. The fault-injection layer
+    (:mod:`repro.runtime.faults`) uses this to decide whether a dynamic
+    scenario can be replayed on real worker processes with the same
+    registry semantics that simulation's ``process_from_config`` resolves.
+    """
+    for name, cls in _PROCESSES.items():
+        if type(process) is cls:
+            return name
+    return None
 
 
 def process_from_config(process: ProcessLike) -> WorkerProcess:

@@ -16,7 +16,18 @@ from dataclasses import dataclass, field
 from repro.exceptions import ConfigurationError
 from typing import Optional
 
-__all__ = ["Clock", "WallClock", "SimulatedClock", "Timer"]
+__all__ = ["Clock", "WallClock", "SimulatedClock", "Timer", "utc_timestamp"]
+
+
+def utc_timestamp() -> str:
+    """The current UTC time as an ISO-8601 ``...Z`` string.
+
+    The one sanctioned wall-clock *date* read: benchmark histories and
+    validation records stamp their entries through this helper so the
+    simulation and analysis packages themselves never touch the host clock
+    (the reprolint TIME001 contract).
+    """
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
 class Clock:

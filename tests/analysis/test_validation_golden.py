@@ -1,0 +1,107 @@
+"""Golden-trace fixtures for the cross-validation scenarios.
+
+The deterministic half of each golden validation scenario — its pinned
+config, the fault-schedule fingerprint, the availability timeline, and the
+simulator-predicted runtimes the observed/predicted gate divides by — is
+snapshotted as JSON under ``tests/analysis/golden/``. These tests regenerate
+the traces and diff them against the snapshots, so any refactor of the
+dynamics processes, the schedule builder, or the timing engines that would
+silently move the validation gate's denominator fails here with the exact
+field named.
+
+Observed wall-clock seconds are deliberately absent from the fixtures (they
+vary run to run); scheme-to-scheme *predicted* ratios are pinned at
+``1e-9`` relative tolerance instead.
+
+Regenerate the snapshots (after an *intentional* output change) with::
+
+    PYTHONPATH=src python tests/analysis/test_validation_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.validation import golden_scenarios, golden_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Comparison tolerance: loose enough for cross-platform libm wiggle, tight
+#: enough that any real change of the simulated draws or accounting fails.
+RELATIVE_TOLERANCE = 1e-9
+
+
+def _generator(index: int):
+    def generate() -> dict:
+        return golden_trace(golden_scenarios()[index])
+
+    return generate
+
+
+FIXTURES = {
+    "validate_markov_bursts.json": _generator(0),
+    "validate_preempt_respawn.json": _generator(1),
+}
+
+
+def _assert_matches(expected, actual, path=""):
+    """Recursive diff with a relative tolerance on floats, exact elsewhere."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected a mapping"
+        assert sorted(expected) == sorted(actual), f"{path}: keys differ"
+        for key in expected:
+            _assert_matches(expected[key], actual[key], f"{path}/{key}")
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), f"{path}: lengths differ"
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            _assert_matches(left, right, f"{path}[{index}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(
+            expected, rel=RELATIVE_TOLERANCE, abs=1e-12
+        ), f"{path}: {actual!r} drifted from the golden {expected!r}"
+    else:
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+def test_scenario_trace_matches_golden_snapshot(fixture):
+    golden_path = GOLDEN_DIR / fixture
+    assert golden_path.exists(), (
+        f"missing golden fixture {golden_path}; regenerate with "
+        "`PYTHONPATH=src python tests/analysis/test_validation_golden.py`"
+    )
+    expected = json.loads(golden_path.read_text())
+    actual = FIXTURES[fixture]()
+    _assert_matches(expected, actual, path=fixture)
+
+
+def test_traces_honour_the_schemes_tolerance_contract():
+    """Shape/safety invariants the scenarios were seed-searched to satisfy."""
+    markov, preempt = (golden_trace(s) for s in golden_scenarios())
+    # markov-bursts modulates speed but never vacates a slot — that is what
+    # makes it safe for the uncoded scheme.
+    assert markov["min_active"] == len(markov["availability"][0])
+    # preempt-respawn keeps >= n - 2 slots active (cyclic/RS load 3 tolerate
+    # exactly 2 absences) while actually preempting.
+    num_workers = len(preempt["availability"][0])
+    assert preempt["min_active"] >= num_workers - 2
+    vacant = sum(row.count(0) for row in preempt["availability"])
+    assert vacant > 0
+
+
+def test_fixture_regeneration_is_deterministic():
+    # The generators must be pure functions of the pinned seeds, otherwise
+    # the snapshots could never be trusted in the first place.
+    generate = FIXTURES["validate_markov_bursts.json"]
+    assert generate() == generate()
+
+
+if __name__ == "__main__":
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, generate in FIXTURES.items():
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(generate(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")

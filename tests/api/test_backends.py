@@ -14,11 +14,13 @@ from repro.api import (
     get_backend,
     run,
 )
+from repro.cluster.dynamic import DynamicClusterSpec
 from repro.cluster.spec import ClusterSpec
 from repro.datasets.batching import make_batches
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.optim.nesterov import NesterovAcceleratedGradient
-from repro.stragglers.models import ExponentialDelay
+from repro.stragglers.dynamics import WorkerProcess
+from repro.stragglers.models import DeterministicDelay, ExponentialDelay
 
 
 @pytest.fixture
@@ -221,6 +223,75 @@ class TestMultiprocessBackend:
             backend_options={"num_workers": 2, "warp_speed": True},
         )
         with pytest.raises(ConfigurationError, match="warp_speed"):
+            MultiprocessBackend().run(spec)
+
+    def test_accepts_injectable_dynamic_cluster(self, workload):
+        """A registered-dynamics DynamicClusterSpec runs on real workers.
+
+        The Markov process modulates computation speed but never vacates a
+        slot, so even the uncoded scheme completes; the result carries the
+        fault-injection evidence (fingerprint and scheduled-worker trace).
+        """
+        cluster = DynamicClusterSpec(
+            ClusterSpec.homogeneous(3, DeterministicDelay(0.001)),
+            dynamics={"name": "markov", "slowdown": 3.0, "p_slow": 0.3},
+            seed=4,
+        )
+        spec = JobSpec(
+            scheme="uncoded",
+            cluster=cluster,
+            num_iterations=2,
+            seed=4,
+            workload=workload,
+        )
+        result = run(spec, backend="multiprocess")
+        assert result.num_iterations == 2
+        assert len(str(result.extras["fault_fingerprint"])) == 64
+        assert result.extras["fault_mode"] == "mute"
+        assert result.extras["scheduled_workers"] == [3, 3]
+
+    def test_rejects_unregistered_dynamics_by_name(self, workload):
+        """The typed rejection names the offending process class."""
+
+        class HomebrewProcess(WorkerProcess):
+            def timeline(self, base, num_iterations, rng=None):
+                return [base] * num_iterations
+
+        cluster = DynamicClusterSpec(
+            ClusterSpec.homogeneous(3, DeterministicDelay(0.001)),
+            dynamics=HomebrewProcess(),
+            seed=0,
+        )
+        spec = JobSpec(
+            scheme="uncoded", cluster=cluster, num_iterations=1, workload=workload
+        )
+        with pytest.raises(ConfigurationError, match="HomebrewProcess"):
+            MultiprocessBackend().run(spec)
+
+    def test_rejects_unknown_fault_mode(self, workload):
+        spec = JobSpec(
+            scheme="uncoded",
+            num_iterations=1,
+            workload=workload,
+            backend_options={"num_workers": 2, "fault_mode": "zombie"},
+        )
+        with pytest.raises(ConfigurationError, match="zombie"):
+            MultiprocessBackend().run(spec)
+
+    def test_straggle_delays_exclusive_with_dynamic_cluster(self, workload):
+        cluster = DynamicClusterSpec(
+            ClusterSpec.homogeneous(3, DeterministicDelay(0.001)),
+            dynamics="markov",
+            seed=0,
+        )
+        spec = JobSpec(
+            scheme="uncoded",
+            cluster=cluster,
+            num_iterations=1,
+            workload=workload,
+            backend_options={"straggle_delays": [DeterministicDelay(0.0)] * 3},
+        )
+        with pytest.raises(ConfigurationError, match="cannot be combined"):
             MultiprocessBackend().run(spec)
 
 

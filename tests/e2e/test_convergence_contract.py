@@ -1,0 +1,146 @@
+"""End-to-end convergence contract: real coded GD under injected preemption.
+
+The strongest claim the runtime can make: spawn real worker processes, inject
+a preemption scenario into them, and the trained weights still match the
+serial (centralised) gradient-descent reference bit-close — straggler coding
+changes *when* gradients arrive, never *what* the master aggregates.
+
+Every test here runs through the public front door
+(:func:`repro.api.run` with ``backend="multiprocess"`` and a
+:class:`~repro.cluster.dynamic.DynamicClusterSpec`), so the whole stack is on
+the hook: scheme resolution, fault-schedule construction, worker spawning,
+injected sleeps and vacancies, aggregation, and the optimizer loop.
+
+The scenario seeds are pinned to timelines each scheme tolerates (searched
+offline, asserted here): the uncoded scheme gets a preemption process that
+happens to draw no vacancies (it tolerates none — but still runs under the
+injection machinery), while the coded schemes face real vacancies their
+redundancy covers.
+
+Marked ``e2e``: tier-1 deselects this module (see ``pyproject.toml``); the
+CI ``validation`` job runs it with ``-m e2e``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import JobSpec, Workload, run
+from repro.cluster.dynamic import DynamicClusterSpec
+from repro.cluster.spec import ClusterSpec
+from repro.datasets.batching import make_batches
+from repro.datasets.synthetic import make_linear_regression_data
+from repro.gradients.least_squares import LeastSquaresLoss
+from repro.optim.gradient_descent import GradientDescent
+from repro.optim.trainer import train
+from repro.stragglers.models import DeterministicDelay
+
+pytestmark = [pytest.mark.e2e, pytest.mark.runtime]
+
+NUM_WORKERS = 4
+NUM_UNITS = 4
+UNIT_SIZE = 3
+NUM_ITERATIONS = 6
+
+
+def preempt_cluster(scenario_seed: int, preempt_probability: float) -> DynamicClusterSpec:
+    """A 4-worker cluster whose slots are preempted spot-instance style."""
+    return DynamicClusterSpec(
+        ClusterSpec.homogeneous(NUM_WORKERS, DeterministicDelay(0.001)),
+        dynamics={
+            "name": "preempt",
+            "preempt_probability": preempt_probability,
+            "recovery_iterations": 1,
+        },
+        seed=scenario_seed,
+    )
+
+
+def build_workload() -> Workload:
+    dataset, _ = make_linear_regression_data(NUM_UNITS * UNIT_SIZE, 4, seed=7)
+    return Workload(
+        model=LeastSquaresLoss(),
+        dataset=dataset,
+        optimizer=GradientDescent(0.05),
+        unit_spec=make_batches(NUM_UNITS * UNIT_SIZE, UNIT_SIZE),
+    )
+
+
+class TestConvergenceContract:
+    # (scheme config, scenario seed, preempt probability, job seed): seeds
+    # pinned so the scheme's straggler tolerance covers the drawn vacancies.
+    CASES = [
+        pytest.param({"name": "uncoded"}, 2, 0.05, 0, id="uncoded"),
+        pytest.param({"name": "cyclic-repetition", "load": 3}, 1, 0.2, 0, id="cyclic"),
+        pytest.param({"name": "bcc", "load": 3}, 1, 0.2, 0, id="bcc"),
+    ]
+
+    @pytest.mark.parametrize("scheme, scenario_seed, probability, job_seed", CASES)
+    def test_real_run_matches_serial_reference(
+        self, scheme, scenario_seed, probability, job_seed
+    ):
+        workload = build_workload()
+        spec = JobSpec(
+            scheme=scheme,
+            cluster=preempt_cluster(scenario_seed, probability),
+            num_iterations=NUM_ITERATIONS,
+            seed=job_seed,
+            workload=workload,
+        )
+        result = run(spec, backend="multiprocess")
+
+        reference = train(
+            workload.model,
+            workload.dataset,
+            GradientDescent(0.05),
+            num_iterations=NUM_ITERATIONS,
+        )
+        np.testing.assert_allclose(
+            result.training.weights, reference.weights, atol=1e-8
+        )
+        assert result.num_iterations == NUM_ITERATIONS
+        assert len(str(result.extras["fault_fingerprint"])) == 64
+
+    @pytest.mark.parametrize(
+        "scheme, scenario_seed, probability, job_seed",
+        [CASES[1]],  # only the vacancy-tolerant coded case
+    )
+    def test_vacancies_actually_happened(
+        self, scheme, scenario_seed, probability, job_seed
+    ):
+        """The coded case is a real test: its timeline vacates slots."""
+        workload = build_workload()
+        spec = JobSpec(
+            scheme=scheme,
+            cluster=preempt_cluster(scenario_seed, probability),
+            num_iterations=NUM_ITERATIONS,
+            seed=job_seed,
+            workload=workload,
+        )
+        result = run(spec, backend="multiprocess")
+        scheduled = result.extras["scheduled_workers"]
+        assert len(scheduled) == NUM_ITERATIONS
+        assert min(scheduled) < NUM_WORKERS  # at least one vacant slot
+        assert max(scheduled) == NUM_WORKERS  # and full-strength iterations
+
+    def test_respawn_mode_converges_too(self):
+        """Kill-and-respawn recovery trains the same weights as mute mode."""
+        workload = build_workload()
+        spec = JobSpec(
+            scheme={"name": "cyclic-repetition", "load": 3},
+            cluster=preempt_cluster(1, 0.2),
+            num_iterations=NUM_ITERATIONS,
+            seed=0,
+            workload=workload,
+            backend_options={"fault_mode": "respawn"},
+        )
+        result = run(spec, backend="multiprocess")
+        reference = train(
+            workload.model,
+            workload.dataset,
+            GradientDescent(0.05),
+            num_iterations=NUM_ITERATIONS,
+        )
+        np.testing.assert_allclose(
+            result.training.weights, reference.weights, atol=1e-8
+        )
+        assert result.extras["fault_mode"] == "respawn"

@@ -16,6 +16,7 @@ from repro.gradients.logistic import LogisticLoss
 from repro.optim.gradient_descent import GradientDescent
 from repro.optim.nesterov import NesterovAcceleratedGradient
 from repro.optim.trainer import train
+from repro.runtime.faults import FaultSchedule
 from repro.runtime.job import run_distributed_job
 from repro.runtime.worker import ResultMessage
 from repro.schemes.bcc import BCCScheme
@@ -145,6 +146,164 @@ class TestRunDistributedJob:
                 num_iterations=1,
                 iteration_timeout=0.2,
             )
+
+    def test_injected_kill_is_named_not_generic_timeout(self, monkeypatch):
+        """A worker killed during broadcast is reported by name and iteration.
+
+        Before fault injection, a worker dying mid-iteration surfaced as the
+        generic iteration timeout; with a fault schedule active, the master
+        checks process liveness when its receive times out and raises an
+        error naming the dead worker and the iteration it was answering.
+        The communicator and process pool are faked so the master observes a
+        silent, dead worker without spawning real children.
+        """
+
+        class _DeafCommunicator:
+            def __init__(self, num_workers, *, context=None):
+                self.num_workers = num_workers
+
+            def worker_channel(self, worker):
+                return None
+
+            def broadcast(self, payload):
+                pass
+
+            def receive_any(self, timeout=None):
+                # No worker ever answers: the kill happened during broadcast.
+                raise RuntimeBackendError(
+                    "the master timed out waiting for worker messages"
+                )
+
+            def drain(self):
+                pass
+
+        class _DeadProcess:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def start(self):
+                pass
+
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return False
+
+        class _DeadContext:
+            def Process(self, *args, **kwargs):
+                return _DeadProcess()
+
+        monkeypatch.setattr(job_module, "InProcessCommunicator", _DeafCommunicator)
+        monkeypatch.setattr(job_module.mp, "get_context", lambda *a, **k: _DeadContext())
+
+        dataset, _ = make_linear_regression_data(8, 2, seed=0)
+        plan = UncodedScheme().build_plan(8, 2)
+        schedule = FaultSchedule(delays=np.zeros((1, 2)))
+        with pytest.raises(
+            RuntimeBackendError, match=r"worker 0 died before answering iteration 0"
+        ):
+            run_distributed_job(
+                plan,
+                LeastSquaresLoss(),
+                dataset,
+                GradientDescent(0.1),
+                num_iterations=1,
+                receive_timeout=0.05,
+                iteration_timeout=0.5,
+                fault_schedule=schedule,
+            )
+
+    def test_schedule_must_cover_the_horizon(self):
+        dataset, _ = make_linear_regression_data(8, 2, seed=0)
+        plan = UncodedScheme().build_plan(8, 2)
+        schedule = FaultSchedule(delays=np.zeros((1, 2)))
+        with pytest.raises(RuntimeBackendError, match="covers 1 iteration"):
+            run_distributed_job(
+                plan,
+                LeastSquaresLoss(),
+                dataset,
+                GradientDescent(0.1),
+                num_iterations=3,
+                fault_schedule=schedule,
+            )
+
+    def test_schedule_and_straggle_delays_are_exclusive(self):
+        dataset, _ = make_linear_regression_data(8, 2, seed=0)
+        plan = UncodedScheme().build_plan(8, 2)
+        schedule = FaultSchedule(delays=np.zeros((1, 2)))
+        with pytest.raises(RuntimeBackendError, match="mutually exclusive"):
+            run_distributed_job(
+                plan,
+                LeastSquaresLoss(),
+                dataset,
+                GradientDescent(0.1),
+                num_iterations=1,
+                straggle_delays=[DeterministicDelay(0.0)] * 2,
+                fault_schedule=schedule,
+            )
+
+    def test_all_absent_iteration_fails_fast(self):
+        dataset, _ = make_linear_regression_data(8, 2, seed=0)
+        plan = UncodedScheme().build_plan(8, 2)
+        schedule = FaultSchedule(delays=np.full((1, 2), np.inf))
+        with pytest.raises(RuntimeBackendError, match="no scheduled-active"):
+            run_distributed_job(
+                plan,
+                LeastSquaresLoss(),
+                dataset,
+                GradientDescent(0.1),
+                num_iterations=1,
+                fault_schedule=schedule,
+            )
+
+    def test_lost_coverage_fails_fast(self):
+        """An uncoded plan missing one worker can never aggregate."""
+        dataset, _ = make_linear_regression_data(8, 2, seed=0)
+        plan = UncodedScheme().build_plan(8, 2)
+        schedule = FaultSchedule(delays=np.array([[0.0, np.inf]]))
+        with pytest.raises(RuntimeBackendError, match="lacks coverage"):
+            run_distributed_job(
+                plan,
+                LeastSquaresLoss(),
+                dataset,
+                GradientDescent(0.1),
+                num_iterations=1,
+                receive_timeout=5.0,
+                iteration_timeout=5.0,
+                fault_schedule=schedule,
+            )
+
+    def test_mute_and_respawn_agree_with_serial_reference(self):
+        """Both fault modes train exactly like centralised GD."""
+        dataset, _ = make_linear_regression_data(12, 3, seed=2)
+        model = LeastSquaresLoss()
+        plan = CyclicRepetitionScheme(load=2).build_plan(4, 4)
+        unit_spec = make_batches(12, 3)  # 4 units of 3 examples
+        # Worker 1 vacant for iterations 1-2, worker 3 joins late; cyclic
+        # load 2 tolerates one straggler per iteration.
+        delays = np.zeros((4, 4))
+        delays[1:3, 1] = np.inf
+        delays[0, 3] = np.inf
+        schedule = FaultSchedule(delays=delays)
+        centralised = train(model, dataset, GradientDescent(0.05), num_iterations=4)
+        for mode in ("mute", "respawn"):
+            result = run_distributed_job(
+                plan,
+                model,
+                dataset,
+                GradientDescent(0.05),
+                num_iterations=4,
+                unit_spec=unit_spec,
+                fault_schedule=schedule,
+                fault_mode=mode,
+                seed=2,
+                receive_timeout=10.0,
+            )
+            np.testing.assert_allclose(
+                result.training.weights, centralised.weights, atol=1e-8
+            )
+            assert result.scheduled_workers == [3, 3, 3, 4]
 
     def test_coded_scheme_runtime(self):
         dataset, _ = make_linear_regression_data(12, 3, seed=2)
