@@ -21,6 +21,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.analysis.validation import load_benchmark_history
 from repro.api import JobSpec, Sweep, TimingSimBackend, run_sweep
 from repro.experiments.ec2 import ec2_like_cluster
 from repro.service import ResultCache
@@ -42,15 +43,13 @@ HIT_RATE_FLOOR = 0.95
 
 
 def _append_history(entry: dict) -> None:
-    """Append one run's measurements to the perf-trajectory artifact."""
-    history = {"benchmark": "bench_sweep", "runs": []}
-    if HISTORY_PATH.exists():
-        try:
-            loaded = json.loads(HISTORY_PATH.read_text())
-            if isinstance(loaded.get("runs"), list):
-                history = loaded
-        except (json.JSONDecodeError, OSError):
-            pass  # a corrupt artifact must not fail the benchmark
+    """Append one run's measurements to the perf-trajectory artifact.
+
+    A corrupt artifact must not fail the benchmark, but it must not be
+    erased either: the shared loader backs it up to ``*.corrupt`` and
+    warns (see :func:`repro.analysis.validation.load_benchmark_history`).
+    """
+    history = load_benchmark_history(HISTORY_PATH)
     entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()), **entry}
     history["runs"].append(entry)
     HISTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")

@@ -1,0 +1,167 @@
+"""Benchmark of the scheme auto-tuner's analytic pruning.
+
+One pin, ``test_tuner_prunes_and_matches_exhaustive``: on a fig2-shaped
+grid the two-stage tuner must (a) recommend the **same winner** as
+exhaustively simulating every feasible candidate at the same seeds —
+candidates share trial seeds (common random numbers), so the comparison is
+bit-for-bit on the winner's mean — and (b) get there while simulating at
+least **5x fewer** candidates than the exhaustive sweep (the analytic
+oracle's leverage; :doc:`the tuning guide </tuning>`).
+
+Measurements append to ``benchmarks/BENCH_sweep.json`` — the shared
+machine-readable perf trajectory — through
+:func:`repro.analysis.validation.load_benchmark_history`, so a corrupt
+history file is backed up to ``*.corrupt`` and warned about, never
+silently erased. ``BENCH_TUNE_QUICK=1`` (or the sweep benchmarks'
+``BENCH_SWEEP_QUICK=1``) shrinks the grid for CI smokes; the winner-match
+assertion and the pruning floor are never relaxed.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.validation import load_benchmark_history
+from repro.api import JobSpec, Sweep, TimingSimBackend, run_sweep
+from repro.exceptions import ReproError
+from repro.experiments.ec2 import ec2_like_cluster
+from repro.service import ResultCache
+from repro.tuning import TuneSpec, tune
+
+HISTORY_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
+
+QUICK = any(
+    os.environ.get(name, "") not in ("", "0")
+    for name in ("BENCH_TUNE_QUICK", "BENCH_SWEEP_QUICK")
+)
+
+#: Minimum exhaustive-feasible-candidates per simulated-candidate ratio.
+#: Never relaxed: this is the acceptance pin for the analytic oracle's
+#: leverage on a fig2-shaped search space.
+PRUNING_FLOOR = 5.0
+
+
+def _append_history(entry: dict) -> None:
+    """Append one run's measurements to the perf-trajectory artifact."""
+    history = load_benchmark_history(HISTORY_PATH)
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()), **entry}
+    history["runs"].append(entry)
+    HISTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _tune_spec() -> TuneSpec:
+    """A fig2-shaped search space (m = n = 100 at full size)."""
+    if QUICK:
+        return TuneSpec(
+            cluster=ec2_like_cluster(20),
+            loads=(4, 8),
+            num_units=(20,),
+            unit_sizes=(20,),
+            num_iterations=5,
+            trials=2,
+            top_k=2,
+            seed=0,
+        )
+    return TuneSpec(
+        cluster=ec2_like_cluster(100),
+        loads=(5, 10, 25, 50),
+        num_units=(50, 100),
+        unit_sizes=(50, 100),
+        num_iterations=10,
+        trials=4,
+        top_k=5,
+        seed=0,
+    )
+
+
+def _exhaustive_means(spec: TuneSpec) -> dict:
+    """Simulate every feasible candidate at the tuner's seeds: ground truth."""
+    means = {}
+    for candidate in spec.candidates():
+        job = JobSpec(
+            scheme=dict(candidate.scheme),
+            cluster=spec.cluster,
+            num_units=candidate.num_units,
+            unit_size=candidate.unit_size,
+            num_iterations=spec.num_iterations,
+            serialize_master_link=spec.serialize_master_link,
+            seed=spec.seed,
+        )
+        try:
+            result = run_sweep(
+                Sweep(
+                    job,
+                    trials=spec.trials,
+                    backend=TimingSimBackend(engine=spec.engine),
+                ),
+                record="summary",
+            )
+        except ReproError:
+            continue  # infeasible/unsimulable cell; the tuner ledgers these
+        means[candidate.index] = float(
+            np.mean([record.result.total_time for record in result])
+        )
+    return means
+
+
+def test_tuner_prunes_and_matches_exhaustive(benchmark, report, tmp_path):
+    spec = _tune_spec()
+
+    tuned = benchmark.pedantic(
+        lambda: tune(spec, cache=ResultCache(tmp_path)),
+        rounds=1,
+        iterations=1,
+    )
+    tune_seconds = benchmark.stats.stats.total
+
+    exhaustive_started = time.perf_counter()
+    exhaustive = _exhaustive_means(spec)
+    exhaustive_seconds = time.perf_counter() - exhaustive_started
+
+    truth_index = min(exhaustive, key=exhaustive.get)
+    pruning_factor = len(exhaustive) / max(tuned.pruning["simulated"], 1)
+
+    table = tuned.to_table().render()
+    report(
+        f"Auto-tuner — {tuned.pruning['simulated']}/{len(exhaustive)} "
+        f"feasible candidates simulated ({pruning_factor:.1f}x pruning, "
+        f"floor {PRUNING_FLOOR}x); tune {tune_seconds:.3f}s vs exhaustive "
+        f"{exhaustive_seconds:.3f}s",
+        table,
+        tune_seconds=tune_seconds,
+        exhaustive_seconds=exhaustive_seconds,
+        pruning_factor=pruning_factor,
+    )
+    _append_history(
+        {
+            "test": "tune_pruning_vs_exhaustive",
+            "quick": QUICK,
+            "candidates": tuned.pruning["candidates"],
+            "feasible": len(exhaustive),
+            "simulated": tuned.pruning["simulated"],
+            "pruning_factor": pruning_factor,
+            "tune_seconds": tune_seconds,
+            "exhaustive_seconds": exhaustive_seconds,
+            "best": dict(tuned.best.candidate.scheme),
+            "best_num_units": tuned.best.candidate.num_units,
+            "best_unit_size": tuned.best.candidate.unit_size,
+            "floor": PRUNING_FLOOR,
+        }
+    )
+
+    # Correctness before speed: same winner as exhaustive ground truth, and
+    # the winner's simulated mean is the exhaustive mean bit for bit
+    # (common random numbers across candidates).
+    assert tuned.best.candidate.index == truth_index, (
+        f"pruned recommendation {tuned.best.candidate.label} != exhaustive "
+        f"winner index {truth_index}"
+    )
+    assert tuned.best.simulated_seconds == exhaustive[truth_index]
+    assert pruning_factor >= PRUNING_FLOOR, (
+        f"analytic pruning leverage regressed: simulated "
+        f"{tuned.pruning['simulated']} of {len(exhaustive)} feasible "
+        f"candidates ({pruning_factor:.1f}x < {PRUNING_FLOOR}x)"
+    )

@@ -40,6 +40,7 @@ so every function here is a pure function of its inputs.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -62,6 +63,7 @@ __all__ = [
     "ValidationScenario",
     "append_validation_record",
     "golden_scenarios",
+    "load_benchmark_history",
     "golden_trace",
     "validate_scenario",
 ]
@@ -576,6 +578,49 @@ def golden_trace(scenario: ValidationScenario) -> Dict[str, object]:
 
 
 # --------------------------------------------------------------------------- #
+def load_benchmark_history(
+    path: Union[str, Path], *, benchmark: str = "bench_sweep"
+) -> Dict[str, object]:
+    """Load a benchmark history JSON, preserving evidence of corruption.
+
+    Returns the ``{"benchmark": ..., "runs": [...]}`` mapping at ``path``,
+    or a fresh empty history when the file does not exist. A file that
+    exists but cannot be parsed (or parses to the wrong shape) is **not**
+    silently discarded: it is renamed to ``<name>.corrupt`` next to the
+    original — overwriting at most one previous backup — and a
+    :class:`UserWarning` names both paths, so a perf trajectory damaged by
+    a crashed or interrupted writer can still be recovered by hand. Every
+    appender of ``BENCH_sweep.json`` (``append_validation_record``,
+    ``benchmarks/bench_sweep.py``, ``benchmarks/bench_tune.py``) shares
+    this guard.
+    """
+    path = Path(path)
+    fresh: Dict[str, object] = {"benchmark": benchmark, "runs": []}
+    if not path.exists():
+        return fresh
+    try:
+        loaded = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        reason = str(error)
+        loaded = None
+    else:
+        if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+            return loaded
+        reason = "not a {'runs': [...]} mapping"
+        loaded = None
+    backup = path.with_name(path.name + ".corrupt")
+    try:
+        path.replace(backup)
+    except OSError:
+        backup = path  # rename failed; at least point the warning somewhere
+    warnings.warn(
+        f"benchmark history {path} is corrupt ({reason}); saved the old "
+        f"file to {backup} and starting a fresh history",
+        stacklevel=2,
+    )
+    return fresh
+
+
 def append_validation_record(
     report: ValidationReport,
     path: Union[str, Path],
@@ -586,22 +631,17 @@ def append_validation_record(
     """Append ``report`` to the benchmark history JSON at ``path``.
 
     Shares the schema of ``benchmarks/BENCH_sweep.json``:
-    ``{"benchmark": ..., "runs": [...]}``, corrupt or missing files starting
-    a fresh history. The ``timestamp`` comes from the caller (use
+    ``{"benchmark": ..., "runs": [...]}``. Missing files start a fresh
+    history; a corrupt file is backed up to ``*.corrupt`` with a warning
+    (see :func:`load_benchmark_history`) instead of being silently erased.
+    The ``timestamp`` comes from the caller (use
     :func:`repro.utils.timing.utc_timestamp` at the CLI boundary) so this
     module stays clock-free. Returns the record that was appended.
     """
     path = Path(path)
     record: Dict[str, object] = {"timestamp": timestamp, "quick": bool(quick)}
     record.update(report.to_record())
-    history: Dict[str, object] = {"benchmark": "bench_sweep", "runs": []}
-    if path.exists():
-        try:
-            loaded = json.loads(path.read_text())
-            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
-                history = loaded
-        except (OSError, json.JSONDecodeError):
-            pass
+    history = load_benchmark_history(path)
     runs = history.setdefault("runs", [])
     assert isinstance(runs, list)
     runs.append(record)

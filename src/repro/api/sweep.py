@@ -267,7 +267,14 @@ class SweepResult:
         """One dict per cell: parameters plus trial-averaged numeric metrics.
 
         ``metrics`` defaults to every numeric key appearing in the records'
-        summaries, in first-seen order. The result is cached (see the class
+        summaries, in first-seen order. A metric present in only *some* of a
+        cell's trial summaries is averaged over the trials that carry it,
+        and the row then also reports ``"{metric}_count"`` with that trial
+        count — without it, ``trials: N`` next to a subset mean would
+        silently misrepresent the sample size. Rows where every trial
+        carries the metric are unchanged (no count column).
+
+        The result is cached (see the class
         docstring); the key tracks both the record *list* and each result's
         own iteration-log mutation counter, so editing a result in place
         (e.g. appending or removing outcomes) recomputes too. Callers
@@ -316,6 +323,13 @@ class SweepResult:
                 values = [s[metric] for s in cell_summaries if metric in s]
                 if values:
                     row[metric] = float(np.mean(values))
+                    if len(values) < len(cell_summaries):
+                        # Partial coverage: the mean is over a subset of the
+                        # trials while ``trials`` reports all of them, which
+                        # silently skews any ranking built on the row. The
+                        # count column is the signal; full-coverage rows are
+                        # unchanged.
+                        row[f"{metric}_count"] = len(values)
             rows.append(row)
         if version is not None:
             self._aggregate_cache = (cache_key, rows)

@@ -15,6 +15,9 @@ Usage::
         --record summary
     python -m repro.experiments.cli sweep --dynamics markov:slowdown=8 \
         --scheme bcc --scheme cyclic-repetition --loads 10
+    python -m repro.experiments.cli tune --workers 50 --loads 5,10,25 \
+        --units 50,100 --top-k 5 --trials 8
+    python -m repro.experiments.cli tune --quick --json
     python -m repro.experiments.cli churn --workers 20 --iterations 30
     python -m repro.experiments.cli validate --quick --no-append
     python -m repro.experiments.cli validate --scenario markov-bursts
@@ -56,7 +59,13 @@ from repro.experiments.theorems import run_theorem1_validation, run_theorem2_val
 from repro.schemes.registry import available_schemes, scheme_accepts
 from repro.utils.timing import utc_timestamp
 
-__all__ = ["build_parser", "main", "run_cli_sweep", "run_cli_validate"]
+__all__ = [
+    "build_parser",
+    "main",
+    "run_cli_sweep",
+    "run_cli_tune",
+    "run_cli_validate",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -237,6 +246,120 @@ def build_parser() -> argparse.ArgumentParser:
             "persisted in DIR (summary-form results survive across runs; "
             "keys fingerprint the full spec + seed + backend identity)"
         ),
+    )
+
+    tune = subparsers.add_parser(
+        "tune",
+        help="recommend the best (scheme, m, unit_size) for a cluster profile",
+        description=(
+            "Two-stage scheme auto-tuner: score every candidate in the "
+            "(scheme, load, m, unit_size) grid with the closed-form analytic "
+            "oracle, prune to the top-k frontier, confirm the survivors with "
+            "trial-batched Monte-Carlo simulation, and print the ranked "
+            "recommendation with confidence intervals and the analytic-vs-"
+            "simulated sanity ratio."
+        ),
+    )
+    tune.add_argument(
+        "--scheme",
+        action="append",
+        dest="schemes",
+        metavar="NAME",
+        help=(
+            "candidate scheme (repeatable); default: every homogeneous-"
+            f"cluster scheme. available: {', '.join(available_schemes())}"
+        ),
+    )
+    tune.add_argument(
+        "--loads",
+        type=lambda text: [int(part) for part in text.split(",") if part],
+        default=[5, 10, 25],
+        metavar="R1,R2,...",
+        help="computational loads tried for load-taking schemes (default: 5,10,25)",
+    )
+    tune.add_argument("--workers", type=int, default=50, help="cluster size n")
+    tune.add_argument(
+        "--units",
+        type=lambda text: [int(part) for part in text.split(",") if part],
+        default=[50],
+        metavar="M1,M2,...",
+        help="data-unit counts m to try (default: 50)",
+    )
+    tune.add_argument(
+        "--unit-sizes",
+        dest="unit_sizes",
+        type=lambda text: [int(part) for part in text.split(",") if part],
+        default=[100],
+        metavar="U1,U2,...",
+        help="examples-per-unit values to try (default: 100)",
+    )
+    tune.add_argument(
+        "--iterations", type=int, default=20, help="GD iterations per candidate"
+    )
+    tune.add_argument(
+        "--trials",
+        type=int,
+        default=8,
+        help="Monte-Carlo trials per confirmed candidate (default: 8)",
+    )
+    tune.add_argument(
+        "--top-k",
+        dest="top_k",
+        type=int,
+        default=5,
+        help="analytic frontier size confirmed by simulation (default: 5)",
+    )
+    tune.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="CELLS",
+        help="hard cap on simulated candidates (default: uncapped)",
+    )
+    tune.add_argument(
+        "--dynamics",
+        metavar="NAME[:k=v,...]",
+        default=None,
+        help=(
+            "confirm candidates on a dynamic cluster (analytic pruning then "
+            "ranks the stationary base as a proxy); available: "
+            f"{', '.join(available_dynamics())}"
+        ),
+    )
+    tune.add_argument(
+        "--engine",
+        choices=("loop", "vectorized", "auto"),
+        default="auto",
+        help="timing engine for the confirmation stage",
+    )
+    tune.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level of the reported intervals (default: 0.95)",
+    )
+    tune.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "run the confirmation stage through a result cache persisted in "
+            "DIR (repeat tunes and later sweeps re-simulate nothing)"
+        ),
+    )
+    tune.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "scaled-down smoke run (fewer trials/iterations, truncated "
+            "grid) — exercises the pipeline, not the calibration"
+        ),
+    )
+    tune.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the full machine-readable report instead of the table",
     )
 
     serve = subparsers.add_parser(
@@ -433,6 +556,58 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
     return table.render()
 
 
+def run_cli_tune(args: argparse.Namespace) -> str:
+    """Build and run the ``tune`` sub-command; return the rendered report."""
+    from repro.tuning import TuneSpec, tune
+
+    spec = TuneSpec(
+        cluster=ec2_like_cluster(args.workers),
+        schemes=None if not args.schemes else tuple(args.schemes),
+        loads=tuple(args.loads),
+        num_units=tuple(args.units),
+        unit_sizes=tuple(args.unit_sizes),
+        num_iterations=args.iterations,
+        trials=args.trials,
+        top_k=args.top_k,
+        budget=args.budget,
+        dynamics=args.dynamics,
+        seed=args.seed,
+        confidence=args.confidence,
+        engine=args.engine,
+    )
+    if args.quick:
+        spec = spec.quick()
+    report = tune(spec, cache=args.cache)
+    if args.as_json:
+        return report.to_json()
+    lines = [report.to_table().render()]
+    if report.infeasible:
+        lines.append("")
+        lines.append("infeasible candidates:")
+        lines.extend(
+            f"  {label}: {reason}"
+            for label, reason in report.infeasible.items()
+        )
+    if report.failures:
+        lines.append("")
+        lines.append("failed confirmations:")
+        lines.extend(
+            f"  {label}: {reason}" for label, reason in report.failures.items()
+        )
+    if report.ranking:
+        best = report.best
+        lines.append("")
+        lines.append(
+            f"recommendation: {best.candidate.label} at "
+            f"m={best.candidate.num_units}, unit_size="
+            f"{best.candidate.unit_size} "
+            f"({best.simulated_seconds:.4f} s simulated mean; analytic "
+            f"pruning simulated {report.pruning.get('simulated', 0)} of "
+            f"{report.pruning.get('candidates', 0)} candidates)"
+        )
+    return "\n".join(lines)
+
+
 def run_cli_validate(args: argparse.Namespace) -> int:
     """Run the ``validate`` sub-command; return a process exit code.
 
@@ -523,6 +698,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(validation.render())
     elif args.experiment == "sweep":
         print(run_cli_sweep(args))
+    elif args.experiment == "tune":
+        print(run_cli_tune(args))
     elif args.experiment == "serve":
         from repro.service.server import run_server, self_test
 

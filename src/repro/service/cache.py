@@ -23,6 +23,7 @@ Two tiers:
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from dataclasses import dataclass
@@ -35,6 +36,13 @@ from repro.exceptions import FingerprintError
 from repro.scheduling.core import CellTask
 
 __all__ = ["CacheStats", "ResultCache"]
+
+#: Process-wide counter feeding writer-unique temp names (see
+#: :meth:`ResultCache._tmp_path`): distinct writers — threads in one
+#: process via the counter, separate processes via the pid — never share a
+#: temp file, so a half-written entry can never be renamed over a key by a
+#: concurrent store.
+_TMP_COUNTER = itertools.count()
 
 
 @dataclass
@@ -166,10 +174,9 @@ class ResultCache:
         encoded = [self._encode_result(result) for result in results]
         if any(entry is None for entry in encoded):
             return
-        path = self._path(key)
-        tmp_path = path.with_suffix(".tmp")
+        tmp_path = self._tmp_path(key)
         tmp_path.write_text(json.dumps({"results": encoded}), encoding="utf-8")
-        tmp_path.replace(path)
+        tmp_path.replace(self._path(key))
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -184,6 +191,21 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         assert self.directory is not None
         return self.directory / f"{key}.json"
+
+    def _tmp_path(self, key: str) -> Path:
+        """A writer-unique temp path for ``key``'s pending disk entry.
+
+        Two caches sharing a directory (separate processes, or threads in
+        one service) may store the same key concurrently; a fixed
+        ``{key}.tmp`` name would let one writer atomically ``replace`` the
+        *other* writer's half-written file into place. The pid + a
+        process-wide counter make the temp name unique per write, so each
+        ``replace`` publishes only the file its own writer finished.
+        """
+        assert self.directory is not None
+        return self.directory / (
+            f"{key}.{os.getpid()}-{next(_TMP_COUNTER)}.tmp"
+        )
 
     @staticmethod
     def _encode_result(result: RunResult) -> Optional[dict]:

@@ -20,6 +20,15 @@ Requests mirror the ``repro sweep`` CLI flags::
      "seed": 0, "backend": "timing", "engine": "auto",
      "record": "summary", "trial_batching": "auto"}
 
+A request carrying ``"request": "recommend"`` invokes the scheme
+auto-tuner (:mod:`repro.tuning`) instead of a sweep: its remaining keys
+follow the ``repro tune`` grammar
+(:data:`repro.tuning.tuner.RECOMMEND_KEYS`) and the response is one
+``{"event": "recommendation", "report": {...}}`` — the full ranked
+:meth:`~repro.tuning.tuner.TuneReport.to_record` — followed by the usual
+``done`` event. Tune confirmations run through the same service cache, so
+recommending and then sweeping the winners re-simulates nothing.
+
 The protocol is deliberately minimal — a laboratory-scale result server,
 not an internet-facing one: bind it to localhost.
 """
@@ -135,6 +144,16 @@ async def _handle_request(
         payload = json.loads(line.decode("utf-8"))
         if not isinstance(payload, dict):
             raise ConfigurationError("a request must be a JSON object")
+        if payload.get("request") == "recommend":
+            await _handle_recommend(service, send, payload)
+            await writer.drain()
+            return
+        if "request" in payload:
+            raise ConfigurationError(
+                f"unknown request type {payload['request']!r}; the server "
+                "understands sweep submissions (no 'request' key) and "
+                "'recommend'"
+            )
         sweep, record, trial_batching = sweep_from_request(payload)
         hits_before = service.cache.stats.hits
         misses_before = service.cache.stats.misses
@@ -172,6 +191,31 @@ async def _handle_request(
     except (ReproError, ValueError) as error:
         send({"event": "error", "error": str(error)})
     await writer.drain()
+
+
+async def _handle_recommend(service, send, payload: Mapping[str, object]) -> None:
+    """One ``recommend`` request: run the tuner, send its report + done."""
+    from repro.tuning import tune_from_request
+
+    spec = tune_from_request(
+        {key: value for key, value in payload.items() if key != "request"}
+    )
+    hits_before = service.cache.stats.hits
+    misses_before = service.cache.stats.misses
+    report = await service.recommend(spec)
+    send({"event": "recommendation", "report": report.to_record()})
+    hits = service.cache.stats.hits - hits_before
+    lookups = hits + service.cache.stats.misses - misses_before
+    send(
+        {
+            "event": "done",
+            "records": len(report.ranking),
+            "cache_hits": hits,
+            "cache_lookups": lookups,
+            "cache_hit_rate": hits / lookups if lookups else 0.0,
+            "deduplicated": service.stats.tasks_deduplicated,
+        }
+    )
 
 
 async def serve(

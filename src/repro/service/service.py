@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import AsyncIterator, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, AsyncIterator, Dict, List, Optional, Union
 
 from repro.api.backends import get_backend
 from repro.api.result import RunResult, validate_record
@@ -33,6 +33,9 @@ from repro.exceptions import BudgetExceededError, ConfigurationError
 from repro.scheduling.core import CellTask, build_sweep_plan
 from repro.scheduling.executors import AsyncExecutor
 from repro.service.cache import ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from repro.tuning import TuneReport, TuneSpec
 
 __all__ = ["ServiceStats", "SweepService"]
 
@@ -188,6 +191,36 @@ class SweepService:
         return asyncio.run(
             self.run(sweep, record=record, trial_batching=trial_batching)
         )
+
+    async def recommend(self, spec: "TuneSpec") -> "TuneReport":
+        """Run the scheme auto-tuner through the service's cache.
+
+        The two-stage :func:`repro.tuning.tune` pipeline executes on a
+        worker thread (its confirmation stage is synchronous, CPU-bound
+        simulation) with the service's :class:`ResultCache` attached, so
+        repeat recommendations — and sweeps over cells a tune already
+        confirmed — are cache hits. The service ``cell_budget`` caps the
+        number of *simulated candidates* per recommendation the same way it
+        caps cells per sweep submission: an uncapped tune spec inherits the
+        budget, a spec asking for more than the budget is rejected before
+        any candidate simulates.
+        """
+        from dataclasses import replace as _replace
+
+        from repro.tuning import tune
+
+        if self.cell_budget is not None:
+            if spec.budget is None:
+                spec = _replace(spec, budget=self.cell_budget)
+            elif spec.budget > self.cell_budget:
+                self.stats.budget_rejections += 1
+                raise BudgetExceededError(
+                    f"the tune request budgets {spec.budget} simulated "
+                    f"candidates but the service accepts at most "
+                    f"{self.cell_budget}; shrink the request budget"
+                )
+        self.stats.submissions += 1
+        return await asyncio.to_thread(tune, spec, cache=self.cache)
 
     # ------------------------------------------------------------------ #
     async def _cached_task(self, task: CellTask) -> List[RunResult]:

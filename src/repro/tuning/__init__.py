@@ -1,0 +1,37 @@
+"""Scheme auto-tuning: pick the best (scheme, m, unit_size) for a scenario.
+
+The paper's central operational question — *which* coding scheme, at *which*
+computational load and data granularity, minimises expected runtime on a
+given cluster — is answered here by a two-stage pipeline
+(:func:`~repro.tuning.tuner.tune`): stage 1 scores every feasible candidate
+with the closed-form :meth:`~repro.schemes.base.Scheme.analytic_runtime`
+oracle and prunes to a top-k frontier; stage 2 confirms the survivors with
+trial-batched Monte-Carlo simulation through the shared scheduling core and
+result cache, and reports a ranked :class:`~repro.tuning.tuner.TuneReport`
+with confidence intervals and an analytic-vs-simulated sanity column.
+
+Exposed as the ``repro tune`` CLI sub-command and as the ``recommend``
+request of the sweep service (:doc:`the tuning guide </tuning>`).
+"""
+
+from repro.tuning.tuner import (
+    DEFAULT_TUNE_SCHEMES,
+    TuneCandidate,
+    TuneReport,
+    TuneSpec,
+    TunedCandidate,
+    trial_confidence_halfwidth,
+    tune,
+    tune_from_request,
+)
+
+__all__ = [
+    "DEFAULT_TUNE_SCHEMES",
+    "TuneCandidate",
+    "TunedCandidate",
+    "TuneReport",
+    "TuneSpec",
+    "trial_confidence_halfwidth",
+    "tune",
+    "tune_from_request",
+]

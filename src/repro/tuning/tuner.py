@@ -1,0 +1,687 @@
+"""The two-stage scheme auto-tuner behind ``repro tune``.
+
+Stage 1 — **analytic pruning**. Every candidate ``(scheme config, m,
+unit_size)`` in the :class:`TuneSpec` grid is priced with the closed-form
+:meth:`~repro.schemes.base.Scheme.analytic_runtime` oracle (~250x cheaper
+than simulating a cell). Candidates whose configuration is infeasible
+(``load > m``, too few workers for the batch count, ...) are dropped with
+the reason recorded; candidates outside the closed-form regime
+(:class:`~repro.exceptions.AnalyticIntractableError`) are *kept* and passed
+straight to stage 2 — the tuner never dies on an intractable cell. The
+analytic scores are always evaluated on the spec's **stationary base
+cluster**: when a dynamics scenario is attached, the closed forms act as a
+proxy ranking and the simulation stage prices the dynamics.
+
+Stage 2 — **simulated confirmation**. The top-k analytic frontier (plus
+every intractable candidate, capped by the ``budget``) is confirmed by
+trial-batched Monte-Carlo simulation through the existing scheduling core:
+each survivor runs as one single-cell :class:`~repro.api.sweep.Sweep` at the
+*same base seed*, so every candidate sees the **same** spawned trial seeds
+(common random numbers — differences between candidates are scheme
+differences, not draw luck) and repeat tunes through a
+:class:`~repro.service.cache.ResultCache` are pure cache hits.
+
+The :class:`TuneReport` ranks the survivors by simulated mean runtime and
+carries, per candidate, a trial-count-aware confidence interval (Student-t
+over the per-trial totals) and the analytic/simulated ratio as a sanity
+column — a ratio far from 1 flags a candidate whose closed form and
+simulation disagree (see :doc:`the tuning guide </tuning>`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.analytic import normal_quantile
+from repro.api.backends import TimingSimBackend
+from repro.api.spec import JobSpec
+from repro.api.sweep import Sweep, run_sweep
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import (
+    AnalyticIntractableError,
+    ConfigurationError,
+    ReproError,
+)
+from repro.schemes.registry import available_schemes, scheme_accepts, scheme_from_config
+from repro.utils.tables import TextTable
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "DEFAULT_TUNE_SCHEMES",
+    "TuneCandidate",
+    "TunedCandidate",
+    "TuneReport",
+    "TuneSpec",
+    "trial_confidence_halfwidth",
+    "tune",
+    "tune_from_request",
+]
+
+#: Schemes searched when a :class:`TuneSpec` does not name a subset: every
+#: registered scheme constructible on a homogeneous cluster without extra
+#: placement inputs (the heterogeneous schemes need per-worker loads and
+#: only make sense on clusters the operator describes explicitly).
+DEFAULT_TUNE_SCHEMES: Tuple[str, ...] = (
+    "bcc",
+    "cyclic-repetition",
+    "fractional-repetition",
+    "ignore-stragglers",
+    "randomized",
+    "reed-solomon",
+    "uncoded",
+)
+
+
+def student_t_quantile(q: float, dof: int) -> float:
+    """Quantile of Student's t with ``dof`` degrees of freedom.
+
+    Uses :func:`scipy.stats.t.ppf` when scipy is importable and falls back
+    to the Cornish-Fisher expansion around the normal quantile otherwise
+    (accurate to a few 1e-3 for ``dof >= 2`` — ample for a confidence
+    interval whose width is itself a noisy estimate).
+    """
+    check_positive_int(dof, "dof")
+    try:
+        from scipy import stats
+
+        return float(stats.t.ppf(q, dof))
+    except ImportError:  # pragma: no cover - scipy is a declared dependency
+        z = normal_quantile(q)
+        g1 = (z**3 + z) / 4.0
+        g2 = (5 * z**5 + 16 * z**3 + 3 * z) / 96.0
+        return float(z + g1 / dof + g2 / dof**2)
+
+
+def trial_confidence_halfwidth(
+    values: Sequence[float], confidence: float = 0.95
+) -> Optional[float]:
+    """Half-width of the Student-t CI of the mean of ``values``.
+
+    Trial-count aware: the half-width is ``t_{n-1} * s / sqrt(n)`` over the
+    per-trial totals, so doubling the trials shrinks it by ~``sqrt(2)`` and
+    the heavier t tails at small ``n`` keep two-trial intervals honest.
+    ``None`` when fewer than two trials were run (no variance estimate).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    n = len(values)
+    if n < 2:
+        return None
+    std = float(np.std(np.asarray(values, dtype=float), ddof=1))
+    return student_t_quantile(0.5 + confidence / 2.0, n - 1) * std / math.sqrt(n)
+
+
+# --------------------------------------------------------------------------- #
+# Candidates
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One point of the search grid: a scheme config at one ``(m, unit_size)``.
+
+    ``index`` is the candidate's position in the *full* enumerated grid —
+    stable whether or not other candidates are pruned, so fixtures and
+    cache keys can name a candidate independently of the pruning outcome.
+    """
+
+    index: int
+    scheme: Mapping[str, object]
+    num_units: int
+    unit_size: int
+
+    @property
+    def label(self) -> str:
+        """Compact display form, e.g. ``bcc(load=10)``."""
+        options = ", ".join(
+            f"{key}={value}"
+            for key, value in self.scheme.items()
+            if key != "name"
+        )
+        name = self.scheme.get("name", "?")
+        return f"{name}({options})" if options else str(name)
+
+
+@dataclass(frozen=True)
+class TunedCandidate:
+    """One ranked row of a :class:`TuneReport`.
+
+    Attributes
+    ----------
+    candidate:
+        The grid point this row describes.
+    analytic_seconds:
+        Stage-1 closed-form expected total runtime, or ``None`` when the
+        candidate was analytically intractable (priced by simulation only).
+    simulated_seconds:
+        Trial-mean simulated total runtime (the ranking key).
+    ci_halfwidth:
+        Student-t confidence half-width of ``simulated_seconds`` over the
+        trials, or ``None`` for single-trial confirmations.
+    trials:
+        Number of Monte-Carlo trials behind the mean.
+    analytic_ratio:
+        ``analytic_seconds / simulated_seconds`` — the sanity column; ``None``
+        without an analytic score.
+    """
+
+    candidate: TuneCandidate
+    analytic_seconds: Optional[float]
+    simulated_seconds: float
+    ci_halfwidth: Optional[float]
+    trials: int
+    analytic_ratio: Optional[float]
+
+
+# --------------------------------------------------------------------------- #
+# The spec
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TuneSpec:
+    """Everything the auto-tuner needs: target profile, grid, and budget.
+
+    Attributes
+    ----------
+    cluster:
+        The stationary target cluster (delay + communication profile) the
+        recommendation is for. Analytic pruning always prices this cluster.
+    schemes:
+        Registered scheme names to search; ``None`` searches
+        :data:`DEFAULT_TUNE_SCHEMES`.
+    loads:
+        Computational loads ``r`` tried for every scheme whose constructor
+        takes one (schemes without a ``load`` contribute one candidate per
+        ``(m, unit_size)``).
+    num_units:
+        The ``m`` grid — numbers of data units to try.
+    unit_sizes:
+        The examples-per-unit grid (scales every computation draw).
+    num_iterations:
+        Iteration budget each candidate is priced over.
+    trials:
+        Monte-Carlo trials per confirmed candidate (stage 2).
+    top_k:
+        Size of the analytic frontier confirmed by simulation.
+    budget:
+        Hard cap on simulated candidates (frontier + intractables);
+        ``None`` caps nothing. The report records what was cut.
+    dynamics:
+        Optional CLI-style dynamics spec (``"markov:slowdown=8"``; see
+        :func:`repro.experiments.churn.dynamics_from_spec`) applied to the
+        cluster for the *simulation* stage. Analytic pruning then acts as a
+        stationary proxy ranking.
+    serialize_master_link:
+        Whether master receptions serialise over one link.
+    seed:
+        Base seed. Every candidate's confirmation runs at this same base
+        seed, so candidates share trial seeds (common random numbers).
+    confidence:
+        Confidence level of the reported intervals.
+    engine:
+        Timing-engine for the confirmation stage.
+    """
+
+    cluster: ClusterSpec
+    schemes: Optional[Tuple[str, ...]] = None
+    loads: Tuple[int, ...] = (5, 10, 25)
+    num_units: Tuple[int, ...] = (50,)
+    unit_sizes: Tuple[int, ...] = (100,)
+    num_iterations: int = 20
+    trials: int = 8
+    top_k: int = 5
+    budget: Optional[int] = None
+    dynamics: Optional[str] = None
+    serialize_master_link: bool = False
+    seed: int = 0
+    confidence: float = 0.95
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_iterations, "num_iterations")
+        check_positive_int(self.trials, "trials")
+        check_positive_int(self.top_k, "top_k")
+        if self.budget is not None:
+            check_positive_int(self.budget, "budget")
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigurationError(
+                f"confidence must lie in (0, 1), got {self.confidence}"
+            )
+        for axis, values in (
+            ("loads", self.loads),
+            ("num_units", self.num_units),
+            ("unit_sizes", self.unit_sizes),
+        ):
+            if not values:
+                raise ConfigurationError(f"the {axis} grid has no values")
+            for value in values:
+                check_positive_int(value, f"{axis} entry")
+        known = available_schemes()
+        for name in self.scheme_names:
+            if name not in known:
+                raise ConfigurationError(
+                    f"unknown scheme {name!r}; available: {', '.join(known)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def scheme_names(self) -> Tuple[str, ...]:
+        """The searched scheme names (the default subset when unset)."""
+        return tuple(self.schemes) if self.schemes else DEFAULT_TUNE_SCHEMES
+
+    def candidates(self) -> List[TuneCandidate]:
+        """The full enumerated grid, in deterministic order.
+
+        Scheme-major (spec order), then loads, then ``m``, then
+        ``unit_size`` — candidate indices are stable across prunings.
+        """
+        configs: List[Dict[str, object]] = []
+        for name in self.scheme_names:
+            if scheme_accepts(name, "load"):
+                configs.extend(
+                    {"name": name, "load": int(load)} for load in self.loads
+                )
+            else:
+                configs.append({"name": name})
+        grid = [
+            (config, int(m), int(unit_size))
+            for config in configs
+            for m in self.num_units
+            for unit_size in self.unit_sizes
+        ]
+        return [
+            TuneCandidate(index=index, scheme=config, num_units=m, unit_size=u)
+            for index, (config, m, u) in enumerate(grid)
+        ]
+
+    def simulation_cluster(self) -> object:
+        """The cluster stage 2 simulates: dynamics applied when configured."""
+        if self.dynamics is None:
+            return self.cluster
+        from repro.experiments.churn import dynamics_from_spec
+
+        return dynamics_from_spec(
+            self.dynamics, self.cluster, num_iterations=self.num_iterations
+        )
+
+    def quick(self) -> "TuneSpec":
+        """A scaled-down copy for smoke runs (CLI ``--quick``, CI).
+
+        Shrinks the trial count, iteration budget, grid breadth, and
+        frontier — the pipeline is exercised end to end, the calibration is
+        not representative.
+        """
+        return replace(
+            self,
+            trials=min(self.trials, 2),
+            num_iterations=min(self.num_iterations, 5),
+            num_units=self.num_units[:2],
+            unit_sizes=self.unit_sizes[:1],
+            top_k=min(self.top_k, 3),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The report
+# --------------------------------------------------------------------------- #
+@dataclass
+class TuneReport:
+    """Ranked recommendation plus the pruning ledger of one tune run.
+
+    Attributes
+    ----------
+    ranking:
+        Confirmed candidates, best (smallest simulated mean runtime) first.
+    pruning:
+        Counters of the funnel: ``candidates`` enumerated, ``infeasible``
+        dropped with reasons, ``analytic_scored`` priced in closed form,
+        ``intractable`` passed to simulation unpriced, ``pruned`` cut by the
+        top-k frontier, ``budget_dropped`` cut by the budget, ``simulated``
+        confirmed, ``failed`` simulation failures.
+    infeasible:
+        Candidate label -> reason, for every dropped configuration.
+    failures:
+        Candidate label -> error, for survivors whose simulation failed.
+    confidence:
+        Confidence level of the ``ci_halfwidth`` columns.
+    num_iterations, trials, seed:
+        Echo of the spec fields the numbers depend on.
+    """
+
+    ranking: List[TunedCandidate] = field(default_factory=list)
+    pruning: Dict[str, int] = field(default_factory=dict)
+    infeasible: Dict[str, str] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+    confidence: float = 0.95
+    num_iterations: int = 0
+    trials: int = 0
+    seed: int = 0
+
+    @property
+    def best(self) -> TunedCandidate:
+        """The recommendation: the top-ranked confirmed candidate."""
+        if not self.ranking:
+            raise ConfigurationError(
+                "the tune run confirmed no candidate (every configuration "
+                "was infeasible or failed); widen the grid"
+            )
+        return self.ranking[0]
+
+    @property
+    def pruning_factor(self) -> float:
+        """Feasible candidates per simulated cell (the oracle's leverage)."""
+        simulated = self.pruning.get("simulated", 0)
+        feasible = self.pruning.get("analytic_scored", 0) + self.pruning.get(
+            "intractable", 0
+        )
+        return feasible / simulated if simulated else float("inf")
+
+    # ------------------------------------------------------------------ #
+    def to_record(self) -> Dict[str, object]:
+        """JSON-stable form of the report (fixtures, ``--json``, benchmarks)."""
+        return {
+            "ranking": [
+                {
+                    "index": row.candidate.index,
+                    "scheme": dict(row.candidate.scheme),
+                    "num_units": row.candidate.num_units,
+                    "unit_size": row.candidate.unit_size,
+                    "analytic_seconds": row.analytic_seconds,
+                    "simulated_seconds": row.simulated_seconds,
+                    "ci_halfwidth": row.ci_halfwidth,
+                    "trials": row.trials,
+                    "analytic_ratio": row.analytic_ratio,
+                }
+                for row in self.ranking
+            ],
+            "pruning": dict(self.pruning),
+            "infeasible": dict(self.infeasible),
+            "failures": dict(self.failures),
+            "confidence": self.confidence,
+            "num_iterations": self.num_iterations,
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """The record as a JSON document."""
+        return json.dumps(self.to_record(), indent=indent)
+
+    def to_table(self, *, title: str = "") -> TextTable:
+        """Monospace ranking table, best candidate first."""
+        level = f"{round(100 * self.confidence)}%"
+        table = TextTable(
+            [
+                "rank",
+                "scheme",
+                "m",
+                "unit_size",
+                f"simulated mean [s] (+/- {level} CI)",
+                "analytic [s]",
+                "analytic/sim",
+            ],
+            title=title or self._default_title(),
+        )
+        for rank, row in enumerate(self.ranking, start=1):
+            if row.ci_halfwidth is None:
+                simulated = f"{row.simulated_seconds:.4f}"
+            else:
+                simulated = (
+                    f"{row.simulated_seconds:.4f} +/- {row.ci_halfwidth:.4f}"
+                )
+            table.add_row(
+                [
+                    rank,
+                    row.candidate.label,
+                    row.candidate.num_units,
+                    row.candidate.unit_size,
+                    simulated,
+                    "-" if row.analytic_seconds is None
+                    else f"{row.analytic_seconds:.4f}",
+                    "-" if row.analytic_ratio is None
+                    else f"{row.analytic_ratio:.3f}",
+                ]
+            )
+        return table
+
+    def _default_title(self) -> str:
+        p = self.pruning
+        return (
+            f"repro tune — {p.get('candidates', 0)} candidates, "
+            f"{p.get('analytic_scored', 0)} analytically scored, "
+            f"{p.get('simulated', 0)} simulated "
+            f"({self.trials} trial(s) x {self.num_iterations} iterations)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The pipeline
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _ScoredCandidate:
+    """Stage-1 outcome for one surviving candidate."""
+
+    candidate: TuneCandidate
+    analytic_seconds: Optional[float]  # None == intractable
+
+
+def _analytic_score(
+    spec: TuneSpec, candidate: TuneCandidate
+) -> Optional[float]:
+    """Stage 1 for one candidate: expected total seconds, or ``None``.
+
+    ``None`` means "no closed form — confirm by simulation"; infeasible
+    configurations re-raise their :class:`ConfigurationError` (minus the
+    intractable subclass) for the caller to ledger.
+    """
+    scheme = scheme_from_config(dict(candidate.scheme), cluster=spec.cluster)
+    try:
+        estimate = scheme.analytic_runtime(
+            spec.cluster,
+            candidate.num_units,
+            unit_size=candidate.unit_size,
+            serialize_master_link=spec.serialize_master_link,
+            quantiles=(0.5,),
+        )
+    except AnalyticIntractableError:
+        return None
+    return float(estimate.total_runtime_mean(spec.num_iterations))
+
+
+def _confirm_candidate(
+    spec: TuneSpec,
+    candidate: TuneCandidate,
+    backend: TimingSimBackend,
+    cache: Optional[object],
+) -> Tuple[float, Optional[float], int]:
+    """Stage 2 for one candidate: ``(mean, ci_halfwidth, trials)``.
+
+    Each candidate runs as its own single-cell sweep at the spec's base
+    seed, so every candidate sees the same spawned per-trial seeds (common
+    random numbers) and a repeat tune is a pure cache hit per candidate.
+    """
+    job = JobSpec(
+        scheme=dict(candidate.scheme),
+        cluster=spec.simulation_cluster(),
+        num_units=candidate.num_units,
+        unit_size=candidate.unit_size,
+        num_iterations=spec.num_iterations,
+        serialize_master_link=spec.serialize_master_link,
+        seed=spec.seed,
+    )
+    sweep = Sweep(job, trials=spec.trials, backend=backend)
+    result = run_sweep(sweep, record="summary", cache=cache)
+    totals = [record.result.total_time for record in result]
+    mean = float(np.mean(totals))
+    halfwidth = trial_confidence_halfwidth(totals, spec.confidence)
+    return mean, halfwidth, len(totals)
+
+
+def tune(spec: TuneSpec, *, cache: Optional[object] = None) -> TuneReport:
+    """Run the two-stage auto-tuner and return the ranked recommendation.
+
+    Parameters
+    ----------
+    spec:
+        The search space, target profile, and budget.
+    cache:
+        Optional :class:`~repro.service.cache.ResultCache` (or directory
+        path) the confirmation stage runs through — repeat tunes over a
+        shared cache re-simulate nothing.
+
+    Raises
+    ------
+    ConfigurationError
+        When the grid is empty of feasible candidates (``TuneReport.best``
+        raises; ``tune`` itself returns the report with the ledger, so the
+        caller can see *why* everything fell out).
+    """
+    candidates = spec.candidates()
+    report = TuneReport(
+        confidence=spec.confidence,
+        num_iterations=spec.num_iterations,
+        trials=spec.trials,
+        seed=spec.seed,
+    )
+    pruning = report.pruning
+    pruning["candidates"] = len(candidates)
+
+    # ---- Stage 1: closed-form scoring -------------------------------- #
+    scored: List[_ScoredCandidate] = []
+    intractable: List[_ScoredCandidate] = []
+    for candidate in candidates:
+        try:
+            seconds = _analytic_score(spec, candidate)
+        except ConfigurationError as error:
+            report.infeasible[
+                f"{candidate.label} m={candidate.num_units} "
+                f"u={candidate.unit_size}"
+            ] = str(error)
+            continue
+        entry = _ScoredCandidate(candidate, seconds)
+        (intractable if seconds is None else scored).append(entry)
+    pruning["infeasible"] = len(report.infeasible)
+    pruning["analytic_scored"] = len(scored)
+    pruning["intractable"] = len(intractable)
+
+    # ---- Prune to the frontier --------------------------------------- #
+    scored.sort(key=lambda entry: (entry.analytic_seconds, entry.candidate.index))
+    frontier = scored[: spec.top_k]
+    pruning["pruned"] = len(scored) - len(frontier)
+    # Intractable candidates cannot be ranked without simulating, so they
+    # ride along after the frontier; the budget is the only thing that can
+    # cut them (frontier first — it is the part with evidence behind it).
+    survivors = frontier + intractable
+    if spec.budget is not None and len(survivors) > spec.budget:
+        pruning["budget_dropped"] = len(survivors) - spec.budget
+        survivors = survivors[: spec.budget]
+    else:
+        pruning["budget_dropped"] = 0
+
+    # ---- Stage 2: simulated confirmation ----------------------------- #
+    backend = TimingSimBackend(engine=spec.engine)
+    rows: List[TunedCandidate] = []
+    for entry in survivors:
+        label = (
+            f"{entry.candidate.label} m={entry.candidate.num_units} "
+            f"u={entry.candidate.unit_size}"
+        )
+        try:
+            mean, halfwidth, trials = _confirm_candidate(
+                spec, entry.candidate, backend, cache
+            )
+        except ReproError as error:
+            # A candidate the oracle could not screen (intractable, or a
+            # dynamics scenario the closed form did not see) may still fail
+            # under simulation — e.g. churn vacating every holder of a
+            # unit. One bad candidate must not kill the recommendation.
+            report.failures[label] = str(error)
+            continue
+        ratio = (
+            None
+            if entry.analytic_seconds is None or mean == 0.0
+            else entry.analytic_seconds / mean
+        )
+        rows.append(
+            TunedCandidate(
+                candidate=entry.candidate,
+                analytic_seconds=entry.analytic_seconds,
+                simulated_seconds=mean,
+                ci_halfwidth=halfwidth,
+                trials=trials,
+                analytic_ratio=ratio,
+            )
+        )
+    pruning["simulated"] = len(rows)
+    pruning["failed"] = len(report.failures)
+
+    rows.sort(key=lambda row: (row.simulated_seconds, row.candidate.index))
+    report.ranking = rows
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Request grammar (service + CLI share it)
+# --------------------------------------------------------------------------- #
+#: Keys a ``recommend`` service request may carry.
+RECOMMEND_KEYS = frozenset(
+    {
+        "request",
+        "schemes",
+        "loads",
+        "units",
+        "unit_sizes",
+        "workers",
+        "iterations",
+        "trials",
+        "top_k",
+        "budget",
+        "seed",
+        "engine",
+        "dynamics",
+        "confidence",
+        "quick",
+    }
+)
+
+
+def tune_from_request(payload: Mapping[str, object]) -> TuneSpec:
+    """Build a :class:`TuneSpec` from a service-request mapping.
+
+    The grammar mirrors the ``repro tune`` CLI flags on an EC2-like cluster
+    (``workers`` sizes it); unknown keys are a loud error, ``quick: true``
+    applies :meth:`TuneSpec.quick`.
+    """
+    from repro.experiments.ec2 import ec2_like_cluster
+
+    unknown = set(payload) - RECOMMEND_KEYS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown recommend key(s) {sorted(unknown)}; expected a subset "
+            f"of {sorted(RECOMMEND_KEYS)}"
+        )
+    schemes = payload.get("schemes")
+    dynamics = payload.get("dynamics")
+    budget = payload.get("budget")
+    spec = TuneSpec(
+        cluster=ec2_like_cluster(int(payload.get("workers", 50))),  # type: ignore[arg-type]
+        schemes=None if schemes is None else tuple(str(s) for s in schemes),  # type: ignore[union-attr]
+        loads=tuple(int(load) for load in payload.get("loads", (5, 10, 25))),  # type: ignore[union-attr]
+        num_units=tuple(int(m) for m in payload.get("units", (50,))),  # type: ignore[union-attr]
+        unit_sizes=tuple(int(u) for u in payload.get("unit_sizes", (100,))),  # type: ignore[union-attr]
+        num_iterations=int(payload.get("iterations", 20)),  # type: ignore[arg-type]
+        trials=int(payload.get("trials", 8)),  # type: ignore[arg-type]
+        top_k=int(payload.get("top_k", 5)),  # type: ignore[arg-type]
+        budget=None if budget is None else int(budget),  # type: ignore[arg-type]
+        dynamics=None if dynamics is None else str(dynamics),
+        seed=int(payload.get("seed", 0)),  # type: ignore[arg-type]
+        confidence=float(payload.get("confidence", 0.95)),  # type: ignore[arg-type]
+        engine=str(payload.get("engine", "auto")),
+    )
+    if payload.get("quick"):
+        spec = spec.quick()
+    return spec

@@ -1,0 +1,94 @@
+"""The benchmark-history file guard: corrupt files are preserved, not erased.
+
+Regression under test: ``append_validation_record`` used to silently
+discard an unparseable ``BENCH_sweep.json`` and overwrite it with a fresh
+history — one interrupted writer could erase the whole perf trajectory.
+``load_benchmark_history`` now backs the corrupt file up to ``*.corrupt``
+and warns; every appender of the history (the validate CLI,
+``bench_sweep.py``, ``bench_tune.py``) shares the guard.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.validation import (
+    SchemeValidation,
+    ValidationReport,
+    append_validation_record,
+    golden_scenarios,
+    load_benchmark_history,
+)
+
+
+def make_report() -> ValidationReport:
+    return ValidationReport(
+        scenario=golden_scenarios()[0],
+        results=[
+            SchemeValidation(
+                scheme_name="bcc",
+                observed_seconds=1.05,
+                predicted_seconds=1.0,
+                tolerance=0.35,
+            )
+        ],
+    )
+
+
+class TestLoadBenchmarkHistory:
+    def test_missing_file_starts_fresh_without_warning(self, tmp_path):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            history = load_benchmark_history(tmp_path / "BENCH_sweep.json")
+        assert history == {"benchmark": "bench_sweep", "runs": []}
+
+    def test_valid_history_loads_verbatim(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        stored = {"benchmark": "bench_sweep", "runs": [{"test": "x"}]}
+        path.write_text(json.dumps(stored))
+        assert load_benchmark_history(path) == stored
+
+    def test_corrupt_file_is_backed_up_and_warned_about(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        path.write_text("{ not json at all")
+        with pytest.warns(UserWarning, match="corrupt"):
+            history = load_benchmark_history(path)
+        assert history == {"benchmark": "bench_sweep", "runs": []}
+        backup = tmp_path / "BENCH_sweep.json.corrupt"
+        assert backup.read_text() == "{ not json at all"
+        assert not path.exists()
+
+    def test_wrong_shape_counts_as_corrupt(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        path.write_text(json.dumps(["not", "a", "mapping"]))
+        with pytest.warns(UserWarning, match="corrupt"):
+            history = load_benchmark_history(path)
+        assert history["runs"] == []
+        assert (tmp_path / "BENCH_sweep.json.corrupt").exists()
+
+
+class TestAppendValidationRecord:
+    def test_append_to_fresh_and_existing_history(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        append_validation_record(make_report(), path, timestamp="t0")
+        append_validation_record(make_report(), path, timestamp="t1", quick=True)
+        history = json.loads(path.read_text())
+        assert [run["timestamp"] for run in history["runs"]] == ["t0", "t1"]
+        assert history["runs"][1]["quick"] is True
+
+    def test_corrupt_history_is_preserved_not_overwritten(self, tmp_path):
+        """The regression: the old code overwrote the corrupt file silently."""
+        path = tmp_path / "BENCH_sweep.json"
+        path.write_text('{"benchmark": "bench_sweep", "runs": [  TRUNCATED')
+        with pytest.warns(UserWarning, match=r"\.corrupt"):
+            append_validation_record(make_report(), path, timestamp="t0")
+        # The damaged trajectory survives next to the fresh history.
+        backup = tmp_path / "BENCH_sweep.json.corrupt"
+        assert "TRUNCATED" in backup.read_text()
+        history = json.loads(path.read_text())
+        assert len(history["runs"]) == 1
+        assert history["runs"][0]["timestamp"] == "t0"

@@ -167,6 +167,46 @@ class TestAggregation:
         assert "scheme.load" in rendered
         assert "total_time" in rendered
 
+    def test_partial_metric_reports_its_trial_count(self):
+        """Regression: a metric missing from some trial summaries was
+        silently averaged over the subset while ``trials`` reported the full
+        count — nothing in the row flagged the shrunken sample."""
+        from repro.api.sweep import SweepRecord, SweepResult
+
+        def record(trial, **summary):
+            return SweepRecord(
+                cell=0,
+                params={"scheme.load": 2},
+                trial=trial,
+                result=RunResult(
+                    scheme_name="bcc", backend="stub", summary_data=summary
+                ),
+            )
+
+        result = SweepResult(
+            records=[
+                record(0, total_time=1.0, recovery_threshold=10.0),
+                record(1, total_time=2.0, recovery_threshold=14.0),
+                record(2, total_time=3.0),  # metric missing in this trial
+            ],
+            parameter_names=("scheme.load",),
+            trials=3,
+        )
+        (row,) = result.aggregate()
+        assert row["trials"] == 3
+        # Full-coverage metrics are unchanged: mean over all trials, no
+        # count column.
+        assert row["total_time"] == pytest.approx(2.0)
+        assert "total_time_count" not in row
+        # The partial metric reports the sample actually averaged.
+        assert row["recovery_threshold"] == pytest.approx(12.0)
+        assert row["recovery_threshold_count"] == 2
+
+    def test_full_coverage_rows_have_no_count_columns(self, base):
+        sweep = Sweep(base, parameters={"scheme.load": [2, 4]}, trials=2)
+        for row in run_sweep(sweep).aggregate():
+            assert not any(key.endswith("_count") for key in row)
+
     def test_custom_runner_and_extras(self, base):
         def runner(spec: JobSpec) -> RunResult:
             return RunResult(

@@ -211,3 +211,77 @@ class TestDiskTier:
         second = run_sweep(sweep, record="summary", cache=str(tmp_path))
         assert records_of(second) == records_of(first)
         assert sorted(tmp_path.glob("*.json"))
+
+
+class TestConcurrentWriters:
+    """Two writers sharing a cache directory must never tear an entry.
+
+    The regression: ``store`` used the fixed temp name ``{key}.tmp``, so a
+    second writer of the same key could open the *first* writer's temp file
+    mid-write and either writer's atomic ``replace`` could publish the other
+    writer's half-written payload. Temp names are now unique per write
+    (pid + process-wide counter).
+    """
+
+    @staticmethod
+    def _seed_entry(directory):
+        """One real (key, results) pair, produced by an actual sweep."""
+        cache = ResultCache(directory)
+        run_sweep(make_sweep(), record="summary", cache=cache)
+        key = next(iter(cache._memory))
+        return key, cache._memory[key]
+
+    def test_tmp_names_are_unique_per_write_and_per_writer(self, tmp_path):
+        cache_a = ResultCache(tmp_path)
+        cache_b = ResultCache(tmp_path)
+        key = "deadbeef" * 8
+        names = {
+            cache_a._tmp_path(key),
+            cache_a._tmp_path(key),
+            cache_b._tmp_path(key),
+        }
+        # Before the fix all three collapsed to the same "{key}.tmp" path.
+        assert len(names) == 3
+        for name in names:
+            assert name.name.startswith(key)
+            assert name.suffix == ".tmp"
+
+    def test_tmp_name_embeds_the_pid(self, tmp_path):
+        import os
+
+        tmp = ResultCache(tmp_path)._tmp_path("a" * 64)
+        assert str(os.getpid()) in tmp.name
+
+    def test_simultaneous_stores_of_the_same_key(self, tmp_path):
+        import threading
+
+        key, results = self._seed_entry(tmp_path / "seed")
+        shared = tmp_path / "shared"
+        writers = [ResultCache(shared) for _ in range(2)]
+        rounds = 25
+        barrier = threading.Barrier(len(writers))
+        errors = []
+
+        def hammer(cache):
+            try:
+                for _ in range(rounds):
+                    barrier.wait()
+                    cache.store(key, results)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(cache,)) for cache in writers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Whatever the interleaving, the published entry is one writer's
+        # complete payload: a fresh cache (new process, empty memory tier)
+        # must decode it to the exact records either writer stored.
+        fresh = ResultCache(shared)
+        loaded = fresh.lookup(key)
+        assert fresh.stats.disk_errors == 0
+        assert loaded == list(results)

@@ -1,0 +1,107 @@
+"""Golden fixture pinning the full ``repro tune`` recommendation.
+
+A fig2-sized scenario (m = n = 100 on the EC2-like calibration) at a fixed
+seed is tuned end to end and the complete report — ranked order, simulated
+means, confidence half-widths, analytic ratios, and the pruning counters —
+is snapshotted as JSON under ``tests/tuning/golden/``. Any refactor of the
+analytic oracle, the timing engines, the seed derivation, or the pruning
+logic that would silently move a recommendation fails here with the exact
+field named.
+
+Regenerate the snapshot (after an *intentional* output change) with::
+
+    PYTHONPATH=src python tests/tuning/test_tune_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.ec2 import ec2_like_cluster
+from repro.tuning import TuneSpec, tune
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Comparison tolerance: loose enough for cross-platform libm wiggle, tight
+#: enough that any real change of the draws or the ranking fails.
+RELATIVE_TOLERANCE = 1e-9
+
+
+def fig2_spec() -> TuneSpec:
+    """The pinned scenario: the paper's Fig. 2 size on the EC2 profile."""
+    return TuneSpec(
+        cluster=ec2_like_cluster(100),
+        loads=(5, 10, 25),
+        num_units=(100,),
+        unit_sizes=(100,),
+        num_iterations=10,
+        trials=4,
+        top_k=5,
+        seed=0,
+    )
+
+
+def generate() -> dict:
+    return tune(fig2_spec()).to_record()
+
+
+FIXTURES = {
+    "tune_fig2_ec2.json": generate,
+}
+
+
+def _assert_matches(expected, actual, path=""):
+    """Recursive diff with a relative tolerance on floats, exact elsewhere."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected a mapping"
+        assert sorted(expected) == sorted(actual), f"{path}: keys differ"
+        for key in expected:
+            _assert_matches(expected[key], actual[key], f"{path}/{key}")
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), f"{path}: lengths differ"
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            _assert_matches(left, right, f"{path}[{index}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(
+            expected, rel=RELATIVE_TOLERANCE, abs=1e-12
+        ), f"{path}: {actual!r} drifted from the golden {expected!r}"
+    else:
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+def test_recommendation_matches_golden_snapshot(fixture):
+    golden_path = GOLDEN_DIR / fixture
+    assert golden_path.exists(), (
+        f"missing golden fixture {golden_path}; regenerate with "
+        "`PYTHONPATH=src python tests/tuning/test_tune_golden.py`"
+    )
+    expected = json.loads(golden_path.read_text())
+    actual = FIXTURES[fixture]()
+    _assert_matches(expected, actual, path=fixture)
+
+
+def test_golden_scenario_actually_prunes():
+    """The snapshot must keep exercising both pipeline stages."""
+    record = json.loads((GOLDEN_DIR / "tune_fig2_ec2.json").read_text())
+    pruning = record["pruning"]
+    assert pruning["pruned"] > 0
+    assert pruning["simulated"] == len(record["ranking"])
+    assert pruning["simulated"] < pruning["candidates"]
+
+
+def test_fixture_regeneration_is_deterministic():
+    # The generator must be a pure function of the pinned seed, otherwise
+    # the snapshot could never be trusted in the first place.
+    assert generate() == generate()
+
+
+if __name__ == "__main__":
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, generator in FIXTURES.items():
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(generator(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")

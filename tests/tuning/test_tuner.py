@@ -1,0 +1,475 @@
+"""The scheme auto-tuner: enumeration, pruning, confirmation, wiring.
+
+The contracts under test (see ``docs/tuning.rst``):
+
+* the candidate grid enumerates (scheme, load, m, unit_size) with stable
+  indices, expanding the load axis only for load-taking schemes;
+* infeasible configurations are ledgered, analytically intractable ones
+  fall through to simulation instead of dying, and the top-k frontier plus
+  the budget bound the simulated cell count;
+* the recommendation matches exhaustive-simulation ground truth at the
+  same seeds (common random numbers across candidates);
+* confidence intervals are Student-t over the per-trial totals;
+* the CLI, the service ``recommend`` method, and the TCP request grammar
+  all drive the same pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import JobSpec, Sweep, TimingSimBackend, run_sweep
+from repro.exceptions import (
+    BudgetExceededError,
+    ConfigurationError,
+    ReproError,
+)
+from repro.experiments.ec2 import ec2_like_cluster
+from repro.service import ResultCache, SweepService
+from repro.tuning import (
+    DEFAULT_TUNE_SCHEMES,
+    TuneSpec,
+    trial_confidence_halfwidth,
+    tune,
+    tune_from_request,
+)
+
+
+def make_spec(**overrides) -> TuneSpec:
+    settings = dict(
+        cluster=ec2_like_cluster(16),
+        schemes=("bcc", "uncoded"),
+        loads=(4, 8),
+        num_units=(16,),
+        unit_sizes=(10,),
+        num_iterations=4,
+        trials=3,
+        top_k=3,
+        seed=5,
+    )
+    settings.update(overrides)
+    return TuneSpec(**settings)
+
+
+class TestCandidateGrid:
+    def test_load_axis_expands_only_for_load_taking_schemes(self):
+        candidates = make_spec().candidates()
+        # bcc takes a load (2 loads), uncoded does not (1 candidate).
+        assert [c.scheme for c in candidates] == [
+            {"name": "bcc", "load": 4},
+            {"name": "bcc", "load": 8},
+            {"name": "uncoded"},
+        ]
+
+    def test_indices_are_stable_positions_in_the_full_grid(self):
+        candidates = make_spec(num_units=(8, 16)).candidates()
+        assert [c.index for c in candidates] == list(range(len(candidates)))
+        assert [(c.num_units, c.scheme["name"]) for c in candidates[:2]] == [
+            (8, "bcc"),
+            (16, "bcc"),
+        ]
+
+    def test_default_scheme_subset(self):
+        spec = make_spec(schemes=None)
+        assert spec.scheme_names == DEFAULT_TUNE_SCHEMES
+
+    def test_unknown_scheme_rejected_at_spec_time(self):
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            make_spec(schemes=("bcc", "nope"))
+
+    def test_empty_grid_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            make_spec(loads=())
+
+    def test_label_is_compact(self):
+        bcc, _, uncoded = make_spec().candidates()
+        assert bcc.label == "bcc(load=4)"
+        assert uncoded.label == "uncoded"
+
+
+class TestPipeline:
+    def test_infeasible_candidates_are_ledgered_not_fatal(self):
+        report = tune(make_spec(loads=(4, 32)))  # load 32 > m=16
+        assert report.pruning["infeasible"] == 1
+        assert any("32" in label for label in report.infeasible)
+        assert report.ranking  # the feasible part still ran
+
+    def test_intractable_candidates_fall_through_to_simulation(self):
+        # Serialising heterogeneous per-unit messages has no closed form,
+        # so load-balanced is intractable there — it must still be ranked.
+        report = tune(
+            make_spec(
+                schemes=("bcc", "load-balanced"),
+                loads=(4,),
+                serialize_master_link=True,
+                top_k=5,
+            )
+        )
+        assert report.pruning["intractable"] == 1
+        balanced = [
+            row
+            for row in report.ranking
+            if row.candidate.scheme["name"] == "load-balanced"
+        ]
+        assert len(balanced) == 1
+        assert balanced[0].analytic_seconds is None
+        assert balanced[0].analytic_ratio is None
+
+    def test_unsimulable_survivor_is_a_ledgered_failure(self):
+        # uncoded with m < n is analytically intractable AND cannot build a
+        # placement; it must land in the failure ledger, not kill the run.
+        report = tune(make_spec(num_units=(8,), top_k=5))
+        assert report.pruning["intractable"] == 1
+        assert report.pruning["failed"] == 1
+        assert any("uncoded" in label for label in report.failures)
+        assert report.ranking  # bcc candidates still ranked
+
+    def test_top_k_bounds_the_simulated_count(self):
+        report = tune(make_spec(schemes=None, loads=(4, 8, 12), top_k=2))
+        assert report.pruning["simulated"] <= 2
+        assert (
+            report.pruning["pruned"]
+            == report.pruning["analytic_scored"] - 2
+        )
+
+    def test_budget_caps_frontier_plus_intractables(self):
+        report = tune(make_spec(num_units=(8,), top_k=5, budget=1))
+        assert report.pruning["simulated"] == 1
+        assert report.pruning["budget_dropped"] >= 1
+
+    def test_ranking_is_sorted_by_simulated_mean(self):
+        report = tune(make_spec(schemes=None))
+        means = [row.simulated_seconds for row in report.ranking]
+        assert means == sorted(means)
+        assert report.best is report.ranking[0]
+
+    def test_analytic_ratio_is_the_sanity_column(self):
+        report = tune(make_spec())
+        for row in report.ranking:
+            if row.analytic_seconds is not None:
+                assert row.analytic_ratio == pytest.approx(
+                    row.analytic_seconds / row.simulated_seconds
+                )
+                # The oracle and the simulator price the same quantity; on
+                # a stationary cluster they must agree within Monte-Carlo
+                # noise at these sizes.
+                assert 0.3 < row.analytic_ratio < 3.0
+
+    def test_empty_ranking_raises_on_best(self):
+        report = tune(make_spec(schemes=("bcc",), loads=(32,)))
+        assert report.ranking == []
+        with pytest.raises(ConfigurationError, match="no candidate"):
+            report.best
+
+    def test_deterministic_at_fixed_seed(self):
+        first = tune(make_spec())
+        second = tune(make_spec())
+        assert first.to_record() == second.to_record()
+
+    def test_quick_shrinks_the_spec(self):
+        spec = make_spec(
+            trials=16, num_iterations=50, num_units=(8, 16, 32), top_k=5
+        )
+        quick = spec.quick()
+        assert quick.trials == 2
+        assert quick.num_iterations == 5
+        assert quick.num_units == (8, 16)
+        assert quick.top_k == 3
+
+
+class TestGroundTruth:
+    def test_recommendation_matches_exhaustive_simulation(self):
+        """The acceptance contract: analytic pruning must not change the
+        winner. Simulate *every* feasible candidate at the same seeds and
+        compare against the tuner's pruned recommendation."""
+        spec = make_spec(schemes=None, loads=(4, 8), top_k=4)
+        report = tune(spec)
+
+        exhaustive = {}
+        for candidate in spec.candidates():
+            job = JobSpec(
+                scheme=dict(candidate.scheme),
+                cluster=spec.cluster,
+                num_units=candidate.num_units,
+                unit_size=candidate.unit_size,
+                num_iterations=spec.num_iterations,
+                serialize_master_link=spec.serialize_master_link,
+                seed=spec.seed,
+            )
+            try:
+                result = run_sweep(
+                    Sweep(
+                        job,
+                        trials=spec.trials,
+                        backend=TimingSimBackend(engine=spec.engine),
+                    ),
+                    record="summary",
+                )
+            except ReproError:
+                continue  # infeasible or unsimulable; the tuner ledgers these
+            exhaustive[candidate.index] = float(
+                np.mean([r.result.total_time for r in result])
+            )
+
+        truth_index = min(exhaustive, key=exhaustive.get)
+        assert report.best.candidate.index == truth_index
+        # Common random numbers: the tuner's mean for the winner IS the
+        # exhaustive mean, bit for bit.
+        assert report.best.simulated_seconds == exhaustive[truth_index]
+        assert len(exhaustive) > report.pruning["simulated"]
+
+    def test_cache_reuse_skips_resimulation(self, tmp_path):
+        spec = make_spec()
+        cache = ResultCache(tmp_path)
+        first = tune(spec, cache=cache)
+        misses = cache.stats.misses
+        second = tune(spec, cache=cache)
+        assert cache.stats.misses == misses  # all hits the second time
+        assert second.to_record() == first.to_record()
+
+    def test_dynamics_scenario_simulates_the_dynamic_cluster(self):
+        stationary = tune(make_spec(schemes=("bcc",), loads=(4,)))
+        dynamic = tune(
+            make_spec(
+                schemes=("bcc",),
+                loads=(4,),
+                dynamics="markov:slowdown=8,p_slow=0.2",
+            )
+        )
+        # Analytic pruning still works (stationary proxy), but the
+        # confirmed runtimes price the churning cluster.
+        assert dynamic.pruning["analytic_scored"] == 1
+        assert (
+            dynamic.best.simulated_seconds
+            != stationary.best.simulated_seconds
+        )
+
+
+class TestConfidenceIntervals:
+    def test_single_trial_has_no_interval(self):
+        assert trial_confidence_halfwidth([1.0]) is None
+        report = tune(make_spec(trials=1))
+        assert all(row.ci_halfwidth is None for row in report.ranking)
+
+    def test_halfwidth_matches_student_t_formula(self):
+        values = [1.0, 2.0, 4.0, 5.0]
+        expected_se = np.std(values, ddof=1) / math.sqrt(len(values))
+        scipy_stats = pytest.importorskip("scipy.stats")
+        t = scipy_stats.t.ppf(0.975, len(values) - 1)
+        assert trial_confidence_halfwidth(values) == pytest.approx(
+            t * expected_se
+        )
+
+    def test_higher_confidence_widens_the_interval(self):
+        values = [1.0, 2.0, 4.0, 5.0]
+        assert trial_confidence_halfwidth(
+            values, 0.99
+        ) > trial_confidence_halfwidth(values, 0.9)
+
+    def test_more_trials_shrink_the_interval(self):
+        rng = np.random.default_rng(0)
+        few = trial_confidence_halfwidth(list(rng.normal(10, 1, 4)))
+        many = trial_confidence_halfwidth(list(rng.normal(10, 1, 64)))
+        assert many < few
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ConfigurationError, match="confidence"):
+            trial_confidence_halfwidth([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ConfigurationError, match="confidence"):
+            make_spec(confidence=0.0)
+
+
+class TestReport:
+    def test_record_round_trips_through_json(self):
+        import json
+
+        report = tune(make_spec())
+        assert json.loads(report.to_json()) == report.to_record()
+
+    def test_table_lists_every_confirmed_candidate(self):
+        report = tune(make_spec())
+        rendered = report.to_table().render()
+        for row in report.ranking:
+            assert row.candidate.label in rendered
+        assert "analytic/sim" in rendered
+
+    def test_pruning_factor(self):
+        report = tune(make_spec(schemes=None, loads=(4, 8, 12), top_k=2))
+        feasible = (
+            report.pruning["analytic_scored"] + report.pruning["intractable"]
+        )
+        assert report.pruning_factor == pytest.approx(
+            feasible / report.pruning["simulated"]
+        )
+
+
+class TestRequestGrammar:
+    def test_request_builds_a_matching_spec(self):
+        spec = tune_from_request(
+            {
+                "workers": 16,
+                "schemes": ["bcc"],
+                "loads": [4, 8],
+                "units": [16],
+                "unit_sizes": [10],
+                "iterations": 4,
+                "trials": 3,
+                "top_k": 2,
+                "seed": 5,
+            }
+        )
+        assert spec.scheme_names == ("bcc",)
+        assert spec.loads == (4, 8)
+        assert spec.num_units == (16,)
+        assert spec.trials == 3
+        assert spec.cluster.num_workers == 16
+
+    def test_quick_flag_applies_the_quick_profile(self):
+        spec = tune_from_request({"workers": 16, "trials": 16, "quick": True})
+        assert spec.trials == 2
+
+    def test_unknown_keys_are_loud(self):
+        with pytest.raises(ConfigurationError, match="unknown recommend key"):
+            tune_from_request({"workers": 16, "cells": 10})
+
+
+class TestServiceRecommend:
+    def request_spec(self) -> TuneSpec:
+        return make_spec(trials=2, num_iterations=3)
+
+    def test_recommend_runs_through_the_service_cache(self):
+        service = SweepService()
+
+        async def scenario():
+            first = await service.recommend(self.request_spec())
+            misses_before = service.cache.stats.misses
+            hits_before = service.cache.stats.hits
+            second = await service.recommend(self.request_spec())
+            return (
+                first,
+                second,
+                service.cache.stats.misses - misses_before,
+                service.cache.stats.hits - hits_before,
+            )
+
+        first, second, misses, hits = asyncio.run(scenario())
+        assert first.to_record() == second.to_record()
+        # The repeat recommendation re-simulates nothing: every one of its
+        # tasks (>= one per confirmed candidate) is a cache hit.
+        assert misses == 0
+        assert hits >= first.pruning["simulated"]
+
+    def test_cell_budget_caps_an_uncapped_spec(self):
+        service = SweepService(cell_budget=1)
+        report = asyncio.run(service.recommend(self.request_spec()))
+        assert report.pruning["simulated"] == 1
+
+    def test_oversized_request_budget_rejected(self):
+        service = SweepService(cell_budget=1)
+        spec = make_spec(budget=5)
+        with pytest.raises(BudgetExceededError, match="at most 1"):
+            asyncio.run(service.recommend(spec))
+        assert service.stats.budget_rejections == 1
+
+
+class TestCLI:
+    def test_tune_subcommand_prints_a_recommendation(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            [
+                "tune",
+                "--workers",
+                "16",
+                "--scheme",
+                "bcc",
+                "--scheme",
+                "uncoded",
+                "--loads",
+                "4,8",
+                "--units",
+                "16",
+                "--unit-sizes",
+                "10",
+                "--iterations",
+                "3",
+                "--trials",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recommendation:" in out
+        assert "bcc" in out
+
+    def test_tune_json_mode_emits_the_record(self, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        code = main(
+            [
+                "tune",
+                "--quick",
+                "--json",
+                "--workers",
+                "16",
+                "--scheme",
+                "bcc",
+                "--loads",
+                "4",
+                "--units",
+                "16",
+                "--unit-sizes",
+                "10",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ranking"]
+        assert payload["pruning"]["candidates"] >= 1
+
+
+class TestServerProtocol:
+    def test_recommend_request_over_tcp(self):
+        from repro.service.server import _connection, submit_request
+
+        async def scenario():
+            service = SweepService()
+            server = await asyncio.start_server(
+                lambda r, w: _connection(service, r, w), "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            request = {
+                "request": "recommend",
+                "workers": 16,
+                "schemes": ["bcc", "uncoded"],
+                "loads": [4, 8],
+                "units": [16],
+                "unit_sizes": [10],
+                "iterations": 3,
+                "trials": 2,
+                "seed": 5,
+            }
+            async with server:
+                first = await submit_request("127.0.0.1", port, request)
+                second = await submit_request("127.0.0.1", port, request)
+                bad = await submit_request(
+                    "127.0.0.1", port, {"request": "optimise"}
+                )
+            return first, second, bad
+
+        first, second, bad = asyncio.run(scenario())
+        assert [event["event"] for event in first] == ["recommendation", "done"]
+        report = first[0]["report"]
+        assert report["ranking"][0]["scheme"]["name"]
+        assert report["pruning"]["simulated"] >= 1
+        # Resubmission is served from the cache.
+        assert second[-1]["cache_hit_rate"] == 1.0
+        assert second[0]["report"] == report
+        assert bad[0]["event"] == "error"
+        assert "unknown request type" in bad[0]["error"]
