@@ -1,0 +1,258 @@
+"""The compiled-kernel pin: another order of magnitude on the hot path.
+
+``repro.simulation.kernels`` ships compiled backends (numba, and the
+build-on-first-use C extension) for the vectorized engine's five hot
+kernels. This file pins the claim on the paper's largest scale — ``n = 10^4``
+workers:
+
+1. ``test_compiled_link_recurrence_speedup`` — the serialized-master-link
+   recurrence (the only float kernel, inherently serial per row, the worst
+   case for NumPy's column-at-a-time evaluation) must run at least
+   ``3x`` faster compiled than the NumPy reference (measured: well past the
+   ``5x`` target), bit-identical output.
+2. ``test_compiled_completion_kernels_identical`` — every completion kernel
+   (count, partial-sum, coverage, group) returns arrays *equal* to the
+   NumPy reference on randomized inputs, and the partial-sum selection is
+   also timed against its reference.
+3. ``test_compiled_job_bit_identical`` — an end-to-end simulated job with
+   ``kernels=<compiled>`` produces the NumPy path's exact summary.
+
+Both timed tests append kernel-level entries to
+``benchmarks/BENCH_sweep.json`` (the shared perf trajectory). The file
+skips itself cleanly when no compiled backend is available (no numba, no C
+compiler) and when ``pytest-benchmark`` is missing. ``BENCH_COMPILED_QUICK=1``
+shrinks row counts and relaxes the speedup floor for CI smokes; the
+identity assertions are never relaxed, and the ``n = 10^4`` worker axis is
+kept even in quick mode — it is the claim under test.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+pytest.importorskip(
+    "pytest_benchmark", reason="benchmarks need the pytest-benchmark plugin"
+)
+
+from repro.analysis.validation import load_benchmark_history
+from repro.api import JobSpec, TimingSimBackend
+from repro.cluster.spec import ClusterSpec
+from repro.simulation.kernels import available_kernel_backends, get_suite
+from repro.stragglers.models import ExponentialDelay
+
+HISTORY_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
+
+QUICK = os.environ.get("BENCH_COMPILED_QUICK", "") not in ("", "0")
+
+#: The paper's largest cluster scale — the axis the speedup claim is made at.
+NUM_WORKERS = 10_000
+
+#: (trials x iterations) rows pushed through the kernels per call.
+NUM_ROWS = 8 if QUICK else 32
+
+#: Acceptance floor for compiled-vs-numpy on the link recurrence. The full
+#: run measures ~10-30x on one core; 3x is the regression floor (5x the
+#: stated target). Quick mode uses fewer rows, so constant call overheads
+#: (ctypes marshalling, dispatch) weigh more — its floor is looser.
+SPEEDUP_FLOOR = 2.0 if QUICK else 3.0
+
+#: The preferred compiled backend here: numba when installed, else the C
+#: extension (present wherever a C toolchain is), else skip the module.
+COMPILED = next(
+    (name for name in available_kernel_backends() if name != "numpy"), None
+)
+
+pytestmark = pytest.mark.skipif(
+    COMPILED is None,
+    reason="no compiled kernel backend available (numba not installed and "
+    "no C compiler for the cext backend)",
+)
+
+
+def _append_history(entry: dict) -> None:
+    """Append one run's measurements to the shared perf-trajectory artifact."""
+    history = load_benchmark_history(HISTORY_PATH)
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()), **entry}
+    history["runs"].append(entry)
+    HISTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _best_of(callable_, repeats: int = 3) -> float:
+    """The minimum wall-clock of ``repeats`` calls — noise-resistant."""
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _random_positions(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Row-wise random arrival-rank permutations, as the engine produces."""
+    base = np.tile(np.arange(cols, dtype=np.int64), (rows, 1))
+    return rng.permuted(base, axis=1)
+
+
+def test_compiled_link_recurrence_speedup(benchmark, report):
+    numpy_suite = get_suite("numpy")
+    compiled_suite = get_suite(COMPILED)
+
+    rng = np.random.default_rng(0)
+    compute = rng.exponential(1.0, size=(NUM_ROWS, NUM_WORKERS))
+    compute.sort(axis=1)
+    transfer = rng.exponential(0.1, size=(NUM_ROWS, NUM_WORKERS))
+
+    reference = numpy_suite.link_recurrence(compute, transfer)
+    # Warm the backend (numba JIT / cext library load) outside the timing.
+    compiled = compiled_suite.link_recurrence(compute, transfer)
+    assert reference.tobytes() == compiled.tobytes(), (
+        f"{COMPILED} link_recurrence is not bit-identical to numpy"
+    )
+
+    numpy_seconds = _best_of(lambda: numpy_suite.link_recurrence(compute, transfer))
+    benchmark.pedantic(
+        lambda: compiled_suite.link_recurrence(compute, transfer),
+        rounds=5,
+        iterations=1,
+    )
+    compiled_seconds = benchmark.stats.stats.min
+    speedup = numpy_seconds / compiled_seconds
+
+    report(
+        f"Link recurrence ({NUM_ROWS} rows x {NUM_WORKERS} workers) — "
+        f"numpy {numpy_seconds * 1e3:.1f}ms vs {COMPILED} "
+        f"{compiled_seconds * 1e3:.1f}ms ({speedup:.1f}x, floor {SPEEDUP_FLOOR}x)",
+        "bit-identical output confirmed",
+        backend=COMPILED,
+        numpy_seconds=numpy_seconds,
+        compiled_seconds=compiled_seconds,
+        speedup=speedup,
+    )
+    _append_history(
+        {
+            "test": "compiled_link_recurrence_speedup",
+            "level": "kernel",
+            "quick": QUICK,
+            "backend": COMPILED,
+            "rows": NUM_ROWS,
+            "workers": NUM_WORKERS,
+            "numpy_seconds": numpy_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup": speedup,
+            "floor": SPEEDUP_FLOOR,
+        }
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"{COMPILED} link recurrence at n={NUM_WORKERS} is only "
+        f"{speedup:.2f}x the numpy reference (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_compiled_completion_kernels_identical(benchmark, report):
+    numpy_suite = get_suite("numpy")
+    compiled_suite = get_suite(COMPILED)
+
+    rng = np.random.default_rng(1)
+    positions = _random_positions(rng, NUM_ROWS, NUM_WORKERS)
+    required = rng.choice(NUM_WORKERS, size=NUM_WORKERS // 2, replace=False)
+    eligible = rng.choice(NUM_WORKERS, size=NUM_WORKERS // 2, replace=False)
+    needed = eligible.size // 2
+    # A coverage structure: ~2 owners per item, grouped by item.
+    num_items = NUM_WORKERS // 2
+    owners_sorted = rng.integers(0, NUM_WORKERS, size=2 * num_items)
+    segment_starts = np.arange(0, 2 * num_items, 2, dtype=np.int64)
+    # A replication-group structure: disjoint groups of 4 columns.
+    members = rng.permutation(NUM_WORKERS).astype(np.int64)
+    group_starts = np.arange(0, NUM_WORKERS, 4, dtype=np.int64)
+
+    pairs = [
+        ("count_completion", lambda s: s.count_completion(positions, required)),
+        (
+            "partial_sum_completion",
+            lambda s: s.partial_sum_completion(positions, eligible, needed),
+        ),
+        (
+            "coverage_completion",
+            lambda s: s.coverage_completion(positions, owners_sorted, segment_starts),
+        ),
+        (
+            "group_completion",
+            lambda s: s.group_completion(positions, members, group_starts),
+        ),
+    ]
+    for name, call in pairs:
+        expected = call(numpy_suite)
+        actual = call(compiled_suite)
+        assert np.array_equal(expected, actual), (
+            f"{COMPILED} {name} diverged from the numpy reference"
+        )
+
+    numpy_seconds = _best_of(
+        lambda: numpy_suite.partial_sum_completion(positions, eligible, needed)
+    )
+    benchmark.pedantic(
+        lambda: compiled_suite.partial_sum_completion(positions, eligible, needed),
+        rounds=5,
+        iterations=1,
+    )
+    compiled_seconds = benchmark.stats.stats.min
+    speedup = numpy_seconds / compiled_seconds
+
+    report(
+        f"Completion kernels ({NUM_ROWS} rows x {NUM_WORKERS} workers) — all "
+        f"four equal to numpy; partial-sum selection {speedup:.1f}x "
+        f"({numpy_seconds * 1e3:.1f}ms vs {compiled_seconds * 1e3:.1f}ms)",
+        "count/partial-sum/coverage/group outputs identical",
+        backend=COMPILED,
+        numpy_seconds=numpy_seconds,
+        compiled_seconds=compiled_seconds,
+        speedup=speedup,
+    )
+    _append_history(
+        {
+            "test": "compiled_completion_kernels",
+            "level": "kernel",
+            "quick": QUICK,
+            "backend": COMPILED,
+            "rows": NUM_ROWS,
+            "workers": NUM_WORKERS,
+            "numpy_seconds": numpy_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup": speedup,
+        }
+    )
+
+
+def test_compiled_job_bit_identical(benchmark, report):
+    """End to end: a simulated job on the compiled path == the numpy path."""
+    workers = 500 if QUICK else 2000
+    spec = JobSpec(
+        scheme={"name": "bcc", "load": 10},
+        cluster=ClusterSpec.homogeneous(workers, ExponentialDelay(straggling=1.0)),
+        num_units=workers,
+        num_iterations=10,
+        serialize_master_link=True,
+        seed=7,
+    )
+    reference = TimingSimBackend(engine="vectorized", kernels="numpy").run(spec)
+    result = benchmark.pedantic(
+        lambda: TimingSimBackend(engine="vectorized", kernels=COMPILED).run(spec),
+        rounds=1,
+        iterations=1,
+    )
+    assert dict(result.summary()) == dict(reference.summary()), (
+        f"kernels={COMPILED!r} job summary diverged from kernels='numpy'"
+    )
+    report(
+        f"Simulated job (m=n={workers}, 10 serialized-link iterations) — "
+        f"kernels={COMPILED!r} summary identical to numpy",
+        json.dumps(dict(reference.summary()), indent=2, default=str),
+        backend=COMPILED,
+        workers=workers,
+    )

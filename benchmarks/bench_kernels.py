@@ -4,10 +4,21 @@ These are conventional pytest-benchmark timings (many rounds) of the hot
 kernels the reproduction relies on: the paper-scale logistic gradient, the
 BCC worker message (summed partial gradients), the coded encode/decode pair,
 and one timing-only simulated iteration at scenario-two scale.
+
+The file skips itself cleanly when ``pytest-benchmark`` is not installed
+(it is a benchmarking extra, not a test dependency), and setting
+``BENCH_KERNELS_QUICK=1`` shrinks the problem sizes for CI smokes — the
+correctness assertions are unchanged, only the workloads scale down.
 """
+
+import os
 
 import numpy as np
 import pytest
+
+pytest.importorskip(
+    "pytest_benchmark", reason="benchmarks need the pytest-benchmark plugin"
+)
 
 from repro.coding.cyclic_repetition import CyclicRepetitionCode
 from repro.coding.linear_code import LinearGradientCode
@@ -18,12 +29,19 @@ from repro.schemes.base import CodedAggregator
 from repro.schemes.bcc import BCCScheme
 from repro.simulation.iteration import simulate_iteration
 
+QUICK = os.environ.get("BENCH_KERNELS_QUICK", "") not in ("", "0")
+
+#: Paper-scale problem sizes, shrunk ~4x per axis under the quick mode.
+NUM_EXAMPLES = 250 if QUICK else 1000
+NUM_FEATURES = 500 if QUICK else 2000
+NUM_WORKERS = 25 if QUICK else 50
+
 
 @pytest.fixture(scope="module")
 def logistic_problem():
-    config = LogisticDataConfig(num_examples=1000, num_features=2000)
+    config = LogisticDataConfig(num_examples=NUM_EXAMPLES, num_features=NUM_FEATURES)
     dataset, _ = make_paper_logistic_data(config, seed=0)
-    weights = np.random.default_rng(1).standard_normal(2000) * 0.01
+    weights = np.random.default_rng(1).standard_normal(NUM_FEATURES) * 0.01
     return LogisticLoss(), dataset, weights
 
 
@@ -35,15 +53,15 @@ def test_kernel_full_logistic_gradient(benchmark, logistic_problem):
 
 def test_kernel_bcc_worker_message(benchmark, logistic_problem):
     model, dataset, weights = logistic_problem
-    features, labels = dataset.rows(np.arange(100))
+    features, labels = dataset.rows(np.arange(min(100, NUM_EXAMPLES)))
     result = benchmark(model.gradient_sum, weights, features, labels)
-    assert result.shape == (2000,)
+    assert result.shape == (NUM_FEATURES,)
 
 
 def test_kernel_cyclic_code_encode_decode(benchmark):
-    code = CyclicRepetitionCode(num_workers=50, num_stragglers=9, seed=0)
-    gradients = np.random.default_rng(2).standard_normal((50, 2000))
-    survivors = list(range(9, 50))
+    code = CyclicRepetitionCode(num_workers=NUM_WORKERS, num_stragglers=9, seed=0)
+    gradients = np.random.default_rng(2).standard_normal((NUM_WORKERS, NUM_FEATURES))
+    survivors = list(range(9, NUM_WORKERS))
 
     def encode_and_decode():
         messages = np.vstack([code.encode(w, gradients) for w in survivors])
@@ -62,7 +80,7 @@ def test_kernel_coded_aggregator_decodability_throttle(benchmark):
     single arrival past the threshold. This guards the throttle against
     regressing to that behaviour.
     """
-    n = 80
+    n = 40 if QUICK else 80
     code = LinearGradientCode(np.eye(n), name="identity")
     # Claim a loose worst-case straggler tolerance so the first plausible
     # completion point is far below the real one and many checks would fail.
@@ -86,8 +104,9 @@ def test_kernel_coded_aggregator_decodability_throttle(benchmark):
 
 
 def test_kernel_simulated_iteration_scenario_two_scale(benchmark):
-    cluster = ec2_like_cluster(100)
-    plan = BCCScheme(load=10).build_feasible_plan(100, 100, rng=0)
+    scale = 50 if QUICK else 100
+    cluster = ec2_like_cluster(scale)
+    plan = BCCScheme(load=10).build_feasible_plan(scale, scale, rng=0)
     rng = np.random.default_rng(3)
     outcome = benchmark(
         lambda: simulate_iteration(

@@ -45,6 +45,7 @@ from repro.runtime.job import run_distributed_job
 from repro.schemes.base import ExecutionPlan
 from repro.simulation.iteration import IterationOutcome
 from repro.simulation.job import RepeatedOutcomeLog, simulate_job, simulate_training_run
+from repro.simulation.kernels import validate_kernels
 from repro.simulation.vectorized import (
     resolve_engine,
     simulate_job_batch,
@@ -91,14 +92,23 @@ class TimingSimBackend:
         overrides this per run, so one sweep can compare engines. The
         engines consume the random stream identically and therefore return
         bit-identical results; ``auto`` simply picks by job size.
+    kernels:
+        Hot-loop backend for the vectorized engine — ``"auto"`` (default),
+        ``"numba"``, ``"cext"``, or ``"numpy"``; see
+        :mod:`repro.simulation.kernels`. A spec-level
+        ``backend_options["kernels"]`` overrides this per run. Every kernel
+        backend is bit-identical, so the knob (like ``engine``) never
+        changes a result — it is deliberately excluded from the backend's
+        cache identity.
     """
 
     name = "timing"
 
-    _OPTIONS = frozenset({"engine"})
+    _OPTIONS = frozenset({"engine", "kernels"})
 
-    def __init__(self, engine: str = "auto") -> None:
+    def __init__(self, engine: str = "auto", kernels: str = "auto") -> None:
         self.engine = validate_engine(engine)
+        self.kernels = validate_kernels(kernels)
 
     def _checked_options(self, spec: JobSpec) -> dict:
         """The spec's backend options, rejecting unrecognised keys.
@@ -120,6 +130,7 @@ class TimingSimBackend:
         """Simulate ``spec`` and return its timing-only :class:`RunResult`."""
         options = self._checked_options(spec)
         engine = options.pop("engine", self.engine)
+        kernels = options.pop("kernels", self.kernels)
         job = simulate_job(
             spec.resolve_scheme(),
             spec.require_cluster(),
@@ -129,6 +140,7 @@ class TimingSimBackend:
             unit_size=spec.resolved_unit_size,
             serialize_master_link=spec.serialize_master_link,
             engine=engine,
+            kernels=kernels,
         )
         return RunResult.from_job(job, backend=self.name)
 
@@ -137,13 +149,20 @@ class TimingSimBackend:
         """The engine a spec would run on (spec-level option wins)."""
         return spec.backend_options.get("engine", self.engine)
 
-    def supports_trial_batching(self, spec: JobSpec) -> bool:
+    def _spec_kernels(self, spec: JobSpec) -> str:
+        """The kernel backend a spec would run on (spec-level option wins)."""
+        return spec.backend_options.get("kernels", self.kernels)
+
+    def supports_trial_batching(self, spec: JobSpec, *, num_trials: int = 1) -> bool:
         """Whether :meth:`run_batch` can execute this spec.
 
         True when the spec's effective engine resolves to ``"vectorized"``
         for the spec's job size — the trial-batched entry point is a
         vectorized-engine feature; under ``"loop"`` (or an ``"auto"`` that
         picks the loop) the sweep engine keeps per-trial tasks.
+        ``num_trials`` feeds the ``auto`` cutover: a batched cell amortises
+        the vectorized setup over all its trials, so small-but-replicated
+        cells batch too.
         """
         cluster = spec.cluster
         if cluster is None:
@@ -153,6 +172,7 @@ class TimingSimBackend:
                 self._spec_engine(spec),
                 num_iterations=spec.num_iterations,
                 num_workers=cluster.num_workers,
+                num_trials=num_trials,
             )
             == "vectorized"
         )
@@ -180,7 +200,7 @@ class TimingSimBackend:
         """
         validate_record(record)
         self._checked_options(spec)
-        if not self.supports_trial_batching(spec):
+        if not self.supports_trial_batching(spec, num_trials=len(seeds)):
             raise ConfigurationError(
                 "trial batching needs the vectorized engine; this spec "
                 f"resolves to engine={self._spec_engine(spec)!r}"
@@ -193,6 +213,7 @@ class TimingSimBackend:
             seeds=seeds,
             unit_size=spec.resolved_unit_size,
             serialize_master_link=spec.serialize_master_link,
+            kernels=self._spec_kernels(spec),
         )
         results = [RunResult.from_job(job, backend=self.name) for job in jobs]
         if record == "summary":

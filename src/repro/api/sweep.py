@@ -383,11 +383,17 @@ def run_sweep(
         under the default ``"spawn"`` seed strategy.
     executor:
         ``"thread"`` (default), ``"process"``, ``"async"``, ``"serial"``,
-        or an :class:`~repro.scheduling.executors.Executor` instance.
+        ``"distributed"``, or an
+        :class:`~repro.scheduling.executors.Executor` instance.
         Process pools give real multi-core speed-up for the CPU-bound
         simulation backends but require picklable specs and backends — see
         the *Parallel sweeps and pickling* section of :doc:`the performance
-        guide </performance>` for the constraints.
+        guide </performance>` for the constraints. ``"distributed"``
+        shards the cell tasks across the ``repro serve`` nodes named by
+        the ``REPRO_NODES`` environment variable (pass a configured
+        :class:`~repro.scheduling.distributed.DistributedExecutor` for
+        lease/retry/join control); it ignores ``max_workers`` —
+        concurrency belongs to the nodes.
     record:
         ``"full"`` (default) keeps every result's per-iteration log;
         ``"summary"`` compacts each result to its aggregate statistics in
@@ -457,12 +463,19 @@ def run_sweep(
             "cells sequentially and cannot run in parallel; use the "
             "'spawn' strategy for parallel sweeps"
         )
-    if parallel or not isinstance(executor, str):
+    if parallel or not isinstance(executor, str) or executor == "distributed":
+        # "distributed" executes on remote nodes whatever max_workers says —
+        # a one-task sweep still belongs on the node that may have it cached.
         runner = resolve_executor(executor, max_workers)
     else:
         # max_workers of None/0/1 has always meant serial execution,
         # whatever the executor name says.
         runner = resolve_executor("serial")
+    # Executors resolved from a *name* are owned by this call: their
+    # (persistent) pools are released on the way out. Instances passed in
+    # stay open — the caller keeps them to reuse the warm pool across
+    # sweeps and closes them when done.
+    ephemeral = isinstance(executor, str)
 
     plan = build_sweep_plan(
         sweep,
@@ -485,13 +498,19 @@ def run_sweep(
             "strategy) instead"
         )
 
-    if cache is not None:
-        from repro.service.cache import ResultCache
+    try:
+        if cache is not None:
+            from repro.service.cache import ResultCache
 
-        store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
-        results = _execute_with_cache(plan, runner, store)
-    else:
-        results = runner.execute(plan.tasks)
+            store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+            results = _execute_with_cache(plan, runner, store)
+        else:
+            results = runner.execute(plan.tasks)
+    finally:
+        if ephemeral:
+            closer = getattr(runner, "close", None)
+            if closer is not None:
+                closer()
 
     records = [
         SweepRecord(cell=index, params=params, trial=trial, result=result)

@@ -183,6 +183,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
+        "--kernels",
+        choices=("auto", "numba", "cext", "numpy"),
+        default="auto",
+        help=(
+            "hot-loop kernel backend for the vectorized engine: numba-JIT "
+            "(soft dependency), the build-on-first-use C extension, the "
+            "NumPy reference, or auto (numba when installed, else numpy); "
+            "all backends are bit-identical, only speed differs"
+        ),
+    )
+    sweep.add_argument(
         "--dynamics",
         metavar="NAME[:k=v,...]",
         default=None,
@@ -213,6 +224,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "pool type for --parallel; the simulation is CPU-bound, so "
             "processes (the default) are what actually speed it up"
+        ),
+    )
+    sweep.add_argument(
+        "--nodes",
+        metavar="HOST:PORT,...",
+        default=None,
+        help=(
+            "shard the sweep's cells across running 'repro serve' nodes "
+            "(comma-separated addresses) with pull-based work stealing; "
+            "overrides --executor/--parallel — concurrency then belongs "
+            "to the nodes"
         ),
     )
     sweep.add_argument(
@@ -394,6 +416,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after the first connection closes (scripted/CI use)",
     )
     serve.add_argument(
+        "--join",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "worker mode: instead of listening, dial out to a waiting "
+            "distributed-sweep coordinator (repro sweep --nodes / "
+            "DistributedExecutor(listen=...)) and serve task leases over "
+            "that connection until the coordinator hangs up"
+        ),
+    )
+    serve.add_argument(
         "--self-test",
         dest="self_test",
         action="store_true",
@@ -525,7 +558,9 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
     if args.backend == "timing":
         from repro.api import TimingSimBackend
 
-        backend = TimingSimBackend(engine=args.engine)
+        backend = TimingSimBackend(
+            engine=args.engine, kernels=getattr(args, "kernels", "auto")
+        )
     else:
         # "semantic" and "analytic" resolve by name; --engine only steers the
         # timing backend.
@@ -536,14 +571,23 @@ def run_cli_sweep(args: argparse.Namespace) -> str:
         trials=args.trials,
         backend=backend,
     )
-    result = run_sweep(
-        sweep,
-        max_workers=args.parallel,
-        executor=args.executor,
-        record=getattr(args, "record", "full"),
-        trial_batching=getattr(args, "trial_batching", "auto"),
-        cache=getattr(args, "cache", None),
-    )
+    executor = args.executor
+    if getattr(args, "nodes", None):
+        from repro.scheduling import DistributedExecutor
+
+        executor = DistributedExecutor(args.nodes)
+    try:
+        result = run_sweep(
+            sweep,
+            max_workers=args.parallel,
+            executor=executor,
+            record=getattr(args, "record", "full"),
+            trial_batching=getattr(args, "trial_batching", "auto"),
+            cache=getattr(args, "cache", None),
+        )
+    finally:
+        if not isinstance(executor, str):
+            executor.close()
     dynamics_note = f", dynamics={dynamics_spec}" if dynamics_spec else ""
     table = result.to_table(
         title=(
@@ -701,10 +745,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.experiment == "tune":
         print(run_cli_tune(args))
     elif args.experiment == "serve":
-        from repro.service.server import run_server, self_test
+        from repro.service.server import run_server, run_worker, self_test
 
         if args.self_test:
             return self_test(args.host)
+        if args.join:
+            from repro.scheduling import parse_endpoint
+
+            join_host, join_port = parse_endpoint(args.join)
+            return run_worker(
+                join_host,
+                join_port,
+                cache_dir=args.cache,
+                max_workers=args.max_workers,
+            )
         return run_server(
             host=args.host,
             port=args.port,

@@ -199,7 +199,7 @@ def should_batch_cell(
     if not isinstance(backend, TimingSimBackend):
         return False
     try:
-        if not backend.supports_trial_batching(spec):
+        if not backend.supports_trial_batching(spec, num_trials=trials):
             return False
     except ConfigurationError:
         return False

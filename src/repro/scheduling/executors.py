@@ -14,11 +14,16 @@ pins serial == thread == process == async bit-identity).
   task still runs in a worker thread: the simulators are synchronous,
   CPU-bound code). This is the substrate :class:`repro.service.SweepService`
   schedules on, and it doubles as a plain executor via :meth:`execute`.
+* :class:`~repro.scheduling.distributed.DistributedExecutor` — tasks
+  sharded across N ``repro serve`` nodes over TCP with pull-based work
+  stealing and retry-with-reassignment; resolved by name
+  (``"distributed"``) from the ``REPRO_NODES`` environment variable.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Protocol, Sequence, Union, runtime_checkable
 
@@ -80,6 +85,13 @@ class PoolExecutor:
     config-mapping schemes are; custom runner closures usually are not).
     Threads still help when the backend itself waits on other processes or
     IO (e.g. :class:`~repro.api.backends.MultiprocessBackend`).
+
+    The underlying pool is created lazily on the first :meth:`execute` and
+    **reused across calls** — repeated ``run_sweep`` invocations and
+    :class:`repro.service.SweepService` traffic pay worker startup (process
+    forking, thread creation) once, not per sweep. Call :meth:`close` (or
+    use the executor as a context manager) to release the workers; a closed
+    executor transparently builds a fresh pool if executed again.
     """
 
     def __init__(self, kind: str = "thread", max_workers: Optional[int] = None) -> None:
@@ -89,6 +101,8 @@ class PoolExecutor:
             )
         self.kind = kind
         self.max_workers = max_workers
+        self._pool: Optional[Union[ThreadPoolExecutor, ProcessPoolExecutor]] = None
+        self._pool_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -106,11 +120,32 @@ class PoolExecutor:
     #: worker.
     sequential_safe = False
 
+    def _ensure_pool(self) -> Union[ThreadPoolExecutor, ProcessPoolExecutor]:
+        """The live pool, building one under the lock on first use."""
+        with self._pool_lock:
+            if self._pool is None:
+                pool_cls = (
+                    ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
+                )
+                self._pool = pool_cls(max_workers=self.max_workers)
+            return self._pool
+
     def execute(self, tasks: Sequence[CellTask]) -> List[List[RunResult]]:
-        """Fan the tasks out over the pool; results stay in task order."""
-        pool_cls = ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=self.max_workers) as pool:
-            return list(pool.map(execute_task, tasks))
+        """Fan the tasks out over the (persistent) pool; results stay in task order."""
+        return list(self._ensure_pool().map(execute_task, tasks))
+
+    def close(self) -> None:
+        """Shut the pool down and release its workers; idempotent."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class AsyncExecutor:
@@ -166,12 +201,38 @@ class AsyncExecutor:
         return asyncio.run(self.execute_async(tasks))
 
 
+def _distributed_from_env(max_workers: Optional[int]) -> object:
+    """Build the ``executor="distributed"`` instance from ``REPRO_NODES``.
+
+    The node list cannot be a hard-coded default, so the *name* form reads
+    it from the environment: a comma-separated ``HOST:PORT,...`` list of
+    running ``repro serve`` nodes. Pass a configured
+    :class:`~repro.scheduling.distributed.DistributedExecutor` instance
+    instead for lease-size/retry/join control. ``max_workers`` is ignored:
+    concurrency is the nodes' affair.
+    """
+    import os
+
+    from repro.scheduling.distributed import DistributedExecutor
+
+    nodes = os.environ.get("REPRO_NODES", "").strip()
+    if not nodes:
+        raise ConfigurationError(
+            "executor='distributed' reads its node list from the "
+            "REPRO_NODES environment variable (comma-separated HOST:PORT "
+            "entries of running 'repro serve' nodes); set it, or pass a "
+            "DistributedExecutor instance"
+        )
+    return DistributedExecutor(nodes)
+
+
 #: ``run_sweep(executor=...)`` string values and their executor factories.
 _EXECUTOR_FACTORIES: dict[str, Callable[[Optional[int]], object]] = {
     "serial": lambda max_workers: SerialExecutor(),
     "thread": lambda max_workers: PoolExecutor("thread", max_workers),
     "process": lambda max_workers: PoolExecutor("process", max_workers),
     "async": lambda max_workers: AsyncExecutor(max_workers),
+    "distributed": _distributed_from_env,
 }
 
 
@@ -181,9 +242,10 @@ def resolve_executor(
     """Resolve an executor name (or pass an instance through) to an Executor.
 
     Recognised names: ``"serial"``, ``"thread"``, ``"process"``,
-    ``"async"``. Instances satisfying the :class:`Executor` protocol pass
-    through unchanged (``max_workers`` is ignored for them — it is baked
-    into the instance).
+    ``"async"``, and ``"distributed"`` (node list from the ``REPRO_NODES``
+    environment variable). Instances satisfying the :class:`Executor`
+    protocol pass through unchanged (``max_workers`` is ignored for them —
+    it is baked into the instance).
     """
     if isinstance(executor, str):
         try:

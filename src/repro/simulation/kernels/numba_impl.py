@@ -1,0 +1,88 @@
+"""The Numba kernel backend: ``@njit``-compiled source kernels.
+
+Importing this module requires numba (a *soft* dependency — the package
+dispatcher import-guards it; tier-1 tests never need it). The compiled
+callables are the :mod:`~repro.simulation.kernels.sources` functions
+verbatim under ``@njit(cache=True, parallel=True)``: on-disk compilation
+cache so repeat processes skip the JIT, and parallel ``prange`` row loops —
+safe because every kernel's rows are independent and write disjoint output
+elements, so threading cannot reorder any row's float ops.
+
+The wrappers below only allocate outputs and coerce dtypes/contiguity; all
+logic lives in the shared sources, which is what keeps this backend and the
+C backend pinned to the same semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.simulation.kernels import sources
+
+__all__ = [
+    "coverage_completion",
+    "count_completion",
+    "group_completion",
+    "link_recurrence",
+    "partial_sum_completion",
+]
+
+_link_recurrence = njit(cache=True, parallel=True)(sources.link_recurrence)
+_count_completion = njit(cache=True, parallel=True)(sources.count_completion)
+_partial_sum_completion = njit(cache=True, parallel=True)(
+    sources.partial_sum_completion
+)
+_coverage_completion = njit(cache=True, parallel=True)(sources.coverage_completion)
+_group_completion = njit(cache=True, parallel=True)(sources.group_completion)
+
+
+def _f64(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.float64)
+
+
+def _i64(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.int64)
+
+
+def link_recurrence(
+    compute_sorted: np.ndarray, transfer_sorted: np.ndarray
+) -> np.ndarray:
+    compute_sorted = _f64(compute_sorted)
+    arrival_sorted = np.empty_like(compute_sorted)
+    _link_recurrence(compute_sorted, _f64(transfer_sorted), arrival_sorted)
+    return arrival_sorted
+
+
+def count_completion(positions: np.ndarray, required: np.ndarray) -> np.ndarray:
+    positions = _i64(positions)
+    out = np.empty(positions.shape[0], dtype=np.int64)
+    _count_completion(positions, _i64(required), out)
+    return out
+
+
+def partial_sum_completion(
+    positions: np.ndarray, eligible: np.ndarray, needed: int
+) -> np.ndarray:
+    positions = _i64(positions)
+    out = np.empty(positions.shape[0], dtype=np.int64)
+    _partial_sum_completion(positions, _i64(eligible), int(needed), out)
+    return out
+
+
+def coverage_completion(
+    positions: np.ndarray, owners_sorted: np.ndarray, segment_starts: np.ndarray
+) -> np.ndarray:
+    positions = _i64(positions)
+    out = np.empty(positions.shape[0], dtype=np.int64)
+    _coverage_completion(positions, _i64(owners_sorted), _i64(segment_starts), out)
+    return out
+
+
+def group_completion(
+    positions: np.ndarray, members: np.ndarray, group_starts: np.ndarray
+) -> np.ndarray:
+    positions = _i64(positions)
+    out = np.empty(positions.shape[0], dtype=np.int64)
+    _group_completion(positions, _i64(members), _i64(group_starts), out)
+    return out

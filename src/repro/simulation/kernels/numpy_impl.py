@@ -1,0 +1,87 @@
+"""The NumPy kernel backend — the reference the compiled backends pin against.
+
+These are the exact expressions :mod:`repro.simulation.vectorized` ran
+before the kernel layer existed, lifted behind the
+:class:`~repro.simulation.kernels.KernelSuite` call surface: the
+serialized-link recurrence evaluated column by column (every row reproduces
+the loop engine's float-op order — a cumsum/running-max rewrite would be
+algebraically equal but rounded differently), and the completion kernels as
+row-wise selections (``max``/``sort``/``reduceat``). The compiled backends
+must return bit-identical arrays; the parity suite enforces it.
+
+Always available — ``kernels="numpy"`` (and ``"auto"`` without an installed
+accelerator) lands here, so tier-1 behaviour is byte-for-byte the pre-kernel
+engine's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "coverage_completion",
+    "count_completion",
+    "group_completion",
+    "link_recurrence",
+    "partial_sum_completion",
+]
+
+#: Row chunking bound for the gathered ``(rows x pairs)`` scratch matrices
+#: in the segment-reduction kernels — the same 4M-cell ceiling the
+#: pre-kernel `_coverage_kernel` used. Chunk boundaries fall between whole
+#: rows and rows are independent, so chunking cannot change any result.
+_SEGMENT_CHUNK_CELLS = 1 << 22
+
+
+def link_recurrence(
+    compute_sorted: np.ndarray, transfer_sorted: np.ndarray
+) -> np.ndarray:
+    """``a_k = max(c_k, a_{k-1}) + t_k`` over completion-sorted columns."""
+    num_rows, _ = compute_sorted.shape
+    arrival_sorted = np.empty_like(compute_sorted)
+    link_free = np.zeros(num_rows, dtype=float)
+    for k in range(compute_sorted.shape[1]):
+        start = np.maximum(compute_sorted[:, k], link_free)
+        link_free = start + transfer_sorted[:, k]
+        arrival_sorted[:, k] = link_free
+    return arrival_sorted
+
+
+def count_completion(positions: np.ndarray, required: np.ndarray) -> np.ndarray:
+    """Per row, the max arrival rank over the required columns."""
+    return positions[:, required].max(axis=1)
+
+
+def partial_sum_completion(
+    positions: np.ndarray, eligible: np.ndarray, needed: int
+) -> np.ndarray:
+    """Per row, the ``needed``-th smallest arrival rank over eligible columns."""
+    return np.sort(positions[:, eligible], axis=1)[:, needed - 1]
+
+
+def coverage_completion(
+    positions: np.ndarray, owners_sorted: np.ndarray, segment_starts: np.ndarray
+) -> np.ndarray:
+    """Per row, the max over segments of each segment's min arrival rank."""
+    num_rows = positions.shape[0]
+    rows_per_chunk = max(1, _SEGMENT_CHUNK_CELLS // max(owners_sorted.size, 1))
+    completing = np.empty(num_rows, dtype=int)
+    for start in range(0, num_rows, rows_per_chunk):
+        block = positions[start : start + rows_per_chunk, owners_sorted]
+        first_covered = np.minimum.reduceat(block, segment_starts, axis=1)
+        completing[start : start + rows_per_chunk] = first_covered.max(axis=1)
+    return completing
+
+
+def group_completion(
+    positions: np.ndarray, members: np.ndarray, group_starts: np.ndarray
+) -> np.ndarray:
+    """Per row, the min over groups of each group's max member arrival rank."""
+    num_rows = positions.shape[0]
+    rows_per_chunk = max(1, _SEGMENT_CHUNK_CELLS // max(members.size, 1))
+    completing = np.empty(num_rows, dtype=int)
+    for start in range(0, num_rows, rows_per_chunk):
+        block = positions[start : start + rows_per_chunk, members]
+        last_member = np.maximum.reduceat(block, group_starts, axis=1)
+        completing[start : start + rows_per_chunk] = last_member.min(axis=1)
+    return completing

@@ -1,0 +1,200 @@
+"""The compiled kernels' shared source functions (nopython subset).
+
+Every function here is the *single* source of one hot-loop kernel: the
+Numba backend compiles these exact functions with ``@njit`` (see
+:mod:`repro.simulation.kernels.numba_impl`) and the C backend
+(:mod:`repro.simulation.kernels.cext`) is a line-by-line translation that
+the parity suite pins against them. They are also runnable as plain Python
+— slowly — which is how the logic is unit-tested in environments without a
+compiler or Numba.
+
+The contract (machine-enforced by the ``KERN001`` lint rule): functions
+marked :func:`jit_source` stay inside the nopython subset — arrays,
+scalars, and loops only. No ``dict``/``set`` literals or constructors, no
+``raise``/``try``, no string formatting, no ``print``. Infeasibility is
+signalled with sentinel values (``n_active`` means "never completes", the
+same convention the NumPy kernels use), never with exceptions, so the
+compiled and interpreted behaviours cannot diverge on the error paths.
+
+Floating-point bit-identity: the only kernel performing float arithmetic is
+:func:`link_recurrence`, and it reproduces the NumPy reference's exact
+per-row operation order (compare-select ``max``, then one ``+`` per
+column). All other kernels return integer completion positions — selections
+and counts — which are order-insensitive. ``inf`` entries (vacant dynamic
+workers) flow through the same comparisons NumPy performs, so they
+propagate identically.
+
+Rows are independent in every kernel, so the ``prange`` row loops are safe
+to parallelise: no two iterations touch the same output element.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import prange
+except ImportError:  # pragma: no cover - the plain-Python / C-source path
+    prange = range
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Names of the kernel source functions, in a stable order — the single
+#: list the Numba compiler, the C translation, and the KERN001 rule audit.
+KERNEL_SOURCE_NAMES = (
+    "link_recurrence",
+    "count_completion",
+    "partial_sum_completion",
+    "coverage_completion",
+    "group_completion",
+)
+
+
+def jit_source(function: _F) -> _F:
+    """Mark a function as a compiled-kernel source (KERN001's scope).
+
+    A no-op at runtime; the Numba backend compiles every marked function
+    and the lint rule restricts their bodies to the nopython subset.
+    """
+    function.__kernel_source__ = True  # type: ignore[attr-defined]
+    return function
+
+
+@jit_source
+def link_recurrence(
+    compute_sorted: np.ndarray,
+    transfer_sorted: np.ndarray,
+    arrival_sorted: np.ndarray,
+) -> None:
+    """The serialized-master-link recurrence ``a_k = max(c_k, a_{k-1}) + t_k``.
+
+    ``compute_sorted``/``transfer_sorted``/``arrival_sorted`` are
+    ``(rows, cols)`` float64 matrices, columns already in computation-
+    completion order. Each row is walked sequentially — the recurrence is
+    inherently serial in ``k`` — with the NumPy reference's exact
+    float-op order (compare-select, then add), so results are bit-identical.
+    """
+    rows, cols = compute_sorted.shape
+    for i in prange(rows):
+        free_at = 0.0
+        for k in range(cols):
+            c = compute_sorted[i, k]
+            if c > free_at:
+                free_at = c
+            free_at = free_at + transfer_sorted[i, k]
+            arrival_sorted[i, k] = free_at
+
+
+@jit_source
+def count_completion(
+    positions: np.ndarray, required: np.ndarray, out: np.ndarray
+) -> None:
+    """Fixed-worker-set completion: the last required worker's arrival rank.
+
+    ``positions`` is ``(rows, n_active)`` int64 (arrival rank of each active
+    column), ``required`` the column indices that must all report; ``out``
+    receives each row's max rank over them.
+    """
+    rows = positions.shape[0]
+    k = required.shape[0]
+    for i in prange(rows):
+        worst = -1
+        for j in range(k):
+            rank = positions[i, required[j]]
+            if rank > worst:
+                worst = rank
+        out[i] = worst
+
+
+@jit_source
+def partial_sum_completion(
+    positions: np.ndarray, eligible: np.ndarray, needed: int, out: np.ndarray
+) -> None:
+    """Arrival-count completion: the ``needed``-th earliest eligible arrival.
+
+    Selection without a sort: mark the arrival ranks held by eligible
+    columns, then scan ranks upward until ``needed`` marks have been seen.
+    The result is the ``needed``-th smallest of ``positions[i, eligible]``
+    — exactly what the NumPy reference reads off a row sort.
+    """
+    rows, n_active = positions.shape
+    k = eligible.shape[0]
+    for i in prange(rows):
+        mark = np.zeros(n_active, dtype=np.bool_)
+        for j in range(k):
+            mark[positions[i, eligible[j]]] = True
+        seen = 0
+        found = n_active
+        for rank in range(n_active):
+            if mark[rank]:
+                seen += 1
+                if seen == needed:
+                    found = rank
+                    break
+        out[i] = found
+
+
+@jit_source
+def coverage_completion(
+    positions: np.ndarray,
+    owners_sorted: np.ndarray,
+    segment_starts: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Coupon-collector completion: last item to be covered for the first time.
+
+    ``owners_sorted`` holds the owning column of every (item, owner) pair,
+    grouped by item; ``segment_starts`` indexes each item's first pair. Per
+    row: the earliest covering arrival of each item (segment minimum), then
+    the maximum over items — the rank at which every item is covered.
+    """
+    rows = positions.shape[0]
+    num_segments = segment_starts.shape[0]
+    num_pairs = owners_sorted.shape[0]
+    for i in prange(rows):
+        covered_at = -1
+        for s in range(num_segments):
+            start = segment_starts[s]
+            end = num_pairs if s == num_segments - 1 else segment_starts[s + 1]
+            earliest = positions[i, owners_sorted[start]]
+            for p in range(start + 1, end):
+                rank = positions[i, owners_sorted[p]]
+                if rank < earliest:
+                    earliest = rank
+            if earliest > covered_at:
+                covered_at = earliest
+        out[i] = covered_at
+
+
+@jit_source
+def group_completion(
+    positions: np.ndarray,
+    members: np.ndarray,
+    group_starts: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Replication-group completion: the earliest fully-reported group.
+
+    ``members`` holds every viable group's member columns, grouped;
+    ``group_starts`` indexes each group's first member. Per row: each
+    group completes at its last member's rank, the iteration at the
+    earliest group's.
+    """
+    rows = positions.shape[0]
+    num_groups = group_starts.shape[0]
+    num_members = members.shape[0]
+    for i in prange(rows):
+        best = positions.shape[1]
+        for g in range(num_groups):
+            start = group_starts[g]
+            end = num_members if g == num_groups - 1 else group_starts[g + 1]
+            last = positions[i, members[start]]
+            for p in range(start + 1, end):
+                rank = positions[i, members[p]]
+                if rank > last:
+                    last = rank
+            if last < best:
+                best = last
+        out[i] = best

@@ -89,6 +89,7 @@ import numpy as np
 from repro.cluster.dynamic import DynamicClusterSpec
 from repro.cluster.spec import ClusterSpec
 from repro.coding.fractional import FractionalRepetitionCode
+from repro.coding.linear_code import LinearGradientCode
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.schemes.approximate import PartialSumAggregator
 from repro.schemes.base import (
@@ -101,6 +102,7 @@ from repro.schemes.base import (
 )
 from repro.simulation.iteration import IterationOutcome, incomplete_iteration_error
 from repro.simulation.job import JobResult, _resolve_plan
+from repro.simulation.kernels import KernelSuite, get_suite
 from repro.stragglers.base import DelayModel
 from repro.stragglers.dynamics import UnavailableDelay, memoize_by_id
 from repro.utils.rng import RandomState, as_generator
@@ -118,9 +120,13 @@ __all__ = [
 ENGINES = ("loop", "vectorized", "auto")
 
 #: ``auto`` picks the vectorized engine once the job is at least this many
-#: (iteration, worker) cells; below it the loop's lower setup cost wins.
-#: The two engines produce identical results either way.
-_AUTO_THRESHOLD = 256
+#: (trial, iteration, worker) cells; below it the loop's lower setup cost
+#: wins. Calibrated against ``benchmarks/bench_kernels.py`` engine-crossover
+#: measurements (the loop only wins below ~8-16 cells — the old 256 predated
+#: trial batching and left small trial-batched cells on the slow path). The
+#: two engines produce identical results either way, so the constant only
+#: moves the speed crossover, never a result.
+_AUTO_THRESHOLD = 16
 
 #: A completion kernel maps (positions, arrival order) matrices to the
 #: 0-based arrival position that completes each iteration; the sentinel
@@ -149,11 +155,19 @@ def validate_engine(engine: str) -> str:
     return engine
 
 
-def resolve_engine(engine: str, *, num_iterations: int, num_workers: int) -> str:
-    """Resolve an ``engine`` knob value to ``"loop"`` or ``"vectorized"``."""
+def resolve_engine(
+    engine: str, *, num_iterations: int, num_workers: int, num_trials: int = 1
+) -> str:
+    """Resolve an ``engine`` knob value to ``"loop"`` or ``"vectorized"``.
+
+    ``num_trials`` sizes the cutover for trial-batched execution: a batched
+    cell amortises the vectorized engine's setup over every trial, so
+    ``auto`` decides on the full ``trials x iterations x workers`` volume,
+    not the solo job size.
+    """
     validate_engine(engine)
     if engine == "auto":
-        if num_iterations * num_workers >= _AUTO_THRESHOLD:
+        if num_iterations * num_workers * max(int(num_trials), 1) >= _AUTO_THRESHOLD:
             return "vectorized"
         return "loop"
     return engine
@@ -168,6 +182,7 @@ def simulate_job_vectorized(
     *,
     unit_size: int = 1,
     serialize_master_link: bool = True,
+    kernels: str = "auto",
 ) -> JobResult:
     """Batch-simulate ``num_iterations`` timing-only iterations in NumPy.
 
@@ -175,8 +190,12 @@ def simulate_job_vectorized(
     ``engine="loop"``: same signature, same random-stream consumption, and a
     bit-identical :class:`JobResult` at a fixed seed (see the module
     docstring for the draw-order contract the guarantee rests on).
+    ``kernels`` selects the hot-loop backend (see
+    :mod:`repro.simulation.kernels`); every backend is bit-identical, so the
+    knob only changes speed.
     """
     check_positive_int(num_iterations, "num_iterations")
+    suite = get_suite(kernels)
     generator = as_generator(rng)
     plan = _resolve_plan(scheme_or_plan, num_units, cluster.num_workers, generator)
     if isinstance(cluster, DynamicClusterSpec):
@@ -187,6 +206,7 @@ def simulate_job_vectorized(
             num_iterations=num_iterations,
             unit_size=unit_size,
             serialize_master_link=serialize_master_link,
+            suite=suite,
         )
     else:
         outcomes = _simulate_plan_batch(
@@ -196,6 +216,7 @@ def simulate_job_vectorized(
             num_iterations=num_iterations,
             unit_size=unit_size,
             serialize_master_link=serialize_master_link,
+            suite=suite,
         )
     result = JobResult(scheme_name=plan.scheme_name)
     result.iterations.extend(outcomes)
@@ -211,6 +232,7 @@ def simulate_job_batch(
     *,
     unit_size: int = 1,
     serialize_master_link: bool = True,
+    kernels: str = "auto",
 ) -> List[JobResult]:
     """Simulate ``len(seeds)`` independent Monte-Carlo trials of one job.
 
@@ -249,6 +271,7 @@ def simulate_job_batch(
     check_positive_int(num_iterations, "num_iterations")
     if len(seeds) == 0:
         raise ConfigurationError("simulate_job_batch needs at least one trial seed")
+    suite = get_suite(kernels)
     generators = [as_generator(seed) for seed in seeds]
     plan = _resolve_plan(
         scheme_or_plan, num_units, cluster.num_workers, generators[0]
@@ -304,7 +327,8 @@ def simulate_job_batch(
                         num_iterations,
                     )
         outcomes = _complete_batch(
-            plan, active, message_sizes, compute, transfer, serialize_master_link
+            plan, active, message_sizes, compute, transfer, serialize_master_link,
+            suite,
         )
         for t in range(len(chunk)):
             result = JobResult(scheme_name=plan.scheme_name)
@@ -440,6 +464,7 @@ def _simulate_plan_batch(
     num_iterations: int,
     unit_size: int,
     serialize_master_link: bool,
+    suite: KernelSuite,
 ) -> List[IterationOutcome]:
     generator = as_generator(rng)
     active, active_loads, message_sizes, active_sizes = _active_arrays(
@@ -456,7 +481,7 @@ def _simulate_plan_batch(
         num_iterations,
     )
     return _complete_batch(
-        plan, active, message_sizes, compute, transfer, serialize_master_link
+        plan, active, message_sizes, compute, transfer, serialize_master_link, suite
     )
 
 
@@ -468,6 +493,7 @@ def _simulate_dynamic_batch(
     num_iterations: int,
     unit_size: int,
     serialize_master_link: bool,
+    suite: KernelSuite,
 ) -> List[IterationOutcome]:
     """Batch-simulate a job on a :class:`DynamicClusterSpec`.
 
@@ -484,7 +510,7 @@ def _simulate_dynamic_batch(
         cluster, plan, active, active_loads, active_sizes, generator, num_iterations
     )
     return _complete_batch(
-        plan, active, message_sizes, compute, transfer, serialize_master_link
+        plan, active, message_sizes, compute, transfer, serialize_master_link, suite
     )
 
 
@@ -495,6 +521,7 @@ def _complete_batch(
     compute: np.ndarray,
     transfer: np.ndarray,
     serialize_master_link: bool,
+    suite: KernelSuite,
 ) -> List[IterationOutcome]:
     """Completion search + metric assembly over drawn timing matrices.
 
@@ -503,24 +530,22 @@ def _complete_batch(
     infinite entries sort after every finite arrival, the serialized-link
     recurrence propagates them unchanged, and an iteration whose completing
     arrival is infinite is infeasible — exactly the loop engine's behaviour.
+    The arrival recurrence and per-scheme completion searches run on
+    ``suite``'s backend (:mod:`repro.simulation.kernels`); every backend is
+    bit-identical, so the choice is invisible in the results.
     """
     num_iterations, n_active = compute.shape
 
-    # 2. Arrival times at the master.
+    # 2. Arrival times at the master: the link recurrence
+    #    a_k = max(c_k, a_{k-1}) + t_k over completion-sorted columns. Every
+    #    backend evaluates it in the loop engine's exact per-row float-op
+    #    order (a cumsum/running-max rewrite would be algebraically equal
+    #    but rounded differently).
     if serialize_master_link:
         order = np.argsort(compute, axis=1, kind="stable")
         compute_sorted = np.take_along_axis(compute, order, axis=1)
         transfer_sorted = np.take_along_axis(transfer, order, axis=1)
-        # The link recurrence a_k = max(c_k, a_{k-1}) + t_k, evaluated
-        # column by column so every row reproduces the loop engine's exact
-        # floating-point operation order (a cumsum/running-max rewrite would
-        # be algebraically equal but rounded differently).
-        arrival_sorted = np.empty_like(compute_sorted)
-        link_free = np.zeros(num_iterations, dtype=float)
-        for k in range(n_active):
-            start = np.maximum(compute_sorted[:, k], link_free)
-            link_free = start + transfer_sorted[:, k]
-            arrival_sorted[:, k] = link_free
+        arrival_sorted = suite.link_recurrence(compute_sorted, transfer_sorted)
         arrivals = np.empty_like(arrival_sorted)
         np.put_along_axis(arrivals, order, arrival_sorted, axis=1)
     else:
@@ -535,7 +560,7 @@ def _complete_batch(
         np.broadcast_to(np.arange(n_active), arrival_order.shape),
         axis=1,
     )
-    kernel = _build_kernel(plan, active)
+    kernel = _build_kernel(plan, active, suite)
     if kernel is None:
         completing = _fallback_positions(plan, active, arrival_order)
     else:
@@ -678,12 +703,17 @@ def _draw_compute_grid(
 # --------------------------------------------------------------------------- #
 # Completion kernels
 # --------------------------------------------------------------------------- #
-def _build_kernel(plan: ExecutionPlan, active: np.ndarray) -> Optional[_Kernel]:
+def _build_kernel(
+    plan: ExecutionPlan, active: np.ndarray, suite: KernelSuite
+) -> Optional[_Kernel]:
     """Vectorized completion kernel for the plan's aggregator, or ``None``.
 
     Dispatch is on the *exact* aggregator type produced by a probe
     instantiation — subclasses may change the stopping rule, so they take
-    the scalar fallback.
+    the scalar fallback. The aggregator-specific preprocessing (index
+    translation, feasibility screens, segment layout) happens here, once per
+    batch and backend-independently; the per-row searches run on ``suite``'s
+    kernels.
     """
     probe = plan.new_aggregator()
     n_active = int(active.size)
@@ -697,7 +727,7 @@ def _build_kernel(plan: ExecutionPlan, active: np.ndarray) -> Optional[_Kernel]:
             return lambda positions, order: np.full(
                 positions.shape[0], n_active, dtype=int
             )
-        return lambda positions, order: positions[:, required].max(axis=1)
+        return lambda positions, order: suite.count_completion(positions, required)
 
     if type(probe) is PartialSumAggregator:
         eligible = position_of_worker[np.flatnonzero(probe.example_counts > 0)]
@@ -707,13 +737,15 @@ def _build_kernel(plan: ExecutionPlan, active: np.ndarray) -> Optional[_Kernel]:
             return lambda positions, order: np.full(
                 positions.shape[0], n_active, dtype=int
             )
-        return lambda positions, order: np.sort(positions[:, eligible], axis=1)[
-            :, needed - 1
-        ]
+        return lambda positions, order: suite.partial_sum_completion(
+            positions, eligible, needed
+        )
 
     if type(probe) is BatchCoverageAggregator:
         batches = np.asarray(probe.worker_batches, dtype=int)[active]
-        return _coverage_kernel(batches, np.arange(n_active), probe.num_batches)
+        return _coverage_kernel(
+            batches, np.arange(n_active), probe.num_batches, suite
+        )
 
     if type(probe) is UnitCoverageAggregator:
         assignment = probe.assignment
@@ -727,25 +759,28 @@ def _build_kernel(plan: ExecutionPlan, active: np.ndarray) -> Optional[_Kernel]:
             np.concatenate(units) if units else np.empty(0, dtype=int),
             np.concatenate(owners) if owners else np.empty(0, dtype=int),
             probe.num_units,
+            suite,
         )
 
     if type(probe) is CodedAggregator:
-        return _coded_kernel(probe, active, position_of_worker)
+        return _coded_kernel(probe, active, position_of_worker, suite)
 
     return None
 
 
 def _coverage_kernel(
-    items: np.ndarray, owner_positions: np.ndarray, num_items: int
+    items: np.ndarray,
+    owner_positions: np.ndarray,
+    num_items: int,
+    suite: KernelSuite,
 ) -> _Kernel:
     """Coupon-collector completion: last item to be covered for the first time.
 
     ``items[p]`` is covered whenever the active worker at column
     ``owner_positions[p]`` arrives; an iteration completes at the maximum
     over items of the earliest covering arrival. The (item, owner) pairs are
-    sorted by item once, so each row reduces to a segment-minimum
-    (`np.minimum.reduceat`) followed by a row maximum. Rows are processed in
-    chunks to bound the size of the gathered (rows x pairs) scratch matrix.
+    sorted by item once here; each row then reduces to a segment minimum
+    followed by a row maximum on the suite's coverage kernel.
     """
     if items.size == 0 or np.unique(items).size < num_items:
         # Some item has no owner: no amount of waiting covers it.
@@ -757,22 +792,16 @@ def _coverage_kernel(
     segment_starts = np.flatnonzero(
         np.concatenate(([True], np.diff(items[by_item]) > 0))
     )
-    rows_per_chunk = max(1, (1 << 22) // max(owners_sorted.size, 1))
-
-    def kernel(positions: np.ndarray, order: np.ndarray) -> np.ndarray:
-        num_rows = positions.shape[0]
-        completing = np.empty(num_rows, dtype=int)
-        for start in range(0, num_rows, rows_per_chunk):
-            block = positions[start : start + rows_per_chunk, owners_sorted]
-            first_covered = np.minimum.reduceat(block, segment_starts, axis=1)
-            completing[start : start + rows_per_chunk] = first_covered.max(axis=1)
-        return completing
-
-    return kernel
+    return lambda positions, order: suite.coverage_completion(
+        positions, owners_sorted, segment_starts
+    )
 
 
 def _coded_kernel(
-    probe: CodedAggregator, active: np.ndarray, position_of_worker: np.ndarray
+    probe: CodedAggregator,
+    active: np.ndarray,
+    position_of_worker: np.ndarray,
+    suite: KernelSuite,
 ) -> _Kernel:
     code = probe.code
     n_active = int(active.size)
@@ -793,24 +822,66 @@ def _coded_kernel(
             return lambda positions, order: np.full(
                 positions.shape[0], n_active, dtype=int
             )
+        members = np.concatenate(viable)
+        group_starts = np.cumsum([0] + [m.size for m in viable[:-1]])
+        return lambda positions, order: suite.group_completion(
+            positions, members, group_starts
+        )
 
-        def group_kernel(positions: np.ndarray, order: np.ndarray) -> np.ndarray:
-            last_member = np.stack(
-                [positions[:, members].max(axis=1) for members in viable], axis=1
-            )
-            return last_member.min(axis=1)
-
-        return group_kernel
-
-    # Generic linear code: walk each iteration's arrival prefix, replicating
-    # CodedAggregator's decodability-check cadence (first plausible
-    # completion at the worst-case threshold, then every ``check_every``
-    # arrivals, unconditionally on the last worker; opportunistic codes are
-    # checked on every arrival). The cadence parameters are read off the
-    # probe aggregator so the two code paths cannot drift apart.
+    # Generic linear code: find each iteration's first decodable arrival
+    # prefix among the checkpoints of CodedAggregator's decodability-check
+    # cadence (first plausible completion at the worst-case threshold, then
+    # every ``check_every`` arrivals, unconditionally on the last worker;
+    # opportunistic codes are checked on every arrival). The cadence
+    # parameters are read off the probe aggregator so the two code paths
+    # cannot drift apart.
     check_every = probe.check_every
     opportunistic = probe.opportunistic
     minimum_needed = probe.minimum_needed
+
+    def due_ranks() -> List[int]:
+        ranks = []
+        for rank in range(n_active):
+            count = rank + 1
+            if opportunistic:
+                due = True
+            elif count < minimum_needed:
+                due = False
+            else:
+                due = (
+                    (count - minimum_needed) % check_every == 0
+                    or count >= code.num_workers
+                )
+            if due:
+                ranks.append(rank)
+        return ranks
+
+    if type(code).is_decodable is LinearGradientCode.is_decodable:
+        # For an unmodified linear code, decodability is monotone in the
+        # worker set (appending rows can only grow the row space), so the
+        # first decodable checkpoint can be bisected instead of walked:
+        # O(log checkpoints) decodability tests per iteration instead of
+        # O(checkpoints). Subclasses overriding ``is_decodable`` may break
+        # monotonicity and keep the sequential walk below.
+        checkpoints = due_ranks()
+
+        def bisect_kernel(positions: np.ndarray, order: np.ndarray) -> np.ndarray:
+            completing = np.full(positions.shape[0], n_active, dtype=int)
+            for i in range(positions.shape[0]):
+                row_workers = active[order[i]]
+                lo, hi = 0, len(checkpoints)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    prefix = row_workers[: checkpoints[mid] + 1]
+                    if code.is_decodable(prefix.tolist()):
+                        hi = mid
+                    else:
+                        lo = mid + 1
+                if lo < len(checkpoints):
+                    completing[i] = checkpoints[lo]
+            return completing
+
+        return bisect_kernel
 
     def walk_kernel(positions: np.ndarray, order: np.ndarray) -> np.ndarray:
         completing = np.full(positions.shape[0], n_active, dtype=int)

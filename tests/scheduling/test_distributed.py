@@ -1,0 +1,304 @@
+"""The distributed executor: protocol round-trips and fault paths.
+
+The multi-node claims under test:
+
+* **Bit-identity** — a sweep sharded over live ``repro serve`` nodes (the
+  real asyncio server, in-process) produces the serial records exactly.
+* **Retry-with-reassignment** — a node dying mid-lease releases its
+  unfinished indices back to the queue; surviving nodes complete the sweep
+  with unchanged results. Exhausting ``max_attempts`` (or losing every
+  node) turns transport faults into a loud :class:`ServiceError`.
+* **Deterministic failures travel** — a task that fails *on the node*
+  (infeasible cell) is rehydrated client-side as the original exception
+  type, exactly like local execution, with no futile reassignment.
+* Endpoint parsing and the ``executor="distributed"`` / ``REPRO_NODES``
+  resolution contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api import JobSpec, Sweep, TimingSimBackend, run_sweep
+from repro.cluster.spec import ClusterSpec
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.scheduling import DistributedExecutor, parse_endpoint, parse_nodes
+from repro.scheduling.distributed import _node_error
+from repro.scheduling.executors import resolve_executor
+from repro.service.server import _connection, run_worker
+from repro.service.service import SweepService
+from repro.stragglers.models import ShiftedExponentialDelay
+
+
+def make_sweep(trials=2, seed=0, load=5):
+    cluster = ClusterSpec.homogeneous(10, ShiftedExponentialDelay(1.0, 0.5))
+    base = JobSpec(
+        scheme={"name": "bcc", "load": load},
+        cluster=cluster,
+        num_units=20,
+        num_iterations=3,
+        seed=seed,
+    )
+    return Sweep(
+        base,
+        parameters={"scheme": [{"name": "bcc", "load": load}, {"name": "uncoded"}]},
+        trials=trials,
+        backend=TimingSimBackend(engine="auto"),
+    )
+
+
+def records_of(result):
+    return [(r.cell, r.trial, r.result) for r in result]
+
+
+class LiveNode:
+    """The real sweep-service TCP server on an ephemeral port, in a thread."""
+
+    def __init__(self):
+        self.port = None
+        self._loop = None
+        self._stop = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(10), "live node failed to start"
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        service = SweepService()
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            lambda reader, writer: _connection(service, reader, writer),
+            "127.0.0.1",
+            0,
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+
+    @property
+    def endpoint(self):
+        return f"127.0.0.1:{self.port}"
+
+    def stop(self):
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+class FlakyNode:
+    """A node that accepts leases and drops the connection mid-lease."""
+
+    def __init__(self):
+        self.leases_seen = 0
+        self._stopping = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen()
+        # Closing a listener does not wake a blocked accept() on Linux, so
+        # poll with a short timeout and a stop flag instead.
+        self._listener.settimeout(0.1)
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def endpoint(self):
+        return f"127.0.0.1:{self.port}"
+
+    def _serve(self):
+        while not self._stopping:
+            try:
+                conn, _address = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            try:
+                conn.settimeout(5.0)
+                stream = conn.makefile("rwb")
+                line = stream.readline()
+                if line:
+                    request = json.loads(line.decode("utf-8"))
+                    if request.get("request") == "cells":
+                        self.leases_seen += 1
+                # Mid-lease hangup: the client must reassign. The makefile
+                # stream holds its own reference to the socket, so shut the
+                # transport down explicitly or the peer never sees EOF.
+                conn.shutdown(socket.SHUT_RDWR)
+                stream.close()
+            except (OSError, ValueError):
+                pass
+            conn.close()
+
+    def stop(self):
+        self._stopping = True
+        self._thread.join(timeout=10)
+        self._listener.close()
+
+
+@pytest.fixture
+def live_node():
+    node = LiveNode()
+    yield node
+    node.stop()
+
+
+#: A localhost port with nothing listening (bound-then-closed, so the OS
+#: will not immediately hand it to another process mid-test).
+def dead_endpoint() -> str:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"127.0.0.1:{port}"
+
+
+class TestParsing:
+    def test_endpoint_round_trip(self):
+        assert parse_endpoint("localhost:8123") == ("localhost", 8123)
+        assert parse_endpoint(" 10.0.0.2:99 ") == ("10.0.0.2", 99)
+
+    @pytest.mark.parametrize("bad", ["localhost", ":8123", "host:port", "host:70000"])
+    def test_malformed_endpoints_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_endpoint(bad)
+
+    def test_node_lists_normalise(self):
+        expected = (("a", 1), ("b", 2))
+        assert parse_nodes("a:1,b:2") == expected
+        assert parse_nodes("a:1, b:2,") == expected
+        assert parse_nodes(["a:1", "b:2"]) == expected
+        assert parse_nodes([("a", 1), ("b", 2)]) == expected
+
+    def test_executor_requires_nodes_or_listener(self):
+        with pytest.raises(ConfigurationError, match="needs node addresses"):
+            DistributedExecutor()
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError, match="lease_size"):
+            DistributedExecutor("a:1", lease_size=0)
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            DistributedExecutor("a:1", max_attempts=0)
+
+
+class TestResolution:
+    def test_name_requires_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NODES", raising=False)
+        with pytest.raises(ConfigurationError, match="REPRO_NODES"):
+            resolve_executor("distributed")
+
+    def test_name_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NODES", "127.0.0.1:1,127.0.0.1:2")
+        executor = resolve_executor("distributed")
+        assert isinstance(executor, DistributedExecutor)
+        assert executor.nodes == (("127.0.0.1", 1), ("127.0.0.1", 2))
+        executor.close()
+
+    def test_node_error_rehydrates_known_types(self):
+        error = _node_error("ConfigurationError", "bad cell")
+        assert isinstance(error, ConfigurationError)
+        assert "bad cell" in str(error)
+        fallback = _node_error("KeyboardInterrupt", "nope")
+        assert isinstance(fallback, ServiceError)
+        assert "KeyboardInterrupt" in str(fallback)
+
+
+class TestLiveProtocol:
+    def test_matches_serial_records(self, live_node):
+        sweep = make_sweep()
+        reference = run_sweep(sweep)
+        with DistributedExecutor(live_node.endpoint, lease_size=2) as executor:
+            result = run_sweep(sweep, executor=executor)
+            # Executor reuse: a second sweep over the same connection path.
+            again = run_sweep(sweep, executor=executor)
+        assert records_of(result) == records_of(reference)
+        assert records_of(again) == records_of(reference)
+
+    def test_dead_node_does_not_poison_the_sweep(self, live_node):
+        sweep = make_sweep()
+        reference = run_sweep(sweep)
+        nodes = f"{dead_endpoint()},{live_node.endpoint}"
+        with DistributedExecutor(nodes, connect_timeout=2.0) as executor:
+            result = run_sweep(sweep, executor=executor)
+        assert records_of(result) == records_of(reference)
+
+    def test_mid_lease_drop_is_reassigned(self, live_node):
+        sweep = make_sweep()
+        reference = run_sweep(sweep)
+        flaky = FlakyNode()
+        try:
+            nodes = f"{flaky.endpoint},{live_node.endpoint}"
+            with DistributedExecutor(nodes, lease_size=1) as executor:
+                result = run_sweep(sweep, executor=executor)
+        finally:
+            flaky.stop()
+        assert flaky.leases_seen >= 1, "the flaky node never saw a lease"
+        assert records_of(result) == records_of(reference)
+
+    def test_join_topology_matches_serial(self):
+        # The reversed topology: the executor listens, a `repro serve
+        # --join` worker dials in, and stays parked across execute() calls.
+        sweep = make_sweep()
+        reference = run_sweep(sweep)
+        with DistributedExecutor(listen="127.0.0.1:0", join_timeout=20.0) as executor:
+            host, port = executor.listen_address
+            worker = threading.Thread(
+                target=run_worker, args=(host, port), daemon=True
+            )
+            worker.start()
+            result = run_sweep(sweep, executor=executor)
+            again = run_sweep(sweep, executor=executor)
+        # close() hangs up the parked connection; the worker exits.
+        worker.join(timeout=10)
+        assert not worker.is_alive()
+        assert records_of(result) == records_of(reference)
+        assert records_of(again) == records_of(reference)
+
+    def test_deterministic_task_failure_travels(self, live_node):
+        # An infeasible cell fails *on the node*; the client re-raises the
+        # original exception type, exactly like serial execution.
+        sweep = make_sweep(load=999)
+        with pytest.raises(ConfigurationError):
+            run_sweep(sweep)
+        with DistributedExecutor(live_node.endpoint) as executor:
+            with pytest.raises(ConfigurationError):
+                run_sweep(sweep, executor=executor)
+
+
+class TestFaultExhaustion:
+    def test_all_nodes_dead_is_a_service_error(self):
+        sweep = make_sweep()
+        nodes = f"{dead_endpoint()},{dead_endpoint()}"
+        with DistributedExecutor(nodes, connect_timeout=2.0) as executor:
+            with pytest.raises(ServiceError, match="never completed"):
+                run_sweep(sweep, executor=executor)
+
+    def test_max_attempts_exhaustion_is_loud(self):
+        sweep = make_sweep()
+        flaky = FlakyNode()
+        try:
+            executor = DistributedExecutor(
+                flaky.endpoint, lease_size=1, max_attempts=1
+            )
+            with executor:
+                with pytest.raises(ServiceError, match="reassigned"):
+                    run_sweep(sweep, executor=executor)
+        finally:
+            flaky.stop()
+
+    def test_closed_executor_refuses_work(self):
+        executor = DistributedExecutor("127.0.0.1:1")
+        executor.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            executor.execute([])

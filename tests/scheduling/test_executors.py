@@ -225,3 +225,56 @@ class TestPlanShape:
         assert {(cell, trial) for cell, _, trial in entries} == {
             (cell, trial) for cell in range(cells) for trial in range(4)
         }
+
+
+class TestPoolReuse:
+    """The persistent-pool contract: workers outlive individual sweeps."""
+
+    def plan_tasks(self):
+        return build_sweep_plan(
+            make_sweep(), backend=TimingSimBackend(engine="auto")
+        ).tasks
+
+    def test_pool_persists_across_executions(self):
+        tasks = self.plan_tasks()
+        with PoolExecutor("thread", 2) as executor:
+            first = executor.execute(tasks)
+            pool = executor._pool
+            assert pool is not None
+            second = executor.execute(tasks)
+            assert executor._pool is pool  # same workers, no rebuild
+        assert executor._pool is None  # context exit released them
+        assert second == first
+
+    def test_run_sweep_reuses_an_instance_pool(self):
+        # run_sweep closes only executors it resolved from a name; a caller
+        # instance keeps its warm pool across sweeps.
+        sweep = make_sweep()
+        executor = PoolExecutor("thread", 2)
+        try:
+            first = run_sweep(sweep, executor=executor)
+            pool = executor._pool
+            assert pool is not None
+            second = run_sweep(sweep, executor=executor)
+            assert executor._pool is pool
+        finally:
+            executor.close()
+        assert records_of(second) == records_of(first)
+
+    def test_closed_pool_rebuilds_transparently(self):
+        tasks = self.plan_tasks()
+        executor = PoolExecutor("thread", 2)
+        try:
+            first = executor.execute(tasks)
+            executor.close()
+            second = executor.execute(tasks)  # transparently rebuilds
+            assert second == first
+        finally:
+            executor.close()
+
+    def test_close_is_idempotent(self):
+        executor = PoolExecutor("thread", 2)
+        executor.execute(self.plan_tasks())
+        executor.close()
+        executor.close()
+        assert executor._pool is None

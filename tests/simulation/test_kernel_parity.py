@@ -1,0 +1,173 @@
+"""Compiled kernel backends vs the NumPy reference: bit-identical, always.
+
+``repro.simulation.kernels`` promises that the ``kernels=`` knob can never
+change a result — every backend (numba, the C extension) must reproduce the
+NumPy reference bit for bit. This suite pins the promise at the job level
+for **every registered scheme**, in **both master-link modes**, on
+**stationary and dynamic clusters**, plus a Hypothesis property over random
+job shapes.
+
+Availability mirrors the soft-dependency contract: the numba column skips
+where numba is not installed (tier-1 never requires it), the cext column
+skips where no C toolchain exists — and the matrix-coverage test keeps the
+scheme list honest as new schemes register.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dynamic import DynamicClusterSpec
+from repro.cluster.spec import ClusterSpec
+from repro.schemes.registry import available_schemes, scheme_from_config
+from repro.simulation.kernels import (
+    available_kernel_backends,
+    kernels_available,
+)
+from repro.simulation.vectorized import simulate_job_vectorized
+from repro.stragglers.communication import LinearCommunicationModel
+from repro.stragglers.models import ShiftedExponentialDelay
+
+#: One representative configuration per registered scheme, with enough
+#: redundancy to survive the dynamic scenario. Mirrors the engine
+#: equivalence suites; the coverage test below keeps it exhaustive.
+SCHEME_MATRIX = {
+    "uncoded": ({"name": "uncoded"}, 24),
+    "bcc": ({"name": "bcc", "load": 6}, 24),
+    "randomized": ({"name": "randomized", "load": 8}, 24),
+    "ignore-stragglers": ({"name": "ignore-stragglers", "wait_fraction": 0.6}, 24),
+    "cyclic-repetition": ({"name": "cyclic-repetition", "load": 6}, 12),
+    "reed-solomon": ({"name": "reed-solomon", "load": 6}, 12),
+    "fractional-repetition": ({"name": "fractional-repetition", "load": 4}, 12),
+    "generalized-bcc": ({"name": "generalized-bcc"}, 24),
+    "load-balanced": ({"name": "load-balanced"}, 24),
+}
+
+HETEROGENEOUS = {"generalized-bcc", "load-balanced"}
+
+COMPILED_BACKENDS = ("numba", "cext")
+
+
+def require_backend(backend: str) -> None:
+    if not kernels_available(backend):
+        pytest.skip(f"kernel backend {backend!r} unavailable here")
+
+
+def make_cluster(name: str) -> ClusterSpec:
+    communication = LinearCommunicationModel(latency=0.05, seconds_per_unit=0.02)
+    if name in HETEROGENEOUS:
+        return ClusterSpec.paper_fig5_cluster(
+            num_workers=12, num_fast=2, communication=communication
+        )
+    return ClusterSpec.homogeneous(
+        12, ShiftedExponentialDelay(straggling=1.0, shift=0.01), communication
+    )
+
+
+def run_with_kernels(config, cluster, base, num_units, kernels, *, serialize):
+    return simulate_job_vectorized(
+        scheme_from_config(config, cluster=base),
+        cluster,
+        num_units,
+        9,
+        rng=123,
+        serialize_master_link=serialize,
+        kernels=kernels,
+    )
+
+
+def assert_parity(config, cluster, base, num_units, backend, *, serialize):
+    reference = run_with_kernels(
+        config, cluster, base, num_units, "numpy", serialize=serialize
+    )
+    compiled = run_with_kernels(
+        config, cluster, base, num_units, backend, serialize=serialize
+    )
+    assert compiled.summary() == reference.summary()  # exact float equality
+    assert list(compiled.iterations) == list(reference.iterations)
+
+
+class TestKernelParityMatrix:
+    def test_matrix_covers_every_registered_scheme(self):
+        assert sorted(SCHEME_MATRIX) == available_schemes()
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    @pytest.mark.parametrize("serialize", [False, True])
+    @pytest.mark.parametrize("name", sorted(SCHEME_MATRIX))
+    def test_stationary_identical(self, name, serialize, backend):
+        require_backend(backend)
+        config, num_units = SCHEME_MATRIX[name]
+        cluster = make_cluster(name)
+        assert_parity(config, cluster, cluster, num_units, backend, serialize=serialize)
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+    @pytest.mark.parametrize("serialize", [False, True])
+    @pytest.mark.parametrize("name", sorted(SCHEME_MATRIX))
+    def test_dynamic_identical(self, name, serialize, backend):
+        # The absence-free Markov scenario every scheme can complete.
+        require_backend(backend)
+        config, num_units = SCHEME_MATRIX[name]
+        base = make_cluster(name)
+        dynamic = DynamicClusterSpec(
+            base, dynamics={"name": "markov", "slowdown": 6.0, "p_slow": 0.2}
+        )
+        assert_parity(config, dynamic, base, num_units, backend, serialize=serialize)
+
+
+#: The property below runs on whichever compiled backend this machine has;
+#: with none, it skips — same contract as the matrix.
+_COMPILED_HERE = tuple(
+    name for name in available_kernel_backends() if name != "numpy"
+)
+
+
+@pytest.mark.skipif(
+    not _COMPILED_HERE, reason="no compiled kernel backend available"
+)
+@settings(max_examples=20, deadline=None)
+@given(
+    scheme=st.sampled_from(["uncoded", "bcc", "cyclic-repetition", "randomized"]),
+    num_workers=st.integers(min_value=4, max_value=24),
+    num_iterations=st.integers(min_value=1, max_value=6),
+    straggling=st.floats(min_value=0.1, max_value=4.0),
+    serialize=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_random_jobs_identical(
+    scheme, num_workers, num_iterations, straggling, serialize, seed
+):
+    """Property: compiled kernels == numpy on arbitrary job shapes."""
+    if scheme in ("bcc", "randomized"):
+        # Random placement needs ~2x expected coverage to be feasible.
+        num_units = num_workers * 2
+        config = {"name": scheme, "load": 2 * num_units // num_workers + 1}
+    elif scheme == "cyclic-repetition":
+        config = {"name": scheme, "load": max(2, num_workers // 4)}
+        num_units = num_workers  # coded schemes need m = n
+    else:
+        config = {"name": scheme}
+        num_units = num_workers * 2
+    cluster = ClusterSpec.homogeneous(
+        num_workers,
+        ShiftedExponentialDelay(straggling=straggling, shift=0.01),
+        LinearCommunicationModel(latency=0.05, seconds_per_unit=0.02),
+    )
+
+    def run(kernels):
+        return simulate_job_vectorized(
+            scheme_from_config(config, cluster=cluster),
+            cluster,
+            num_units,
+            num_iterations,
+            rng=seed,
+            serialize_master_link=serialize,
+            kernels=kernels,
+        )
+
+    reference = run("numpy")
+    for backend in _COMPILED_HERE:
+        compiled = run(backend)
+        assert compiled.summary() == reference.summary()
+        assert list(compiled.iterations) == list(reference.iterations)

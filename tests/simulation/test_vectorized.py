@@ -405,6 +405,31 @@ class TestEngineKnob:
             "vectorized"
         )
 
+    def test_auto_threshold_keeps_tiny_jobs_on_the_loop(self):
+        # Below the calibrated crossover (iterations x workers x trials)
+        # the loop engine's lower setup cost wins — tiny jobs must not pay
+        # vectorized setup.
+        assert resolve_engine("auto", num_iterations=1, num_workers=1) == "loop"
+        assert resolve_engine("auto", num_iterations=3, num_workers=5) == "loop"
+        assert resolve_engine("auto", num_iterations=1, num_workers=15) == "loop"
+        assert resolve_engine("auto", num_iterations=2, num_workers=8) == "vectorized"
+
+    def test_auto_threshold_is_trial_aware(self):
+        # A trial-batched cell amortises vectorized setup over every trial,
+        # so auto decides on the full trials x iterations x workers volume.
+        assert (
+            resolve_engine("auto", num_iterations=1, num_workers=15, num_trials=1)
+            == "loop"
+        )
+        assert (
+            resolve_engine("auto", num_iterations=1, num_workers=15, num_trials=2)
+            == "vectorized"
+        )
+        assert (
+            resolve_engine("auto", num_iterations=1, num_workers=4, num_trials=4)
+            == "vectorized"
+        )
+
     def test_auto_equals_both_engines_anyway(self):
         cluster = make_cluster("uncoded")
         auto = simulate_job(UncodedScheme(), cluster, 24, 40, rng=5, engine="auto")
